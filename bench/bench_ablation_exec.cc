@@ -1,0 +1,71 @@
+// Ablation A2: execution-strategy choices called out in DESIGN.md:
+//  * CTE handling: materialize-once vs inline-per-reference;
+//  * weight caching (§2.2.1): inference from the deployed table vs
+//    recomputing the HW chain per query.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "born/born_sql.h"
+#include "data/scopus.h"
+#include "engine/database.h"
+
+namespace {
+
+using namespace bornsql;
+
+struct Fixture {
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<born::BornSqlClassifier> clf;
+
+  Fixture(bool materialize_ctes, size_t pubs, bool deploy) {
+    engine::EngineConfig config;
+    config.materialize_ctes = materialize_ctes;
+    data::ScopusOptions options;
+    options.num_publications = pubs;
+    data::ScopusSynthesizer synth(options);
+    db = std::make_unique<engine::Database>(config);
+    if (!synth.Load(db.get()).ok()) std::abort();
+    born::SqlSource source;
+    source.x_parts = data::ScopusSynthesizer::XParts();
+    source.y = data::ScopusSynthesizer::YQuery();
+    clf = std::make_unique<born::BornSqlClassifier>(db.get(), "abl", source);
+    if (!clf->Fit("SELECT id AS n FROM publication").ok()) std::abort();
+    if (deploy && !clf->Deploy().ok()) std::abort();
+  }
+};
+
+void BM_FitCteMode(benchmark::State& state, bool materialize) {
+  Fixture f(materialize, 2000, false);
+  for (auto _ : state) {
+    born::SqlSource source;
+    source.x_parts = data::ScopusSynthesizer::XParts();
+    source.y = data::ScopusSynthesizer::YQuery();
+    born::BornSqlClassifier scratch(f.db.get(), "scratch", source);
+    auto st = scratch.Fit("SELECT id AS n FROM publication");
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+}
+
+// §2.2.1 / Fig. 6: cached weights vs on-the-fly weight chain.
+void BM_InferenceWeightCache(benchmark::State& state, bool cached) {
+  Fixture f(true, 4000, /*deploy=*/cached);
+  for (auto _ : state) {
+    auto pred = f.clf->Predict("SELECT 13 AS n");
+    if (!pred.ok()) state.SkipWithError(pred.status().ToString().c_str());
+    benchmark::DoNotOptimize(pred);
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_FitCteMode, materialized_ctes, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FitCteMode, inlined_ctes, false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_InferenceWeightCache, cached_weights, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_InferenceWeightCache, on_the_fly_weights, false)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

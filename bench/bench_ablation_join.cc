@@ -1,0 +1,95 @@
+// Ablation A1: join strategy. The training query (listings 16-18) under
+// hash join, sort-merge join and nested-loop join, plus index-join on/off
+// for deployed inference. Google-benchmark microbenchmark.
+//
+// Expected shape: hash ~ sort-merge << nested-loop; index joins cut
+// single-item deployed inference further.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "born/born_sql.h"
+#include "data/scopus.h"
+#include "engine/database.h"
+
+namespace {
+
+using namespace bornsql;
+
+struct Fixture {
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<born::BornSqlClassifier> clf;
+
+  explicit Fixture(engine::EngineConfig config, size_t pubs,
+                   bool deploy = false) {
+    data::ScopusOptions options;
+    options.num_publications = pubs;
+    data::ScopusSynthesizer synth(options);
+    db = std::make_unique<engine::Database>(config);
+    auto st = synth.Load(db.get());
+    if (!st.ok()) std::abort();
+    born::SqlSource source;
+    source.x_parts = data::ScopusSynthesizer::XParts();
+    source.y = data::ScopusSynthesizer::YQuery();
+    clf = std::make_unique<born::BornSqlClassifier>(db.get(), "abl", source);
+    st = clf->Fit("SELECT id AS n FROM publication");
+    if (!st.ok()) std::abort();
+    if (deploy) {
+      st = clf->Deploy();
+      if (!st.ok()) std::abort();
+    }
+  }
+};
+
+engine::EngineConfig Config(engine::JoinStrategy js, bool index_joins) {
+  engine::EngineConfig c;
+  c.join_strategy = js;
+  c.use_index_joins = index_joins;
+  return c;
+}
+
+void BM_FitQuery(benchmark::State& state, engine::JoinStrategy js,
+                 size_t pubs) {
+  Fixture f(Config(js, true), pubs);
+  for (auto _ : state) {
+    // Re-fit a scratch model: the full listing (16)-(18) pipeline.
+    born::SqlSource source;
+    source.x_parts = data::ScopusSynthesizer::XParts();
+    source.y = data::ScopusSynthesizer::YQuery();
+    born::BornSqlClassifier scratch(f.db.get(), "scratch", source);
+    auto st = scratch.Fit("SELECT id AS n FROM publication");
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(pubs));
+}
+
+void BM_DeployedInference(benchmark::State& state, bool index_joins,
+                          size_t pubs) {
+  Fixture f(Config(engine::JoinStrategy::kHash, index_joins), pubs,
+            /*deploy=*/true);
+  for (auto _ : state) {
+    auto pred = f.clf->Predict("SELECT 13 AS n");
+    if (!pred.ok()) state.SkipWithError(pred.status().ToString().c_str());
+    benchmark::DoNotOptimize(pred);
+  }
+}
+
+}  // namespace
+
+// Nested-loop joins are O(n*m): the dataset must stay tiny for the bench
+// to finish, which is itself the result.
+BENCHMARK_CAPTURE(BM_FitQuery, hash_join, bornsql::engine::JoinStrategy::kHash,
+                  2000)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FitQuery, sort_merge_join,
+                  bornsql::engine::JoinStrategy::kSortMerge, 2000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FitQuery, nested_loop_join,
+                  bornsql::engine::JoinStrategy::kNestedLoop, 200)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_CAPTURE(BM_DeployedInference, with_index_join, true, 4000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DeployedInference, without_index_join, false, 4000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

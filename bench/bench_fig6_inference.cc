@@ -1,0 +1,129 @@
+// Figure 6: single-item inference time as the model grows, before and
+// after deployment, plus the §4.5.1 batch measurement (predict the first
+// 1000 items and report the per-item average).
+//
+// Paper claims reproduced: undeployed inference grows with model size
+// (the weight chain is recomputed per query); deployed inference is orders
+// of magnitude faster and approximately flat; the amortized per-item cost
+// after deployment is on the order of a millisecond.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "born/born_sql.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "data/scopus.h"
+#include "engine/database.h"
+
+int main(int argc, char** argv) {
+  using namespace bornsql;
+  bench::Args args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Figure 6", "Inference time for a single item");
+
+  data::ScopusOptions options;
+  options.num_publications = bench::Scaled(12000, args.scale);
+  data::ScopusSynthesizer synth(options);
+
+  engine::Database db;
+  if (auto st = synth.Load(&db); !st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  born::SqlSource source;
+  source.x_parts = data::ScopusSynthesizer::XParts();
+  source.y = data::ScopusSynthesizer::YQuery();
+  born::BornSqlClassifier clf(&db, "fig6", source);
+
+  const int kSteps = 5;  // 20%..100%
+  std::vector<double> model_features, undeployed_s, deployed_s;
+  std::printf("%6s %10s %16s %16s\n", "frac", "features", "undeployed(s)",
+              "deployed(s)");
+  for (int t = 0; t < kSteps; ++t) {
+    // Grow by two stationary batches per step.
+    for (int b = 0; b < 2; ++b) {
+      std::string q_n = StrFormat(
+          "SELECT id AS n FROM publication WHERE id %% 10 = %d", 2 * t + b);
+      if (auto st = clf.PartialFit(q_n); !st.ok()) {
+        std::fprintf(stderr, "partial fit failed: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+    }
+    auto features = clf.FeatureCount();
+
+    // Undeployed: the weight chain (Eqs. 8-10) is computed on the fly.
+    // min-of-3 against shared-vCPU noise.
+    double undeployed = 1e30;
+    Result<std::vector<born::SqlPrediction>> p1 =
+        std::vector<born::SqlPrediction>{};
+    for (int rep = 0; rep < 3; ++rep) {
+      WallTimer timer;
+      p1 = clf.Predict("SELECT 13 AS n");
+      undeployed = std::min(undeployed, timer.ElapsedSeconds());
+      if (!p1.ok()) {
+        std::fprintf(stderr, "predict failed: %s\n",
+                     p1.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    if (auto st = clf.Deploy(); !st.ok()) {
+      std::fprintf(stderr, "deploy failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    double deployed = 1e30;
+    Result<std::vector<born::SqlPrediction>> p2 =
+        std::vector<born::SqlPrediction>{};
+    for (int rep = 0; rep < 3; ++rep) {
+      WallTimer timer;
+      p2 = clf.Predict("SELECT 13 AS n");
+      deployed = std::min(deployed, timer.ElapsedSeconds());
+      if (!p2.ok()) return 1;
+    }
+    // Deployment never changes the answer.
+    if (!p1->empty() && !p2->empty() &&
+        Value::Compare((*p1)[0].k, (*p2)[0].k) != 0) {
+      std::fprintf(stderr, "deployed prediction differs!\n");
+      return 1;
+    }
+    if (auto st = clf.Undeploy(); !st.ok()) return 1;
+
+    model_features.push_back(static_cast<double>(*features));
+    undeployed_s.push_back(undeployed);
+    deployed_s.push_back(deployed);
+    std::printf("%5d%% %10lld %16.3f %16.4f\n", (t + 1) * 20,
+                static_cast<long long>(*features), undeployed, deployed);
+  }
+
+  // §4.5.1: amortized per-item inference over the first 1000 items.
+  if (auto st = clf.Deploy(); !st.ok()) return 1;
+  WallTimer timer;
+  auto batch =
+      clf.Predict("SELECT id AS n FROM publication WHERE id <= 1000");
+  double batch_s = timer.ElapsedSeconds();
+  if (!batch.ok()) return 1;
+  double per_item_ms = 1000.0 * batch_s / static_cast<double>(batch->size());
+  std::printf("\nbatch of %zu items after deployment: %.2fs total, "
+              "%.3f ms/item (paper: ~1 ms/item)\n",
+              batch->size(), batch_s, per_item_ms);
+
+  bench::LinearFit growth = bench::FitLine(model_features, undeployed_s);
+  std::printf("undeployed-time vs features: slope %.2e s/feature, "
+              "R^2 = %.2f\n", growth.slope, growth.r2);
+  bench::ShapeCheck(growth.slope > 0 &&
+                        undeployed_s.back() > 1.2 * undeployed_s.front(),
+                    "undeployed inference time grows with model size");
+  double speedup = undeployed_s.back() / deployed_s.back();
+  std::printf("deployment speedup at full model: %.1fx\n", speedup);
+  bench::ShapeCheck(speedup > 3.0,
+                    "deployment cuts single-item inference by a large "
+                    "factor (the Fig. 6 drop)");
+  bench::ShapeCheck(
+      deployed_s.back() < 2.0 * deployed_s.front() + 0.05,
+      "deployed single-item inference is approximately flat in model size");
+  bench::ShapeCheck(per_item_ms < 10.0,
+                    "amortized deployed inference is on the order of "
+                    "milliseconds per item");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// §5.3: accuracy on the 20 Newsgroups / Reuters (R8, R52) stand-ins, and
+// the claim that "the classification performance is independent from our
+// SQL implementation" — verified by running both the SQL classifier and
+// the in-memory reference on identical data.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "born/born_ref.h"
+#include "born/born_sql.h"
+#include "data/newsgroups.h"
+#include "engine/database.h"
+
+namespace {
+
+using namespace bornsql;
+
+struct CorpusResult {
+  const char* name;
+  double paper_accuracy;
+  double sql_accuracy = 0.0;
+  double ref_accuracy = 0.0;
+  size_t disagreements = 0;
+};
+
+Result<CorpusResult> RunCorpus(const char* name, double paper_accuracy,
+                               data::NewsgroupsOptions options,
+                               double scale) {
+  options.train_size = static_cast<size_t>(options.train_size * scale);
+  options.test_size = static_cast<size_t>(options.test_size * scale);
+  data::NewsgroupsSynthesizer synth(options);
+
+  CorpusResult out;
+  out.name = name;
+  out.paper_accuracy = paper_accuracy;
+
+  // SQL path.
+  engine::Database db;
+  BORNSQL_RETURN_IF_ERROR(synth.Load(&db));
+  born::SqlSource train_source;
+  train_source.x_parts = data::NewsgroupsSynthesizer::XParts("train");
+  train_source.y = data::NewsgroupsSynthesizer::YQuery("train");
+  born::BornSqlClassifier trainer(&db, "text", train_source);
+  BORNSQL_RETURN_IF_ERROR(trainer.Fit("SELECT docid AS n FROM doc_train"));
+  BORNSQL_RETURN_IF_ERROR(trainer.Deploy());
+
+  born::SqlSource test_source;
+  test_source.x_parts = data::NewsgroupsSynthesizer::XParts("test");
+  test_source.y = data::NewsgroupsSynthesizer::YQuery("test");
+  born::BornSqlClassifier server(&db, "text", test_source);
+  BORNSQL_RETURN_IF_ERROR(server.AttachDeployment());
+  BORNSQL_ASSIGN_OR_RETURN(auto sql_preds,
+                           server.Predict("SELECT docid AS n FROM doc_test"));
+  std::vector<int> sql_by_doc(synth.test().size(), -1);
+  for (const auto& p : sql_preds) {
+    sql_by_doc[static_cast<size_t>(p.n.AsInt()) - 1] =
+        static_cast<int>(p.k.AsInt());
+  }
+
+  // Reference path on identical data.
+  born::BornClassifierRef ref;
+  std::vector<born::Example> train;
+  train.reserve(synth.train().size());
+  for (const auto& doc : synth.train()) {
+    train.push_back(data::NewsgroupsSynthesizer::ToExample(doc));
+  }
+  BORNSQL_RETURN_IF_ERROR(ref.Fit(train));
+  BORNSQL_RETURN_IF_ERROR(ref.Deploy());
+
+  size_t sql_correct = 0, ref_correct = 0;
+  for (size_t i = 0; i < synth.test().size(); ++i) {
+    const auto& doc = synth.test()[i];
+    if (sql_by_doc[i] == doc.label) ++sql_correct;
+    auto rp = ref.Predict(data::NewsgroupsSynthesizer::ToExample(doc).x);
+    int ref_label = rp.ok() ? static_cast<int>(rp->AsInt()) : -1;
+    if (ref_label == doc.label) ++ref_correct;
+    if (ref_label != sql_by_doc[i]) ++out.disagreements;
+  }
+  out.sql_accuracy = 100.0 * sql_correct / synth.test().size();
+  out.ref_accuracy = 100.0 * ref_correct / synth.test().size();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Section 5.3", "Text classification accuracy");
+
+  struct Spec {
+    const char* name;
+    double paper;
+    data::NewsgroupsOptions options;
+  };
+  const Spec specs[] = {
+      {"20NG", 87.3, data::NewsgroupsOptions::TwentyNews()},
+      {"R8", 95.4, data::NewsgroupsOptions::R8()},
+      {"R52", 88.0, data::NewsgroupsOptions::R52()},
+  };
+
+  std::printf("%-6s %12s %12s %12s %15s\n", "corpus", "SQL acc(%)",
+              "ref acc(%)", "paper(%)", "disagreements");
+  bool bands_ok = true, identical = true;
+  for (const Spec& spec : specs) {
+    auto result = RunCorpus(spec.name, spec.paper, spec.options, args.scale);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", spec.name,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-6s %12.1f %12.1f %12.1f %15zu\n", result->name,
+                result->sql_accuracy, result->ref_accuracy,
+                result->paper_accuracy, result->disagreements);
+    if (std::fabs(result->sql_accuracy - result->paper_accuracy) > 8.0) {
+      bands_ok = false;
+    }
+    if (result->disagreements > 0) identical = false;
+  }
+  bench::ShapeCheck(identical,
+                    "SQL and reference classifiers agree on every test "
+                    "document (classification performance is independent of "
+                    "the SQL implementation)");
+  bench::ShapeCheck(bands_ok,
+                    "accuracies land within 8 points of the paper's "
+                    "87.3 / 95.4 / 88.0");
+  return 0;
+}

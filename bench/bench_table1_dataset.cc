@@ -1,0 +1,62 @@
+// Table 1: distribution of subject areas in the (synthetic) Scopus
+// database, plus the schema row counts of §4.1 / Fig. 2.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "data/scopus.h"
+#include "engine/database.h"
+
+int main(int argc, char** argv) {
+  using namespace bornsql;
+  bench::Args args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Table 1", "Distribution of subject areas");
+
+  data::ScopusOptions options;
+  options.num_publications = bench::Scaled(20000, args.scale);
+  data::ScopusSynthesizer synth(options);
+
+  struct RowSpec {
+    int code;
+    const char* area;
+    double paper_share;
+  };
+  const RowSpec rows[] = {
+      {17, "Artificial Intelligence", 1024703.0 / 2359828.0},
+      {26, "Statistics and Probability", 426341.0 / 2359828.0},
+      {18, "Decision Sciences", 908784.0 / 2359828.0},
+  };
+  auto dist = synth.ClassDistribution();
+  size_t total = 0;
+  for (const auto& [k, c] : dist) total += c;
+
+  std::printf("%-6s %-28s %12s %10s %14s\n", "ASJC", "Subject area", "Count",
+              "Share", "Paper share");
+  bool shares_ok = true;
+  for (const RowSpec& r : rows) {
+    double share = static_cast<double>(dist[r.code]) / total;
+    std::printf("%-6d %-28s %12zu %9.1f%% %13.1f%%\n", r.code, r.area,
+                dist[r.code], 100.0 * share, 100.0 * r.paper_share);
+    if (std::fabs(share - r.paper_share) > 0.03) shares_ok = false;
+  }
+  std::printf("%-6s %-28s %12zu\n", "", "Total:", total);
+
+  engine::Database db;
+  if (auto st = synth.Load(&db); !st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nschema (Fig. 2):\n");
+  for (const char* table :
+       {"publication", "pub_author", "pub_keyword", "pub_term"}) {
+    auto r = db.Execute(std::string("SELECT COUNT(*) FROM ") + table);
+    std::printf("  %-12s %10s rows\n", table,
+                r.ok() ? r->rows[0][0].ToString().c_str() : "?");
+  }
+  std::printf("(pub_term is the portable-SQL stand-in for the tsvector "
+              "abstract column; see DESIGN.md)\n");
+
+  bench::ShapeCheck(shares_ok,
+                    "class shares within 3 points of the paper's Table 1");
+  bench::ShapeCheck(dist.size() == 3, "exactly three macro subject areas");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table 3: global explanation — the three highest-weight features per
+// class. Paper claim reproduced: the publication venue (pubname) is the
+// most important feature for predicting the subject area.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "born/born_sql.h"
+#include "data/scopus.h"
+#include "engine/database.h"
+
+int main(int argc, char** argv) {
+  using namespace bornsql;
+  bench::Args args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Table 3", "Global explanation");
+
+  data::ScopusOptions options;
+  options.num_publications = bench::Scaled(10000, args.scale);
+  data::ScopusSynthesizer synth(options);
+  engine::Database db;
+  if (auto st = synth.Load(&db); !st.ok()) return 1;
+
+  born::SqlSource source;
+  source.x_parts = data::ScopusSynthesizer::XParts();
+  source.y = data::ScopusSynthesizer::YQuery();
+  born::BornSqlClassifier clf(&db, "table3", source);
+  if (auto st = clf.Fit("SELECT id AS n FROM publication"); !st.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (auto st = clf.Deploy(); !st.ok()) return 1;
+
+  auto global = clf.ExplainGlobal(0);
+  if (!global.ok()) {
+    std::fprintf(stderr, "explain failed: %s\n",
+                 global.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-3s %-45s %8s\n", "k", "j", "w");
+  std::map<int64_t, int> shown;
+  std::map<int64_t, bool> first_seen;
+  int classes_topped_by_venue = 0;
+  std::map<int64_t, bool> venue_in_top3;
+  for (const auto& e : *global) {
+    int64_t k = e.k.AsInt();
+    bool is_venue = e.j.rfind("pubname:", 0) == 0;
+    if (!first_seen[k]) {
+      first_seen[k] = true;
+      if (is_venue) ++classes_topped_by_venue;
+    }
+    if (shown[k] < 3) {
+      std::printf("%-3lld %-45s %8.4f\n", static_cast<long long>(k),
+                  e.j.c_str(), e.w);
+      ++shown[k];
+      if (is_venue) venue_in_top3[k] = true;
+    }
+  }
+  std::printf("\n");
+  bench::ShapeCheck(shown.size() == 3, "weights exist for all three classes");
+  // The paper's Table 3 itself: classes 18 and 26 are topped by pubnames
+  // while class 17's top feature is abstract:robot — so the claim is
+  // "venues dominate", not "venues top every class".
+  bench::ShapeCheck(classes_topped_by_venue >= 2,
+                    "the publication venue is the top feature for at least "
+                    "two of the three classes (paper: 18 and 26)");
+  bench::ShapeCheck(venue_in_top3.size() == 3,
+                    "every class has a venue among its top-3 features");
+  // Weights are a valid ranking: strictly ordered output.
+  bool ordered = true;
+  for (size_t i = 1; i < global->size(); ++i) {
+    if ((*global)[i - 1].w < (*global)[i].w) ordered = false;
+  }
+  bench::ShapeCheck(ordered, "explanation is sorted by weight");
+  return 0;
+}

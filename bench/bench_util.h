@@ -1,0 +1,105 @@
+// Shared plumbing for the reproduction benches: argument parsing, table
+// printing, least-squares shape checks, and the three engine
+// configurations standing in for the paper's three DBMSs.
+#ifndef BORNSQL_BENCH_BENCH_UTIL_H_
+#define BORNSQL_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/planner.h"
+
+namespace bornsql::bench {
+
+struct Args {
+  // Multiplies every default dataset size. 1.0 is tuned for a 1-vCPU
+  // container; raise it on faster machines.
+  double scale = 1.0;
+};
+
+inline Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      args.scale = std::atof(argv[i] + 8);
+      if (args.scale <= 0) args.scale = 1.0;
+    }
+  }
+  return args;
+}
+
+inline size_t Scaled(size_t base, double scale) {
+  double v = static_cast<double>(base) * scale;
+  return v < 1 ? 1 : static_cast<size_t>(v);
+}
+
+inline void PrintHeader(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+inline void ShapeCheck(bool ok, const std::string& claim) {
+  std::printf("shape-check: [%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+}
+
+// Least-squares fit y = a + b x; returns (slope, intercept, R^2).
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+inline LinearFit FitLine(const std::vector<double>& xs,
+                         const std::vector<double>& ys) {
+  LinearFit out;
+  const size_t n = xs.size();
+  if (n < 2 || ys.size() != n) return out;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  double denom = n * sxx - sx * sx;
+  if (denom == 0) return out;
+  out.slope = (n * sxy - sx * sy) / denom;
+  out.intercept = (sy - out.slope * sx) / n;
+  double ss_res = 0, mean_y = sy / n, ss_tot = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double pred = out.intercept + out.slope * xs[i];
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+  }
+  out.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return out;
+}
+
+// The three engine configurations standing in for PostgreSQL / MySQL /
+// SQLite in the runtime figures: same algorithm, different physical
+// operators, hence "different constants, same slope".
+struct EngineVariant {
+  const char* name;
+  engine::EngineConfig config;
+};
+
+inline std::vector<EngineVariant> EngineVariants() {
+  engine::EngineConfig a;  // hash joins + index joins + materialized CTEs
+  engine::EngineConfig b;
+  b.join_strategy = engine::JoinStrategy::kSortMerge;
+  b.use_index_joins = false;
+  engine::EngineConfig c;
+  c.materialize_ctes = false;  // recompute CTEs per reference
+  return {{"engine-A(hash)", a}, {"engine-B(sort-merge)", b},
+          {"engine-C(inline-cte)", c}};
+}
+
+}  // namespace bornsql::bench
+
+#endif  // BORNSQL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,175 @@
+// Shared implementation of the §5 evaluation (Adult + RLCP): trains
+// BornSQL through the engine and the three MADlib stand-ins on dense
+// matrices, recording runtimes and macro metrics. Used by
+// bench_sec52_runtimes and bench_table5_metrics.
+#ifndef BORNSQL_BENCH_EVAL_SHARED_H_
+#define BORNSQL_BENCH_EVAL_SHARED_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/decision_tree.h"
+#include "baselines/dense.h"
+#include "baselines/linear_svm.h"
+#include "baselines/logistic_regression.h"
+#include "baselines/metrics.h"
+#include "born/born_sql.h"
+#include "common/timer.h"
+#include "data/adult.h"
+#include "data/rlcp.h"
+#include "engine/database.h"
+
+namespace bornsql::bench {
+
+struct ClassifierEval {
+  double train_s = 0.0;
+  double predict_s = 0.0;
+  baselines::ClassificationMetrics metrics;
+};
+
+struct DatasetEval {
+  std::string name;
+  size_t train_size = 0;
+  size_t test_size = 0;
+  double born_deploy_s = 0.0;
+  double madlib_prep_s = 0.0;  // the dense materialization step
+  // `born` runs in-database (SQL engine); `born_ref` is the same algorithm
+  // as plain C++. The baselines are plain C++ too, so the algorithmic
+  // comparison of §5.2 is born_ref-vs-baselines, while born/born_ref is
+  // the engine overhead (which MADlib also pays inside PostgreSQL; our
+  // stand-ins do not — see DESIGN.md).
+  ClassifierEval born, born_ref, dt, svm, lr;
+};
+
+// Trains and evaluates everything on pre-built categorical splits.
+// `train_table`/`test_table` plus the query builders wire BornSQL.
+template <typename Synth>
+inline Result<DatasetEval> RunEvaluation(const std::string& name,
+                                         const Synth& synth,
+                                         const std::string& train_table,
+                                         const std::string& test_table) {
+  DatasetEval out;
+  out.name = name;
+  out.train_size = synth.train_rows().size();
+  out.test_size = synth.test_rows().size();
+
+  // ---- BornSQL: in-database, straight off the normalized tables ----
+  engine::Database db;
+  BORNSQL_RETURN_IF_ERROR(synth.Load(&db));
+
+  born::SqlSource train_source;
+  train_source.x_parts = synth.XParts(train_table);
+  train_source.y = Synth::YQuery(train_table);
+  born::BornSqlClassifier trainer(&db, "eval", train_source);
+
+  WallTimer timer;
+  BORNSQL_RETURN_IF_ERROR(
+      trainer.Fit("SELECT id AS n FROM " + train_table));
+  out.born.train_s = timer.ElapsedSeconds();
+
+  timer.Reset();
+  BORNSQL_RETURN_IF_ERROR(trainer.Deploy());
+  out.born_deploy_s = timer.ElapsedSeconds();
+
+  born::SqlSource test_source;
+  test_source.x_parts = synth.XParts(test_table);
+  test_source.y = Synth::YQuery(test_table);
+  born::BornSqlClassifier server(&db, "eval", test_source);
+  BORNSQL_RETURN_IF_ERROR(server.AttachDeployment());
+
+  timer.Reset();
+  BORNSQL_ASSIGN_OR_RETURN(auto predictions,
+                           server.Predict("SELECT id AS n FROM " + test_table));
+  out.born.predict_s = timer.ElapsedSeconds();
+
+  // Items whose features were all unseen during training produce no
+  // prediction row; score them as the majority class (0).
+  std::vector<int> born_pred(synth.test_labels().size(), 0);
+  for (const auto& p : predictions) {
+    born_pred[static_cast<size_t>(p.n.AsInt()) - 1] =
+        static_cast<int>(p.k.AsInt());
+  }
+  BORNSQL_ASSIGN_OR_RETURN(out.born.metrics,
+                           baselines::ComputeMetrics(synth.test_labels(),
+                                                     born_pred));
+
+  // ---- The same algorithm as plain C++ (engine overhead factored out) --
+  {
+    std::vector<born::Example> examples;
+    examples.reserve(synth.train_rows().size());
+    for (size_t i = 0; i < synth.train_rows().size(); ++i) {
+      examples.push_back(
+          synth.ToExample(synth.train_rows()[i], synth.train_labels()[i]));
+    }
+    born::BornClassifierRef ref;
+    timer.Reset();
+    BORNSQL_RETURN_IF_ERROR(ref.Fit(examples));
+    out.born_ref.train_s = timer.ElapsedSeconds();
+    BORNSQL_RETURN_IF_ERROR(ref.Deploy());
+    std::vector<int> ref_pred(synth.test_labels().size(), 0);
+    timer.Reset();
+    for (size_t i = 0; i < synth.test_rows().size(); ++i) {
+      auto p = ref.Predict(
+          synth.ToExample(synth.test_rows()[i], 0).x);
+      if (p.ok()) ref_pred[i] = static_cast<int>(p->AsInt());
+    }
+    out.born_ref.predict_s = timer.ElapsedSeconds();
+    BORNSQL_ASSIGN_OR_RETURN(
+        out.born_ref.metrics,
+        baselines::ComputeMetrics(synth.test_labels(), ref_pred));
+  }
+
+  // ---- MADlib stand-ins: dense materialization + three classifiers ----
+  std::vector<std::string> columns;
+  for (const std::string& c : synth.column_names()) columns.push_back(c);
+  baselines::OneHotEncoder encoder(columns);
+  timer.Reset();
+  BORNSQL_RETURN_IF_ERROR(encoder.Fit(synth.train_rows()));
+  BORNSQL_ASSIGN_OR_RETURN(
+      baselines::DenseDataset train,
+      encoder.Transform(synth.train_rows(), synth.train_labels()));
+  BORNSQL_ASSIGN_OR_RETURN(
+      baselines::DenseDataset test,
+      encoder.Transform(synth.test_rows(), synth.test_labels()));
+  out.madlib_prep_s = timer.ElapsedSeconds();
+
+  auto run = [&](auto& clf, ClassifierEval* eval) -> Status {
+    WallTimer t;
+    BORNSQL_RETURN_IF_ERROR(clf.Train(train));
+    eval->train_s = t.ElapsedSeconds();
+    t.Reset();
+    std::vector<int> pred = clf.PredictAll(test);
+    eval->predict_s = t.ElapsedSeconds();
+    BORNSQL_ASSIGN_OR_RETURN(
+        eval->metrics, baselines::ComputeMetrics(synth.test_labels(), pred));
+    return Status::OK();
+  };
+  baselines::DecisionTree dt;
+  BORNSQL_RETURN_IF_ERROR(run(dt, &out.dt));
+  baselines::LinearSvm svm;
+  BORNSQL_RETURN_IF_ERROR(run(svm, &out.svm));
+  baselines::LogisticRegression lr;
+  BORNSQL_RETURN_IF_ERROR(run(lr, &out.lr));
+  return out;
+}
+
+inline Result<DatasetEval> EvalAdult(double scale) {
+  data::AdultOptions options;
+  options.train_size = static_cast<size_t>(32561 * scale / 2);
+  options.test_size = static_cast<size_t>(16281 * scale / 2);
+  data::AdultSynthesizer synth(options);
+  return RunEvaluation("Adult", synth, "adult_train", "adult_test");
+}
+
+inline Result<DatasetEval> EvalRlcp(double scale) {
+  data::RlcpOptions options;
+  options.train_size = static_cast<size_t>(120000 * scale);
+  options.test_size = static_cast<size_t>(30000 * scale);
+  data::RlcpSynthesizer synth(options);
+  return RunEvaluation("RLCP", synth, "rlcp_train", "rlcp_test");
+}
+
+}  // namespace bornsql::bench
+
+#endif  // BORNSQL_BENCH_EVAL_SHARED_H_

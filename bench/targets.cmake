@@ -1,0 +1,31 @@
+# Bench binaries live alone in ${CMAKE_BINARY_DIR}/bench so that
+# `for b in build/bench/*; do $b; done` runs exactly the harness.
+function(bornsql_bench name)
+  add_executable(${name} ${PROJECT_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE bornsql_born bornsql_data
+    bornsql_baselines)
+  target_include_directories(${name} PRIVATE ${PROJECT_SOURCE_DIR})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+bornsql_bench(bench_table1_dataset)
+bornsql_bench(bench_table2_preprocess)
+bornsql_bench(bench_fig3_training)
+bornsql_bench(bench_fig4_deploy)
+bornsql_bench(bench_fig5_scenarios)
+bornsql_bench(bench_fig6_inference)
+bornsql_bench(bench_table3_global_explain)
+bornsql_bench(bench_table4_local_explain)
+bornsql_bench(bench_sec51_data_handling)
+bornsql_bench(bench_sec52_runtimes)
+bornsql_bench(bench_table5_metrics)
+bornsql_bench(bench_sec53_text_accuracy)
+
+function(bornsql_microbench name)
+  bornsql_bench(${name})
+  target_link_libraries(${name} PRIVATE benchmark::benchmark)
+endfunction()
+
+bornsql_microbench(bench_ablation_join)
+bornsql_microbench(bench_ablation_exec)

@@ -1,0 +1,88 @@
+// §5.4 "Explainability": using BornSQL's global explanation as an
+// exploratory-data-analysis tool that spots under-represented categories
+// before the data is fed to other ML pipelines.
+//
+// On the Adult census stand-in, the features
+// 'native_country:Outlying-US(Guam-USVI-etc)' and
+// 'native_country:Holand-Netherlands' have positive weight for the
+// negative class and zero weight for the positive class — the signature of
+// categories the training data does not represent.
+//
+//   build/examples/bias_detection
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "born/born_sql.h"
+#include "data/adult.h"
+#include "engine/database.h"
+
+using bornsql::Status;
+
+namespace {
+
+Status Run() {
+  bornsql::data::AdultOptions options;
+  options.train_size = 8000;
+  options.test_size = 1000;
+  bornsql::data::AdultSynthesizer synth(options);
+  bornsql::engine::Database db;
+  BORNSQL_RETURN_IF_ERROR(synth.Load(&db));
+
+  bornsql::born::SqlSource source;
+  source.x_parts = synth.XParts("adult_train");
+  source.y = bornsql::data::AdultSynthesizer::YQuery("adult_train");
+  bornsql::born::BornSqlClassifier clf(&db, "adult", source);
+  BORNSQL_RETURN_IF_ERROR(clf.Fit("SELECT id AS n FROM adult_train"));
+
+  // Global explanation over every (feature, class) weight.
+  BORNSQL_ASSIGN_OR_RETURN(auto global, clf.ExplainGlobal(0));
+
+  // A feature is "one-sided" when it carries weight for exactly one class:
+  // the model has never seen it with the other label.
+  std::map<std::string, std::set<int64_t>> classes_seen;
+  for (const auto& e : global) {
+    if (e.w > 0) classes_seen[e.j].insert(e.k.AsInt());
+  }
+  std::printf("features seen with only ONE class label:\n");
+  size_t one_sided = 0;
+  for (const auto& [feature, classes] : classes_seen) {
+    if (classes.size() != 1) continue;
+    ++one_sided;
+    if (feature.rfind("native_country:", 0) == 0) {
+      std::printf("  %-55s only class %lld\n", feature.c_str(),
+                  static_cast<long long>(*classes.begin()));
+    }
+  }
+  std::printf("(%zu one-sided features total)\n\n", one_sided);
+
+  // Confirm against the raw data, as the paper does.
+  for (const char* country :
+       {"Outlying-US(Guam-USVI-etc)", "Holand-Netherlands"}) {
+    BORNSQL_ASSIGN_OR_RETURN(
+        auto counts,
+        db.Execute(std::string("SELECT COUNT(*), SUM(income) FROM "
+                               "adult_train WHERE native_country = '") +
+                   country + "'"));
+    std::printf("'%s': %s training instances, %s positive\n", country,
+                counts.rows[0][0].ToString().c_str(),
+                counts.rows[0][1].ToString().c_str());
+  }
+  std::printf(
+      "\nBoth categories are tiny and all-negative: any model trained on "
+      "this data may discriminate on them. BornSQL surfaced that *before* "
+      "any black-box training, directly from the model weights.\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "bias_detection failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

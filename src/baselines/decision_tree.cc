@@ -1,0 +1,123 @@
+#include "baselines/decision_tree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace bornsql::baselines {
+namespace {
+
+double Gini(size_t pos, size_t total) {
+  if (total == 0) return 0.0;
+  double p = static_cast<double>(pos) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+Status DecisionTree::Train(const DenseDataset& data) {
+  if (data.size() == 0) {
+    return Status::InvalidArgument("cannot train on an empty dataset");
+  }
+  nodes_.clear();
+  std::vector<size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), 0);
+
+  std::vector<int> feature_order(data.num_features);
+  std::iota(feature_order.begin(), feature_order.end(), 0);
+  if (options_.max_features > 0 &&
+      options_.max_features < data.num_features) {
+    Rng rng(options_.seed);
+    for (size_t i = feature_order.size() - 1; i > 0; --i) {
+      size_t j = rng.Uniform(i + 1);
+      std::swap(feature_order[i], feature_order[j]);
+    }
+    feature_order.resize(options_.max_features);
+  }
+
+  Build(data, indices, 0, indices.size(), 0, feature_order);
+  return Status::OK();
+}
+
+int DecisionTree::Build(const DenseDataset& data,
+                        std::vector<size_t>& indices, size_t begin,
+                        size_t end, int depth,
+                        const std::vector<int>& feature_order) {
+  const size_t n = end - begin;
+  size_t pos = 0;
+  for (size_t i = begin; i < end; ++i) pos += data.y[indices[i]];
+  int majority = pos * 2 >= n ? 1 : 0;
+
+  Node node;
+  node.label = majority;
+  const double parent_gini = Gini(pos, n);
+  bool try_split = depth < options_.max_depth &&
+                   n >= options_.min_samples_split && pos > 0 && pos < n;
+  int best_feature = -1;
+  double best_gain = 1e-9;  // require a strictly positive gain
+
+  if (try_split) {
+    for (int f : feature_order) {
+      // One-hot features: split on x[f] > 0.5.
+      size_t right_n = 0, right_pos = 0;
+      for (size_t i = begin; i < end; ++i) {
+        if (data.row(indices[i])[f] > 0.5) {
+          ++right_n;
+          right_pos += data.y[indices[i]];
+        }
+      }
+      if (right_n == 0 || right_n == n) continue;
+      size_t left_n = n - right_n;
+      size_t left_pos = pos - right_pos;
+      double child =
+          (static_cast<double>(left_n) * Gini(left_pos, left_n) +
+           static_cast<double>(right_n) * Gini(right_pos, right_n)) /
+          static_cast<double>(n);
+      double gain = parent_gini - child;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+      }
+    }
+  }
+
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  if (best_feature < 0) return node_id;  // leaf
+
+  // Partition in place: x[best] <= 0.5 to the left.
+  size_t mid = begin;
+  for (size_t i = begin; i < end; ++i) {
+    if (data.row(indices[i])[best_feature] <= 0.5) {
+      std::swap(indices[i], indices[mid]);
+      ++mid;
+    }
+  }
+  nodes_[node_id].feature = best_feature;
+  int left = Build(data, indices, begin, mid, depth + 1, feature_order);
+  int right = Build(data, indices, mid, end, depth + 1, feature_order);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+int DecisionTree::Predict(const double* row) const {
+  if (nodes_.empty()) return 0;
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = row[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].label;
+}
+
+std::vector<int> DecisionTree::PredictAll(const DenseDataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) out.push_back(Predict(data.row(i)));
+  return out;
+}
+
+}  // namespace bornsql::baselines

@@ -1,0 +1,52 @@
+// CART decision tree (Gini impurity, binary splits on one-hot features),
+// the MADlib stand-in for §5's DT baseline.
+#ifndef BORNSQL_BASELINES_DECISION_TREE_H_
+#define BORNSQL_BASELINES_DECISION_TREE_H_
+
+#include <vector>
+
+#include "baselines/dense.h"
+#include "common/status.h"
+
+namespace bornsql::baselines {
+
+struct DecisionTreeOptions {
+    int max_depth = 10;
+    size_t min_samples_split = 8;
+    // Consider at most this many features per split (0 = all). A cheap
+    // speed/variance knob for wide one-hot data.
+    size_t max_features = 0;
+    uint64_t seed = 13;
+};
+
+class DecisionTree {
+ public:
+  explicit DecisionTree(DecisionTreeOptions options = {}) : options_(options) {}
+
+  Status Train(const DenseDataset& data);
+
+  int Predict(const double* row) const;
+  std::vector<int> PredictAll(const DenseDataset& data) const;
+
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 => leaf
+    double threshold = 0.5;  // go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    int label = 0;           // majority label (leaf prediction)
+  };
+
+  int Build(const DenseDataset& data, std::vector<size_t>& indices,
+            size_t begin, size_t end, int depth,
+            const std::vector<int>& feature_order);
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace bornsql::baselines
+
+#endif  // BORNSQL_BASELINES_DECISION_TREE_H_

@@ -1,0 +1,73 @@
+#include "baselines/dense.h"
+
+#include <limits>
+
+#include "common/strings.h"
+
+namespace bornsql::baselines {
+
+Status OneHotEncoder::Fit(const std::vector<CategoricalRow>& rows) {
+  feature_index_.clear();
+  feature_names_.clear();
+  for (const CategoricalRow& row : rows) {
+    if (row.size() != column_names_.size()) {
+      return Status::InvalidArgument(
+          StrFormat("row has %zu values, expected %zu columns", row.size(),
+                    column_names_.size()));
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::string key = column_names_[c] + "=" + row[c];
+      auto [it, inserted] = feature_index_.emplace(key, feature_names_.size());
+      if (inserted) feature_names_.push_back(std::move(key));
+    }
+  }
+  return Status::OK();
+}
+
+size_t OneHotEncoder::EstimateDenseBytes(size_t rows, size_t features,
+                                         size_t bytes_per_value) {
+  // Saturating multiply.
+  constexpr size_t kMax = std::numeric_limits<size_t>::max();
+  if (features != 0 && rows > kMax / features) return kMax;
+  size_t cells = rows * features;
+  if (bytes_per_value != 0 && cells > kMax / bytes_per_value) return kMax;
+  return cells * bytes_per_value;
+}
+
+Result<DenseDataset> OneHotEncoder::Transform(
+    const std::vector<CategoricalRow>& rows,
+    const std::vector<int>& labels) const {
+  if (rows.size() != labels.size()) {
+    return Status::InvalidArgument("rows and labels differ in length");
+  }
+  size_t bytes = EstimateDenseBytes(rows.size(), feature_count());
+  if (bytes > options_.max_dense_bytes) {
+    return Status::ResourceExhausted(StrFormat(
+        "dense materialization of %zu x %zu needs %.1f GiB, over the "
+        "%.1f GiB budget (MADlib cannot train on sparse input)",
+        rows.size(), feature_count(),
+        static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0),
+        static_cast<double>(options_.max_dense_bytes) /
+            (1024.0 * 1024.0 * 1024.0)));
+  }
+  DenseDataset out;
+  out.num_features = feature_count();
+  out.x.assign(rows.size() * out.num_features, 0.0);
+  out.y = labels;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const CategoricalRow& row = rows[i];
+    if (row.size() != column_names_.size()) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu has %zu values, expected %zu", i, row.size(),
+                    column_names_.size()));
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      auto it = feature_index_.find(column_names_[c] + "=" + row[c]);
+      if (it == feature_index_.end()) continue;  // unseen category
+      out.x[i * out.num_features + it->second] = 1.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace bornsql::baselines

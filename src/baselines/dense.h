@@ -1,0 +1,75 @@
+// Dense design matrices and MADlib-style one-hot materialization.
+//
+// MADlib (§5.1 of the paper) cannot train on sparse input: categorical data
+// must be materialized into a dense table first. OneHotEncoder reproduces
+// that preprocessing step, including its failure mode — a dense-size budget
+// that rejects high-dimensional data exactly the way the paper's 32 TB
+// Scopus estimate did.
+#ifndef BORNSQL_BASELINES_DENSE_H_
+#define BORNSQL_BASELINES_DENSE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bornsql::baselines {
+
+// Row-major dense matrix with binary labels.
+struct DenseDataset {
+  size_t num_features = 0;
+  std::vector<double> x;  // size() * num_features values
+  std::vector<int> y;     // 0/1 labels
+
+  size_t size() const { return y.size(); }
+  const double* row(size_t i) const { return x.data() + i * num_features; }
+};
+
+// A categorical example: one string value per column.
+using CategoricalRow = std::vector<std::string>;
+
+struct OneHotOptions {
+    // Refuse to materialize a dense matrix larger than this (bytes).
+    // MADlib's practical limit on the evaluation VM; the Scopus dataset
+    // needs ~32 TB and is rejected (§5.1).
+    size_t max_dense_bytes = size_t{8} << 30;  // 8 GiB
+};
+
+class OneHotEncoder {
+ public:
+  explicit OneHotEncoder(std::vector<std::string> column_names,
+                         OneHotOptions options = {})
+      : column_names_(std::move(column_names)), options_(options) {}
+
+  // Learns the category vocabulary of every column.
+  Status Fit(const std::vector<CategoricalRow>& rows);
+
+  // Materializes rows into a dense matrix. Categories unseen during Fit
+  // one-hot to nothing (all zeros in that column's block). Fails with
+  // ResourceExhausted when the dense size exceeds the budget.
+  Result<DenseDataset> Transform(const std::vector<CategoricalRow>& rows,
+                                 const std::vector<int>& labels) const;
+
+  size_t feature_count() const { return feature_names_.size(); }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  // Bytes needed to store rows x features dense doubles (no overflow: the
+  // result saturates at SIZE_MAX).
+  static size_t EstimateDenseBytes(size_t rows, size_t features,
+                                   size_t bytes_per_value = sizeof(double));
+
+ private:
+  std::vector<std::string> column_names_;
+  OneHotOptions options_;
+  // feature key "column=value" -> dense index.
+  std::unordered_map<std::string, size_t> feature_index_;
+  std::vector<std::string> feature_names_;
+};
+
+}  // namespace bornsql::baselines
+
+#endif  // BORNSQL_BASELINES_DENSE_H_

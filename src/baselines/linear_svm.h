@@ -1,0 +1,39 @@
+// Linear SVM trained with Pegasos (primal sub-gradient descent), the
+// MADlib stand-in for §5's SVM baseline.
+#ifndef BORNSQL_BASELINES_LINEAR_SVM_H_
+#define BORNSQL_BASELINES_LINEAR_SVM_H_
+
+#include <vector>
+
+#include "baselines/dense.h"
+#include "common/status.h"
+
+namespace bornsql::baselines {
+
+struct LinearSvmOptions {
+    int epochs = 20;
+    double lambda = 1e-4;  // regularization strength
+    uint64_t seed = 11;
+};
+
+class LinearSvm {
+ public:
+  explicit LinearSvm(LinearSvmOptions options = {}) : options_(options) {}
+
+  Status Train(const DenseDataset& data);
+
+  double DecisionFunction(const double* row) const;
+  int Predict(const double* row) const {
+    return DecisionFunction(row) > 0 ? 1 : 0;
+  }
+  std::vector<int> PredictAll(const DenseDataset& data) const;
+
+ private:
+  LinearSvmOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace bornsql::baselines
+
+#endif  // BORNSQL_BASELINES_LINEAR_SVM_H_

@@ -1,0 +1,60 @@
+#include "baselines/logistic_regression.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace bornsql::baselines {
+
+Status LogisticRegression::Train(const DenseDataset& data) {
+  if (data.size() == 0) {
+    return Status::InvalidArgument("cannot train on an empty dataset");
+  }
+  const size_t n = data.size();
+  const size_t d = data.num_features;
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+
+  Rng rng(options_.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic PRNG.
+    for (size_t i = n - 1; i > 0; --i) {
+      size_t j = rng.Uniform(i + 1);
+      std::swap(order[i], order[j]);
+    }
+    double lr = options_.learning_rate / (1.0 + 0.5 * epoch);
+    for (size_t idx : order) {
+      const double* x = data.row(idx);
+      double target = data.y[idx] ? 1.0 : 0.0;
+      double z = bias_;
+      for (size_t f = 0; f < d; ++f) z += weights_[f] * x[f];
+      double p = 1.0 / (1.0 + std::exp(-z));
+      double grad = p - target;
+      for (size_t f = 0; f < d; ++f) {
+        weights_[f] -= lr * (grad * x[f] + options_.l2 * weights_[f]);
+      }
+      bias_ -= lr * grad;
+    }
+  }
+  return Status::OK();
+}
+
+double LogisticRegression::DecisionFunction(const double* row) const {
+  double z = bias_;
+  for (size_t f = 0; f < weights_.size(); ++f) z += weights_[f] * row[f];
+  return z;
+}
+
+std::vector<int> LogisticRegression::PredictAll(
+    const DenseDataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) out.push_back(Predict(data.row(i)));
+  return out;
+}
+
+}  // namespace bornsql::baselines

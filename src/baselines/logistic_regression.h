@@ -1,0 +1,44 @@
+// Binary logistic regression trained with mini-batch-free SGD + L2, the
+// MADlib stand-in for §5's LR baseline.
+#ifndef BORNSQL_BASELINES_LOGISTIC_REGRESSION_H_
+#define BORNSQL_BASELINES_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "baselines/dense.h"
+#include "common/status.h"
+
+namespace bornsql::baselines {
+
+struct LogisticRegressionOptions {
+    int epochs = 20;
+    double learning_rate = 0.1;
+    double l2 = 1e-4;
+    uint64_t seed = 7;  // shuffling seed
+};
+
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {}) : options_(options) {}
+
+  Status Train(const DenseDataset& data);
+
+  // w.x + b (positive => class 1).
+  double DecisionFunction(const double* row) const;
+  int Predict(const double* row) const {
+    return DecisionFunction(row) > 0 ? 1 : 0;
+  }
+  std::vector<int> PredictAll(const DenseDataset& data) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace bornsql::baselines
+
+#endif  // BORNSQL_BASELINES_LOGISTIC_REGRESSION_H_

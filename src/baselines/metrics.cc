@@ -1,0 +1,47 @@
+#include "baselines/metrics.h"
+
+#include <map>
+#include <set>
+
+namespace bornsql::baselines {
+
+Result<ClassificationMetrics> ComputeMetrics(const std::vector<int>& y_true,
+                                             const std::vector<int>& y_pred) {
+  if (y_true.size() != y_pred.size()) {
+    return Status::InvalidArgument("y_true and y_pred differ in length");
+  }
+  if (y_true.empty()) {
+    return Status::InvalidArgument("cannot compute metrics on empty input");
+  }
+  std::set<int> labels(y_true.begin(), y_true.end());
+  std::map<int, int> tp, fp, fn;
+  size_t correct = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == y_pred[i]) {
+      ++correct;
+      ++tp[y_true[i]];
+    } else {
+      ++fp[y_pred[i]];
+      ++fn[y_true[i]];
+    }
+  }
+  ClassificationMetrics out;
+  out.accuracy = static_cast<double>(correct) / y_true.size();
+  for (int label : labels) {
+    double t = tp[label], p = fp[label], n = fn[label];
+    double precision = (t + p) > 0 ? t / (t + p) : 0.0;
+    double recall = (t + n) > 0 ? t / (t + n) : 0.0;
+    double f1 = (precision + recall) > 0
+                    ? 2 * precision * recall / (precision + recall)
+                    : 0.0;
+    out.macro_precision += precision;
+    out.macro_recall += recall;
+    out.macro_f1 += f1;
+  }
+  out.macro_precision /= labels.size();
+  out.macro_recall /= labels.size();
+  out.macro_f1 /= labels.size();
+  return out;
+}
+
+}  // namespace bornsql::baselines

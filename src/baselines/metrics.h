@@ -1,0 +1,28 @@
+// Evaluation metrics for Table 5 and §5.3: macro-averaged precision,
+// recall, F1 and accuracy.
+#ifndef BORNSQL_BASELINES_METRICS_H_
+#define BORNSQL_BASELINES_METRICS_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace bornsql::baselines {
+
+struct ClassificationMetrics {
+  double accuracy = 0.0;
+  double macro_precision = 0.0;
+  double macro_recall = 0.0;
+  double macro_f1 = 0.0;
+};
+
+// Macro-averages over the distinct labels present in `y_true` (multi-class
+// labels are arbitrary ints). For a class with no predicted positives the
+// precision term is 0 (scikit-learn's zero_division=0 convention); same for
+// recall with no true positives in y_true.
+Result<ClassificationMetrics> ComputeMetrics(const std::vector<int>& y_true,
+                                             const std::vector<int>& y_pred);
+
+}  // namespace bornsql::baselines
+
+#endif  // BORNSQL_BASELINES_METRICS_H_

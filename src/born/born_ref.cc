@@ -1,0 +1,279 @@
+#include "born/born_ref.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace bornsql::born {
+namespace {
+
+constexpr double kEps = 1e-12;  // mass below this is treated as unlearned
+
+Status ValidateHyperparams(const Hyperparams& p) {
+  if (!(p.a > 0)) {
+    return Status::InvalidArgument("hyper-parameter a must be > 0");
+  }
+  if (p.b < 0 || p.b > 1) {
+    return Status::InvalidArgument("hyper-parameter b must be in [0, 1]");
+  }
+  if (p.h < 0) {
+    return Status::InvalidArgument("hyper-parameter h must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BornClassifierRef::Fit(const std::vector<Example>& batch) {
+  corpus_.clear();
+  Undeploy();
+  return PartialFit(batch);
+}
+
+Status BornClassifierRef::PartialFit(const std::vector<Example>& batch) {
+  BORNSQL_RETURN_IF_ERROR(ValidateHyperparams(params_));
+  for (const Example& ex : batch) {
+    // |x| |y| = (sum_j x_j)(sum_k y_k): the normalizer of Eq. (1).
+    double x_norm = 0.0, y_norm = 0.0;
+    for (const auto& [j, w] : ex.x) {
+      if (w < 0) {
+        return Status::InvalidArgument("feature weights must be >= 0");
+      }
+      x_norm += w;
+    }
+    for (const auto& [k, w] : ex.y) {
+      if (w < 0) {
+        return Status::InvalidArgument("class weights must be >= 0");
+      }
+      y_norm += w;
+    }
+    double denom = x_norm * y_norm;
+    if (denom <= 0) continue;  // empty item contributes nothing
+    for (const auto& [j, xw] : ex.x) {
+      if (xw == 0) continue;
+      auto& row = corpus_[j];
+      for (const auto& [k, yw] : ex.y) {
+        if (yw == 0) continue;
+        row[k] += ex.sample_weight * xw * yw / denom;
+      }
+    }
+  }
+  Undeploy();
+  return Status::OK();
+}
+
+Status BornClassifierRef::Unlearn(const std::vector<Example>& batch) {
+  std::vector<Example> negated = batch;
+  for (Example& ex : negated) ex.sample_weight = -ex.sample_weight;
+  return PartialFit(negated);
+}
+
+void BornClassifierRef::set_params(Hyperparams params) {
+  params_ = params;
+  Undeploy();
+}
+
+Status BornClassifierRef::Deploy() {
+  BORNSQL_ASSIGN_OR_RETURN(cache_, ComputeWeights());
+  deployed_ = true;
+  return Status::OK();
+}
+
+void BornClassifierRef::Undeploy() {
+  cache_.clear();
+  deployed_ = false;
+}
+
+size_t BornClassifierRef::class_count() const {
+  std::set<Value, ClassLess> classes;
+  for (const auto& [j, row] : corpus_) {
+    for (const auto& [k, w] : row) {
+      if (w > kEps) classes.insert(k);
+    }
+  }
+  return classes.size();
+}
+
+size_t BornClassifierRef::corpus_entries() const {
+  size_t n = 0;
+  for (const auto& [j, row] : corpus_) n += row.size();
+  return n;
+}
+
+Result<BornClassifierRef::DeployedWeights> BornClassifierRef::ComputeWeights()
+    const {
+  BORNSQL_RETURN_IF_ERROR(ValidateHyperparams(params_));
+  // Marginals P_j = sum_k P_jk and P_k = sum_j P_jk over positive entries.
+  std::map<Value, double, ClassLess> p_k;
+  std::map<std::string, double> p_j;
+  for (const auto& [j, row] : corpus_) {
+    for (const auto& [k, w] : row) {
+      if (w <= kEps) continue;
+      p_j[j] += w;
+      p_k[k] += w;
+    }
+  }
+  const double n_classes = static_cast<double>(p_k.size());
+
+  DeployedWeights out;
+  const double b = params_.b;
+  for (const auto& [j, row] : corpus_) {
+    // W_jk = P_jk / (P_k^b * P_j^(1-b))   (Eq. 8).
+    std::vector<std::pair<Value, double>> w_row;
+    double w_sum = 0.0;
+    for (const auto& [k, w] : row) {
+      if (w <= kEps) continue;
+      double denom = std::pow(p_k.at(k), b) * std::pow(p_j.at(j), 1.0 - b);
+      if (denom <= 0) continue;
+      double wjk = w / denom;
+      w_row.emplace_back(k, wjk);
+      w_sum += wjk;
+    }
+    if (w_row.empty() || w_sum <= 0) continue;
+    // H_jk = W_jk / sum_k W_jk; H_j = 1 + sum_k H ln H / ln(#classes)
+    // (Eqs. 9-10). With a single class the entropy scale is undefined; the
+    // feature then carries no discriminating signal and H_j := 1.
+    double entropy = 0.0;
+    for (const auto& [k, wjk] : w_row) {
+      double hjk = wjk / w_sum;
+      if (hjk > 0) entropy += hjk * std::log(hjk);
+    }
+    double h_j = n_classes > 1.0 ? 1.0 + entropy / std::log(n_classes) : 1.0;
+    if (h_j < 0) h_j = 0;  // numeric guard: H_j lies in [0, 1]
+    // HW_jk = H_j^h * W_jk^a   (the weights of Eq. 11).
+    double h_pow = std::pow(h_j, params_.h);
+    std::vector<std::pair<Value, double>> hw_row;
+    hw_row.reserve(w_row.size());
+    for (const auto& [k, wjk] : w_row) {
+      hw_row.emplace_back(k, h_pow * std::pow(wjk, params_.a));
+    }
+    out.emplace(j, std::move(hw_row));
+  }
+  return out;
+}
+
+Result<ClassVector> BornClassifierRef::Accumulate(
+    const FeatureVector& x, const DeployedWeights& weights) const {
+  std::map<Value, double, ClassLess> u;
+  for (const auto& [j, xw] : x) {
+    if (xw < 0) {
+      return Status::InvalidArgument("feature weights must be >= 0");
+    }
+    if (xw == 0) continue;
+    auto it = weights.find(j);
+    if (it == weights.end()) continue;  // unseen feature
+    double x_pow = std::pow(xw, params_.a);
+    for (const auto& [k, hw] : it->second) {
+      u[k] += hw * x_pow;
+    }
+  }
+  ClassVector out;
+  out.reserve(u.size());
+  for (const auto& [k, v] : u) out.emplace_back(k, v);
+  return out;
+}
+
+Result<ClassVector> BornClassifierRef::PredictProba(
+    const FeatureVector& x) const {
+  DeployedWeights local;
+  const DeployedWeights* weights = &cache_;
+  if (!deployed_) {
+    BORNSQL_ASSIGN_OR_RETURN(local, ComputeWeights());
+    weights = &local;
+  }
+  BORNSQL_ASSIGN_OR_RETURN(ClassVector u, Accumulate(x, *weights));
+  // u_k = (sum_j ...)^(1/a), then normalize (Eq. 11).
+  double total = 0.0;
+  for (auto& [k, v] : u) {
+    v = std::pow(v, 1.0 / params_.a);
+    total += v;
+  }
+  if (total > 0) {
+    for (auto& [k, v] : u) v /= total;
+  }
+  return u;
+}
+
+Result<Value> BornClassifierRef::Predict(const FeatureVector& x) const {
+  DeployedWeights local;
+  const DeployedWeights* weights = &cache_;
+  if (!deployed_) {
+    BORNSQL_ASSIGN_OR_RETURN(local, ComputeWeights());
+    weights = &local;
+  }
+  // argmax over u_k^a: the 1/a root and the normalization are monotone, so
+  // they never change the argmax (paper §2.2). Ties break toward the
+  // smaller class label (classes are iterated in ascending order).
+  BORNSQL_ASSIGN_OR_RETURN(ClassVector u, Accumulate(x, *weights));
+  if (u.empty()) {
+    return Status::NotFound(
+        "no known features in the test item; cannot classify");
+  }
+  const std::pair<Value, double>* best = &u[0];
+  for (const auto& entry : u) {
+    if (entry.second > best->second) best = &entry;
+  }
+  return best->first;
+}
+
+Result<std::vector<ExplanationEntry>> BornClassifierRef::ExplainGlobal(
+    int64_t limit) const {
+  DeployedWeights local;
+  const DeployedWeights* weights = &cache_;
+  if (!deployed_) {
+    BORNSQL_ASSIGN_OR_RETURN(local, ComputeWeights());
+    weights = &local;
+  }
+  std::vector<ExplanationEntry> out;
+  for (const auto& [j, row] : *weights) {
+    for (const auto& [k, w] : row) out.push_back({j, k, w});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ExplanationEntry& a, const ExplanationEntry& b) {
+                     return a.w > b.w;
+                   });
+  if (limit > 0 && out.size() > static_cast<size_t>(limit)) {
+    out.resize(static_cast<size_t>(limit));
+  }
+  return out;
+}
+
+Result<std::vector<ExplanationEntry>> BornClassifierRef::ExplainLocal(
+    const std::vector<Example>& items, int64_t limit) const {
+  DeployedWeights local;
+  const DeployedWeights* weights = &cache_;
+  if (!deployed_) {
+    BORNSQL_ASSIGN_OR_RETURN(local, ComputeWeights());
+    weights = &local;
+  }
+  // z = sum_n w_n x_n / |x_n|   (Eq. 30).
+  std::map<std::string, double> z;
+  for (const Example& ex : items) {
+    double x_norm = 0.0;
+    for (const auto& [j, w] : ex.x) x_norm += w;
+    if (x_norm <= 0) continue;
+    for (const auto& [j, w] : ex.x) {
+      z[j] += ex.sample_weight * w / x_norm;
+    }
+  }
+  std::vector<ExplanationEntry> out;
+  for (const auto& [j, zj] : z) {
+    if (zj <= 0) continue;
+    auto it = weights->find(j);
+    if (it == weights->end()) continue;
+    double z_pow = std::pow(zj, params_.a);
+    for (const auto& [k, hw] : it->second) {
+      out.push_back({j, k, hw * z_pow});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ExplanationEntry& a, const ExplanationEntry& b) {
+                     return a.w > b.w;
+                   });
+  if (limit > 0 && out.size() > static_cast<size_t>(limit)) {
+    out.resize(static_cast<size_t>(limit));
+  }
+  return out;
+}
+
+}  // namespace bornsql::born

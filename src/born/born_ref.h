@@ -1,0 +1,127 @@
+// BornClassifierRef: in-memory reference implementation of the Born
+// classifier (Guidotti & Ferrara, NeurIPS 2022), eqs. (1) and (8)-(11) of
+// the BornSQL paper.
+//
+// This is the oracle the SQL implementation (born_sql.h) is tested against:
+// both must produce identical parameters, probabilities and explanations.
+// It is also used directly by the evaluation harness where raw speed
+// matters more than in-database execution.
+#ifndef BORNSQL_BORN_BORN_REF_H_
+#define BORNSQL_BORN_BORN_REF_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace bornsql::born {
+
+// Hyper-parameters of the Born classifier (§2.2). Defaults follow the
+// reference implementation: a=0.5, b=1, h=1.
+struct Hyperparams {
+  double a = 0.5;
+  double b = 1.0;
+  double h = 1.0;
+};
+
+// One example: a sparse non-negative feature vector, a sparse non-negative
+// class-weight vector (training only) and a sample weight. Negative sample
+// weights implement unlearning (§2.1.2).
+struct Example {
+  std::vector<std::pair<std::string, double>> x;
+  std::vector<std::pair<Value, double>> y;
+  double sample_weight = 1.0;
+};
+
+// Sparse feature vector of a test item.
+using FeatureVector = std::vector<std::pair<std::string, double>>;
+
+// (class, value) pairs, e.g. predicted probabilities.
+using ClassVector = std::vector<std::pair<Value, double>>;
+
+// A single explanation weight: feature j, class k, weight w.
+struct ExplanationEntry {
+  std::string j;
+  Value k;
+  double w = 0.0;
+};
+
+// Orders class labels by SQL value ordering.
+struct ClassLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return Value::Compare(a, b) < 0;
+  }
+};
+
+class BornClassifierRef {
+ public:
+  // corpus[j][k] = P_jk, the unnormalized joint probability of feature j
+  // and class k (Eq. 1). std::map keeps iteration deterministic.
+  using CorpusMap = std::map<std::string, std::map<Value, double, ClassLess>>;
+
+  explicit BornClassifierRef(Hyperparams params = {}) : params_(params) {}
+
+  // Trains from scratch: clears the corpus, then PartialFit(batch).
+  Status Fit(const std::vector<Example>& batch);
+
+  // Exact incremental learning (Def. 2.1): adds the batch's P_jk
+  // contributions. Order- and batching-independent up to float rounding.
+  Status PartialFit(const std::vector<Example>& batch);
+
+  // Exact unlearning (Def. 2.2): PartialFit with negated sample weights.
+  Status Unlearn(const std::vector<Example>& batch);
+
+  // Normalized class probabilities for one item, sorted by class.
+  Result<ClassVector> PredictProba(const FeatureVector& x) const;
+
+  // argmax_k u_k, ties broken toward the smaller class value.
+  Result<Value> Predict(const FeatureVector& x) const;
+
+  // Global explanation: the weights H_j^h W_jk^a, descending. `limit` <= 0
+  // returns everything.
+  Result<std::vector<ExplanationEntry>> ExplainGlobal(int64_t limit) const;
+
+  // Local explanation for a set of items (Eqs. 30-32): H_j^h W_jk^a z_j^a
+  // where z is the weighted average of the normalized feature vectors.
+  Result<std::vector<ExplanationEntry>> ExplainLocal(
+      const std::vector<Example>& items, int64_t limit) const;
+
+  // Hyper-parameter access; changing them invalidates the deployed cache
+  // but never requires retraining (§2.2.1).
+  const Hyperparams& params() const { return params_; }
+  void set_params(Hyperparams params);
+
+  // Precomputes and caches the weights H_j^h W_jk^a to speed up inference
+  // (§2.2.1 / §3.3). Purely an optimization: predictions are identical with
+  // or without deployment.
+  Status Deploy();
+  void Undeploy();
+  bool deployed() const { return deployed_; }
+
+  // Corpus introspection.
+  size_t feature_count() const { return corpus_.size(); }
+  size_t class_count() const;
+  size_t corpus_entries() const;
+  // The raw parameters P_jk (unnormalized joint probabilities).
+  const CorpusMap& corpus() const { return corpus_; }
+
+ private:
+  // Weights H_j^h W_jk^a for every corpus entry with positive mass.
+  using DeployedWeights =
+      std::map<std::string, std::vector<std::pair<Value, double>>>;
+
+  Result<DeployedWeights> ComputeWeights() const;
+  Result<ClassVector> Accumulate(const FeatureVector& x,
+                                 const DeployedWeights& weights) const;
+
+  Hyperparams params_;
+  CorpusMap corpus_;
+  bool deployed_ = false;
+  DeployedWeights cache_;
+};
+
+}  // namespace bornsql::born
+
+#endif  // BORNSQL_BORN_BORN_REF_H_

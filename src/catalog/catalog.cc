@@ -1,0 +1,81 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace bornsql::catalog {
+
+std::string Catalog::Key(const std::string& name) {
+  return AsciiToLower(name);
+}
+
+bool Catalog::Exists(const std::string& name) const {
+  return tables_.count(Key(name)) > 0;
+}
+
+Result<storage::Table*> Catalog::CreateTable(const std::string& name,
+                                             Schema schema,
+                                             std::vector<size_t> key_columns,
+                                             bool if_not_exists) {
+  std::string key = Key(name);
+  auto it = tables_.find(key);
+  if (it != tables_.end()) {
+    if (if_not_exists) return it->second.get();
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::make_unique<storage::Table>(name, std::move(schema),
+                                                std::move(key_columns));
+  storage::Table* ptr = table.get();
+  tables_.emplace(std::move(key), std::move(table));
+  return ptr;
+}
+
+Status Catalog::DropTable(const std::string& name, bool if_exists) {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    if (if_exists) return Status::OK();
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Result<storage::Table*> Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return it->second.get();
+}
+
+Result<const storage::Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return static_cast<const storage::Table*>(it->second.get());
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t Catalog::EstimateBytes() const {
+  size_t total = 0;
+  for (const auto& [key, table] : tables_) {
+    for (const Row& row : table->rows()) {
+      total += sizeof(Row) + row.capacity() * sizeof(Value);
+      for (const Value& v : row) {
+        if (v.is_text()) total += v.AsText().capacity();
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace bornsql::catalog

@@ -1,0 +1,49 @@
+// Catalog: case-insensitive table namespace of the database.
+#ifndef BORNSQL_CATALOG_CATALOG_H_
+#define BORNSQL_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+#include "types/schema.h"
+
+namespace bornsql::catalog {
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  bool Exists(const std::string& name) const;
+
+  // Creates a table. `key_columns` are indexes into `schema` forming the
+  // primary key (may be empty).
+  Result<storage::Table*> CreateTable(const std::string& name, Schema schema,
+                                      std::vector<size_t> key_columns,
+                                      bool if_not_exists);
+
+  Status DropTable(const std::string& name, bool if_exists);
+
+  Result<storage::Table*> GetTable(const std::string& name);
+  Result<const storage::Table*> GetTable(const std::string& name) const;
+
+  // Sorted list of table names (original spelling).
+  std::vector<std::string> TableNames() const;
+
+  // Approximate resident bytes across all tables (values + strings).
+  size_t EstimateBytes() const;
+
+ private:
+  static std::string Key(const std::string& name);
+
+  std::unordered_map<std::string, std::unique_ptr<storage::Table>> tables_;
+};
+
+}  // namespace bornsql::catalog
+
+#endif  // BORNSQL_CATALOG_CATALOG_H_

@@ -1,0 +1,66 @@
+// Deterministic PRNG and sampling utilities used by the dataset
+// synthesizers and property tests. Fixed algorithms (splitmix64 /
+// xoshiro256**) so results are reproducible across platforms, unlike
+// std::default_random_engine.
+#ifndef BORNSQL_COMMON_RNG_H_
+#define BORNSQL_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bornsql {
+
+// xoshiro256** seeded via splitmix64. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextUint64();
+
+  // Uniform in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Index sampled from unnormalized weights. Requires a positive total.
+  size_t Categorical(const std::vector<double>& weights);
+
+  // Zipf-distributed rank in [0, n) with exponent s (s=1 is classic Zipf).
+  // Uses the precomputed table inside ZipfSampler for hot loops; this
+  // convenience method is O(n) setup-free but O(log n) per draw via CDF-free
+  // rejection, so prefer ZipfSampler when drawing many values.
+  size_t Zipf(size_t n, double s);
+
+  // Poisson-distributed count with the given mean (Knuth's method; fine for
+  // the small means used by the synthesizers).
+  int Poisson(double mean);
+
+  // Gaussian via Box-Muller.
+  double Gaussian(double mean, double stddev);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Precomputed-CDF Zipf sampler: O(log n) per draw after O(n) setup.
+class ZipfSampler {
+ public:
+  // Ranks in [0, n), exponent s > 0.
+  ZipfSampler(size_t n, double s);
+
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // normalized cumulative weights
+};
+
+}  // namespace bornsql
+
+#endif  // BORNSQL_COMMON_RNG_H_

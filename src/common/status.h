@@ -1,0 +1,139 @@
+// Status and Result<T>: exception-free error propagation used across every
+// BornSQL library boundary (RocksDB/Arrow idiom).
+#ifndef BORNSQL_COMMON_STATUS_H_
+#define BORNSQL_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace bornsql {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input from the caller
+  kParseError,        // SQL text did not parse
+  kBindError,         // names/types failed to resolve
+  kNotFound,          // missing table/column/model
+  kAlreadyExists,     // duplicate table/index/model
+  kConstraintViolation,  // PK/unique violation without ON CONFLICT
+  kExecutionError,    // runtime evaluation failure
+  kUnsupported,       // feature outside the implemented SQL surface
+  kResourceExhausted, // e.g. dense materialization over budget (MADlib repro)
+  kInternal,
+};
+
+// Human-readable name of `code`, e.g. "ParseError".
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status BindError(std::string m) {
+    return Status(StatusCode::kBindError, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status ConstraintViolation(std::string m) {
+    return Status(StatusCode::kConstraintViolation, std::move(m));
+  }
+  static Status ExecutionError(std::string m) {
+    return Status(StatusCode::kExecutionError, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value or an error. The value is only accessible when ok().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace bornsql
+
+// Propagates a non-OK Status from an expression.
+#define BORNSQL_RETURN_IF_ERROR(expr)             \
+  do {                                            \
+    ::bornsql::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+// Evaluates a Result<T> expression and either assigns its value to `lhs` or
+// returns its error status.
+#define BORNSQL_ASSIGN_OR_RETURN(lhs, expr)       \
+  BORNSQL_ASSIGN_OR_RETURN_IMPL(                  \
+      BORNSQL_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define BORNSQL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define BORNSQL_CONCAT_(a, b) BORNSQL_CONCAT_IMPL_(a, b)
+#define BORNSQL_CONCAT_IMPL_(a, b) a##b
+
+#endif  // BORNSQL_COMMON_STATUS_H_

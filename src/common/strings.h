@@ -1,0 +1,35 @@
+// Small string helpers shared across the codebase.
+#ifndef BORNSQL_COMMON_STRINGS_H_
+#define BORNSQL_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bornsql {
+
+// Lowercases ASCII characters; non-ASCII bytes pass through unchanged.
+std::string AsciiToLower(std::string_view s);
+
+// True if `a` and `b` are equal ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Splits on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// Printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Escapes single quotes for embedding in a SQL string literal ('' doubling).
+std::string SqlQuote(std::string_view s);
+
+}  // namespace bornsql
+
+#endif  // BORNSQL_COMMON_STRINGS_H_

@@ -1,0 +1,29 @@
+// Wall-clock timing for the benchmark harness.
+#ifndef BORNSQL_COMMON_TIMER_H_
+#define BORNSQL_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace bornsql {
+
+// Measures elapsed wall time from construction (or the last Reset()).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bornsql
+
+#endif  // BORNSQL_COMMON_TIMER_H_

@@ -1,0 +1,226 @@
+#include "data/adult.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace bornsql::data {
+namespace {
+
+constexpr double kPositiveRate = 0.2408;  // 11687 / 48842
+
+struct ColumnSpec {
+  const char* name;
+  std::vector<const char*> values;
+  // Strength of the class signal carried by this column (std-dev of the
+  // per-category log-odds shift). Occupation/education/marital carry most
+  // of the signal in the real data.
+  double signal;
+};
+
+std::vector<ColumnSpec> MakeColumns() {
+  return {
+      {"workclass",
+       {"Private", "Self-emp-not-inc", "Self-emp-inc", "Federal-gov",
+        "Local-gov", "State-gov", "Without-pay", "Never-worked",
+        "Unknown"},
+       0.5},
+      {"education",
+       {"Bachelors", "Some-college", "11th", "HS-grad", "Prof-school",
+        "Assoc-acdm", "Assoc-voc", "9th", "7th-8th", "12th", "Masters",
+        "1st-4th", "10th", "Doctorate", "5th-6th", "Preschool"},
+       1.2},
+      {"marital_status",
+       {"Married-civ-spouse", "Divorced", "Never-married", "Separated",
+        "Widowed", "Married-spouse-absent", "Married-AF-spouse"},
+       1.4},
+      {"occupation",
+       {"Tech-support", "Craft-repair", "Other-service", "Sales",
+        "Exec-managerial", "Prof-specialty", "Handlers-cleaners",
+        "Machine-op-inspct", "Adm-clerical", "Farming-fishing",
+        "Transport-moving", "Priv-house-serv", "Protective-serv",
+        "Armed-Forces", "Unknown"},
+       1.0},
+      {"relationship",
+       {"Wife", "Own-child", "Husband", "Not-in-family", "Other-relative",
+        "Unmarried"},
+       1.2},
+      {"race",
+       {"White", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other",
+        "Black"},
+       0.3},
+      {"sex", {"Female", "Male"}, 0.6},
+      {"native_country",
+       {"United-States", "Cambodia", "England", "Puerto-Rico", "Canada",
+        "Germany", "Outlying-US(Guam-USVI-etc)", "India", "Japan", "Greece",
+        "South", "China", "Cuba", "Iran", "Honduras", "Philippines", "Italy",
+        "Poland", "Jamaica", "Vietnam", "Mexico", "Portugal", "Ireland",
+        "France", "Dominican-Republic", "Laos", "Ecuador", "Taiwan", "Haiti",
+        "Columbia", "Hungary", "Guatemala", "Nicaragua", "Scotland",
+        "Thailand", "Yugoslavia", "El-Salvador", "Trinadad&Tobago", "Peru",
+        "Hong", "Holand-Netherlands"},
+       0.3},
+  };
+}
+
+}  // namespace
+
+AdultSynthesizer::AdultSynthesizer(AdultOptions options) : options_(options) {
+  Generate();
+}
+
+void AdultSynthesizer::Generate() {
+  Rng rng(options_.seed);
+  std::vector<ColumnSpec> specs = MakeColumns();
+  columns_.clear();
+  categories_.clear();
+  for (const ColumnSpec& spec : specs) {
+    columns_.push_back(spec.name);
+    categories_.emplace_back(spec.values.begin(), spec.values.end());
+  }
+
+  // Per column: Zipfian base popularity + a class log-odds shift per value.
+  // A row's label probability is sigmoid(bias + sum of its values' shifts),
+  // which leaves the classes overlapping (like the real census data) rather
+  // than separable.
+  std::vector<std::vector<double>> base(specs.size());
+  std::vector<std::vector<double>> shift(specs.size());
+  for (size_t c = 0; c < specs.size(); ++c) {
+    size_t m = specs[c].values.size();
+    base[c].resize(m);
+    shift[c].resize(m);
+    for (size_t v = 0; v < m; ++v) {
+      base[c][v] = 1.0 / static_cast<double>(v + 1);  // Zipf popularity
+      shift[c][v] = rng.Gaussian(0.0, specs[c].signal);
+    }
+    // The two §5.4 countries never co-occur with the positive class.
+    if (std::string(specs[c].name) == "native_country") {
+      for (size_t v = 0; v < m; ++v) {
+        std::string value = specs[c].values[v];
+        if (value == "Holand-Netherlands" ||
+            value == "Outlying-US(Guam-USVI-etc)") {
+          shift[c][v] = -50.0;  // effectively forbids label 1
+          base[c][v] = 0.0;     // injected manually below
+        }
+      }
+    }
+  }
+
+  // Calibrate the bias so the positive rate lands near the paper's 24%.
+  // The shift sum has nontrivial variance, so E[sigmoid(bias + S)] !=
+  // sigmoid(bias); solve for bias by bisection over a sampled shift pool.
+  double bias;
+  {
+    Rng calib_rng(options_.seed ^ 0xCA11B);
+    std::vector<double> shift_sums;
+    shift_sums.reserve(4096);
+    for (int s = 0; s < 4096; ++s) {
+      double total = 0.0;
+      for (size_t c = 0; c < specs.size(); ++c) {
+        total += shift[c][calib_rng.Categorical(base[c])];
+      }
+      shift_sums.push_back(total);
+    }
+    double lo = -20.0, hi = 20.0;
+    for (int iter = 0; iter < 60; ++iter) {
+      double mid = (lo + hi) / 2.0;
+      double rate = 0.0;
+      for (double s : shift_sums) rate += 1.0 / (1.0 + std::exp(-(mid + s)));
+      rate /= static_cast<double>(shift_sums.size());
+      (rate > kPositiveRate ? hi : lo) = mid;
+    }
+    bias = (lo + hi) / 2.0;
+  }
+
+  auto sample_split = [&](size_t count, std::vector<baselines::CategoricalRow>* rows,
+                          std::vector<int>* labels) {
+    rows->clear();
+    labels->clear();
+    rows->reserve(count);
+    labels->reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      baselines::CategoricalRow row;
+      double logit = bias;
+      for (size_t c = 0; c < specs.size(); ++c) {
+        size_t v = rng.Categorical(base[c]);
+        row.push_back(categories_[c][v]);
+        logit += shift[c][v];
+      }
+      double p = 1.0 / (1.0 + std::exp(-logit));
+      rows->push_back(std::move(row));
+      labels->push_back(rng.Bernoulli(p) ? 1 : 0);
+    }
+  };
+  sample_split(options_.train_size, &train_rows_, &train_labels_);
+  sample_split(options_.test_size, &test_rows_, &test_labels_);
+
+  // Inject the §5.4 under-represented rows into the training split: 14
+  // Outlying-US and 1 Holand-Netherlands instance, all negative.
+  size_t country_col = specs.size() - 1;
+  auto inject = [&](const char* country, size_t copies) {
+    for (size_t i = 0; i < copies && i < train_rows_.size(); ++i) {
+      size_t target = rng.Uniform(train_rows_.size());
+      train_rows_[target][country_col] = country;
+      train_labels_[target] = 0;
+    }
+  };
+  inject("Outlying-US(Guam-USVI-etc)", 14);
+  inject("Holand-Netherlands", 1);
+}
+
+Status AdultSynthesizer::Load(engine::Database* db) const {
+  std::string cols;
+  for (const std::string& c : columns_) cols += ", " + c + " TEXT";
+  BORNSQL_RETURN_IF_ERROR(db->ExecuteScript(StrFormat(
+      "DROP TABLE IF EXISTS adult_train; DROP TABLE IF EXISTS adult_test;"
+      "CREATE TABLE adult_train (id INTEGER PRIMARY KEY%s, income INTEGER);"
+      "CREATE TABLE adult_test (id INTEGER PRIMARY KEY%s, income INTEGER);"
+      "CREATE INDEX adult_train_id ON adult_train (id);"
+      "CREATE INDEX adult_test_id ON adult_test (id)",
+      cols.c_str(), cols.c_str())));
+  auto load = [&](const char* table,
+                  const std::vector<baselines::CategoricalRow>& rows,
+                  const std::vector<int>& labels) -> Status {
+    BORNSQL_ASSIGN_OR_RETURN(storage::Table * t, db->catalog().GetTable(table));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      Row row;
+      row.reserve(columns_.size() + 2);
+      row.push_back(Value::Int(static_cast<int64_t>(i) + 1));
+      for (const std::string& v : rows[i]) row.push_back(Value::Text(v));
+      row.push_back(Value::Int(labels[i]));
+      BORNSQL_RETURN_IF_ERROR(t->Insert(std::move(row)));
+    }
+    return Status::OK();
+  };
+  BORNSQL_RETURN_IF_ERROR(load("adult_train", train_rows_, train_labels_));
+  return load("adult_test", test_rows_, test_labels_);
+}
+
+std::vector<std::string> AdultSynthesizer::XParts(
+    const std::string& table) const {
+  std::vector<std::string> out;
+  for (const std::string& c : columns_) {
+    out.push_back(StrFormat(
+        "SELECT id AS n, '%s:' || %s AS j, 1.0 AS w FROM %s", c.c_str(),
+        c.c_str(), table.c_str()));
+  }
+  return out;
+}
+
+std::string AdultSynthesizer::YQuery(const std::string& table) {
+  return StrFormat("SELECT id AS n, income AS k, 1.0 AS w FROM %s",
+                   table.c_str());
+}
+
+born::Example AdultSynthesizer::ToExample(
+    const baselines::CategoricalRow& row, int label) const {
+  born::Example ex;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    ex.x.emplace_back(columns_[c] + ":" + row[c], 1.0);
+  }
+  ex.y.emplace_back(Value::Int(label), 1.0);
+  return ex;
+}
+
+}  // namespace bornsql::data

@@ -1,0 +1,118 @@
+#include "data/newsgroups.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace bornsql::data {
+
+NewsgroupsSynthesizer::NewsgroupsSynthesizer(NewsgroupsOptions options)
+    : options_(options) {
+  Generate();
+}
+
+void NewsgroupsSynthesizer::Generate() {
+  Rng rng(options_.seed);
+  const size_t k = options_.num_classes;
+
+  std::vector<double> priors(k);
+  for (size_t c = 0; c < k; ++c) {
+    priors[c] = std::pow(static_cast<double>(c + 1), -options_.prior_skew);
+  }
+
+  ZipfSampler shared(options_.shared_vocab, 1.1);
+  ZipfSampler topical(options_.class_vocab, 1.05);
+
+  auto make_doc = [&](int64_t id) {
+    Document doc;
+    doc.id = id;
+    doc.label = static_cast<int>(rng.Categorical(priors));
+    int n_tokens = 5 + rng.Poisson(options_.mean_tokens);
+    std::unordered_map<std::string, int> counts;
+    for (int t = 0; t < n_tokens; ++t) {
+      std::string term;
+      if (rng.NextDouble() < options_.topic_rate) {
+        int label = doc.label;
+        if (rng.NextDouble() < options_.confusion) {
+          label = static_cast<int>(rng.Uniform(k));
+        }
+        term = StrFormat("c%dw%zu", label, topical.Sample(rng));
+      } else {
+        term = StrFormat("bg%zu", shared.Sample(rng));
+      }
+      ++counts[term];
+    }
+    doc.terms.assign(counts.begin(), counts.end());
+    std::sort(doc.terms.begin(), doc.terms.end());
+    return doc;
+  };
+
+  train_.clear();
+  test_.clear();
+  for (size_t i = 0; i < options_.train_size; ++i) {
+    train_.push_back(make_doc(static_cast<int64_t>(i) + 1));
+  }
+  for (size_t i = 0; i < options_.test_size; ++i) {
+    test_.push_back(make_doc(static_cast<int64_t>(i) + 1));
+  }
+}
+
+Status NewsgroupsSynthesizer::Load(engine::Database* db) const {
+  BORNSQL_RETURN_IF_ERROR(db->ExecuteScript(
+      "DROP TABLE IF EXISTS doc_train; DROP TABLE IF EXISTS doc_test;"
+      "DROP TABLE IF EXISTS doc_term_train; DROP TABLE IF EXISTS "
+      "doc_term_test;"
+      "CREATE TABLE doc_train (docid INTEGER PRIMARY KEY, label INTEGER);"
+      "CREATE TABLE doc_test (docid INTEGER PRIMARY KEY, label INTEGER);"
+      "CREATE TABLE doc_term_train (docid INTEGER, term TEXT, "
+      "freq INTEGER);"
+      "CREATE TABLE doc_term_test (docid INTEGER, term TEXT, freq INTEGER);"
+      "CREATE INDEX doc_term_train_docid ON doc_term_train (docid);"
+      "CREATE INDEX doc_term_test_docid ON doc_term_test (docid);"
+      "CREATE INDEX doc_train_docid ON doc_train (docid);"
+      "CREATE INDEX doc_test_docid ON doc_test (docid)"));
+  auto load = [&](const char* doc_table, const char* term_table,
+                  const std::vector<Document>& docs) -> Status {
+    BORNSQL_ASSIGN_OR_RETURN(storage::Table * dt,
+                             db->catalog().GetTable(doc_table));
+    BORNSQL_ASSIGN_OR_RETURN(storage::Table * tt,
+                             db->catalog().GetTable(term_table));
+    for (const Document& doc : docs) {
+      BORNSQL_RETURN_IF_ERROR(
+          dt->Insert({Value::Int(doc.id), Value::Int(doc.label)}));
+      for (const auto& [term, freq] : doc.terms) {
+        tt->AppendUnchecked(
+            {Value::Int(doc.id), Value::Text(term), Value::Int(freq)});
+      }
+    }
+    return Status::OK();
+  };
+  BORNSQL_RETURN_IF_ERROR(load("doc_train", "doc_term_train", train_));
+  return load("doc_test", "doc_term_test", test_);
+}
+
+std::vector<std::string> NewsgroupsSynthesizer::XParts(
+    const std::string& suffix) {
+  return {StrFormat(
+      "SELECT docid AS n, 'term:' || term AS j, freq AS w FROM doc_term_%s",
+      suffix.c_str())};
+}
+
+std::string NewsgroupsSynthesizer::YQuery(const std::string& suffix) {
+  return StrFormat("SELECT docid AS n, label AS k, 1.0 AS w FROM doc_%s",
+                   suffix.c_str());
+}
+
+born::Example NewsgroupsSynthesizer::ToExample(const Document& doc) {
+  born::Example ex;
+  for (const auto& [term, freq] : doc.terms) {
+    ex.x.emplace_back("term:" + term, static_cast<double>(freq));
+  }
+  ex.y.emplace_back(Value::Int(doc.label), 1.0);
+  return ex;
+}
+
+}  // namespace bornsql::data

@@ -1,0 +1,112 @@
+#include "data/rlcp.h"
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace bornsql::data {
+namespace {
+
+constexpr double kPositiveRate = 0.00364;  // 20931 / 5749132
+
+}  // namespace
+
+RlcpSynthesizer::RlcpSynthesizer(RlcpOptions options) : options_(options) {
+  Generate();
+}
+
+void RlcpSynthesizer::Generate() {
+  Rng rng(options_.seed);
+  columns_.clear();
+  for (size_t c = 0; c < kNumFeatures; ++c) {
+    columns_.push_back(StrFormat("c%zu", c + 1));
+  }
+  // Per-comparison agreement probabilities. Name/birthday comparisons are
+  // near-perfect for true matches; a few weak fields are noisy both ways.
+  std::vector<double> p_match(kNumFeatures), p_nonmatch(kNumFeatures);
+  for (size_t c = 0; c < kNumFeatures; ++c) {
+    bool strong = c < 10;
+    p_match[c] = strong ? 0.88 + 0.09 * rng.NextDouble()
+                        : 0.55 + 0.20 * rng.NextDouble();
+    p_nonmatch[c] = strong ? 0.03 + 0.09 * rng.NextDouble()
+                           : 0.15 + 0.25 * rng.NextDouble();
+  }
+
+  auto sample_split = [&](size_t count,
+                          std::vector<baselines::CategoricalRow>* rows,
+                          std::vector<int>* labels) {
+    rows->clear();
+    labels->clear();
+    rows->reserve(count);
+    labels->reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      int y = rng.Bernoulli(kPositiveRate) ? 1 : 0;
+      baselines::CategoricalRow row;
+      row.reserve(kNumFeatures);
+      for (size_t c = 0; c < kNumFeatures; ++c) {
+        double p = y ? p_match[c] : p_nonmatch[c];
+        row.push_back(rng.Bernoulli(p) ? "match" : "diff");
+      }
+      rows->push_back(std::move(row));
+      labels->push_back(y);
+    }
+  };
+  sample_split(options_.train_size, &train_rows_, &train_labels_);
+  sample_split(options_.test_size, &test_rows_, &test_labels_);
+}
+
+Status RlcpSynthesizer::Load(engine::Database* db) const {
+  std::string cols;
+  for (const std::string& c : columns_) cols += ", " + c + " TEXT";
+  BORNSQL_RETURN_IF_ERROR(db->ExecuteScript(StrFormat(
+      "DROP TABLE IF EXISTS rlcp_train; DROP TABLE IF EXISTS rlcp_test;"
+      "CREATE TABLE rlcp_train (id INTEGER PRIMARY KEY%s, is_match INTEGER);"
+      "CREATE TABLE rlcp_test (id INTEGER PRIMARY KEY%s, is_match INTEGER);"
+      "CREATE INDEX rlcp_train_id ON rlcp_train (id);"
+      "CREATE INDEX rlcp_test_id ON rlcp_test (id)",
+      cols.c_str(), cols.c_str())));
+  auto load = [&](const char* table,
+                  const std::vector<baselines::CategoricalRow>& rows,
+                  const std::vector<int>& labels) -> Status {
+    BORNSQL_ASSIGN_OR_RETURN(storage::Table * t,
+                             db->catalog().GetTable(table));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      Row row;
+      row.reserve(columns_.size() + 2);
+      row.push_back(Value::Int(static_cast<int64_t>(i) + 1));
+      for (const std::string& v : rows[i]) row.push_back(Value::Text(v));
+      row.push_back(Value::Int(labels[i]));
+      BORNSQL_RETURN_IF_ERROR(t->Insert(std::move(row)));
+    }
+    return Status::OK();
+  };
+  BORNSQL_RETURN_IF_ERROR(load("rlcp_train", train_rows_, train_labels_));
+  return load("rlcp_test", test_rows_, test_labels_);
+}
+
+std::vector<std::string> RlcpSynthesizer::XParts(
+    const std::string& table) const {
+  std::vector<std::string> out;
+  for (const std::string& c : columns_) {
+    out.push_back(StrFormat(
+        "SELECT id AS n, '%s:' || %s AS j, 1.0 AS w FROM %s", c.c_str(),
+        c.c_str(), table.c_str()));
+  }
+  return out;
+}
+
+std::string RlcpSynthesizer::YQuery(const std::string& table) {
+  return StrFormat("SELECT id AS n, is_match AS k, 1.0 AS w FROM %s",
+                   table.c_str());
+}
+
+born::Example RlcpSynthesizer::ToExample(const baselines::CategoricalRow& row,
+                                         int label) const {
+  born::Example ex;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    ex.x.emplace_back(columns_[c] + ":" + row[c], 1.0);
+  }
+  ex.y.emplace_back(Value::Int(label), 1.0);
+  return ex;
+}
+
+}  // namespace bornsql::data

@@ -1,0 +1,91 @@
+// ScopusSynthesizer: the stand-in for the paper's Elsevier Scopus dump
+// (2,359,828 publications; see DESIGN.md for the substitution argument).
+//
+// The generator reproduces the statistical properties the evaluation
+// depends on:
+//  * three ASJC classes with the paper's 43.4 / 38.5 / 18.1 % split
+//    (AI=17xx, Decision=18xx, Stats=26xx);
+//  * class-conditional Zipfian vocabularies for venues, keywords and
+//    abstract terms (venues are the strongest class signal, matching the
+//    paper's Table 3 observation);
+//  * chronological drift: ids are ordered by publication date and later
+//    publications have more authors, more keywords and longer abstracts
+//    ("most recent publications are typically associated with a larger
+//    number of authors...", §4.4) with unbounded author/keyword vocabularies
+//    — this is what makes Fig. 5's three scenarios emerge naturally;
+//  * a bounded abstract vocabulary, so the abstract-only scenario (Fig. 5c)
+//    saturates.
+//
+// The relational schema matches the paper's Fig. 2, with one substitution:
+// the tsvector-typed `abstract` column becomes the exploded table
+// pub_term(pubid, term, freq) because the vectorized abstract must be
+// representable in portable SQL (the paper itself switches to
+// json_table/json_each on MySQL/SQLite for the same reason).
+#ifndef BORNSQL_DATA_SCOPUS_H_
+#define BORNSQL_DATA_SCOPUS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "born/born_ref.h"
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace bornsql::data {
+
+struct ScopusOptions {
+  size_t num_publications = 20000;
+  uint64_t seed = 42;
+  // Scales of the bounded vocabularies.
+  size_t venues_per_class = 40;
+  size_t shared_venues = 20;
+  size_t abstract_shared_vocab = 4000;
+  size_t abstract_class_vocab = 800;
+  size_t keyword_class_vocab = 600;
+  // Mean counts at the start of the timeline; they grow ~2x by the end.
+  double mean_authors = 2.0;
+  double mean_keywords = 2.5;
+  double mean_abstract_terms = 40.0;
+};
+
+struct Publication {
+  int64_t id = 0;
+  std::string pubname;
+  int asjc = 0;  // 4-digit code; class = asjc / 100
+  std::vector<int64_t> authors;
+  std::vector<std::string> keywords;
+  // Vectorized abstract: (term, count).
+  std::vector<std::pair<std::string, int>> terms;
+};
+
+class ScopusSynthesizer {
+ public:
+  explicit ScopusSynthesizer(ScopusOptions options = {});
+
+  const std::vector<Publication>& publications() const { return pubs_; }
+
+  // Class -> count (Table 1).
+  std::map<int, size_t> ClassDistribution() const;
+
+  // Creates and fills publication / pub_author / pub_keyword / pub_term.
+  Status Load(engine::Database* db) const;
+
+  // The q_x / q_y preprocessing queries of §4.2 for this schema.
+  static std::vector<std::string> XParts();
+  static std::string YQuery();
+
+  // The publication as a Born example (for the in-memory reference path).
+  born::Example ToExample(const Publication& pub) const;
+
+ private:
+  void Generate();
+
+  ScopusOptions options_;
+  std::vector<Publication> pubs_;
+};
+
+}  // namespace bornsql::data
+
+#endif  // BORNSQL_DATA_SCOPUS_H_

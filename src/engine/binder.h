@@ -1,0 +1,42 @@
+// Lowers parsed sql::Expr trees into index-resolved exec::BoundExpr trees
+// against a schema, plus the AST analysis helpers the planner needs
+// (conjunct splitting, aggregate/window detection, structural equality).
+#ifndef BORNSQL_ENGINE_BINDER_H_
+#define BORNSQL_ENGINE_BINDER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "exec/evaluator.h"
+#include "sql/ast.h"
+#include "types/schema.h"
+
+namespace bornsql::engine {
+
+// Binds `expr` against `schema`. Aggregate and window calls are rejected:
+// the planner rewrites them into plain column references before binding.
+Result<exec::BoundExprPtr> BindExpr(const sql::Expr& expr,
+                                    const Schema& schema);
+
+// True if `expr` binds against `schema` without error (used for predicate
+// placement during join planning).
+bool BindsTo(const sql::Expr& expr, const Schema& schema);
+
+// Appends the top-level AND conjuncts of `expr` to `out` (ownership moves).
+void SplitConjuncts(sql::ExprPtr expr, std::vector<sql::ExprPtr>* out);
+
+// Structural equality, case-insensitive on identifiers and function names.
+bool ExprEquals(const sql::Expr& a, const sql::Expr& b);
+
+// True if the tree contains an aggregate function call (outside windows).
+bool ContainsAggregate(const sql::Expr& expr);
+
+// True if the tree contains a window function node.
+bool ContainsWindow(const sql::Expr& expr);
+
+// Evaluates a constant expression (no column references).
+Result<Value> EvalConstExpr(const sql::Expr& expr);
+
+}  // namespace bornsql::engine
+
+#endif  // BORNSQL_ENGINE_BINDER_H_

@@ -1,0 +1,56 @@
+// CSV import/export for the engine: the practical on-ramp for loading real
+// datasets into BornSQL without writing INSERT statements.
+#ifndef BORNSQL_ENGINE_CSV_H_
+#define BORNSQL_ENGINE_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace bornsql::engine {
+
+struct CsvOptions {
+  char delimiter = ',';
+  // First line holds column names. With has_header=false and an existing
+  // table, columns map by position.
+  bool has_header = true;
+  // Cells that parse as numbers are stored as INTEGER/REAL; otherwise TEXT.
+  // With false, everything is TEXT.
+  bool infer_types = true;
+  // The spelling that loads as NULL (in addition to the empty cell).
+  std::string null_marker = "";
+};
+
+// Parses one CSV line honoring RFC-4180 quoting ("" escapes a quote inside
+// a quoted cell). Exposed for tests.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                              char delimiter);
+
+// Parses a whole CSV text (handles quoted cells spanning lines).
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text, char delimiter);
+
+// Loads CSV `text` into `table`. Creates the table (all-dynamic columns
+// named by the header) when it does not exist; otherwise the column count
+// must match and values coerce to the declared types. Returns rows loaded.
+Result<size_t> LoadCsv(Database* db, const std::string& table,
+                       const std::string& text, const CsvOptions& options = {});
+
+// Reads `path` and loads it via LoadCsv.
+Result<size_t> LoadCsvFile(Database* db, const std::string& table,
+                           const std::string& path,
+                           const CsvOptions& options = {});
+
+// Renders a query result as CSV (header + RFC-4180-quoted cells; NULL cells
+// render as the null_marker).
+std::string ToCsv(const QueryResult& result, const CsvOptions& options = {});
+
+// Runs `query` and writes its CSV rendering to `path`.
+Status DumpCsvFile(Database* db, const std::string& query,
+                   const std::string& path, const CsvOptions& options = {});
+
+}  // namespace bornsql::engine
+
+#endif  // BORNSQL_ENGINE_CSV_H_

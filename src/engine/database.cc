@@ -1,0 +1,386 @@
+#include "engine/database.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+#include "engine/binder.h"
+#include "exec/operators.h"
+#include "sql/parser.h"
+
+namespace bornsql::engine {
+
+Result<Value> QueryResult::ScalarValue() const {
+  if (rows.size() != 1 || rows[0].size() != 1) {
+    return Status::InvalidArgument(
+        StrFormat("expected a 1x1 result, got %zux%zu", rows.size(),
+                  rows.empty() ? 0 : rows[0].size()));
+  }
+  return rows[0][0];
+}
+
+Result<QueryResult> Database::Execute(std::string_view sql) {
+  BORNSQL_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  return ExecuteStatement(stmt);
+}
+
+Status Database::ExecuteScript(std::string_view sql) {
+  BORNSQL_ASSIGN_OR_RETURN(std::vector<sql::Statement> stmts,
+                           sql::ParseScript(sql));
+  for (const sql::Statement& stmt : stmts) {
+    auto result = ExecuteStatement(stmt);
+    if (!result.ok()) return result.status();
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> Database::ExecuteStatement(const sql::Statement& stmt) {
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect:
+      return RunSelect(*stmt.select);
+    case sql::StatementKind::kExplain:
+      return RunExplain(*stmt.select);
+    case sql::StatementKind::kCreateTable:
+      return RunCreateTable(*stmt.create_table);
+    case sql::StatementKind::kDropTable:
+      return RunDropTable(*stmt.drop_table);
+    case sql::StatementKind::kCreateIndex:
+      return RunCreateIndex(*stmt.create_index);
+    case sql::StatementKind::kInsert:
+      return RunInsert(*stmt.insert);
+    case sql::StatementKind::kUpdate:
+      return RunUpdate(*stmt.update);
+    case sql::StatementKind::kDelete:
+      return RunDelete(*stmt.del);
+  }
+  return Status::Internal("bad statement kind");
+}
+
+Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt) {
+  Planner planner(&catalog_, &config_);
+  BORNSQL_ASSIGN_OR_RETURN(exec::OperatorPtr plan, planner.PlanSelect(stmt));
+  BORNSQL_ASSIGN_OR_RETURN(exec::MaterializedResult result,
+                           exec::Drain(*plan));
+  QueryResult out;
+  out.column_names = result.schema.ColumnNames();
+  out.rows = std::move(result.rows);
+  return out;
+}
+
+namespace {
+
+void AppendPlanLines(const exec::Operator& op, int depth,
+                     std::vector<Row>* out) {
+  std::string line(static_cast<size_t>(depth) * 2, ' ');
+  line += op.DebugString();
+  out->push_back({Value::Text(std::move(line))});
+  for (const exec::Operator* child : op.children()) {
+    if (child != nullptr) AppendPlanLines(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+Result<QueryResult> Database::RunExplain(const sql::SelectStmt& stmt) {
+  Planner planner(&catalog_, &config_);
+  BORNSQL_ASSIGN_OR_RETURN(exec::OperatorPtr plan, planner.PlanSelect(stmt));
+  QueryResult out;
+  out.column_names = {"plan"};
+  AppendPlanLines(*plan, 0, &out.rows);
+  return out;
+}
+
+Result<QueryResult> Database::RunCreateTable(const sql::CreateTableStmt& stmt) {
+  if (stmt.as_select != nullptr) {
+    BORNSQL_ASSIGN_OR_RETURN(QueryResult data, RunSelect(*stmt.as_select));
+    Schema schema;
+    for (const std::string& name : data.column_names) {
+      schema.Add(Column{stmt.table, name, ValueType::kNull});
+    }
+    if (stmt.if_not_exists && catalog_.Exists(stmt.table)) {
+      QueryResult out;
+      return out;
+    }
+    BORNSQL_ASSIGN_OR_RETURN(
+        storage::Table * table,
+        catalog_.CreateTable(stmt.table, std::move(schema), {}, false));
+    for (Row& row : data.rows) table->AppendUnchecked(std::move(row));
+    QueryResult out;
+    out.rows_affected = table->row_count();
+    return out;
+  }
+
+  Schema schema;
+  std::vector<size_t> key_columns;
+  for (size_t i = 0; i < stmt.columns.size(); ++i) {
+    const sql::ColumnDef& def = stmt.columns[i];
+    schema.Add(Column{stmt.table, def.name, def.type});
+    if (def.primary_key) key_columns.push_back(i);
+  }
+  for (const std::string& pk : stmt.primary_key) {
+    size_t idx = schema.FindUnqualified(pk);
+    if (idx == Schema::kNpos) {
+      return Status::BindError("PRIMARY KEY column '" + pk +
+                               "' is not a column of the table");
+    }
+    key_columns.push_back(idx);
+  }
+  BORNSQL_RETURN_IF_ERROR(catalog_
+                              .CreateTable(stmt.table, std::move(schema),
+                                           std::move(key_columns),
+                                           stmt.if_not_exists)
+                              .status());
+  return QueryResult{};
+}
+
+Result<QueryResult> Database::RunDropTable(const sql::DropTableStmt& stmt) {
+  BORNSQL_RETURN_IF_ERROR(catalog_.DropTable(stmt.table, stmt.if_exists));
+  return QueryResult{};
+}
+
+Result<QueryResult> Database::RunCreateIndex(const sql::CreateIndexStmt& stmt) {
+  BORNSQL_ASSIGN_OR_RETURN(storage::Table * table,
+                           catalog_.GetTable(stmt.table));
+  std::vector<size_t> cols;
+  for (const std::string& name : stmt.columns) {
+    size_t idx = table->schema().FindUnqualified(name);
+    if (idx == Schema::kNpos) {
+      return Status::BindError("index column '" + name +
+                               "' is not a column of '" + stmt.table + "'");
+    }
+    cols.push_back(idx);
+  }
+  if (stmt.unique) {
+    BORNSQL_RETURN_IF_ERROR(table->SetUniqueKey(std::move(cols)));
+  } else {
+    table->AddSecondaryIndex(std::move(cols));
+  }
+  return QueryResult{};
+}
+
+Status Database::CoerceRow(const storage::Table& table, Row* row) const {
+  const Schema& schema = table.schema();
+  assert(row->size() == schema.size());
+  for (size_t i = 0; i < row->size(); ++i) {
+    ValueType target = schema.column(i).type;
+    if (target == ValueType::kNull) continue;  // dynamic column
+    BORNSQL_ASSIGN_OR_RETURN((*row)[i], (*row)[i].CoerceTo(target));
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> Database::RunInsert(const sql::InsertStmt& stmt) {
+  BORNSQL_ASSIGN_OR_RETURN(storage::Table * table,
+                           catalog_.GetTable(stmt.table));
+  const Schema& schema = table->schema();
+
+  // Map provided column names to positions (default: table order).
+  std::vector<size_t> positions;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.size(); ++i) positions.push_back(i);
+  } else {
+    for (const std::string& name : stmt.columns) {
+      size_t idx = schema.FindUnqualified(name);
+      if (idx == Schema::kNpos) {
+        return Status::BindError("column '" + name +
+                                 "' is not a column of '" + stmt.table + "'");
+      }
+      positions.push_back(idx);
+    }
+  }
+
+  // Produce the incoming rows.
+  std::vector<Row> incoming;
+  if (!stmt.values.empty()) {
+    Schema empty;
+    Row no_input;
+    for (const auto& exprs : stmt.values) {
+      if (exprs.size() != positions.size()) {
+        return Status::BindError(
+            StrFormat("INSERT expects %zu values per row, got %zu",
+                      positions.size(), exprs.size()));
+      }
+      Row row(schema.size());
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        sql::ExprPtr folded = sql::CloneExpr(*exprs[i]);
+        Planner planner(&catalog_, &config_);
+        BORNSQL_RETURN_IF_ERROR(planner.FoldSubqueries(folded.get()));
+        BORNSQL_ASSIGN_OR_RETURN(exec::BoundExprPtr bound,
+                                 BindExpr(*folded, empty));
+        BORNSQL_ASSIGN_OR_RETURN(row[positions[i]],
+                                 exec::Eval(*bound, no_input));
+      }
+      incoming.push_back(std::move(row));
+    }
+  } else {
+    BORNSQL_ASSIGN_OR_RETURN(QueryResult data, RunSelect(*stmt.select));
+    for (Row& src : data.rows) {
+      if (src.size() != positions.size()) {
+        return Status::BindError(
+            StrFormat("INSERT expects %zu columns, SELECT produced %zu",
+                      positions.size(), src.size()));
+      }
+      Row row(schema.size());
+      for (size_t i = 0; i < src.size(); ++i) {
+        row[positions[i]] = std::move(src[i]);
+      }
+      incoming.push_back(std::move(row));
+    }
+  }
+  for (Row& row : incoming) {
+    BORNSQL_RETURN_IF_ERROR(CoerceRow(*table, &row));
+  }
+
+  // ON CONFLICT setup.
+  exec::BoundExprPtr noop;
+  std::vector<std::pair<size_t, exec::BoundExprPtr>> conflict_sets;
+  Schema conflict_schema;
+  if (stmt.on_conflict != nullptr) {
+    if (!table->has_unique_key()) {
+      return Status::BindError("ON CONFLICT requires a unique key on '" +
+                               stmt.table + "'");
+    }
+    // The target column set must match the table's unique key.
+    std::vector<size_t> targets;
+    for (const std::string& name : stmt.on_conflict->target_columns) {
+      size_t idx = schema.FindUnqualified(name);
+      if (idx == Schema::kNpos) {
+        return Status::BindError("ON CONFLICT column '" + name +
+                                 "' is not a column of '" + stmt.table + "'");
+      }
+      targets.push_back(idx);
+    }
+    std::vector<size_t> key = table->key_columns();
+    std::sort(targets.begin(), targets.end());
+    std::sort(key.begin(), key.end());
+    if (targets != key) {
+      return Status::BindError(
+          "ON CONFLICT target does not match the table's unique key");
+    }
+    if (!stmt.on_conflict->do_nothing) {
+      // SET expressions see the existing row under the table's name and the
+      // incoming row under 'excluded'.
+      conflict_schema = schema.WithQualifier(stmt.table);
+      for (const Column& c : schema.columns()) {
+        conflict_schema.Add(Column{"excluded", c.name, c.type});
+      }
+      for (const auto& [col, expr] : stmt.on_conflict->set_clauses) {
+        size_t idx = schema.FindUnqualified(col);
+        if (idx == Schema::kNpos) {
+          return Status::BindError("SET column '" + col +
+                                   "' is not a column of '" + stmt.table +
+                                   "'");
+        }
+        BORNSQL_ASSIGN_OR_RETURN(exec::BoundExprPtr bound,
+                                 BindExpr(*expr, conflict_schema));
+        conflict_sets.emplace_back(idx, std::move(bound));
+      }
+    }
+  }
+
+  size_t affected = 0;
+  for (Row& row : incoming) {
+    if (stmt.on_conflict != nullptr && table->has_unique_key()) {
+      size_t existing = table->FindConflict(row);
+      if (existing != storage::Table::kNpos) {
+        if (stmt.on_conflict->do_nothing) continue;
+        // DO UPDATE: evaluate SET expressions over (existing ++ incoming).
+        const Row& old_row = table->rows()[existing];
+        Row combined;
+        combined.reserve(old_row.size() + row.size());
+        combined.insert(combined.end(), old_row.begin(), old_row.end());
+        combined.insert(combined.end(), row.begin(), row.end());
+        Row updated = old_row;
+        for (const auto& [idx, expr] : conflict_sets) {
+          BORNSQL_ASSIGN_OR_RETURN(updated[idx], exec::Eval(*expr, combined));
+        }
+        BORNSQL_RETURN_IF_ERROR(CoerceRow(*table, &updated));
+        BORNSQL_RETURN_IF_ERROR(table->UpdateRow(existing, std::move(updated)));
+        ++affected;
+        continue;
+      }
+    }
+    BORNSQL_RETURN_IF_ERROR(table->Insert(std::move(row)));
+    ++affected;
+  }
+  QueryResult out;
+  out.rows_affected = affected;
+  return out;
+}
+
+Result<QueryResult> Database::RunUpdate(const sql::UpdateStmt& stmt) {
+  BORNSQL_ASSIGN_OR_RETURN(storage::Table * table,
+                           catalog_.GetTable(stmt.table));
+  Schema schema = table->schema().WithQualifier(stmt.table);
+  Planner planner(&catalog_, &config_);
+
+  exec::BoundExprPtr where;
+  if (stmt.where != nullptr) {
+    sql::ExprPtr folded = sql::CloneExpr(*stmt.where);
+    BORNSQL_RETURN_IF_ERROR(planner.FoldSubqueries(folded.get()));
+    BORNSQL_ASSIGN_OR_RETURN(where, BindExpr(*folded, schema));
+  }
+  std::vector<std::pair<size_t, exec::BoundExprPtr>> sets;
+  for (const auto& [col, expr] : stmt.set_clauses) {
+    size_t idx = schema.FindUnqualified(col);
+    if (idx == Schema::kNpos) {
+      return Status::BindError("SET column '" + col +
+                               "' is not a column of '" + stmt.table + "'");
+    }
+    sql::ExprPtr folded = sql::CloneExpr(*expr);
+    BORNSQL_RETURN_IF_ERROR(planner.FoldSubqueries(folded.get()));
+    BORNSQL_ASSIGN_OR_RETURN(exec::BoundExprPtr bound,
+                             BindExpr(*folded, schema));
+    sets.emplace_back(idx, std::move(bound));
+  }
+
+  // Two-phase: evaluate all updates first so row mutation cannot affect
+  // later predicate evaluation.
+  std::vector<std::pair<size_t, Row>> updates;
+  for (size_t i = 0; i < table->rows().size(); ++i) {
+    const Row& row = table->rows()[i];
+    if (where != nullptr) {
+      BORNSQL_ASSIGN_OR_RETURN(Value v, exec::Eval(*where, row));
+      if (v.is_null() || !v.Truthy()) continue;
+    }
+    Row updated = row;
+    for (const auto& [idx, expr] : sets) {
+      BORNSQL_ASSIGN_OR_RETURN(updated[idx], exec::Eval(*expr, row));
+    }
+    BORNSQL_RETURN_IF_ERROR(CoerceRow(*table, &updated));
+    updates.emplace_back(i, std::move(updated));
+  }
+  for (auto& [idx, row] : updates) {
+    BORNSQL_RETURN_IF_ERROR(table->UpdateRow(idx, std::move(row)));
+  }
+  QueryResult out;
+  out.rows_affected = updates.size();
+  return out;
+}
+
+Result<QueryResult> Database::RunDelete(const sql::DeleteStmt& stmt) {
+  BORNSQL_ASSIGN_OR_RETURN(storage::Table * table,
+                           catalog_.GetTable(stmt.table));
+  Schema schema = table->schema().WithQualifier(stmt.table);
+
+  std::vector<bool> flags(table->rows().size(), false);
+  if (stmt.where == nullptr) {
+    flags.assign(table->rows().size(), true);
+  } else {
+    Planner planner(&catalog_, &config_);
+    sql::ExprPtr folded = sql::CloneExpr(*stmt.where);
+    BORNSQL_RETURN_IF_ERROR(planner.FoldSubqueries(folded.get()));
+    BORNSQL_ASSIGN_OR_RETURN(exec::BoundExprPtr where,
+                             BindExpr(*folded, schema));
+    for (size_t i = 0; i < table->rows().size(); ++i) {
+      BORNSQL_ASSIGN_OR_RETURN(Value v,
+                               exec::Eval(*where, table->rows()[i]));
+      flags[i] = !v.is_null() && v.Truthy();
+    }
+  }
+  QueryResult out;
+  out.rows_affected = table->DeleteRows(flags);
+  return out;
+}
+
+}  // namespace bornsql::engine

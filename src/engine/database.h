@@ -1,0 +1,80 @@
+// Database: the public entry point of the SQL engine.
+//
+//   bornsql::engine::Database db;
+//   auto st = db.ExecuteScript("CREATE TABLE t (a INTEGER, b TEXT);"
+//                              "INSERT INTO t VALUES (1, 'x');");
+//   auto res = db.Execute("SELECT a, b FROM t WHERE a = 1");
+//   res->rows[0][1].AsText();  // "x"
+//
+// The engine is single-threaded and non-transactional: each statement
+// applies immediately, and a failed multi-row INSERT may leave earlier rows
+// inserted (documented divergence from the reference DBMSs; BornSQL's
+// algorithm never relies on rollback).
+#ifndef BORNSQL_ENGINE_DATABASE_H_
+#define BORNSQL_ENGINE_DATABASE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "engine/planner.h"
+#include "sql/ast.h"
+#include "types/value.h"
+
+namespace bornsql::engine {
+
+struct QueryResult {
+  std::vector<std::string> column_names;
+  std::vector<Row> rows;
+  // For DML statements: number of rows inserted/updated/deleted.
+  size_t rows_affected = 0;
+
+  // Convenience for tests: the single value of a 1x1 result.
+  Result<Value> ScalarValue() const;
+};
+
+class Database {
+ public:
+  Database() = default;
+  explicit Database(EngineConfig config) : config_(config) {}
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Parses and executes one statement.
+  Result<QueryResult> Execute(std::string_view sql);
+
+  // Executes a ';'-separated script, discarding SELECT results. Stops at the
+  // first error.
+  Status ExecuteScript(std::string_view sql);
+
+  // Executes an already-parsed statement (used by BornSQL's query driver to
+  // skip re-parsing in hot loops).
+  Result<QueryResult> ExecuteStatement(const sql::Statement& stmt);
+
+  catalog::Catalog& catalog() { return catalog_; }
+  const catalog::Catalog& catalog() const { return catalog_; }
+  EngineConfig& config() { return config_; }
+
+ private:
+  Result<QueryResult> RunSelect(const sql::SelectStmt& stmt);
+  // EXPLAIN <select>: one text row per plan node, indented by depth.
+  Result<QueryResult> RunExplain(const sql::SelectStmt& stmt);
+  Result<QueryResult> RunCreateTable(const sql::CreateTableStmt& stmt);
+  Result<QueryResult> RunDropTable(const sql::DropTableStmt& stmt);
+  Result<QueryResult> RunCreateIndex(const sql::CreateIndexStmt& stmt);
+  Result<QueryResult> RunInsert(const sql::InsertStmt& stmt);
+  Result<QueryResult> RunUpdate(const sql::UpdateStmt& stmt);
+  Result<QueryResult> RunDelete(const sql::DeleteStmt& stmt);
+
+  // Coerces `row` cell-wise to the table's declared column types.
+  Status CoerceRow(const storage::Table& table, Row* row) const;
+
+  catalog::Catalog catalog_;
+  EngineConfig config_;
+};
+
+}  // namespace bornsql::engine
+
+#endif  // BORNSQL_ENGINE_DATABASE_H_

@@ -1,0 +1,97 @@
+// Plans sql::SelectStmt ASTs into executable operator trees.
+//
+// Optimizations implemented (each with an ablation bench, see DESIGN.md):
+//  * predicate pushdown: single-table WHERE conjuncts filter before joins;
+//  * equi-join extraction: comma joins + `a.x = b.y` conjuncts become hash
+//    (or sort-merge) joins instead of cross products;
+//  * CTE handling: materialize-once (shared across references, PostgreSQL-12
+//    style) or inline-per-reference (configurable).
+#ifndef BORNSQL_ENGINE_PLANNER_H_
+#define BORNSQL_ENGINE_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/operators.h"
+#include "sql/ast.h"
+
+namespace bornsql::engine {
+
+namespace internal {
+// Shared state of one CTE within one query: the definition, the plan (built
+// on first reference) and, in materialize mode, the result shared by every
+// reference.
+struct CteCell;
+}  // namespace internal
+
+enum class JoinStrategy {
+  kHash,       // default; PostgreSQL-like
+  kSortMerge,  // alternative strategy (DBMS-spread ablation)
+  kNestedLoop, // pedagogical / ablation only: O(n*m) per join
+};
+
+struct EngineConfig {
+  JoinStrategy join_strategy = JoinStrategy::kHash;
+  // Materialize each CTE once per query (true) or re-plan it at every
+  // reference (false).
+  bool materialize_ctes = true;
+  // Probe a base table's secondary hash index instead of hash-joining when
+  // an equi-join's keys are exactly an indexed column set (kHash only).
+  bool use_index_joins = true;
+};
+
+class Planner {
+ public:
+  Planner(catalog::Catalog* catalog, const EngineConfig* config)
+      : catalog_(catalog), config_(config) {}
+
+  // Builds the operator tree for `stmt`. The returned tree is self-contained
+  // except that base-table scans borrow the catalog's tables: the catalog
+  // must outlive execution, and tables must not be mutated while the tree
+  // runs.
+  Result<exec::OperatorPtr> PlanSelect(const sql::SelectStmt& stmt);
+
+  // Evaluates every uncorrelated subquery inside `expr` and folds the
+  // result into the tree: scalar subqueries become literals, EXISTS becomes
+  // a boolean, IN (SELECT ...) becomes a hashed constant set. Correlated
+  // subqueries fail with BindError when the inner plan cannot resolve a
+  // column.
+  Status FoldSubqueries(sql::Expr* expr);
+
+ private:
+  using CteScope =
+      std::unordered_map<std::string, std::shared_ptr<internal::CteCell>>;
+
+  Result<exec::OperatorPtr> PlanStmt(const sql::SelectStmt& stmt);
+  // Plans one core. `order_by` (may be null) is handled inside the core so
+  // sort keys can reference non-projected input columns via hidden columns.
+  Result<exec::OperatorPtr> PlanCore(const sql::SelectCore& core,
+                                     const std::vector<sql::OrderItem>* order_by);
+  Result<exec::OperatorPtr> PlanFrom(const sql::SelectCore& core,
+                                     std::vector<sql::ExprPtr>* conjuncts);
+  // Plans a FROM item. `*base_table` is set to the underlying table when
+  // the plan is a bare sequential scan (candidate for index joins), else
+  // nullptr.
+  Result<exec::OperatorPtr> PlanTableRef(const sql::TableRef& ref,
+                                         const storage::Table** base_table);
+  Result<exec::OperatorPtr> PlanJoin(exec::OperatorPtr left,
+                                     exec::OperatorPtr right,
+                                     std::vector<exec::BoundExprPtr> lkeys,
+                                     std::vector<exec::BoundExprPtr> rkeys,
+                                     exec::JoinType type);
+
+  // Null if `name` is not a CTE in any enclosing scope.
+  std::shared_ptr<internal::CteCell> FindCte(const std::string& name) const;
+
+  catalog::Catalog* catalog_;
+  const EngineConfig* config_;
+  std::vector<CteScope> cte_scopes_;
+};
+
+}  // namespace bornsql::engine
+
+#endif  // BORNSQL_ENGINE_PLANNER_H_

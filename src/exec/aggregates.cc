@@ -1,0 +1,95 @@
+#include "exec/aggregates.h"
+
+#include "common/strings.h"
+
+namespace bornsql::exec {
+
+bool LookupAggFunc(const std::string& name, AggFunc* func) {
+  if (EqualsIgnoreCase(name, "count")) {
+    *func = AggFunc::kCount;  // caller switches to kCountStar for COUNT(*)
+    return true;
+  }
+  if (EqualsIgnoreCase(name, "sum")) {
+    *func = AggFunc::kSum;
+    return true;
+  }
+  if (EqualsIgnoreCase(name, "avg")) {
+    *func = AggFunc::kAvg;
+    return true;
+  }
+  if (EqualsIgnoreCase(name, "min")) {
+    *func = AggFunc::kMin;
+    return true;
+  }
+  if (EqualsIgnoreCase(name, "max")) {
+    *func = AggFunc::kMax;
+    return true;
+  }
+  return false;
+}
+
+Status AggState::Accumulate(const Value& v) {
+  if (func_ == AggFunc::kCountStar) {
+    ++count_;
+    return Status::OK();
+  }
+  if (v.is_null()) return Status::OK();
+  switch (func_) {
+    case AggFunc::kCount:
+      ++count_;
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      if (!v.is_numeric()) {
+        return Status::ExecutionError("SUM/AVG over non-numeric value '" +
+                                      v.ToString() + "'");
+      }
+      has_value_ = true;
+      ++count_;
+      if (v.is_int() && !saw_double_) {
+        int_sum_ += v.AsInt();
+      } else {
+        if (!saw_double_) {
+          double_sum_ = static_cast<double>(int_sum_);
+          saw_double_ = true;
+        }
+        double_sum_ += v.AsDouble();
+      }
+      break;
+    }
+    case AggFunc::kMin:
+      if (!has_value_ || Value::Compare(v, extreme_) < 0) extreme_ = v;
+      has_value_ = true;
+      break;
+    case AggFunc::kMax:
+      if (!has_value_ || Value::Compare(v, extreme_) > 0) extreme_ = v;
+      has_value_ = true;
+      break;
+    case AggFunc::kCountStar:
+      break;  // handled above
+  }
+  return Status::OK();
+}
+
+Value AggState::Finalize() const {
+  switch (func_) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return Value::Int(count_);
+    case AggFunc::kSum:
+      if (!has_value_) return Value::Null();
+      return saw_double_ ? Value::Double(double_sum_) : Value::Int(int_sum_);
+    case AggFunc::kAvg: {
+      if (!has_value_) return Value::Null();
+      double total =
+          saw_double_ ? double_sum_ : static_cast<double>(int_sum_);
+      return Value::Double(total / static_cast<double>(count_));
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return has_value_ ? extreme_ : Value::Null();
+  }
+  return Value::Null();
+}
+
+}  // namespace bornsql::exec

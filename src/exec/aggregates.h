@@ -1,0 +1,48 @@
+// Aggregate functions for HashAggOp.
+#ifndef BORNSQL_EXEC_AGGREGATES_H_
+#define BORNSQL_EXEC_AGGREGATES_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace bornsql::exec {
+
+enum class AggFunc {
+  kCountStar,
+  kCount,  // COUNT(expr): non-NULL values
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+// True (and sets *func) if `name` is an aggregate function name.
+bool LookupAggFunc(const std::string& name, AggFunc* func);
+
+// One accumulator instance per (group, aggregate) pair.
+//
+// SQL semantics: NULL inputs are ignored by every aggregate; SUM/AVG/MIN/MAX
+// over zero non-NULL inputs yield NULL; COUNT yields 0. SUM returns INTEGER
+// while all inputs are integers and REAL once any input is REAL.
+class AggState {
+ public:
+  explicit AggState(AggFunc func) : func_(func) {}
+
+  Status Accumulate(const Value& v);
+  Value Finalize() const;
+
+ private:
+  AggFunc func_;
+  int64_t count_ = 0;
+  int64_t int_sum_ = 0;
+  double double_sum_ = 0.0;
+  bool saw_double_ = false;
+  bool has_value_ = false;
+  Value extreme_;  // MIN/MAX running value
+};
+
+}  // namespace bornsql::exec
+
+#endif  // BORNSQL_EXEC_AGGREGATES_H_

@@ -1,0 +1,645 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bornsql::exec {
+namespace {
+
+// Evaluates `exprs` over `row` into a key row.
+Result<Row> EvalKey(const std::vector<BoundExprPtr>& exprs, const Row& row) {
+  Row key;
+  key.reserve(exprs.size());
+  for (const auto& e : exprs) {
+    BORNSQL_ASSIGN_OR_RETURN(Value v, Eval(*e, row));
+    key.push_back(std::move(v));
+  }
+  return key;
+}
+
+bool KeyHasNull(const Row& key) {
+  for (const Value& v : key) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+int CompareKeys(const Row& a, const Row& b) {
+  assert(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    int c = Value::Compare(a[i], b[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+Row ConcatRows(const Row& a, const Row& b) {
+  Row out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Row NullRow(size_t n) { return Row(n); }
+
+}  // namespace
+
+Result<MaterializedResult> Drain(Operator& op) {
+  MaterializedResult out;
+  out.schema = op.schema();
+  BORNSQL_RETURN_IF_ERROR(op.Open());
+  Row row;
+  while (true) {
+    BORNSQL_ASSIGN_OR_RETURN(bool more, op.Next(&row));
+    if (!more) break;
+    out.rows.push_back(row);
+  }
+  return out;
+}
+
+Result<bool> SeqScanOp::Next(Row* out) {
+  const auto& rows = table_->rows();
+  if (pos_ >= rows.size()) return false;
+  *out = rows[pos_++];
+  return true;
+}
+
+Result<bool> MaterializedScanOp::Next(Row* out) {
+  if (pos_ >= data_->rows.size()) return false;
+  *out = data_->rows[pos_++];
+  return true;
+}
+
+Result<bool> FilterOp::Next(Row* out) {
+  while (true) {
+    BORNSQL_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    BORNSQL_ASSIGN_OR_RETURN(Value v, Eval(*predicate_, *out));
+    if (!v.is_null() && v.Truthy()) return true;
+  }
+}
+
+Result<bool> ProjectOp::Next(Row* out) {
+  Row in;
+  BORNSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  if (!more) return false;
+  out->clear();
+  out->reserve(exprs_.size());
+  for (const auto& e : exprs_) {
+    BORNSQL_ASSIGN_OR_RETURN(Value v, Eval(*e, in));
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+// ---- HashJoinOp -----------------------------------------------------------
+
+HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
+                       std::vector<BoundExprPtr> left_keys,
+                       std::vector<BoundExprPtr> right_keys, JoinType type)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      type_(type),
+      schema_(Schema::Concat(left_->schema(), right_->schema())) {
+  assert(type_ != JoinType::kCross);
+  assert(left_keys_.size() == right_keys_.size());
+  assert(!left_keys_.empty());
+}
+
+Status HashJoinOp::Open() {
+  build_rows_.clear();
+  build_index_.clear();
+  have_left_ = false;
+  matches_ = nullptr;
+  match_pos_ = 0;
+  BORNSQL_RETURN_IF_ERROR(left_->Open());
+  BORNSQL_RETURN_IF_ERROR(right_->Open());
+  Row row;
+  while (true) {
+    auto more = right_->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    auto key = EvalKey(right_keys_, row);
+    if (!key.ok()) return key.status();
+    if (KeyHasNull(*key)) continue;  // NULL keys never join
+    build_index_[*key].push_back(build_rows_.size());
+    build_rows_.push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Result<bool> HashJoinOp::Next(Row* out) {
+  while (true) {
+    if (have_left_ && matches_ != nullptr && match_pos_ < matches_->size()) {
+      const Row& right_row = build_rows_[(*matches_)[match_pos_++]];
+      left_emitted_ = true;
+      *out = ConcatRows(current_left_, right_row);
+      return true;
+    }
+    if (have_left_ && type_ == JoinType::kLeft && !left_emitted_) {
+      left_emitted_ = true;
+      matches_ = nullptr;
+      *out = ConcatRows(current_left_, NullRow(right_->schema().size()));
+      return true;
+    }
+    // Fetch next probe row.
+    BORNSQL_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
+    if (!more) return false;
+    have_left_ = true;
+    left_emitted_ = false;
+    match_pos_ = 0;
+    matches_ = nullptr;
+    BORNSQL_ASSIGN_OR_RETURN(Row key, EvalKey(left_keys_, current_left_));
+    if (!KeyHasNull(key)) {
+      auto it = build_index_.find(key);
+      if (it != build_index_.end()) matches_ = &it->second;
+    }
+  }
+}
+
+// ---- SortMergeJoinOp ------------------------------------------------------
+
+SortMergeJoinOp::SortMergeJoinOp(OperatorPtr left, OperatorPtr right,
+                                 std::vector<BoundExprPtr> left_keys,
+                                 std::vector<BoundExprPtr> right_keys,
+                                 JoinType type)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      type_(type),
+      schema_(Schema::Concat(left_->schema(), right_->schema())) {
+  assert(type_ != JoinType::kCross);
+}
+
+Status SortMergeJoinOp::Open() {
+  lrows_.clear();
+  rrows_.clear();
+  li_ = rgroup_begin_ = rgroup_end_ = rj_ = 0;
+  in_group_ = false;
+  auto load = [](Operator& op, const std::vector<BoundExprPtr>& keys,
+                 std::vector<std::pair<Row, Row>>* dst) -> Status {
+    BORNSQL_RETURN_IF_ERROR(op.Open());
+    Row row;
+    while (true) {
+      auto more = op.Next(&row);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+      auto key = EvalKey(keys, row);
+      if (!key.ok()) return key.status();
+      dst->emplace_back(std::move(*key), std::move(row));
+    }
+    std::stable_sort(dst->begin(), dst->end(),
+                     [](const auto& a, const auto& b) {
+                       return CompareKeys(a.first, b.first) < 0;
+                     });
+    return Status::OK();
+  };
+  BORNSQL_RETURN_IF_ERROR(load(*left_, left_keys_, &lrows_));
+  BORNSQL_RETURN_IF_ERROR(load(*right_, right_keys_, &rrows_));
+  return Status::OK();
+}
+
+Result<bool> SortMergeJoinOp::Next(Row* out) {
+  while (li_ < lrows_.size()) {
+    const Row& lkey = lrows_[li_].first;
+    if (!in_group_) {
+      if (KeyHasNull(lkey)) {
+        if (type_ == JoinType::kLeft) {
+          *out = ConcatRows(lrows_[li_].second, NullRow(right_->schema().size()));
+          ++li_;
+          return true;
+        }
+        ++li_;
+        continue;
+      }
+      // Advance the right cursor to the first key >= lkey.
+      while (rgroup_begin_ < rrows_.size() &&
+             (KeyHasNull(rrows_[rgroup_begin_].first) ||
+              CompareKeys(rrows_[rgroup_begin_].first, lkey) < 0)) {
+        ++rgroup_begin_;
+      }
+      rgroup_end_ = rgroup_begin_;
+      while (rgroup_end_ < rrows_.size() &&
+             CompareKeys(rrows_[rgroup_end_].first, lkey) == 0) {
+        ++rgroup_end_;
+      }
+      if (rgroup_begin_ == rgroup_end_) {  // no match
+        if (type_ == JoinType::kLeft) {
+          *out = ConcatRows(lrows_[li_].second, NullRow(right_->schema().size()));
+          ++li_;
+          return true;
+        }
+        ++li_;
+        continue;
+      }
+      in_group_ = true;
+      rj_ = rgroup_begin_;
+    }
+    if (rj_ < rgroup_end_) {
+      *out = ConcatRows(lrows_[li_].second, rrows_[rj_].second);
+      ++rj_;
+      return true;
+    }
+    // Finished this left row's matches. The next left row may share the key,
+    // in which case the same right group applies.
+    in_group_ = false;
+    size_t next = li_ + 1;
+    if (next < lrows_.size() &&
+        CompareKeys(lrows_[next].first, lkey) == 0) {
+      in_group_ = true;
+      rj_ = rgroup_begin_;
+    }
+    ++li_;
+  }
+  return false;
+}
+
+// ---- NestedLoopJoinOp -----------------------------------------------------
+
+NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
+                                   BoundExprPtr predicate, JoinType type)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      predicate_(std::move(predicate)),
+      type_(type),
+      schema_(Schema::Concat(left_->schema(), right_->schema())) {}
+
+Status NestedLoopJoinOp::Open() {
+  right_rows_.clear();
+  have_left_ = false;
+  right_pos_ = 0;
+  BORNSQL_RETURN_IF_ERROR(left_->Open());
+  BORNSQL_RETURN_IF_ERROR(right_->Open());
+  Row row;
+  while (true) {
+    auto more = right_->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    right_rows_.push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinOp::Next(Row* out) {
+  while (true) {
+    if (!have_left_) {
+      BORNSQL_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
+      if (!more) return false;
+      have_left_ = true;
+      left_matched_ = false;
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      Row combined = ConcatRows(current_left_, right_rows_[right_pos_]);
+      ++right_pos_;
+      if (predicate_ != nullptr) {
+        BORNSQL_ASSIGN_OR_RETURN(Value v, Eval(*predicate_, combined));
+        if (v.is_null() || !v.Truthy()) continue;
+      }
+      left_matched_ = true;
+      *out = std::move(combined);
+      return true;
+    }
+    if (type_ == JoinType::kLeft && !left_matched_) {
+      have_left_ = false;
+      *out = ConcatRows(current_left_, NullRow(right_->schema().size()));
+      return true;
+    }
+    have_left_ = false;
+  }
+}
+
+// ---- IndexJoinOp ------------------------------------------------------------
+
+IndexJoinOp::IndexJoinOp(OperatorPtr outer, const storage::Table* inner_table,
+                         Schema inner_schema, size_t index_id,
+                         std::vector<BoundExprPtr> outer_keys,
+                         bool inner_on_left)
+    : outer_(std::move(outer)),
+      inner_table_(inner_table),
+      inner_schema_(std::move(inner_schema)),
+      index_id_(index_id),
+      outer_keys_(std::move(outer_keys)),
+      inner_on_left_(inner_on_left),
+      schema_(inner_on_left_ ? Schema::Concat(inner_schema_, outer_->schema())
+                             : Schema::Concat(outer_->schema(),
+                                              inner_schema_)) {}
+
+Status IndexJoinOp::Open() {
+  have_outer_ = false;
+  matches_.clear();
+  match_pos_ = 0;
+  return outer_->Open();
+}
+
+Result<bool> IndexJoinOp::Next(Row* out) {
+  while (true) {
+    if (have_outer_ && match_pos_ < matches_.size()) {
+      const Row& inner_row = inner_table_->rows()[matches_[match_pos_++]];
+      *out = inner_on_left_ ? ConcatRows(inner_row, current_outer_)
+                            : ConcatRows(current_outer_, inner_row);
+      return true;
+    }
+    BORNSQL_ASSIGN_OR_RETURN(bool more, outer_->Next(&current_outer_));
+    if (!more) return false;
+    have_outer_ = true;
+    matches_.clear();
+    match_pos_ = 0;
+    BORNSQL_ASSIGN_OR_RETURN(Row key, EvalKey(outer_keys_, current_outer_));
+    inner_table_->LookupIndex(index_id_, key, &matches_);
+  }
+}
+
+// ---- HashAggOp ------------------------------------------------------------
+
+HashAggOp::HashAggOp(OperatorPtr child, std::vector<BoundExprPtr> group_exprs,
+                     std::vector<AggSpec> aggs, Schema schema)
+    : child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      aggs_(std::move(aggs)),
+      schema_(std::move(schema)) {}
+
+Status HashAggOp::Open() {
+  results_.clear();
+  pos_ = 0;
+
+  struct KeyHash {
+    size_t operator()(const Row& key) const { return HashRow(key); }
+  };
+  struct KeyEq {
+    bool operator()(const Row& a, const Row& b) const {
+      return CompareKeys(a, b) == 0;
+    }
+  };
+  // Group order follows first appearance, which keeps results deterministic.
+  std::unordered_map<Row, size_t, KeyHash, KeyEq> group_index;
+  std::vector<Row> group_keys;
+  std::vector<std::vector<AggState>> states;
+
+  auto new_group = [&](const Row& key) {
+    group_keys.push_back(key);
+    std::vector<AggState> st;
+    st.reserve(aggs_.size());
+    for (const AggSpec& a : aggs_) st.emplace_back(a.func);
+    states.push_back(std::move(st));
+    return states.size() - 1;
+  };
+
+  BORNSQL_RETURN_IF_ERROR(child_->Open());
+  Row row;
+  while (true) {
+    auto more = child_->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    size_t g;
+    if (group_exprs_.empty()) {
+      if (states.empty()) new_group(Row{});
+      g = 0;
+    } else {
+      auto key = EvalKey(group_exprs_, row);
+      if (!key.ok()) return key.status();
+      auto [it, inserted] = group_index.emplace(*key, states.size());
+      g = inserted ? new_group(*key) : it->second;
+    }
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      if (aggs_[i].arg == nullptr) {
+        BORNSQL_RETURN_IF_ERROR(states[g][i].Accumulate(Value::Null()));
+      } else {
+        auto v = Eval(*aggs_[i].arg, row);
+        if (!v.ok()) return v.status();
+        BORNSQL_RETURN_IF_ERROR(states[g][i].Accumulate(*v));
+      }
+    }
+  }
+  // Global aggregate over empty input still yields one row.
+  if (group_exprs_.empty() && states.empty()) new_group(Row{});
+
+  results_.reserve(states.size());
+  for (size_t g = 0; g < states.size(); ++g) {
+    Row out = group_keys[g];
+    for (const AggState& st : states[g]) out.push_back(st.Finalize());
+    results_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Result<bool> HashAggOp::Next(Row* out) {
+  if (pos_ >= results_.size()) return false;
+  *out = results_[pos_++];
+  return true;
+}
+
+// ---- SortOp ---------------------------------------------------------------
+
+Status SortOp::Open() {
+  rows_.clear();
+  pos_ = 0;
+  BORNSQL_RETURN_IF_ERROR(child_->Open());
+  // Precompute key rows alongside data rows for a cheap comparator.
+  std::vector<std::pair<Row, Row>> keyed;
+  Row row;
+  while (true) {
+    auto more = child_->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    Row key;
+    key.reserve(keys_.size());
+    for (const SortKey& k : keys_) {
+      auto v = Eval(*k.expr, row);
+      if (!v.ok()) return v.status();
+      key.push_back(std::move(*v));
+    }
+    keyed.emplace_back(std::move(key), std::move(row));
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [this](const auto& a, const auto& b) {
+                     for (size_t i = 0; i < keys_.size(); ++i) {
+                       int c = Value::Compare(a.first[i], b.first[i]);
+                       if (c != 0) return keys_[i].desc ? c > 0 : c < 0;
+                     }
+                     return false;
+                   });
+  rows_.reserve(keyed.size());
+  for (auto& [key, data] : keyed) rows_.push_back(std::move(data));
+  return Status::OK();
+}
+
+Result<bool> SortOp::Next(Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+// ---- LimitOp ---------------------------------------------------------------
+
+Status LimitOp::Open() {
+  produced_ = 0;
+  BORNSQL_RETURN_IF_ERROR(child_->Open());
+  Row scratch;
+  for (int64_t skipped = 0; skipped < offset_; ++skipped) {
+    auto more = child_->Next(&scratch);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+  }
+  return Status::OK();
+}
+
+Result<bool> LimitOp::Next(Row* out) {
+  if (limit_ >= 0 && produced_ >= limit_) return false;
+  BORNSQL_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+  if (!more) return false;
+  ++produced_;
+  return true;
+}
+
+// ---- UnionAllOp -------------------------------------------------------------
+
+UnionAllOp::UnionAllOp(std::vector<OperatorPtr> children)
+    : children_(std::move(children)) {
+  assert(!children_.empty());
+  // Positional schema from the first child, unqualified (a UNION result is a
+  // fresh relation).
+  for (const Column& c : children_[0]->schema().columns()) {
+    schema_.Add(Column{"", c.name, c.type});
+  }
+}
+
+Status UnionAllOp::Open() {
+  current_ = 0;
+  for (auto& c : children_) {
+    BORNSQL_RETURN_IF_ERROR(c->Open());
+  }
+  return Status::OK();
+}
+
+Result<bool> UnionAllOp::Next(Row* out) {
+  while (current_ < children_.size()) {
+    BORNSQL_ASSIGN_OR_RETURN(bool more, children_[current_]->Next(out));
+    if (more) return true;
+    ++current_;
+  }
+  return false;
+}
+
+// ---- DistinctOp -------------------------------------------------------------
+
+Status DistinctOp::Open() {
+  seen_.clear();
+  return child_->Open();
+}
+
+Result<bool> DistinctOp::Next(Row* out) {
+  while (true) {
+    BORNSQL_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    auto [it, inserted] = seen_.emplace(*out, true);
+    if (inserted) return true;
+  }
+}
+
+// ---- WindowOp ---------------------------------------------------------------
+
+WindowOp::WindowOp(OperatorPtr child, std::vector<WindowSpec> specs)
+    : child_(std::move(child)), specs_(std::move(specs)) {
+  schema_ = child_->schema();
+  for (const WindowSpec& spec : specs_) {
+    schema_.Add(Column{"", spec.output_name, ValueType::kInt});
+  }
+}
+
+Status WindowOp::Open() {
+  rows_.clear();
+  pos_ = 0;
+  BORNSQL_RETURN_IF_ERROR(child_->Open());
+  std::vector<Row> input;
+  Row row;
+  while (true) {
+    auto more = child_->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    input.push_back(std::move(row));
+  }
+
+  const size_t n = input.size();
+  std::vector<std::vector<Value>> extra(n);
+
+  for (const WindowSpec& spec : specs_) {
+    // (partition key, order key, original index) triplets.
+    struct Entry {
+      Row part;
+      Row order;
+      size_t idx;
+    };
+    std::vector<Entry> entries;
+    entries.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      Entry e;
+      e.idx = i;
+      auto pk = EvalKey(spec.partition_by, input[i]);
+      if (!pk.ok()) return pk.status();
+      e.part = std::move(*pk);
+      e.order.reserve(spec.order_by.size());
+      for (const SortKey& k : spec.order_by) {
+        auto v = Eval(*k.expr, input[i]);
+        if (!v.ok()) return v.status();
+        e.order.push_back(std::move(*v));
+      }
+      entries.push_back(std::move(e));
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [&spec](const Entry& a, const Entry& b) {
+                       int c = CompareKeys(a.part, b.part);
+                       if (c != 0) return c < 0;
+                       for (size_t i = 0; i < spec.order_by.size(); ++i) {
+                         int oc = Value::Compare(a.order[i], b.order[i]);
+                         if (oc != 0) {
+                           return spec.order_by[i].desc ? oc > 0 : oc < 0;
+                         }
+                       }
+                       return false;
+                     });
+    int64_t row_number = 0;  // position within the partition
+    int64_t rank = 0;        // RANK: ties share, then gaps
+    int64_t dense = 0;       // DENSE_RANK: ties share, no gaps
+    for (size_t i = 0; i < entries.size(); ++i) {
+      bool new_partition =
+          i == 0 || CompareKeys(entries[i].part, entries[i - 1].part) != 0;
+      bool peer = !new_partition &&
+                  CompareKeys(entries[i].order, entries[i - 1].order) == 0;
+      if (new_partition) {
+        row_number = 0;
+        rank = 0;
+        dense = 0;
+      }
+      ++row_number;
+      if (!peer) {
+        rank = row_number;
+        ++dense;
+      }
+      int64_t value = row_number;
+      if (spec.func == WindowFunc::kRank) value = rank;
+      if (spec.func == WindowFunc::kDenseRank) value = dense;
+      extra[entries[i].idx].push_back(Value::Int(value));
+    }
+  }
+
+  rows_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Row out = std::move(input[i]);
+    for (Value& v : extra[i]) out.push_back(std::move(v));
+    rows_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Result<bool> WindowOp::Next(Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+}  // namespace bornsql::exec

@@ -1,0 +1,436 @@
+// Volcano-style (iterator) physical operators.
+//
+// Every operator exposes Open() / Next(&row). Next returns Result<bool>:
+// OK+true = produced a row, OK+false = exhausted, error = abort. Pipelining
+// operators (scan, filter, project, hash-join probe side, union-all, limit)
+// stream; blocking operators (sort, hash aggregate, window, join build
+// sides) materialize exactly the state the textbook algorithm requires —
+// this is what makes the Fig. 3/4 linearity claims hold in our reproduction.
+#ifndef BORNSQL_EXEC_OPERATORS_H_
+#define BORNSQL_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/strings.h"
+#include "exec/aggregates.h"
+#include "exec/evaluator.h"
+#include "storage/table.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace bornsql::exec {
+
+// A fully evaluated query result; also the unit stored for materialized
+// CTEs and subqueries.
+struct MaterializedResult {
+  Schema schema;
+  std::vector<Row> rows;
+};
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual const Schema& schema() const = 0;
+  virtual Status Open() = 0;
+  virtual Result<bool> Next(Row* out) = 0;
+
+  // One-line plan description for EXPLAIN.
+  virtual std::string DebugString() const = 0;
+  // Direct inputs, for EXPLAIN's plan-tree walk.
+  virtual std::vector<const Operator*> children() const { return {}; }
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+// Drains `op` into a MaterializedResult (calls Open first).
+Result<MaterializedResult> Drain(Operator& op);
+
+// Emits a single empty row; used for FROM-less SELECTs.
+class SingleRowOp : public Operator {
+ public:
+  SingleRowOp() = default;
+  const Schema& schema() const override { return schema_; }
+  Status Open() override {
+    done_ = false;
+    return Status::OK();
+  }
+  Result<bool> Next(Row* out) override {
+    if (done_) return false;
+    done_ = true;
+    out->clear();
+    return true;
+  }
+
+  std::string DebugString() const override { return "SingleRow"; }
+
+ private:
+  Schema schema_;
+  bool done_ = true;
+};
+
+// Scans a base table. `schema` carries the exposed qualifier (alias).
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(const storage::Table* table, Schema schema)
+      : table_(table), schema_(std::move(schema)) {}
+  const Schema& schema() const override { return schema_; }
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(Row* out) override;
+
+  std::string DebugString() const override { return StrFormat("SeqScan(%s, %zu rows)", table_->name().c_str(), table_->row_count()); }
+
+ private:
+  const storage::Table* table_;
+  Schema schema_;
+  size_t pos_ = 0;
+};
+
+// Scans an already-materialized result (CTE or cached subquery).
+class MaterializedScanOp : public Operator {
+ public:
+  MaterializedScanOp(std::shared_ptr<const MaterializedResult> data,
+                     Schema schema)
+      : data_(std::move(data)), schema_(std::move(schema)) {}
+  const Schema& schema() const override { return schema_; }
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(Row* out) override;
+
+  std::string DebugString() const override { return StrFormat("MaterializedScan(%zu rows)", data_->rows.size()); }
+
+ private:
+  std::shared_ptr<const MaterializedResult> data_;
+  Schema schema_;
+  size_t pos_ = 0;
+};
+
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, BoundExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* out) override;
+
+  std::string DebugString() const override { return "Filter"; }
+  std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ private:
+  OperatorPtr child_;
+  BoundExprPtr predicate_;
+};
+
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<BoundExprPtr> exprs, Schema schema)
+      : child_(std::move(child)),
+        exprs_(std::move(exprs)),
+        schema_(std::move(schema)) {}
+  const Schema& schema() const override { return schema_; }
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* out) override;
+
+  std::string DebugString() const override { return StrFormat("Project(%zu columns)", exprs_.size()); }
+  std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<BoundExprPtr> exprs_;
+  Schema schema_;
+};
+
+enum class JoinType { kInner, kLeft, kCross };
+
+// Equi hash join: builds on the right input, probes with the left.
+// Output row = left columns ++ right columns. NULL keys never match.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr left, OperatorPtr right,
+             std::vector<BoundExprPtr> left_keys,
+             std::vector<BoundExprPtr> right_keys, JoinType type);
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+  std::string DebugString() const override { return StrFormat("HashJoin(%s, %zu keys)", type_ == JoinType::kLeft ? "left" : "inner", left_keys_.size()); }
+  std::vector<const Operator*> children() const override { return {left_.get(), right_.get()}; }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Row& key) const { return HashRow(key); }
+  };
+  struct KeyEq {
+    bool operator()(const Row& a, const Row& b) const {
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (Value::Compare(a[i], b[i]) != 0) return false;
+      }
+      return true;
+    }
+  };
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<BoundExprPtr> left_keys_;
+  std::vector<BoundExprPtr> right_keys_;
+  JoinType type_;
+  Schema schema_;
+
+  std::vector<Row> build_rows_;
+  std::unordered_map<Row, std::vector<size_t>, KeyHash, KeyEq> build_index_;
+  Row current_left_;
+  const std::vector<size_t>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+  bool left_emitted_ = false;  // for LEFT joins: did current_left_ match?
+  bool have_left_ = false;
+};
+
+// Sort-merge equi join (inner / left). Used as an alternative strategy in
+// the "different DBMS" ablation.
+class SortMergeJoinOp : public Operator {
+ public:
+  SortMergeJoinOp(OperatorPtr left, OperatorPtr right,
+                  std::vector<BoundExprPtr> left_keys,
+                  std::vector<BoundExprPtr> right_keys, JoinType type);
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+  std::string DebugString() const override { return StrFormat("SortMergeJoin(%s, %zu keys)", type_ == JoinType::kLeft ? "left" : "inner", left_keys_.size()); }
+  std::vector<const Operator*> children() const override { return {left_.get(), right_.get()}; }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<BoundExprPtr> left_keys_;
+  std::vector<BoundExprPtr> right_keys_;
+  JoinType type_;
+  Schema schema_;
+
+  // Materialized inputs with precomputed keys, sorted by key.
+  std::vector<std::pair<Row, Row>> lrows_;  // (key, row)
+  std::vector<std::pair<Row, Row>> rrows_;
+  size_t li_ = 0, rgroup_begin_ = 0, rgroup_end_ = 0, rj_ = 0;
+  bool in_group_ = false;
+};
+
+// Nested-loop join with an optional residual predicate evaluated over the
+// concatenated row. Handles cross joins and non-equi conditions.
+class NestedLoopJoinOp : public Operator {
+ public:
+  NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, BoundExprPtr predicate,
+                   JoinType type);
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+  std::string DebugString() const override { return StrFormat("NestedLoopJoin(%s)", type_ == JoinType::kLeft ? "left" : (type_ == JoinType::kCross ? "cross" : "inner")); }
+  std::vector<const Operator*> children() const override { return {left_.get(), right_.get()}; }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  BoundExprPtr predicate_;  // may be null (pure cross product)
+  JoinType type_;
+  Schema schema_;
+
+  std::vector<Row> right_rows_;
+  Row current_left_;
+  size_t right_pos_ = 0;
+  bool have_left_ = false;
+  bool left_matched_ = false;
+};
+
+// Index nested-loop join (inner): streams `outer`, probing a secondary hash
+// index on `inner_table`. With `inner_on_left` the output row is
+// inner ++ outer (so the op can replace a join whose build side was the
+// indexed table without disturbing downstream column indexes); otherwise
+// outer ++ inner.
+class IndexJoinOp : public Operator {
+ public:
+  IndexJoinOp(OperatorPtr outer, const storage::Table* inner_table,
+              Schema inner_schema, size_t index_id,
+              std::vector<BoundExprPtr> outer_keys, bool inner_on_left);
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+  std::string DebugString() const override { return StrFormat("IndexJoin(%s via index, %zu keys)", inner_table_->name().c_str(), outer_keys_.size()); }
+  std::vector<const Operator*> children() const override { return {outer_.get()}; }
+
+ private:
+  OperatorPtr outer_;
+  const storage::Table* inner_table_;
+  Schema inner_schema_;
+  size_t index_id_;
+  std::vector<BoundExprPtr> outer_keys_;
+  bool inner_on_left_;
+  Schema schema_;
+
+  Row current_outer_;
+  std::vector<size_t> matches_;
+  size_t match_pos_ = 0;
+  bool have_outer_ = false;
+};
+
+struct AggSpec {
+  AggFunc func;
+  BoundExprPtr arg;  // null for COUNT(*)
+};
+
+// Hash aggregation. Output schema: group columns then aggregate columns.
+// With no group keys, emits exactly one row even for empty input.
+class HashAggOp : public Operator {
+ public:
+  HashAggOp(OperatorPtr child, std::vector<BoundExprPtr> group_exprs,
+            std::vector<AggSpec> aggs, Schema schema);
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+  std::string DebugString() const override { return StrFormat("HashAggregate(%zu group keys, %zu aggregates)", group_exprs_.size(), aggs_.size()); }
+  std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<BoundExprPtr> group_exprs_;
+  std::vector<AggSpec> aggs_;
+  Schema schema_;
+
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+struct SortKey {
+  BoundExprPtr expr;
+  bool desc = false;
+};
+
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<SortKey> keys)
+      : child_(std::move(child)), keys_(std::move(keys)) {}
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+  std::string DebugString() const override { return StrFormat("Sort(%zu keys)", keys_.size()); }
+  std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, int64_t limit, int64_t offset)
+      : child_(std::move(child)), limit_(limit), offset_(offset) {}
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+  std::string DebugString() const override { return StrFormat("Limit(%lld offset %lld)", static_cast<long long>(limit_), static_cast<long long>(offset_)); }
+  std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ private:
+  OperatorPtr child_;
+  int64_t limit_;
+  int64_t offset_;
+  int64_t produced_ = 0;
+};
+
+// Concatenates children by position; schema comes from the first child with
+// qualifiers cleared.
+class UnionAllOp : public Operator {
+ public:
+  explicit UnionAllOp(std::vector<OperatorPtr> children);
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+  std::string DebugString() const override {
+    return StrFormat("UnionAll(%zu inputs)", children_.size());
+  }
+  std::vector<const Operator*> children() const override {
+    std::vector<const Operator*> out;
+    for (const OperatorPtr& c : children_) out.push_back(c.get());
+    return out;
+  }
+
+ private:
+  std::vector<OperatorPtr> children_;
+  Schema schema_;
+  size_t current_ = 0;
+};
+
+class DistinctOp : public Operator {
+ public:
+  explicit DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
+  const Schema& schema() const override { return child_->schema(); }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+  std::string DebugString() const override { return "Distinct"; }
+  std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Row& key) const { return HashRow(key); }
+  };
+  struct KeyEq {
+    bool operator()(const Row& a, const Row& b) const {
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (Value::Compare(a[i], b[i]) != 0) return false;
+      }
+      return true;
+    }
+  };
+  OperatorPtr child_;
+  std::unordered_map<Row, bool, KeyHash, KeyEq> seen_;
+};
+
+// Window computation: ROW_NUMBER / RANK / DENSE_RANK
+// OVER (PARTITION BY ... ORDER BY ...). ROW_NUMBER is what inference
+// (paper §3.4 argmax) needs; the others come along for free.
+// Output = child columns ++ one INTEGER column per spec.
+enum class WindowFunc { kRowNumber, kRank, kDenseRank };
+
+struct WindowSpec {
+  WindowFunc func = WindowFunc::kRowNumber;
+  std::vector<BoundExprPtr> partition_by;
+  std::vector<SortKey> order_by;
+  std::string output_name;
+};
+
+class WindowOp : public Operator {
+ public:
+  WindowOp(OperatorPtr child, std::vector<WindowSpec> specs);
+  const Schema& schema() const override { return schema_; }
+  Status Open() override;
+  Result<bool> Next(Row* out) override;
+
+  std::string DebugString() const override { return StrFormat("Window(%zu functions)", specs_.size()); }
+  std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<WindowSpec> specs_;
+  Schema schema_;
+  std::vector<Row> rows_;  // child row ++ window columns
+  size_t pos_ = 0;
+};
+
+}  // namespace bornsql::exec
+
+#endif  // BORNSQL_EXEC_OPERATORS_H_

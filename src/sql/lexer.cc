@@ -1,0 +1,324 @@
+#include "sql/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace bornsql::sql {
+namespace {
+
+// Reserved words of the dialect. Function names (POW, LN, SUM, ROW_NUMBER,
+// ...) are deliberately NOT keywords: they lex as identifiers and the parser
+// recognizes the call syntax, so they stay usable as column names.
+constexpr std::array<std::string_view, 58> kKeywords = {
+    "SELECT",  "FROM",    "WHERE",   "GROUP",    "BY",       "HAVING",
+    "ORDER",   "ASC",     "DESC",    "LIMIT",    "OFFSET",   "AS",
+    "AND",     "OR",      "NOT",     "NULL",     "IS",       "IN",
+    "EXISTS",  "BETWEEN", "LIKE",    "CASE",     "WHEN",     "THEN",
+    "ELSE",    "END",     "CAST",    "CREATE",   "TABLE",    "TEMP",
+    "TEMPORARY", "IF",    "DROP",    "INSERT",   "INTO",     "VALUES",
+    "ON",      "CONFLICT", "DO",     "UPDATE",   "SET",      "DELETE",
+    "UNION",   "ALL",     "DISTINCT", "PRIMARY", "KEY",      "UNIQUE",
+    "WITH",    "OVER",    "PARTITION", "JOIN",   "INNER",    "CROSS",
+    "LEFT",    "INDEX",   "NOTHING", "EXPLAIN",
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool IsKeyword(std::string_view word) {
+  for (std::string_view k : kKeywords) {
+    if (EqualsIgnoreCase(k, word)) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> Lex(std::string_view src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = src.size();
+
+  auto make = [&](TokenType t, size_t at) {
+    Token tok;
+    tok.type = t;
+    tok.offset = at;
+    return tok;
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && src[i + 1] == '-') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) ++i;
+      if (i + 1 >= n) {
+        return Status::ParseError(
+            StrFormat("unterminated block comment at offset %zu", start));
+      }
+      i += 2;
+      continue;
+    }
+    const size_t at = i;
+    // String literal.
+    if (c == '\'') {
+      std::string body;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (src[i] == '\'') {
+          if (i + 1 < n && src[i + 1] == '\'') {  // '' escape
+            body.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        body.push_back(src[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu", at));
+      }
+      Token tok = make(TokenType::kStringLiteral, at);
+      tok.text = std::move(body);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Quoted identifier.
+    if (c == '"') {
+      std::string body;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (src[i] == '"') {
+          if (i + 1 < n && src[i + 1] == '"') {
+            body.push_back('"');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        body.push_back(src[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated quoted identifier at offset %zu", at));
+      }
+      Token tok = make(TokenType::kIdentifier, at);
+      tok.text = std::move(body);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Number literal.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+      if (j < n && src[j] == '.') {
+        is_double = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+      }
+      if (j < n && (src[j] == 'e' || src[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (src[k] == '+' || src[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(src[k]))) {
+          is_double = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+        }
+      }
+      std::string spelling(src.substr(i, j - i));
+      if (is_double) {
+        Token tok = make(TokenType::kDoubleLiteral, at);
+        tok.text = spelling;
+        tok.double_value = std::strtod(spelling.c_str(), nullptr);
+        out.push_back(std::move(tok));
+      } else {
+        Token tok = make(TokenType::kIntLiteral, at);
+        tok.text = spelling;
+        int64_t v = 0;
+        auto [ptr, ec] =
+            std::from_chars(spelling.data(), spelling.data() + spelling.size(), v);
+        if (ec != std::errc()) {
+          // Overflowing integer literals degrade to double.
+          tok.type = TokenType::kDoubleLiteral;
+          tok.double_value = std::strtod(spelling.c_str(), nullptr);
+        } else {
+          (void)ptr;
+          tok.int_value = v;
+        }
+        out.push_back(std::move(tok));
+      }
+      i = j;
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      std::string word(src.substr(i, j - i));
+      Token tok = make(TokenType::kIdentifier, at);
+      if (IsKeyword(word)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = AsciiToLower(word);
+        for (char& ch : tok.text) {
+          ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+        }
+      } else {
+        tok.text = std::move(word);
+      }
+      out.push_back(std::move(tok));
+      i = j;
+      continue;
+    }
+    // Operators and punctuation.
+    switch (c) {
+      case '(':
+        out.push_back(make(TokenType::kLParen, at));
+        ++i;
+        break;
+      case ')':
+        out.push_back(make(TokenType::kRParen, at));
+        ++i;
+        break;
+      case ',':
+        out.push_back(make(TokenType::kComma, at));
+        ++i;
+        break;
+      case '.':
+        out.push_back(make(TokenType::kDot, at));
+        ++i;
+        break;
+      case ';':
+        out.push_back(make(TokenType::kSemicolon, at));
+        ++i;
+        break;
+      case '*':
+        out.push_back(make(TokenType::kStar, at));
+        ++i;
+        break;
+      case '+':
+        out.push_back(make(TokenType::kPlus, at));
+        ++i;
+        break;
+      case '-':
+        out.push_back(make(TokenType::kMinus, at));
+        ++i;
+        break;
+      case '/':
+        out.push_back(make(TokenType::kSlash, at));
+        ++i;
+        break;
+      case '%':
+        out.push_back(make(TokenType::kPercent, at));
+        ++i;
+        break;
+      case '=':
+        out.push_back(make(TokenType::kEq, at));
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && src[i + 1] == '=') {
+          out.push_back(make(TokenType::kNotEq, at));
+          i += 2;
+        } else {
+          return Status::ParseError(
+              StrFormat("unexpected character '!' at offset %zu", at));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && src[i + 1] == '=') {
+          out.push_back(make(TokenType::kLtEq, at));
+          i += 2;
+        } else if (i + 1 < n && src[i + 1] == '>') {
+          out.push_back(make(TokenType::kNotEq, at));
+          i += 2;
+        } else {
+          out.push_back(make(TokenType::kLt, at));
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && src[i + 1] == '=') {
+          out.push_back(make(TokenType::kGtEq, at));
+          i += 2;
+        } else {
+          out.push_back(make(TokenType::kGt, at));
+          ++i;
+        }
+        break;
+      case '|':
+        if (i + 1 < n && src[i + 1] == '|') {
+          out.push_back(make(TokenType::kConcat, at));
+          i += 2;
+        } else {
+          return Status::ParseError(
+              StrFormat("unexpected character '|' at offset %zu", at));
+        }
+        break;
+      default:
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at offset %zu", c, at));
+    }
+  }
+  out.push_back(make(TokenType::kEof, n));
+  return out;
+}
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kEof: return "end of input";
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kKeyword: return "keyword";
+    case TokenType::kIntLiteral: return "integer literal";
+    case TokenType::kDoubleLiteral: return "double literal";
+    case TokenType::kStringLiteral: return "string literal";
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    case TokenType::kComma: return "','";
+    case TokenType::kDot: return "'.'";
+    case TokenType::kSemicolon: return "';'";
+    case TokenType::kStar: return "'*'";
+    case TokenType::kPlus: return "'+'";
+    case TokenType::kMinus: return "'-'";
+    case TokenType::kSlash: return "'/'";
+    case TokenType::kPercent: return "'%'";
+    case TokenType::kEq: return "'='";
+    case TokenType::kNotEq: return "'<>'";
+    case TokenType::kLt: return "'<'";
+    case TokenType::kLtEq: return "'<='";
+    case TokenType::kGt: return "'>'";
+    case TokenType::kGtEq: return "'>='";
+    case TokenType::kConcat: return "'||'";
+  }
+  return "?";
+}
+
+}  // namespace bornsql::sql

@@ -1,0 +1,26 @@
+// Hand-written SQL lexer.
+//
+// Supports: identifiers ("quoted" or bare), keywords (case-insensitive),
+// integer/double literals, 'string' literals with '' escaping, line comments
+// (--) and block comments (/* */), and the operator set in token.h.
+#ifndef BORNSQL_SQL_LEXER_H_
+#define BORNSQL_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace bornsql::sql {
+
+// Tokenizes `source` fully; the final token is kEof.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+// True if `word` (any case) is a reserved SQL keyword in this dialect.
+bool IsKeyword(std::string_view word);
+
+}  // namespace bornsql::sql
+
+#endif  // BORNSQL_SQL_LEXER_H_

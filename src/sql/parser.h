@@ -1,0 +1,25 @@
+// Recursive-descent parser for the BornSQL dialect.
+#ifndef BORNSQL_SQL_PARSER_H_
+#define BORNSQL_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace bornsql::sql {
+
+// Parses a single statement (a trailing ';' is allowed).
+Result<Statement> ParseStatement(std::string_view sql);
+
+// Parses a ';'-separated script.
+Result<std::vector<Statement>> ParseScript(std::string_view sql);
+
+// Parses just an expression (used by tests).
+Result<ExprPtr> ParseExpression(std::string_view sql);
+
+}  // namespace bornsql::sql
+
+#endif  // BORNSQL_SQL_PARSER_H_

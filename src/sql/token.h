@@ -1,0 +1,48 @@
+// Token kinds produced by the SQL lexer.
+#ifndef BORNSQL_SQL_TOKEN_H_
+#define BORNSQL_SQL_TOKEN_H_
+
+#include <string>
+
+namespace bornsql::sql {
+
+enum class TokenType {
+  kEof,
+  kIdentifier,     // foo, "quoted id"
+  kKeyword,        // SELECT, FROM, ... (normalized upper-case in `text`)
+  kIntLiteral,     // 42
+  kDoubleLiteral,  // 1.5, 1e6
+  kStringLiteral,  // 'abc' (text holds unescaped body)
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemicolon,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,        // =
+  kNotEq,     // <> or !=
+  kLt,
+  kLtEq,
+  kGt,
+  kGtEq,
+  kConcat,    // ||
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;    // identifier/keyword/literal spelling
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t offset = 0;   // byte offset in the source, for error messages
+};
+
+const char* TokenTypeName(TokenType t);
+
+}  // namespace bornsql::sql
+
+#endif  // BORNSQL_SQL_TOKEN_H_

@@ -1,0 +1,190 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bornsql::storage {
+
+Table::Table(std::string name, Schema schema, std::vector<size_t> key_columns)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      key_columns_(std::move(key_columns)) {}
+
+Status Table::SetUniqueKey(std::vector<size_t> key_columns) {
+  if (!key_columns_.empty()) {
+    return Status::AlreadyExists("table '" + name_ +
+                                 "' already has a unique key");
+  }
+  key_columns_ = std::move(key_columns);
+  index_.clear();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    auto [it, inserted] = index_.emplace(ExtractKey(rows_[i]), i);
+    if (!inserted) {
+      key_columns_.clear();
+      index_.clear();
+      return Status::ConstraintViolation(
+          "existing rows in '" + name_ + "' violate the requested unique key");
+    }
+  }
+  return Status::OK();
+}
+
+Row Table::ExtractKey(const Row& row) const {
+  return ExtractColumns(row, key_columns_);
+}
+
+Row Table::ExtractColumns(const Row& row, const std::vector<size_t>& cols) {
+  Row key;
+  key.reserve(cols.size());
+  for (size_t c : cols) {
+    assert(c < row.size());
+    key.push_back(row[c]);
+  }
+  return key;
+}
+
+void Table::AddToSecondaryIndexes(const Row& row, size_t idx) {
+  for (SecondaryIndex& si : secondary_) {
+    si.map.emplace(ExtractColumns(row, si.columns), idx);
+  }
+}
+
+size_t Table::AddSecondaryIndex(std::vector<size_t> columns) {
+  SecondaryIndex si;
+  si.columns = std::move(columns);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    si.map.emplace(ExtractColumns(rows_[i], si.columns), i);
+  }
+  secondary_.push_back(std::move(si));
+  return secondary_.size() - 1;
+}
+
+size_t Table::FindIndexOn(const std::vector<size_t>& columns) const {
+  std::vector<size_t> want = columns;
+  std::sort(want.begin(), want.end());
+  for (size_t i = 0; i < secondary_.size(); ++i) {
+    std::vector<size_t> have = secondary_[i].columns;
+    std::sort(have.begin(), have.end());
+    if (have == want) return i;
+  }
+  return kNpos;
+}
+
+const std::vector<size_t>& Table::index_columns(size_t index_id) const {
+  assert(index_id < secondary_.size());
+  return secondary_[index_id].columns;
+}
+
+void Table::LookupIndex(size_t index_id, const Row& key,
+                        std::vector<size_t>* out) const {
+  assert(index_id < secondary_.size());
+  for (const Value& v : key) {
+    if (v.is_null()) return;
+  }
+  auto [begin, end] = secondary_[index_id].map.equal_range(key);
+  for (auto it = begin; it != end; ++it) out->push_back(it->second);
+}
+
+size_t Table::FindConflict(const Row& row) const {
+  assert(has_unique_key());
+  auto it = index_.find(ExtractKey(row));
+  return it == index_.end() ? kNpos : it->second;
+}
+
+Status Table::Insert(Row row) {
+  assert(row.size() == schema_.size());
+  if (has_unique_key()) {
+    Row key = ExtractKey(row);
+    auto [it, inserted] = index_.emplace(std::move(key), rows_.size());
+    if (!inserted) {
+      return Status::ConstraintViolation("UNIQUE constraint failed on table '" +
+                                         name_ + "'");
+    }
+  }
+  AddToSecondaryIndexes(row, rows_.size());
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+void Table::AppendUnchecked(Row row) {
+  assert(row.size() == schema_.size());
+  if (has_unique_key()) {
+    index_.emplace(ExtractKey(row), rows_.size());
+  }
+  AddToSecondaryIndexes(row, rows_.size());
+  rows_.push_back(std::move(row));
+}
+
+Status Table::UpdateRow(size_t idx, Row row) {
+  assert(idx < rows_.size());
+  assert(row.size() == schema_.size());
+  if (has_unique_key()) {
+    Row old_key = ExtractKey(rows_[idx]);
+    Row new_key = ExtractKey(row);
+    if (!KeyEq()(old_key, new_key)) {
+      auto it = index_.find(new_key);
+      if (it != index_.end() && it->second != idx) {
+        return Status::ConstraintViolation(
+            "UNIQUE constraint failed on table '" + name_ + "' (UPDATE)");
+      }
+      index_.erase(old_key);
+      index_.emplace(std::move(new_key), idx);
+    }
+  }
+  for (SecondaryIndex& si : secondary_) {
+    Row old_key = ExtractColumns(rows_[idx], si.columns);
+    Row new_key = ExtractColumns(row, si.columns);
+    if (!KeyEq()(old_key, new_key)) {
+      auto [begin, end] = si.map.equal_range(old_key);
+      for (auto it = begin; it != end; ++it) {
+        if (it->second == idx) {
+          si.map.erase(it);
+          break;
+        }
+      }
+      si.map.emplace(std::move(new_key), idx);
+    }
+  }
+  rows_[idx] = std::move(row);
+  return Status::OK();
+}
+
+size_t Table::DeleteRows(const std::vector<bool>& flags) {
+  assert(flags.size() == rows_.size());
+  std::vector<Row> kept;
+  kept.reserve(rows_.size());
+  size_t removed = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (flags[i]) {
+      ++removed;
+    } else {
+      kept.push_back(std::move(rows_[i]));
+    }
+  }
+  rows_ = std::move(kept);
+  RebuildIndex();
+  return removed;
+}
+
+void Table::Clear() {
+  rows_.clear();
+  index_.clear();
+  for (SecondaryIndex& si : secondary_) si.map.clear();
+}
+
+void Table::RebuildIndex() {
+  index_.clear();
+  if (has_unique_key()) {
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      index_.emplace(ExtractKey(rows_[i]), i);
+    }
+  }
+  for (SecondaryIndex& si : secondary_) {
+    si.map.clear();
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      si.map.emplace(ExtractColumns(rows_[i], si.columns), i);
+    }
+  }
+}
+
+}  // namespace bornsql::storage

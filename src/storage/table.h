@@ -1,0 +1,118 @@
+// In-memory row store with an optional unique (primary-key) hash index.
+//
+// The index is what implements the paper's incremental-learning primitive:
+// INSERT ... ON CONFLICT (j, k) DO UPDATE SET w = w + excluded.w needs an
+// O(1) lookup of the conflicting row (paper §3.2).
+#ifndef BORNSQL_STORAGE_TABLE_H_
+#define BORNSQL_STORAGE_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace bornsql::storage {
+
+class Table {
+ public:
+  // `key_columns` lists the column indexes forming the unique key; empty
+  // means no uniqueness constraint.
+  Table(std::string name, Schema schema, std::vector<size_t> key_columns);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t row_count() const { return rows_.size(); }
+  bool has_unique_key() const { return !key_columns_.empty(); }
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+
+  // Declares a unique key on existing data. Fails with ConstraintViolation
+  // if current rows contain duplicates, or AlreadyExists if a key is set.
+  Status SetUniqueKey(std::vector<size_t> key_columns);
+
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+  // Index of the row whose key equals the key columns of `row`, or kNpos.
+  // Requires a unique key.
+  size_t FindConflict(const Row& row) const;
+
+  // Appends `row` (coerced to declared column types by the caller). Fails
+  // with ConstraintViolation on a duplicate key.
+  Status Insert(Row row);
+
+  // Appends without uniqueness checking (used by bulk loads into key-less
+  // tables and by internal rebuilds). Undefined behaviour if it would break
+  // a declared unique key.
+  void AppendUnchecked(Row row);
+
+  // Replaces row `idx` in place. Re-indexes if key columns changed; fails
+  // if the new key collides with a different row.
+  Status UpdateRow(size_t idx, Row row);
+
+  // Removes all rows whose flag is true; `flags.size()` must equal
+  // row_count(). Rebuilds the indexes. Returns the number removed.
+  size_t DeleteRows(const std::vector<bool>& flags);
+
+  void Clear();
+
+  // ---- secondary (non-unique) hash indexes ----
+  //
+  // These power index nested-loop joins: BornSQL deployment creates one on
+  // {model}_weights(j) so per-item inference probes the index instead of
+  // scanning all weights (paper Fig. 6).
+
+  // Builds a hash index over `columns` (indexes into the schema) and
+  // returns its id. Maintained by Insert/AppendUnchecked/UpdateRow and
+  // rebuilt by DeleteRows.
+  size_t AddSecondaryIndex(std::vector<size_t> columns);
+
+  // Id of a secondary index covering exactly `columns` (as a set), or
+  // kNpos.
+  size_t FindIndexOn(const std::vector<size_t>& columns) const;
+
+  // Column order of index `index_id` (defines the key layout for Lookup).
+  const std::vector<size_t>& index_columns(size_t index_id) const;
+
+  // Appends to `out` the indexes of rows whose index columns equal `key`
+  // (values in index-column order; NULLs never match).
+  void LookupIndex(size_t index_id, const Row& key,
+                   std::vector<size_t>* out) const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Row& key) const { return HashRow(key); }
+  };
+  struct KeyEq {
+    bool operator()(const Row& a, const Row& b) const {
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (Value::Compare(a[i], b[i]) != 0) return false;
+      }
+      return true;
+    }
+  };
+
+  struct SecondaryIndex {
+    std::vector<size_t> columns;
+    std::unordered_multimap<Row, size_t, KeyHash, KeyEq> map;
+  };
+
+  Row ExtractKey(const Row& row) const;
+  static Row ExtractColumns(const Row& row, const std::vector<size_t>& cols);
+  void RebuildIndex();
+  void AddToSecondaryIndexes(const Row& row, size_t idx);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<size_t> key_columns_;
+  std::vector<Row> rows_;
+  std::unordered_map<Row, size_t, KeyHash, KeyEq> index_;
+  std::vector<SecondaryIndex> secondary_;
+};
+
+}  // namespace bornsql::storage
+
+#endif  // BORNSQL_STORAGE_TABLE_H_

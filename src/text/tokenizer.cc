@@ -1,0 +1,70 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace bornsql::text {
+namespace {
+
+const std::unordered_set<std::string>& StopwordSet() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "a",    "an",   "and",  "are",  "as",   "at",   "be",   "but",
+      "by",   "for",  "from", "has",  "have", "in",   "into", "is",
+      "it",   "its",  "not",  "of",   "on",   "or",   "that", "the",
+      "this", "to",   "was",  "we",   "were", "which", "with", "their",
+      "they", "them", "then", "than", "these", "those", "can",  "our",
+  };
+  return *kSet;
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return StopwordSet().count(std::string(word)) > 0;
+}
+
+std::vector<std::string> Tokenize(std::string_view document,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> out;
+  std::string current;
+  auto flush = [&] {
+    if (current.size() >= options.min_length) {
+      if (options.strip_plural && current.size() >= 4 &&
+          current.back() == 's' && current[current.size() - 2] != 's') {
+        current.pop_back();
+      }
+      if (!options.remove_stopwords || !IsStopword(current)) {
+        out.push_back(current);
+      }
+    }
+    current.clear();
+  };
+  for (char c : document) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<TermCount> Vectorize(std::string_view document,
+                                 const TokenizerOptions& options) {
+  std::vector<TermCount> out;
+  std::unordered_map<std::string, size_t> index;
+  for (std::string& term : Tokenize(document, options)) {
+    auto [it, inserted] = index.emplace(term, out.size());
+    if (inserted) {
+      out.push_back(TermCount{std::move(term), 1});
+    } else {
+      ++out[it->second].count;
+    }
+  }
+  return out;
+}
+
+}  // namespace bornsql::text

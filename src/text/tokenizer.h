@@ -1,0 +1,45 @@
+// Text vectorization: the stand-in for PostgreSQL's tsvector (and the
+// json_table/json_each equivalents the paper uses on MySQL/SQLite).
+//
+// A document is lowercased, split on non-alphanumeric characters, filtered
+// by a minimal English stopword list, lightly normalized (plural 's'
+// stripping, roughly what the default 'english' text-search config does to
+// simple plurals), and counted.
+#ifndef BORNSQL_TEXT_TOKENIZER_H_
+#define BORNSQL_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bornsql::text {
+
+struct TermCount {
+  std::string term;
+  int count = 0;
+};
+
+struct TokenizerOptions {
+  // Tokens shorter than this are dropped.
+  size_t min_length = 2;
+  // Drop stopwords ("the", "of", ...).
+  bool remove_stopwords = true;
+  // Strip a trailing 's' from words of length >= 4 ("models" -> "model").
+  bool strip_plural = true;
+};
+
+// Splits `document` into lowercase terms, in order, without counting.
+std::vector<std::string> Tokenize(std::string_view document,
+                                  const TokenizerOptions& options = {});
+
+// Tokenizes and counts occurrences; terms are returned in first-appearance
+// order (deterministic).
+std::vector<TermCount> Vectorize(std::string_view document,
+                                 const TokenizerOptions& options = {});
+
+// True if `word` (lowercase) is in the built-in stopword list.
+bool IsStopword(std::string_view word);
+
+}  // namespace bornsql::text
+
+#endif  // BORNSQL_TEXT_TOKENIZER_H_

@@ -1,0 +1,56 @@
+#include "types/schema.h"
+
+#include "common/strings.h"
+
+namespace bornsql {
+
+Result<size_t> Schema::Resolve(const std::string& qualifier,
+                               const std::string& name) const {
+  size_t found = kNpos;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    if (!EqualsIgnoreCase(c.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(c.qualifier, qualifier))
+      continue;
+    if (found != kNpos) {
+      std::string ref = qualifier.empty() ? name : qualifier + "." + name;
+      return Status::BindError("ambiguous column reference '" + ref + "'");
+    }
+    found = i;
+  }
+  if (found == kNpos) {
+    std::string ref = qualifier.empty() ? name : qualifier + "." + name;
+    return Status::NotFound("column '" + ref + "' not found");
+  }
+  return found;
+}
+
+size_t Schema::FindUnqualified(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return kNpos;
+}
+
+Schema Schema::WithQualifier(const std::string& alias) const {
+  Schema out = *this;
+  for (size_t i = 0; i < out.columns_.size(); ++i) {
+    out.columns_[i].qualifier = alias;
+  }
+  return out;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  Schema out = left;
+  for (const Column& c : right.columns()) out.Add(c);
+  return out;
+}
+
+std::vector<std::string> Schema::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const Column& c : columns_) names.push_back(c.name);
+  return names;
+}
+
+}  // namespace bornsql

@@ -1,0 +1,177 @@
+#include "types/value.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "common/strings.h"
+
+namespace bornsql {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INTEGER";
+    case ValueType::kDouble:
+      return "REAL";
+    case ValueType::kText:
+      return "TEXT";
+  }
+  return "?";
+}
+
+int64_t Value::AsInt() const {
+  assert(type_ == ValueType::kInt);
+  return int_;
+}
+
+double Value::AsDouble() const {
+  assert(is_numeric());
+  return type_ == ValueType::kInt ? static_cast<double>(int_) : double_;
+}
+
+const std::string& Value::AsText() const {
+  assert(type_ == ValueType::kText);
+  return text_;
+}
+
+bool Value::Truthy() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt:
+      return int_ != 0;
+    case ValueType::kDouble:
+      return double_ != 0.0;
+    case ValueType::kText:
+      return !text_.empty();
+  }
+  return false;
+}
+
+Result<Value> Value::CoerceTo(ValueType target) const {
+  if (is_null() || type_ == target) return *this;
+  switch (target) {
+    case ValueType::kInt: {
+      if (is_double()) return Int(static_cast<int64_t>(double_));
+      // text -> int: parse, allowing a plain integer only.
+      int64_t out = 0;
+      const char* begin = text_.data();
+      const char* end = begin + text_.size();
+      auto [ptr, ec] = std::from_chars(begin, end, out);
+      if (ec != std::errc() || ptr != end) {
+        return Status::InvalidArgument("cannot coerce '" + text_ +
+                                       "' to INTEGER");
+      }
+      return Int(out);
+    }
+    case ValueType::kDouble: {
+      if (is_int()) return Double(static_cast<double>(int_));
+      char* endp = nullptr;
+      double out = std::strtod(text_.c_str(), &endp);
+      if (endp != text_.c_str() + text_.size() || text_.empty()) {
+        return Status::InvalidArgument("cannot coerce '" + text_ +
+                                       "' to REAL");
+      }
+      return Double(out);
+    }
+    case ValueType::kText:
+      return Text(ToString());
+    case ValueType::kNull:
+      break;
+  }
+  return Status::Internal("bad coercion target");
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  // Type-class ranks: NULL(0) < numeric(1) < text(2).
+  auto rank = [](const Value& v) {
+    switch (v.type_) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kInt:
+      case ValueType::kDouble:
+        return 1;
+      case ValueType::kText:
+        return 2;
+    }
+    return 3;
+  };
+  int ra = rank(a), rb = rank(b);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;  // NULL == NULL for ordering purposes
+    case 1: {
+      if (a.is_int() && b.is_int()) {
+        if (a.int_ < b.int_) return -1;
+        if (a.int_ > b.int_) return 1;
+        return 0;
+      }
+      double da = a.AsDouble(), db = b.AsDouble();
+      if (da < db) return -1;
+      if (da > db) return 1;
+      return 0;
+    }
+    default: {
+      int c = a.text_.compare(b.text_);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+}
+
+bool Value::SqlEquals(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return false;
+  return Compare(a, b) == 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(int_);
+    case ValueType::kDouble: {
+      // %.17g round-trips; trim to shortest representation that still
+      // reads naturally.
+      if (std::isnan(double_)) return "NaN";
+      if (std::isinf(double_)) return double_ > 0 ? "Inf" : "-Inf";
+      std::string s = StrFormat("%.12g", double_);
+      return s;
+    }
+    case ValueType::kText:
+      return text_;
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt:
+      return std::hash<double>()(static_cast<double>(int_));
+    case ValueType::kDouble: {
+      // Hash doubles representing integers identically to the int.
+      return std::hash<double>()(double_);
+    }
+    case ValueType::kText:
+      return std::hash<std::string>()(text_);
+  }
+  return 0;
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 1469598103934665603ULL;
+  for (const Value& v : row) {
+    h ^= v.Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace bornsql

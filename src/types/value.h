@@ -1,0 +1,105 @@
+// Dynamic SQL value: NULL, 64-bit integer, double, or text.
+//
+// The engine uses dynamic typing at execution time (SQLite-style): declared
+// column types drive coercion on INSERT, but any cell can hold any value.
+// Comparison and arithmetic follow standard SQL semantics with numeric
+// widening (INTEGER op REAL -> REAL) and NULL propagation handled by the
+// expression evaluator (exec/evaluator.cc), not here.
+#ifndef BORNSQL_TYPES_VALUE_H_
+#define BORNSQL_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bornsql {
+
+enum class ValueType {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kText,
+};
+
+const char* ValueTypeName(ValueType t);
+
+class Value {
+ public:
+  Value() : type_(ValueType::kNull), int_(0), double_(0) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) {
+    Value out;
+    out.type_ = ValueType::kInt;
+    out.int_ = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = ValueType::kDouble;
+    out.double_ = v;
+    return out;
+  }
+  static Value Text(std::string v) {
+    Value out;
+    out.type_ = ValueType::kText;
+    out.text_ = std::move(v);
+    return out;
+  }
+  static Value Bool(bool v) { return Int(v ? 1 : 0); }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  bool is_int() const { return type_ == ValueType::kInt; }
+  bool is_double() const { return type_ == ValueType::kDouble; }
+  bool is_numeric() const { return is_int() || is_double(); }
+  bool is_text() const { return type_ == ValueType::kText; }
+
+  // Accessors assume the matching type (checked by assert in debug builds).
+  int64_t AsInt() const;
+  double AsDouble() const;  // valid for kInt and kDouble
+  const std::string& AsText() const;
+
+  // SQL truthiness: NULL -> false at the WHERE boundary is applied by the
+  // caller; this returns numeric != 0 (text is an error upstream).
+  bool Truthy() const;
+
+  // Coerces to the requested storage type. Numeric<->numeric converts;
+  // text->numeric parses (error if not a number); anything->text formats.
+  Result<Value> CoerceTo(ValueType target) const;
+
+  // Total ordering used by ORDER BY / GROUP BY / DISTINCT / index keys:
+  // NULL < numerics (int and double compared numerically) < text.
+  // Returns <0, 0, >0.
+  static int Compare(const Value& a, const Value& b);
+
+  // SQL equality for join keys etc. NULL == NULL is false here; hash
+  // structures that need NULL grouping use Compare instead.
+  static bool SqlEquals(const Value& a, const Value& b);
+
+  // Stable rendering: ints without decimal point, doubles with shortest
+  // round-trip formatting, NULL as "NULL".
+  std::string ToString() const;
+
+  // Hash consistent with Compare()==0 (ints and equal-valued doubles hash
+  // alike).
+  size_t Hash() const;
+
+ private:
+  ValueType type_;
+  int64_t int_;
+  double double_;
+  std::string text_;
+};
+
+using Row = std::vector<Value>;
+
+// Hash of a row prefix, consistent with element-wise Compare()==0.
+size_t HashRow(const Row& row);
+
+}  // namespace bornsql
+
+#endif  // BORNSQL_TYPES_VALUE_H_

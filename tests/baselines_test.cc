@@ -1,0 +1,176 @@
+// Tests for the MADlib stand-ins: one-hot materialization (incl. the §5.1
+// dense-blowup failure mode), LR, SVM, decision tree and the metrics.
+#include <gtest/gtest.h>
+
+#include "baselines/decision_tree.h"
+#include "baselines/dense.h"
+#include "baselines/linear_svm.h"
+#include "baselines/logistic_regression.h"
+#include "baselines/metrics.h"
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace bornsql::baselines {
+namespace {
+
+// Nearly separable binary categorical data: column 0 is highly predictive,
+// column 1 is noise.
+struct Synthetic {
+  std::vector<CategoricalRow> rows;
+  std::vector<int> labels;
+};
+
+Synthetic MakeSeparable(uint64_t seed, size_t n, double noise = 0.05) {
+  Rng rng(seed);
+  Synthetic out;
+  for (size_t i = 0; i < n; ++i) {
+    int y = rng.Bernoulli(0.5) ? 1 : 0;
+    std::string signal = rng.Bernoulli(noise) ? (y ? "no" : "yes")
+                                              : (y ? "yes" : "no");
+    std::string junk = rng.Bernoulli(0.5) ? "a" : "b";
+    out.rows.push_back({signal, junk});
+    out.labels.push_back(y);
+  }
+  return out;
+}
+
+TEST(OneHotEncoderTest, BuildsVocabulary) {
+  OneHotEncoder enc({"c1", "c2"});
+  BORNSQL_ASSERT_OK(enc.Fit({{"x", "p"}, {"y", "p"}, {"x", "q"}}));
+  EXPECT_EQ(enc.feature_count(), 4u);  // c1=x, c1=y, c2=p, c2=q
+}
+
+TEST(OneHotEncoderTest, TransformsToDense) {
+  OneHotEncoder enc({"c1"});
+  BORNSQL_ASSERT_OK(enc.Fit({{"x"}, {"y"}}));
+  auto data = enc.Transform({{"x"}, {"y"}, {"z"}}, {1, 0, 1});
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 3u);
+  EXPECT_EQ(data->num_features, 2u);
+  EXPECT_DOUBLE_EQ(data->row(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(data->row(0)[1], 0.0);
+  // Unseen category "z": all zeros.
+  EXPECT_DOUBLE_EQ(data->row(2)[0], 0.0);
+  EXPECT_DOUBLE_EQ(data->row(2)[1], 0.0);
+}
+
+TEST(OneHotEncoderTest, RowArityChecked) {
+  OneHotEncoder enc({"c1", "c2"});
+  EXPECT_FALSE(enc.Fit({{"only-one"}}).ok());
+}
+
+TEST(OneHotEncoderTest, DenseBudgetRejectsHighDimensionalData) {
+  // §5.1: 2M rows x 4M features of 4-byte ints = 32 TB. Our saturating
+  // estimator and budget reproduce the rejection.
+  size_t bytes = OneHotEncoder::EstimateDenseBytes(2000000, 4000000, 4);
+  EXPECT_EQ(bytes, size_t{32} * 1000 * 1000 * 1000 * 1000);
+
+  OneHotOptions options;
+  options.max_dense_bytes = 1024;  // tiny budget
+  OneHotEncoder enc({"c1"}, options);
+  std::vector<CategoricalRow> rows(1000, CategoricalRow{"x"});
+  BORNSQL_ASSERT_OK(enc.Fit(rows));
+  auto result = enc.Transform(rows, std::vector<int>(1000, 0));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(OneHotEncoderTest, EstimateSaturatesInsteadOfOverflowing) {
+  size_t huge = OneHotEncoder::EstimateDenseBytes(
+      size_t{1} << 40, size_t{1} << 40, 8);
+  EXPECT_EQ(huge, std::numeric_limits<size_t>::max());
+}
+
+template <typename Classifier>
+double TrainAndScore(uint64_t seed) {
+  Synthetic train = MakeSeparable(seed, 800);
+  Synthetic test = MakeSeparable(seed + 1, 400);
+  OneHotEncoder enc({"signal", "junk"});
+  EXPECT_TRUE(enc.Fit(train.rows).ok());
+  auto train_data = enc.Transform(train.rows, train.labels);
+  auto test_data = enc.Transform(test.rows, test.labels);
+  EXPECT_TRUE(train_data.ok() && test_data.ok());
+  Classifier clf;
+  EXPECT_TRUE(clf.Train(*train_data).ok());
+  auto metrics = ComputeMetrics(test.labels, clf.PredictAll(*test_data));
+  EXPECT_TRUE(metrics.ok());
+  return metrics->accuracy;
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableData) {
+  EXPECT_GT(TrainAndScore<LogisticRegression>(21), 0.9);
+}
+
+TEST(LinearSvmTest, LearnsSeparableData) {
+  EXPECT_GT(TrainAndScore<LinearSvm>(22), 0.9);
+}
+
+TEST(DecisionTreeTest, LearnsSeparableData) {
+  EXPECT_GT(TrainAndScore<DecisionTree>(23), 0.9);
+}
+
+TEST(DecisionTreeTest, PureLeafStopsSplitting) {
+  DenseDataset data;
+  data.num_features = 1;
+  data.x = {1.0, 1.0, 1.0};
+  data.y = {1, 1, 1};
+  DecisionTree tree;
+  BORNSQL_ASSERT_OK(tree.Train(data));
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.Predict(data.row(0)), 1);
+}
+
+TEST(ClassifiersTest, EmptyDatasetRejected) {
+  DenseDataset empty;
+  EXPECT_FALSE(LogisticRegression().Train(empty).ok());
+  EXPECT_FALSE(LinearSvm().Train(empty).ok());
+  EXPECT_FALSE(DecisionTree().Train(empty).ok());
+}
+
+TEST(MetricsTest, PerfectPrediction) {
+  auto m = ComputeMetrics({0, 1, 0, 1}, {0, 1, 0, 1});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m->macro_precision, 1.0);
+  EXPECT_DOUBLE_EQ(m->macro_recall, 1.0);
+  EXPECT_DOUBLE_EQ(m->macro_f1, 1.0);
+}
+
+TEST(MetricsTest, HandComputedBinaryCase) {
+  // y_true: 0 0 0 1 1 ; y_pred: 0 1 0 1 0
+  // class1: tp=1 fp=1 fn=1 -> P=0.5 R=0.5 F1=0.5
+  // class0: tp=2 fp=1 fn=1 -> P=2/3 R=2/3 F1=2/3
+  auto m = ComputeMetrics({0, 0, 0, 1, 1}, {0, 1, 0, 1, 0});
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->accuracy, 0.6, 1e-12);
+  EXPECT_NEAR(m->macro_precision, (0.5 + 2.0 / 3.0) / 2, 1e-12);
+  EXPECT_NEAR(m->macro_recall, (0.5 + 2.0 / 3.0) / 2, 1e-12);
+  EXPECT_NEAR(m->macro_f1, (0.5 + 2.0 / 3.0) / 2, 1e-12);
+}
+
+TEST(MetricsTest, MacroAveragesOverTrueLabelsOnly) {
+  // Label 7 never appears in y_true: it must not contribute a macro term,
+  // even though it is predicted.
+  auto m = ComputeMetrics({0, 0, 1}, {0, 7, 1});
+  ASSERT_TRUE(m.ok());
+  // class0: tp=1 fp=0 fn=1 -> P=1 R=0.5; class1: P=1 R=1.
+  EXPECT_NEAR(m->macro_precision, 1.0, 1e-12);
+  EXPECT_NEAR(m->macro_recall, 0.75, 1e-12);
+}
+
+TEST(MetricsTest, LengthMismatchRejected) {
+  EXPECT_FALSE(ComputeMetrics({1}, {1, 0}).ok());
+  EXPECT_FALSE(ComputeMetrics({}, {}).ok());
+}
+
+TEST(MetricsTest, ZeroDivisionConvention) {
+  // Everything predicted 0; class 1 has no predicted positives.
+  auto m = ComputeMetrics({0, 1}, {0, 0});
+  ASSERT_TRUE(m.ok());
+  // class0: P=0.5, R=1; class1: P=0 (zero-division), R=0.
+  EXPECT_NEAR(m->macro_precision, 0.25, 1e-12);
+  EXPECT_NEAR(m->macro_recall, 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace bornsql::baselines

@@ -1,0 +1,242 @@
+// Tests for the §7/§2.2.1 extensions of BornSqlClassifier: external-data
+// training and inference, scoring, and hyper-parameter tuning.
+#include <gtest/gtest.h>
+
+#include "born/born_ref.h"
+#include "born/born_sql.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "tests/test_util.h"
+
+namespace bornsql::born {
+namespace {
+
+using ::bornsql::testing::MustQuery;
+
+Example Ex(std::vector<std::pair<std::string, double>> x, int64_t k,
+           double weight = 1.0) {
+  Example ex;
+  ex.x = std::move(x);
+  ex.y.emplace_back(Value::Int(k), 1.0);
+  ex.sample_weight = weight;
+  return ex;
+}
+
+std::vector<Example> RandomExamples(uint64_t seed, int n, int classes,
+                                    int vocab) {
+  Rng rng(seed);
+  std::vector<Example> out;
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::pair<std::string, double>> x;
+    int features = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < features; ++f) {
+      x.emplace_back(StrFormat("f%llu", rng.Uniform(vocab)),
+                     0.5 + rng.NextDouble());
+    }
+    out.push_back(Ex(std::move(x),
+                     static_cast<int64_t>(rng.Uniform(classes))));
+  }
+  return out;
+}
+
+// A SqlSource over in-database tables used only where in-db items are
+// required (the external tests mostly bypass it).
+SqlSource DummySource() {
+  SqlSource source;
+  source.x_parts = {"SELECT n, j, w FROM item_feature"};
+  source.y = "SELECT n, k, 1.0 AS w FROM items";
+  return source;
+}
+
+Status LoadExamples(engine::Database* db, const std::vector<Example>& data) {
+  BORNSQL_RETURN_IF_ERROR(db->ExecuteScript(
+      "DROP TABLE IF EXISTS items; DROP TABLE IF EXISTS item_feature;"
+      "CREATE TABLE items (n INTEGER PRIMARY KEY, k INTEGER);"
+      "CREATE TABLE item_feature (n INTEGER, j TEXT, w REAL)"));
+  BORNSQL_ASSIGN_OR_RETURN(storage::Table * items,
+                           db->catalog().GetTable("items"));
+  BORNSQL_ASSIGN_OR_RETURN(storage::Table * features,
+                           db->catalog().GetTable("item_feature"));
+  for (size_t i = 0; i < data.size(); ++i) {
+    BORNSQL_RETURN_IF_ERROR(
+        items->Insert({Value::Int(static_cast<int64_t>(i) + 1),
+                       data[i].y[0].first}));
+    for (const auto& [j, w] : data[i].x) {
+      features->AppendUnchecked({Value::Int(static_cast<int64_t>(i) + 1),
+                                 Value::Text(j), Value::Double(w)});
+    }
+  }
+  return Status::OK();
+}
+
+TEST(BornExternalTest, ExternalFitMatchesInDatabaseFit) {
+  std::vector<Example> data = RandomExamples(31, 80, 3, 12);
+  engine::Database db;
+  BORNSQL_ASSERT_OK(LoadExamples(&db, data));
+
+  // Model A trains through SQL over the loaded tables; model B receives the
+  // same examples externally (§7): the corpora must agree.
+  BornSqlClassifier in_db(&db, "indb", DummySource());
+  BORNSQL_ASSERT_OK(in_db.Fit("SELECT n FROM items"));
+  BornSqlClassifier external(&db, "ext", DummySource());
+  BORNSQL_ASSERT_OK(external.PartialFitExternal(data));
+
+  auto diff = MustQuery(
+      db,
+      "SELECT COUNT(*) FROM indb_corpus AS a, ext_corpus AS b "
+      "WHERE a.j = b.j AND a.k = b.k AND ABS(a.w - b.w) > 1e-9");
+  EXPECT_EQ(diff.rows[0][0].AsInt(), 0);
+  auto ca = MustQuery(db, "SELECT COUNT(*) FROM indb_corpus");
+  auto cb = MustQuery(db, "SELECT COUNT(*) FROM ext_corpus");
+  EXPECT_EQ(ca.rows[0][0].AsInt(), cb.rows[0][0].AsInt());
+}
+
+TEST(BornExternalTest, ExternalUnlearnIsExact) {
+  std::vector<Example> data = RandomExamples(32, 60, 2, 10);
+  engine::Database db;
+  BORNSQL_ASSERT_OK(LoadExamples(&db, data));
+
+  BornSqlClassifier clf(&db, "m", DummySource());
+  BORNSQL_ASSERT_OK(clf.PartialFitExternal(data));
+  BORNSQL_ASSERT_OK(clf.UnlearnExternal(data));
+  auto residue = MustQuery(
+      db, "SELECT COUNT(*) FROM m_corpus WHERE ABS(w) > 1e-9");
+  EXPECT_EQ(residue.rows[0][0].AsInt(), 0);
+}
+
+TEST(BornExternalTest, PredictExternalMatchesReference) {
+  std::vector<Example> data = RandomExamples(33, 100, 3, 10);
+  engine::Database db;
+  BORNSQL_ASSERT_OK(LoadExamples(&db, data));
+  BornSqlClassifier clf(&db, "m", DummySource());
+  BORNSQL_ASSERT_OK(clf.Fit("SELECT n FROM items"));
+
+  BornClassifierRef ref;
+  BORNSQL_ASSERT_OK(ref.Fit(data));
+
+  std::vector<FeatureVector> queries = {
+      {{"f1", 1.0}, {"f2", 2.0}},
+      {{"f3", 0.5}},
+      {{"f0", 1.0}, {"f4", 1.0}, {"f7", 3.0}},
+  };
+  auto preds = clf.PredictExternal(queries);
+  ASSERT_TRUE(preds.ok()) << preds.status().ToString();
+  ASSERT_EQ(preds->size(), queries.size());
+  for (const SqlPrediction& p : *preds) {
+    auto want = ref.Predict(queries[static_cast<size_t>(p.n.AsInt())]);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(Value::Compare(p.k, *want), 0);
+  }
+  // The temporary table is cleaned up.
+  EXPECT_FALSE(db.catalog().Exists("m_external_x"));
+}
+
+TEST(BornExternalTest, PredictExternalUsesDeployment) {
+  std::vector<Example> data = RandomExamples(34, 60, 2, 8);
+  engine::Database db;
+  BORNSQL_ASSERT_OK(LoadExamples(&db, data));
+  BornSqlClassifier clf(&db, "m", DummySource());
+  BORNSQL_ASSERT_OK(clf.Fit("SELECT n FROM items"));
+  auto before = clf.PredictExternal({{{"f1", 1.0}}});
+  ASSERT_TRUE(before.ok());
+  BORNSQL_ASSERT_OK(clf.Deploy());
+  auto after = clf.PredictExternal({{{"f1", 1.0}}});
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(before->size(), after->size());
+  if (!before->empty()) {
+    EXPECT_EQ(Value::Compare((*before)[0].k, (*after)[0].k), 0);
+  }
+}
+
+TEST(BornScoreTest, ScoreIsAccuracy) {
+  // Perfectly separable data scores 1.0 on the training items.
+  std::vector<Example> data;
+  for (int i = 0; i < 20; ++i) {
+    data.push_back(Ex({{i % 2 == 0 ? "even" : "odd", 1.0}}, i % 2));
+  }
+  engine::Database db;
+  BORNSQL_ASSERT_OK(LoadExamples(&db, data));
+  BornSqlClassifier clf(&db, "m", DummySource());
+  BORNSQL_ASSERT_OK(clf.Fit("SELECT n FROM items"));
+  auto score = clf.Score("SELECT n FROM items");
+  ASSERT_TRUE(score.ok()) << score.status().ToString();
+  EXPECT_DOUBLE_EQ(*score, 1.0);
+}
+
+TEST(BornScoreTest, TuneParamsPicksBestAndSetsIt) {
+  std::vector<Example> data = RandomExamples(35, 120, 3, 10);
+  engine::Database db;
+  BORNSQL_ASSERT_OK(LoadExamples(&db, data));
+  BornSqlClassifier clf(&db, "m", DummySource());
+  BORNSQL_ASSERT_OK(clf.Fit("SELECT n FROM items"));
+
+  const std::vector<Hyperparams> grid = {
+      {0.5, 1.0, 1.0}, {1.0, 1.0, 0.0}, {2.0, 0.5, 1.0}};
+  auto best = clf.TuneParams("SELECT n FROM items WHERE n <= 60", grid);
+  ASSERT_TRUE(best.ok()) << best.status().ToString();
+  // The returned params are installed on the classifier and in the params
+  // table.
+  EXPECT_DOUBLE_EQ(clf.params().a, best->a);
+  auto row = MustQuery(db, "SELECT a, b, h FROM params WHERE model = 'm'");
+  EXPECT_DOUBLE_EQ(row.rows[0][0].AsDouble(), best->a);
+  // And it is at least as good as every other candidate.
+  auto best_score = clf.Score("SELECT n FROM items WHERE n <= 60");
+  ASSERT_TRUE(best_score.ok());
+  for (const Hyperparams& hp : grid) {
+    BORNSQL_ASSERT_OK(clf.SetParams(hp));
+    auto s = clf.Score("SELECT n FROM items WHERE n <= 60");
+    ASSERT_TRUE(s.ok());
+    EXPECT_LE(*s, *best_score + 1e-12);
+  }
+}
+
+TEST(BornDumpTest, DumpModelSqlRecreatesTheModel) {
+  std::vector<Example> data = RandomExamples(36, 80, 3, 10);
+  engine::Database db;
+  BORNSQL_ASSERT_OK(LoadExamples(&db, data));
+  BornSqlClassifier clf(&db, "m", DummySource());
+  BORNSQL_ASSERT_OK(clf.Fit("SELECT n FROM items"));
+  BORNSQL_ASSERT_OK(clf.Deploy());
+  auto dump = clf.DumpModelSql();
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+
+  // Replay the dump into a fresh database and compare predictions via the
+  // external path (the fresh db holds only the model tables).
+  engine::Database fresh;
+  BORNSQL_ASSERT_OK(fresh.ExecuteScript(*dump));
+  BornSqlClassifier restored(&fresh, "m", DummySource());
+  BORNSQL_ASSERT_OK(restored.AttachDeployment());
+
+  std::vector<FeatureVector> queries;
+  for (int i = 0; i < 10; ++i) queries.push_back(data[i].x);
+  auto original = clf.PredictExternal(queries);
+  auto replayed = restored.PredictExternal(queries);
+  ASSERT_TRUE(original.ok() && replayed.ok());
+  ASSERT_EQ(original->size(), replayed->size());
+  for (size_t i = 0; i < original->size(); ++i) {
+    EXPECT_EQ(Value::Compare((*original)[i].k, (*replayed)[i].k), 0);
+  }
+}
+
+TEST(BornDumpTest, WeightsOnlyExportNeedsDeployment) {
+  engine::Database db;
+  std::vector<Example> data = RandomExamples(37, 20, 2, 6);
+  BORNSQL_ASSERT_OK(LoadExamples(&db, data));
+  BornSqlClassifier clf(&db, "m", DummySource());
+  BORNSQL_ASSERT_OK(clf.Fit("SELECT n FROM items"));
+  EXPECT_FALSE(clf.DumpModelSql(/*weights_only=*/true).ok());
+  BORNSQL_ASSERT_OK(clf.Deploy());
+  auto dump = clf.DumpModelSql(/*weights_only=*/true);
+  ASSERT_TRUE(dump.ok());
+  EXPECT_EQ(dump->find("m_corpus"), std::string::npos);
+  EXPECT_NE(dump->find("m_weights"), std::string::npos);
+}
+
+TEST(BornScoreTest, TuneParamsEmptyGridRejected) {
+  engine::Database db;
+  BornSqlClassifier clf(&db, "m", DummySource());
+  EXPECT_FALSE(clf.TuneParams("SELECT 1 AS n", {}).ok());
+}
+
+}  // namespace
+}  // namespace bornsql::born

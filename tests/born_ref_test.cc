@@ -1,0 +1,302 @@
+// Unit + property tests for the in-memory Born classifier (Eqs. 1, 8-11,
+// Defs. 2.1-2.2).
+#include "born/born_ref.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "tests/test_util.h"
+
+namespace bornsql::born {
+namespace {
+
+Example Ex(std::vector<std::pair<std::string, double>> x, int64_t k,
+           double weight = 1.0) {
+  Example ex;
+  ex.x = std::move(x);
+  ex.y.emplace_back(Value::Int(k), 1.0);
+  ex.sample_weight = weight;
+  return ex;
+}
+
+// A tiny, fully hand-checkable corpus: two features, two classes.
+std::vector<Example> TinyDataset() {
+  return {
+      Ex({{"f1", 1.0}}, 1),
+      Ex({{"f2", 1.0}}, 2),
+      Ex({{"f1", 1.0}, {"f2", 1.0}}, 1),
+  };
+}
+
+TEST(BornRefTest, CorpusMatchesEquationOne) {
+  BornClassifierRef clf;
+  BORNSQL_ASSERT_OK(clf.Fit(TinyDataset()));
+  // Item 1: x={f1:1}, y={1:1}, |x||y|=1 -> P[f1][1] += 1.
+  // Item 2: P[f2][2] += 1.
+  // Item 3: |x||y| = 2 -> P[f1][1] += 0.5, P[f2][1] += 0.5.
+  const auto& corpus = clf.corpus();
+  EXPECT_DOUBLE_EQ(corpus.at("f1").at(Value::Int(1)), 1.5);
+  EXPECT_DOUBLE_EQ(corpus.at("f2").at(Value::Int(1)), 0.5);
+  EXPECT_DOUBLE_EQ(corpus.at("f2").at(Value::Int(2)), 1.0);
+  EXPECT_EQ(clf.feature_count(), 2u);
+  EXPECT_EQ(clf.class_count(), 2u);
+  EXPECT_EQ(clf.corpus_entries(), 3u);
+}
+
+TEST(BornRefTest, SampleWeightScalesContribution) {
+  BornClassifierRef clf;
+  BORNSQL_ASSERT_OK(clf.Fit({Ex({{"f1", 1.0}}, 1, 3.0)}));
+  EXPECT_DOUBLE_EQ(clf.corpus().at("f1").at(Value::Int(1)), 3.0);
+}
+
+TEST(BornRefTest, MultiLabelTargetsSplitMass) {
+  Example ex;
+  ex.x = {{"f1", 1.0}};
+  ex.y = {{Value::Int(1), 1.0}, {Value::Int(2), 1.0}};
+  BornClassifierRef clf;
+  BORNSQL_ASSERT_OK(clf.Fit({ex}));
+  // |x||y| = 1 * 2 = 2 -> each class gets 0.5.
+  EXPECT_DOUBLE_EQ(clf.corpus().at("f1").at(Value::Int(1)), 0.5);
+  EXPECT_DOUBLE_EQ(clf.corpus().at("f1").at(Value::Int(2)), 0.5);
+}
+
+TEST(BornRefTest, PredictsSeparableClasses) {
+  BornClassifierRef clf;
+  BORNSQL_ASSERT_OK(clf.Fit({
+      Ex({{"cat", 2.0}, {"pet", 1.0}}, 1),
+      Ex({{"dog", 2.0}, {"pet", 1.0}}, 2),
+      Ex({{"cat", 1.0}}, 1),
+      Ex({{"dog", 1.0}}, 2),
+  }));
+  auto p1 = clf.Predict({{"cat", 1.0}});
+  ASSERT_TRUE(p1.ok()) << p1.status().ToString();
+  EXPECT_EQ(p1->AsInt(), 1);
+  auto p2 = clf.Predict({{"dog", 3.0}, {"pet", 1.0}});
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->AsInt(), 2);
+}
+
+TEST(BornRefTest, ProbabilitiesSumToOne) {
+  BornClassifierRef clf;
+  BORNSQL_ASSERT_OK(clf.Fit(TinyDataset()));
+  auto proba = clf.PredictProba({{"f1", 1.0}, {"f2", 2.0}});
+  ASSERT_TRUE(proba.ok());
+  double total = 0.0;
+  for (const auto& [k, p] : *proba) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(BornRefTest, UnknownFeaturesCannotClassify) {
+  BornClassifierRef clf;
+  BORNSQL_ASSERT_OK(clf.Fit(TinyDataset()));
+  auto p = clf.Predict({{"never-seen", 1.0}});
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BornRefTest, DeploymentDoesNotChangePredictions) {
+  BornClassifierRef clf;
+  BORNSQL_ASSERT_OK(clf.Fit(TinyDataset()));
+  FeatureVector x = {{"f1", 1.0}, {"f2", 0.5}};
+  auto before = clf.PredictProba(x);
+  ASSERT_TRUE(before.ok());
+  BORNSQL_ASSERT_OK(clf.Deploy());
+  EXPECT_TRUE(clf.deployed());
+  auto after = clf.PredictProba(x);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(before->size(), after->size());
+  for (size_t i = 0; i < before->size(); ++i) {
+    EXPECT_NEAR((*before)[i].second, (*after)[i].second, 1e-15);
+  }
+}
+
+TEST(BornRefTest, SetParamsInvalidatesDeployment) {
+  BornClassifierRef clf;
+  BORNSQL_ASSERT_OK(clf.Fit(TinyDataset()));
+  BORNSQL_ASSERT_OK(clf.Deploy());
+  clf.set_params({1.0, 0.5, 0.0});
+  EXPECT_FALSE(clf.deployed());
+}
+
+TEST(BornRefTest, InvalidHyperparamsRejected) {
+  BornClassifierRef bad_a({0.0, 1.0, 1.0});
+  EXPECT_FALSE(bad_a.Fit(TinyDataset()).ok());
+  BornClassifierRef bad_b({0.5, 1.5, 1.0});
+  EXPECT_FALSE(bad_b.Fit(TinyDataset()).ok());
+  BornClassifierRef bad_h({0.5, 1.0, -1.0});
+  EXPECT_FALSE(bad_h.Fit(TinyDataset()).ok());
+}
+
+TEST(BornRefTest, NegativeFeatureWeightRejected) {
+  BornClassifierRef clf;
+  EXPECT_FALSE(clf.Fit({Ex({{"f1", -1.0}}, 1)}).ok());
+}
+
+TEST(BornRefTest, EmptyItemContributesNothing) {
+  BornClassifierRef clf;
+  Example empty;
+  empty.y.emplace_back(Value::Int(1), 1.0);
+  BORNSQL_ASSERT_OK(clf.Fit({empty}));
+  EXPECT_EQ(clf.corpus_entries(), 0u);
+}
+
+TEST(BornRefTest, GlobalExplanationOrderedDescending) {
+  BornClassifierRef clf;
+  BORNSQL_ASSERT_OK(clf.Fit(TinyDataset()));
+  auto global = clf.ExplainGlobal(0);
+  ASSERT_TRUE(global.ok());
+  ASSERT_GE(global->size(), 2u);
+  for (size_t i = 1; i < global->size(); ++i) {
+    EXPECT_GE((*global)[i - 1].w, (*global)[i].w);
+  }
+}
+
+TEST(BornRefTest, LocalExplanationSumsToUnnormalizedScore) {
+  // The addends H_j^h W_jk^a x_j^a of Eq. (11) are exactly the local
+  // explanation weights (§2.3): per class they must sum to u_k^a.
+  BornClassifierRef clf;
+  BORNSQL_ASSERT_OK(clf.Fit(TinyDataset()));
+  FeatureVector x = {{"f1", 2.0}, {"f2", 1.0}};
+  Example item;
+  item.x = x;
+  auto local = clf.ExplainLocal({item}, 0);
+  ASSERT_TRUE(local.ok());
+  // Recover u_k from probabilities: compare ratios instead of absolutes.
+  auto proba = clf.PredictProba(x);
+  ASSERT_TRUE(proba.ok());
+  std::map<int64_t, double> sums;
+  for (const auto& e : *local) sums[e.k.AsInt()] += e.w;
+  const double a = clf.params().a;
+  // z differs from x by the |x| normalization; both vectors are positive
+  // multiples of each other here, so class ratios are preserved:
+  // u_k(z)^a / u_k'(z)^a == u_k(x)^a / u_k'(x)^a.
+  double lhs = sums[1] / sums[2];
+  double rhs = std::pow((*proba)[0].second / (*proba)[1].second, a);
+  EXPECT_NEAR(lhs, rhs, 1e-9);
+}
+
+// ---- property tests: exact incremental learning and unlearning ----
+
+struct PropertyParams {
+  uint64_t seed;
+  int n_items;
+  int n_classes;
+  int vocab;
+};
+
+class BornPropertyTest : public ::testing::TestWithParam<PropertyParams> {
+ protected:
+  std::vector<Example> RandomDataset(Rng& rng, const PropertyParams& p) {
+    std::vector<Example> out;
+    for (int i = 0; i < p.n_items; ++i) {
+      Example ex;
+      int n_features = 1 + static_cast<int>(rng.Uniform(6));
+      for (int f = 0; f < n_features; ++f) {
+        ex.x.emplace_back(StrFormat("f%zu", rng.Uniform(p.vocab)),
+                          0.25 + rng.NextDouble() * 3.0);
+      }
+      ex.y.emplace_back(
+          Value::Int(static_cast<int64_t>(rng.Uniform(p.n_classes))), 1.0);
+      ex.sample_weight = 0.5 + rng.NextDouble();
+      out.push_back(std::move(ex));
+    }
+    return out;
+  }
+};
+
+TEST_P(BornPropertyTest, IncrementalEqualsBatch) {
+  const PropertyParams p = GetParam();
+  Rng rng(p.seed);
+  std::vector<Example> data = RandomDataset(rng, p);
+
+  BornClassifierRef batch;
+  BORNSQL_ASSERT_OK(batch.Fit(data));
+
+  BornClassifierRef incremental;
+  size_t cut1 = data.size() / 3, cut2 = 2 * data.size() / 3;
+  BORNSQL_ASSERT_OK(incremental.PartialFit(
+      {data.begin(), data.begin() + cut1}));
+  BORNSQL_ASSERT_OK(incremental.PartialFit(
+      {data.begin() + cut1, data.begin() + cut2}));
+  BORNSQL_ASSERT_OK(incremental.PartialFit({data.begin() + cut2, data.end()}));
+
+  // Def. 2.1: the corpora must match entry-wise.
+  ASSERT_EQ(batch.corpus_entries(), incremental.corpus_entries());
+  for (const auto& [j, row] : batch.corpus()) {
+    for (const auto& [k, w] : row) {
+      EXPECT_NEAR(incremental.corpus().at(j).at(k), w, 1e-9 * (1 + std::abs(w)))
+          << "feature " << j;
+    }
+  }
+}
+
+TEST_P(BornPropertyTest, UnlearningEqualsRetraining) {
+  const PropertyParams p = GetParam();
+  Rng rng(p.seed ^ 0xabcdef);
+  std::vector<Example> data = RandomDataset(rng, p);
+
+  // Forget every third item.
+  std::vector<Example> keep, forget;
+  for (size_t i = 0; i < data.size(); ++i) {
+    (i % 3 == 0 ? forget : keep).push_back(data[i]);
+  }
+
+  BornClassifierRef unlearned;
+  BORNSQL_ASSERT_OK(unlearned.Fit(data));
+  BORNSQL_ASSERT_OK(unlearned.Unlearn(forget));
+
+  BornClassifierRef retrained;
+  BORNSQL_ASSERT_OK(retrained.Fit(keep));
+
+  // Def. 2.2: predictions of the unlearned model equal a fresh retrain.
+  for (int trial = 0; trial < 20; ++trial) {
+    FeatureVector x = {
+        {StrFormat("f%zu", rng.Uniform(p.vocab)), 1.0 + rng.NextDouble()},
+        {StrFormat("f%zu", rng.Uniform(p.vocab)), 1.0 + rng.NextDouble()},
+    };
+    auto pu = unlearned.PredictProba(x);
+    auto pr = retrained.PredictProba(x);
+    ASSERT_TRUE(pu.ok() && pr.ok());
+    ASSERT_EQ(pu->size(), pr->size());
+    for (size_t i = 0; i < pu->size(); ++i) {
+      EXPECT_EQ(Value::Compare((*pu)[i].first, (*pr)[i].first), 0);
+      EXPECT_NEAR((*pu)[i].second, (*pr)[i].second, 1e-7);
+    }
+  }
+}
+
+TEST_P(BornPropertyTest, HyperparamsDoNotAffectTraining) {
+  // §2.2.1: training is hyper-parameter free, so corpora trained under
+  // different (a, b, h) are identical.
+  const PropertyParams p = GetParam();
+  Rng rng(p.seed ^ 0x5555);
+  std::vector<Example> data = RandomDataset(rng, p);
+  BornClassifierRef clf1({0.5, 1.0, 1.0});
+  BornClassifierRef clf2({2.0, 0.25, 0.0});
+  BORNSQL_ASSERT_OK(clf1.Fit(data));
+  BORNSQL_ASSERT_OK(clf2.Fit(data));
+  ASSERT_EQ(clf1.corpus_entries(), clf2.corpus_entries());
+  for (const auto& [j, row] : clf1.corpus()) {
+    for (const auto& [k, w] : row) {
+      EXPECT_DOUBLE_EQ(clf2.corpus().at(j).at(k), w);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDatasets, BornPropertyTest,
+    ::testing::Values(PropertyParams{1, 30, 2, 10},
+                      PropertyParams{2, 100, 3, 25},
+                      PropertyParams{3, 200, 5, 40},
+                      PropertyParams{4, 60, 2, 5},
+                      PropertyParams{5, 150, 4, 80}));
+
+}  // namespace
+}  // namespace bornsql::born

@@ -1,0 +1,167 @@
+// Tests for the common utilities: Status/Result, strings, PRNG.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace bornsql {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("table 'x'");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.ToString(), "NotFound: table 'x'");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  auto ok = ParsePositive(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 8);
+  auto bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> UsesMacros(int x) {
+  BORNSQL_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  BORNSQL_RETURN_IF_ERROR(doubled > 100 ? Status::InvalidArgument("too big")
+                                        : Status::OK());
+  return doubled + 1;
+}
+
+TEST(ResultTest, MacrosPropagate) {
+  EXPECT_EQ(*UsesMacros(3), 7);
+  EXPECT_FALSE(UsesMacros(-3).ok());
+  EXPECT_FALSE(UsesMacros(60).ok());
+}
+
+TEST(StringsTest, AsciiToLowerAndCaseCompare) {
+  EXPECT_EQ(AsciiToLower("SeLeCt"), "select");
+  EXPECT_TRUE(EqualsIgnoreCase("X_nj", "x_NJ"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, "-"), "a-b--c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \n"), "x y");
+  EXPECT_EQ(StripWhitespace("\t\r\n "), "");
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, SqlQuoteDoublesQuotes) {
+  EXPECT_EQ(SqlQuote("it's"), "'it''s'");
+  EXPECT_EQ(SqlQuote(""), "''");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(3);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(4);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 30000; ++i) ++counts[rng.Categorical({1.0, 3.0})];
+  EXPECT_NEAR(counts[1] / 30000.0, 0.75, 0.02);
+}
+
+TEST(RngTest, PoissonMeanIsRight) {
+  Rng rng(5);
+  double total = 0;
+  for (int i = 0; i < 20000; ++i) total += rng.Poisson(4.0);
+  EXPECT_NEAR(total / 20000.0, 4.0, 0.1);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(6);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Gaussian(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.4);
+}
+
+TEST(ZipfSamplerTest, RankOneDominates) {
+  Rng rng(8);
+  ZipfSampler zipf(100, 1.2);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  // Everything stays in range.
+  for (const auto& [rank, count] : counts) EXPECT_LT(rank, 100u);
+}
+
+TEST(ZipfSamplerTest, SingleElement) {
+  Rng rng(9);
+  ZipfSampler zipf(1, 1.0);
+  EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace bornsql

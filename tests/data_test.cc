@@ -1,0 +1,215 @@
+// Tests for the dataset synthesizers: schema, statistics the experiments
+// rely on, and SQL loadability.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/adult.h"
+#include "data/newsgroups.h"
+#include "data/rlcp.h"
+#include "data/scopus.h"
+#include "tests/test_util.h"
+
+namespace bornsql::data {
+namespace {
+
+using ::bornsql::testing::MustQuery;
+
+TEST(ScopusTest, ClassDistributionMatchesTableOne) {
+  ScopusOptions options;
+  options.num_publications = 8000;
+  ScopusSynthesizer synth(options);
+  auto dist = synth.ClassDistribution();
+  ASSERT_EQ(dist.size(), 3u);
+  double n = static_cast<double>(options.num_publications);
+  // Paper's Table 1: AI 43.4%, Decision 38.5%, Stats 18.1%.
+  EXPECT_NEAR(dist[17] / n, 0.434, 0.03);
+  EXPECT_NEAR(dist[18] / n, 0.385, 0.03);
+  EXPECT_NEAR(dist[26] / n, 0.181, 0.03);
+}
+
+TEST(ScopusTest, IdsAreSequentialFromOne) {
+  ScopusOptions options;
+  options.num_publications = 100;
+  ScopusSynthesizer synth(options);
+  for (size_t i = 0; i < synth.publications().size(); ++i) {
+    EXPECT_EQ(synth.publications()[i].id, static_cast<int64_t>(i) + 1);
+  }
+}
+
+TEST(ScopusTest, ChronologicalDriftGrowsItems) {
+  ScopusOptions options;
+  options.num_publications = 4000;
+  ScopusSynthesizer synth(options);
+  const auto& pubs = synth.publications();
+  auto avg_terms = [&](size_t begin, size_t end) {
+    double total = 0;
+    for (size_t i = begin; i < end; ++i) total += pubs[i].terms.size();
+    return total / static_cast<double>(end - begin);
+  };
+  // Later publications have longer abstracts (drives Fig. 5b).
+  EXPECT_GT(avg_terms(3000, 4000), avg_terms(0, 1000) * 1.2);
+}
+
+TEST(ScopusTest, DeterministicForSameSeed) {
+  ScopusOptions options;
+  options.num_publications = 200;
+  ScopusSynthesizer a(options), b(options);
+  ASSERT_EQ(a.publications().size(), b.publications().size());
+  for (size_t i = 0; i < a.publications().size(); ++i) {
+    EXPECT_EQ(a.publications()[i].pubname, b.publications()[i].pubname);
+    EXPECT_EQ(a.publications()[i].asjc, b.publications()[i].asjc);
+  }
+}
+
+TEST(ScopusTest, LoadsIntoEngine) {
+  ScopusOptions options;
+  options.num_publications = 300;
+  ScopusSynthesizer synth(options);
+  engine::Database db;
+  BORNSQL_ASSERT_OK(synth.Load(&db));
+  auto pubs = MustQuery(db, "SELECT COUNT(*) FROM publication");
+  EXPECT_EQ(pubs.rows[0][0].AsInt(), 300);
+  auto authors = MustQuery(db, "SELECT COUNT(*) FROM pub_author");
+  EXPECT_GT(authors.rows[0][0].AsInt(), 300);
+  // The q_x parts produce the prefixed features of Table 2.
+  auto sample = MustQuery(
+      db, "SELECT j FROM (" + ScopusSynthesizer::XParts()[0] +
+              ") AS x WHERE n = 1");
+  ASSERT_EQ(sample.rows.size(), 1u);
+  EXPECT_EQ(sample.rows[0][0].AsText().rfind("pubname:", 0), 0u);
+}
+
+TEST(AdultTest, PositiveRateNearPaper) {
+  AdultOptions options;
+  options.train_size = 8000;
+  options.test_size = 2000;
+  AdultSynthesizer synth(options);
+  double pos = 0;
+  for (int y : synth.train_labels()) pos += y;
+  EXPECT_NEAR(pos / synth.train_labels().size(), 0.24, 0.05);
+}
+
+TEST(AdultTest, UnderRepresentedCountriesAreAllNegative) {
+  AdultOptions options;
+  options.train_size = 8000;
+  options.test_size = 1000;
+  AdultSynthesizer synth(options);
+  size_t country_col = synth.column_names().size() - 1;
+  size_t holand = 0, outlying = 0;
+  for (size_t i = 0; i < synth.train_rows().size(); ++i) {
+    const std::string& c = synth.train_rows()[i][country_col];
+    if (c == "Holand-Netherlands") {
+      ++holand;
+      EXPECT_EQ(synth.train_labels()[i], 0);
+    } else if (c == "Outlying-US(Guam-USVI-etc)") {
+      ++outlying;
+      EXPECT_EQ(synth.train_labels()[i], 0);
+    }
+  }
+  EXPECT_EQ(holand, 1u);
+  EXPECT_EQ(outlying, 14u);
+}
+
+TEST(AdultTest, AboutHundredOneHotFeatures) {
+  AdultOptions options;
+  options.train_size = 6000;
+  options.test_size = 100;
+  AdultSynthesizer synth(options);
+  std::set<std::string> features;
+  for (const auto& row : synth.train_rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      features.insert(synth.column_names()[c] + "=" + row[c]);
+    }
+  }
+  EXPECT_GE(features.size(), 80u);
+  EXPECT_LE(features.size(), 110u);
+}
+
+TEST(AdultTest, LoadsIntoEngine) {
+  AdultOptions options;
+  options.train_size = 200;
+  options.test_size = 100;
+  AdultSynthesizer synth(options);
+  engine::Database db;
+  BORNSQL_ASSERT_OK(synth.Load(&db));
+  auto r = MustQuery(db, "SELECT COUNT(*) FROM adult_train WHERE income = 1");
+  EXPECT_GT(r.rows[0][0].AsInt(), 0);
+  EXPECT_EQ(synth.XParts("adult_train").size(), 8u);
+}
+
+TEST(RlcpTest, ExtremeImbalancePreserved) {
+  RlcpOptions options;
+  options.train_size = 60000;
+  options.test_size = 1000;
+  RlcpSynthesizer synth(options);
+  double pos = 0;
+  for (int y : synth.train_labels()) pos += y;
+  double rate = pos / synth.train_labels().size();
+  EXPECT_GT(rate, 0.001);
+  EXPECT_LT(rate, 0.008);
+}
+
+TEST(RlcpTest, MatchesAgreeOnMostComparisons) {
+  RlcpOptions options;
+  options.train_size = 30000;
+  options.test_size = 100;
+  RlcpSynthesizer synth(options);
+  double match_agree = 0, match_n = 0, non_agree = 0, non_n = 0;
+  for (size_t i = 0; i < synth.train_rows().size(); ++i) {
+    for (const std::string& v : synth.train_rows()[i]) {
+      double agree = v == "match" ? 1.0 : 0.0;
+      if (synth.train_labels()[i]) {
+        match_agree += agree;
+        ++match_n;
+      } else {
+        non_agree += agree;
+        ++non_n;
+      }
+    }
+  }
+  ASSERT_GT(match_n, 0);
+  EXPECT_GT(match_agree / match_n, 0.7);
+  EXPECT_LT(non_agree / non_n, 0.3);
+}
+
+TEST(RlcpTest, EighteenFeatures) {
+  RlcpOptions options;
+  options.train_size = 10;
+  options.test_size = 10;
+  RlcpSynthesizer synth(options);
+  EXPECT_EQ(synth.column_names().size(), RlcpSynthesizer::kNumFeatures);
+  EXPECT_EQ(synth.train_rows()[0].size(), RlcpSynthesizer::kNumFeatures);
+}
+
+TEST(NewsgroupsTest, PresetsHaveExpectedShape) {
+  NewsgroupsSynthesizer ng(NewsgroupsOptions::TwentyNews());
+  EXPECT_EQ(ng.num_classes(), 20u);
+  std::set<int> labels;
+  for (const Document& d : ng.train()) labels.insert(d.label);
+  EXPECT_EQ(labels.size(), 20u);
+
+  NewsgroupsOptions r8 = NewsgroupsOptions::R8();
+  r8.train_size = 2000;
+  r8.test_size = 200;
+  NewsgroupsSynthesizer reuters(r8);
+  // Skewed priors: the largest class dominates.
+  std::vector<size_t> counts(8, 0);
+  for (const Document& d : reuters.train()) ++counts[d.label];
+  EXPECT_GT(counts[0], counts[7] * 5);
+}
+
+TEST(NewsgroupsTest, LoadsIntoEngine) {
+  NewsgroupsOptions options;
+  options.num_classes = 4;
+  options.train_size = 100;
+  options.test_size = 50;
+  NewsgroupsSynthesizer synth(options);
+  engine::Database db;
+  BORNSQL_ASSERT_OK(synth.Load(&db));
+  auto r = MustQuery(db, "SELECT COUNT(*) FROM doc_term_train");
+  EXPECT_GT(r.rows[0][0].AsInt(), 100);
+}
+
+}  // namespace
+}  // namespace bornsql::data

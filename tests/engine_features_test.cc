@@ -1,0 +1,245 @@
+// Tests for the extended engine surface: subqueries (scalar / IN / EXISTS),
+// EXPLAIN, RANK / DENSE_RANK, string functions, derived-table pull-up and
+// index-join equivalence.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "engine/database.h"
+#include "tests/test_util.h"
+
+namespace bornsql::engine {
+namespace {
+
+using ::bornsql::testing::MustQuery;
+using ::bornsql::testing::RowStrings;
+
+class FeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BORNSQL_ASSERT_OK(db_.ExecuteScript(
+        "CREATE TABLE t (a INTEGER, b TEXT);"
+        "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z'), (4, 'y');"
+        "CREATE TABLE u (a INTEGER);"
+        "INSERT INTO u VALUES (2), (3)"));
+  }
+  Database db_;
+};
+
+TEST_F(FeaturesTest, ScalarSubqueryInSelect) {
+  auto r = MustQuery(db_, "SELECT (SELECT MAX(a) FROM t) + 1 AS v");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 5);
+}
+
+TEST_F(FeaturesTest, ScalarSubqueryInWhere) {
+  auto r = MustQuery(db_,
+                     "SELECT a FROM t WHERE a = (SELECT MIN(a) FROM u)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(FeaturesTest, ScalarSubqueryEmptyIsNull) {
+  auto r = MustQuery(db_, "SELECT (SELECT a FROM t WHERE a > 100) AS v");
+  EXPECT_TRUE(r.rows[0][0].is_null());
+}
+
+TEST_F(FeaturesTest, ScalarSubqueryMultiRowFails) {
+  EXPECT_FALSE(db_.Execute("SELECT (SELECT a FROM t) AS v").ok());
+}
+
+TEST_F(FeaturesTest, InSubquery) {
+  auto r = MustQuery(db_, "SELECT a FROM t WHERE a IN (SELECT a FROM u)");
+  auto rows = RowStrings(r);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], "2");
+  EXPECT_EQ(rows[1], "3");
+}
+
+TEST_F(FeaturesTest, NotInSubquery) {
+  auto r = MustQuery(db_,
+                     "SELECT a FROM t WHERE a NOT IN (SELECT a FROM u)");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(FeaturesTest, NotInSubqueryWithNullIsEmpty) {
+  // Standard three-valued trap: NOT IN a set containing NULL is never true.
+  BORNSQL_ASSERT_OK(db_.ExecuteScript("INSERT INTO u VALUES (NULL)"));
+  auto r = MustQuery(db_,
+                     "SELECT a FROM t WHERE a NOT IN (SELECT a FROM u)");
+  EXPECT_EQ(r.rows.size(), 0u);
+}
+
+TEST_F(FeaturesTest, ExistsAndNotExists) {
+  auto r = MustQuery(db_,
+                     "SELECT COUNT(*) FROM t WHERE EXISTS "
+                     "(SELECT 1 FROM u WHERE a = 2)");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 4);
+  auto r2 = MustQuery(db_,
+                      "SELECT COUNT(*) FROM t WHERE NOT EXISTS "
+                      "(SELECT 1 FROM u WHERE a = 99)");
+  EXPECT_EQ(r2.rows[0][0].AsInt(), 4);
+}
+
+TEST_F(FeaturesTest, CorrelatedSubqueryRejected) {
+  // Correlated subqueries are outside the dialect; the inner bind fails.
+  EXPECT_FALSE(
+      db_.Execute("SELECT a FROM t WHERE a IN (SELECT a FROM u WHERE u.a = t.a)")
+          .ok());
+}
+
+TEST_F(FeaturesTest, DeleteWithInSubquery) {
+  auto r = db_.Execute("DELETE FROM t WHERE a IN (SELECT a FROM u)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows_affected, 2u);
+}
+
+TEST_F(FeaturesTest, UpdateWithScalarSubquery) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "UPDATE t SET a = (SELECT MAX(a) FROM u) WHERE b = 'x'"));
+  auto r = MustQuery(db_, "SELECT a FROM t WHERE b = 'x'");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(FeaturesTest, InsertWithScalarSubquery) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "INSERT INTO t VALUES ((SELECT MAX(a) FROM t) + 10, 'max')"));
+  auto r = MustQuery(db_, "SELECT a FROM t WHERE b = 'max'");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 14);
+}
+
+TEST_F(FeaturesTest, SubqueryCanReferenceCte) {
+  auto r = MustQuery(db_,
+                     "WITH big AS (SELECT a FROM t WHERE a >= 3) "
+                     "SELECT COUNT(*) FROM t WHERE a IN (SELECT a FROM big)");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(FeaturesTest, ExplainShowsPlanTree) {
+  auto r = MustQuery(db_,
+                     "EXPLAIN SELECT t.a, COUNT(*) FROM t, u "
+                     "WHERE t.a = u.a GROUP BY t.a ORDER BY t.a");
+  ASSERT_EQ(r.column_names.size(), 1u);
+  EXPECT_EQ(r.column_names[0], "plan");
+  std::string plan;
+  for (const Row& row : r.rows) plan += row[0].AsText() + "\n";
+  EXPECT_NE(plan.find("HashAggregate"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Join"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("SeqScan(t"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Sort"), std::string::npos) << plan;
+}
+
+TEST_F(FeaturesTest, ExplainShowsIndexJoin) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript("CREATE INDEX t_a ON t (a)"));
+  auto r = MustQuery(db_, "EXPLAIN SELECT 1 FROM t, u WHERE t.a = u.a");
+  std::string plan;
+  for (const Row& row : r.rows) plan += row[0].AsText() + "\n";
+  EXPECT_NE(plan.find("IndexJoin(t"), std::string::npos) << plan;
+}
+
+TEST_F(FeaturesTest, ExplainShowsPulledUpDerivedTable) {
+  // A simple-projection derived table disappears from the plan: the scan
+  // runs on the base table directly.
+  auto r = MustQuery(db_,
+                     "EXPLAIN SELECT s.n FROM "
+                     "(SELECT a AS n FROM t) AS s, u WHERE s.n = u.a");
+  std::string plan;
+  for (const Row& row : r.rows) plan += row[0].AsText() + "\n";
+  EXPECT_NE(plan.find("SeqScan(t"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("Relabel"), std::string::npos) << plan;
+}
+
+TEST_F(FeaturesTest, RankAndDenseRank) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE s (g INTEGER, v INTEGER);"
+      "INSERT INTO s VALUES (1, 10), (1, 10), (1, 20), (2, 5)"));
+  auto r = MustQuery(db_,
+                     "SELECT g, v, "
+                     "ROW_NUMBER() OVER(PARTITION BY g ORDER BY v) AS rn, "
+                     "RANK() OVER(PARTITION BY g ORDER BY v) AS rk, "
+                     "DENSE_RANK() OVER(PARTITION BY g ORDER BY v) AS dr "
+                     "FROM s ORDER BY g, v, rn");
+  auto rows = RowStrings(r, /*sorted=*/false);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0], "1|10|1|1|1");
+  EXPECT_EQ(rows[1], "1|10|2|1|1");  // tie: same rank, next row_number
+  EXPECT_EQ(rows[2], "1|20|3|3|2");  // rank gaps, dense_rank does not
+  EXPECT_EQ(rows[3], "2|5|1|1|1");   // fresh partition
+}
+
+TEST_F(FeaturesTest, RankRequiresOrderBy) {
+  EXPECT_FALSE(db_.Execute("SELECT RANK() OVER(PARTITION BY a) FROM t").ok());
+}
+
+TEST_F(FeaturesTest, StringFunctions) {
+  auto r = MustQuery(db_,
+                     "SELECT TRIM('  hi  '), REPLACE('a-b-c', '-', '+'), "
+                     "INSTR('hello', 'll'), INSTR('hello', 'zz')");
+  EXPECT_EQ(r.rows[0][0].AsText(), "hi");
+  EXPECT_EQ(r.rows[0][1].AsText(), "a+b+c");
+  EXPECT_EQ(r.rows[0][2].AsInt(), 3);
+  EXPECT_EQ(r.rows[0][3].AsInt(), 0);
+}
+
+TEST_F(FeaturesTest, PullUpPreservesExpressionSemantics) {
+  // The derived table computes an expression; references must see the
+  // computed value after pull-up.
+  auto r = MustQuery(db_,
+                     "SELECT s.label FROM "
+                     "(SELECT a AS n, 'row:' || b AS label FROM t) AS s, u "
+                     "WHERE s.n = u.a ORDER BY s.label");
+  auto rows = RowStrings(r, /*sorted=*/false);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], "row:y");
+  EXPECT_EQ(rows[1], "row:z");
+}
+
+TEST_F(FeaturesTest, PullUpSkipsAggregatingSubqueries) {
+  // Aggregating derived tables must not be merged; results stay correct.
+  auto r = MustQuery(db_,
+                     "SELECT s.c FROM "
+                     "(SELECT b, COUNT(*) AS c FROM t GROUP BY b) AS s "
+                     "WHERE s.b = 'y'");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+// Index joins must be a pure optimization: identical results with the
+// feature on and off, over randomized data.
+class IndexJoinEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexJoinEquivalenceTest, MatchesHashJoin) {
+  Rng rng(GetParam());
+  std::string inserts_a = "INSERT INTO a VALUES ", inserts_b =
+      "INSERT INTO b VALUES ";
+  for (int i = 0; i < 200; ++i) {
+    if (i > 0) {
+      inserts_a += ", ";
+      inserts_b += ", ";
+    }
+    inserts_a += StrFormat("(%llu, %llu)", rng.Uniform(40), rng.Uniform(100));
+    inserts_b += StrFormat("(%llu, %llu)", rng.Uniform(40), rng.Uniform(100));
+  }
+  const char* query =
+      "SELECT a.k, a.v, b.v FROM a, b WHERE a.k = b.k ORDER BY 1, 2, 3";
+
+  EngineConfig with_index;
+  EngineConfig without_index;
+  without_index.use_index_joins = false;
+  Database db1{with_index}, db2{without_index};
+  for (Database* db : {&db1, &db2}) {
+    BORNSQL_ASSERT_OK(db->ExecuteScript(
+        "CREATE TABLE a (k INTEGER, v INTEGER);"
+        "CREATE TABLE b (k INTEGER, v INTEGER);"
+        "CREATE INDEX a_k ON a (k); CREATE INDEX b_k ON b (k)"));
+    BORNSQL_ASSERT_OK(db->ExecuteScript(inserts_a));
+    BORNSQL_ASSERT_OK(db->ExecuteScript(inserts_b));
+  }
+  auto r1 = MustQuery(db1, query);
+  auto r2 = MustQuery(db2, query);
+  EXPECT_EQ(RowStrings(r1, false), RowStrings(r2, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexJoinEquivalenceTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace bornsql::engine

@@ -1,0 +1,524 @@
+// End-to-end SQL semantics tests against the Database facade.
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace bornsql::engine {
+namespace {
+
+using ::bornsql::testing::MustQuery;
+using ::bornsql::testing::RowStrings;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  Database db_;
+};
+
+TEST_F(EngineTest, SelectConstant) {
+  auto r = MustQuery(db_, "SELECT 1 + 2 AS x, 'a' || 'b' AS s");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(r.rows[0][1].AsText(), "ab");
+  EXPECT_EQ(r.column_names[0], "x");
+}
+
+TEST_F(EngineTest, CreateInsertSelect) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (a INTEGER, b TEXT);"
+      "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')"));
+  auto r = MustQuery(db_, "SELECT b FROM t WHERE a >= 2 ORDER BY a DESC");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsText(), "z");
+  EXPECT_EQ(r.rows[1][0].AsText(), "y");
+}
+
+TEST_F(EngineTest, InsertCoercesDeclaredTypes) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (a INTEGER, w REAL); INSERT INTO t VALUES (1.9, 2)"));
+  auto r = MustQuery(db_, "SELECT a, w FROM t");
+  EXPECT_TRUE(r.rows[0][0].is_int());
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_TRUE(r.rows[0][1].is_double());
+}
+
+TEST_F(EngineTest, DuplicateTableFailsUnlessIfNotExists) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript("CREATE TABLE t (a INTEGER)"));
+  EXPECT_FALSE(db_.Execute("CREATE TABLE t (a INTEGER)").ok());
+  BORNSQL_EXPECT_OK(db_.ExecuteScript("CREATE TABLE IF NOT EXISTS t (a INTEGER)"));
+}
+
+TEST_F(EngineTest, DropTable) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript("CREATE TABLE t (a INTEGER)"));
+  BORNSQL_ASSERT_OK(db_.ExecuteScript("DROP TABLE t"));
+  EXPECT_FALSE(db_.Execute("SELECT * FROM t").ok());
+  EXPECT_FALSE(db_.Execute("DROP TABLE t").ok());
+  BORNSQL_EXPECT_OK(db_.ExecuteScript("DROP TABLE IF EXISTS t"));
+}
+
+TEST_F(EngineTest, SelectStarExpandsAndQualifies) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE a (x INTEGER); CREATE TABLE b (y INTEGER);"
+      "INSERT INTO a VALUES (1); INSERT INTO b VALUES (2)"));
+  auto r = MustQuery(db_, "SELECT * FROM a, b");
+  ASSERT_EQ(r.column_names.size(), 2u);
+  auto r2 = MustQuery(db_, "SELECT b.* FROM a, b");
+  ASSERT_EQ(r2.column_names.size(), 1u);
+  EXPECT_EQ(r2.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(EngineTest, WhereThreeValuedLogic) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (NULL), (2)"));
+  // NULL rows fail the predicate.
+  auto r = MustQuery(db_, "SELECT a FROM t WHERE a > 0");
+  EXPECT_EQ(r.rows.size(), 2u);
+  auto r2 = MustQuery(db_, "SELECT a FROM t WHERE a IS NULL");
+  EXPECT_EQ(r2.rows.size(), 1u);
+  auto r3 = MustQuery(db_, "SELECT a FROM t WHERE NOT (a > 0)");
+  EXPECT_EQ(r3.rows.size(), 0u);
+}
+
+TEST_F(EngineTest, IntegerDivisionAndModulo) {
+  auto r = MustQuery(db_, "SELECT 1702 / 100, 1702 % 100, 7 / 2.0");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 17);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 3.5);
+}
+
+TEST_F(EngineTest, DivisionByZeroYieldsNull) {
+  auto r = MustQuery(db_, "SELECT 1 / 0, 1.0 / 0.0, 1 % 0");
+  EXPECT_TRUE(r.rows[0][0].is_null());
+  EXPECT_TRUE(r.rows[0][1].is_null());
+  EXPECT_TRUE(r.rows[0][2].is_null());
+}
+
+TEST_F(EngineTest, ScalarFunctions) {
+  auto r = MustQuery(db_,
+                     "SELECT POW(2, 10), LN(1), ABS(-3), LOWER('AbC'), "
+                     "LENGTH('hello'), COALESCE(NULL, NULL, 7)");
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 1024.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble(), 0.0);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 3);
+  EXPECT_EQ(r.rows[0][3].AsText(), "abc");
+  EXPECT_EQ(r.rows[0][4].AsInt(), 5);
+  EXPECT_EQ(r.rows[0][5].AsInt(), 7);
+}
+
+TEST_F(EngineTest, LnOfNonPositiveIsNull) {
+  auto r = MustQuery(db_, "SELECT LN(0), LN(-2)");
+  EXPECT_TRUE(r.rows[0][0].is_null());
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(EngineTest, CommaJoinBecomesEquiJoin) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE x (n INTEGER, w REAL);"
+      "CREATE TABLE y (n INTEGER, k INTEGER);"
+      "INSERT INTO x VALUES (1, 0.5), (2, 1.5);"
+      "INSERT INTO y VALUES (1, 10), (1, 20), (3, 30)"));
+  auto r = MustQuery(db_,
+                     "SELECT x.n, y.k, x.w FROM x, y WHERE x.n = y.n");
+  auto rows = RowStrings(r);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], "1|10|0.5");
+  EXPECT_EQ(rows[1], "1|20|0.5");
+}
+
+TEST_F(EngineTest, CrossJoinProducesProduct) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE a (x INTEGER); CREATE TABLE b (y INTEGER);"
+      "INSERT INTO a VALUES (1), (2); INSERT INTO b VALUES (10), (20)"));
+  auto r = MustQuery(db_, "SELECT x, y FROM a, b");
+  EXPECT_EQ(r.rows.size(), 4u);
+}
+
+TEST_F(EngineTest, ExplicitInnerJoinOn) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE a (x INTEGER); CREATE TABLE b (x INTEGER, y INTEGER);"
+      "INSERT INTO a VALUES (1), (2); INSERT INTO b VALUES (2, 20), (3, 30)"));
+  auto r = MustQuery(db_, "SELECT a.x, b.y FROM a JOIN b ON a.x = b.x");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 20);
+}
+
+TEST_F(EngineTest, LeftJoinEmitsNulls) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE a (x INTEGER); CREATE TABLE b (x INTEGER, y INTEGER);"
+      "INSERT INTO a VALUES (1), (2); INSERT INTO b VALUES (2, 20)"));
+  auto r = MustQuery(db_,
+                     "SELECT a.x, b.y FROM a LEFT JOIN b ON a.x = b.x "
+                     "ORDER BY a.x");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+  EXPECT_EQ(r.rows[1][1].AsInt(), 20);
+}
+
+TEST_F(EngineTest, ThreeWayJoin) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE a (n INTEGER, v INTEGER);"
+      "CREATE TABLE b (n INTEGER, w INTEGER);"
+      "CREATE TABLE c (n INTEGER, u INTEGER);"
+      "INSERT INTO a VALUES (1, 100), (2, 200);"
+      "INSERT INTO b VALUES (1, 10), (2, 20);"
+      "INSERT INTO c VALUES (1, 1)"));
+  auto r = MustQuery(db_,
+                     "SELECT a.v, b.w, c.u FROM a, b, c "
+                     "WHERE a.n = b.n AND a.n = c.n");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 100);
+}
+
+TEST_F(EngineTest, NullKeysNeverJoin) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE a (x INTEGER); CREATE TABLE b (x INTEGER);"
+      "INSERT INTO a VALUES (NULL), (1); INSERT INTO b VALUES (NULL), (1)"));
+  auto r = MustQuery(db_, "SELECT 1 FROM a, b WHERE a.x = b.x");
+  EXPECT_EQ(r.rows.size(), 1u);
+}
+
+TEST_F(EngineTest, GroupBySum) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (n INTEGER, w REAL);"
+      "INSERT INTO t VALUES (1, 0.5), (1, 1.5), (2, 3.0), (3, NULL)"));
+  auto r = MustQuery(db_, "SELECT n, SUM(w) AS w FROM t GROUP BY n");
+  auto rows = RowStrings(r);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], "1|2");
+  EXPECT_EQ(rows[1], "2|3");
+  EXPECT_EQ(rows[2], "3|NULL");  // SUM of no non-NULL values
+}
+
+TEST_F(EngineTest, GlobalAggregatesOnEmptyInput) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript("CREATE TABLE t (a INTEGER)"));
+  auto r = MustQuery(db_, "SELECT COUNT(*), SUM(a), MIN(a) FROM t");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+  EXPECT_TRUE(r.rows[0][2].is_null());
+}
+
+TEST_F(EngineTest, AggregateFunctions) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2), (3), (NULL)"));
+  auto r = MustQuery(db_,
+                     "SELECT COUNT(*), COUNT(a), SUM(a), AVG(a), MIN(a), "
+                     "MAX(a) FROM t");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 4);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 3);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 6);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].AsDouble(), 2.0);
+  EXPECT_EQ(r.rows[0][4].AsInt(), 1);
+  EXPECT_EQ(r.rows[0][5].AsInt(), 3);
+}
+
+TEST_F(EngineTest, GroupByExpressionAndHaving) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE p (id INTEGER, asjc INTEGER);"
+      "INSERT INTO p VALUES (1, 1702), (2, 1702), (3, 2613), (4, 1801)"));
+  auto r = MustQuery(db_,
+                     "SELECT asjc / 100 AS k, COUNT(*) AS c FROM p "
+                     "GROUP BY asjc / 100 HAVING COUNT(*) > 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 17);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+}
+
+TEST_F(EngineTest, GroupByAliasSupported) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE p (asjc INTEGER); INSERT INTO p VALUES (1702), (2613)"));
+  auto r = MustQuery(db_, "SELECT asjc / 100 AS k, COUNT(*) FROM p GROUP BY k");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(EngineTest, AggregateOverJoin) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE x (n INTEGER, w REAL);"
+      "CREATE TABLE y (n INTEGER, v REAL);"
+      "INSERT INTO x VALUES (1, 2.0), (2, 3.0);"
+      "INSERT INTO y VALUES (1, 10.0), (1, 20.0), (2, 30.0)"));
+  auto r = MustQuery(db_,
+                     "SELECT x.n AS n, SUM(x.w * y.v) AS s FROM x, y "
+                     "WHERE x.n = y.n GROUP BY x.n");
+  auto rows = RowStrings(r);
+  EXPECT_EQ(rows[0], "1|60");
+  EXPECT_EQ(rows[1], "2|90");
+}
+
+TEST_F(EngineTest, RowNumberWindow) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (n INTEGER, k INTEGER, w REAL);"
+      "INSERT INTO t VALUES (1, 10, 0.5), (1, 20, 0.9), (2, 10, 0.3)"));
+  auto r = MustQuery(
+      db_,
+      "SELECT n, k FROM (SELECT n, k, ROW_NUMBER() OVER("
+      "PARTITION BY n ORDER BY w DESC) AS r FROM t) AS ranked WHERE r = 1");
+  auto rows = RowStrings(r);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], "1|20");
+  EXPECT_EQ(rows[1], "2|10");
+}
+
+TEST_F(EngineTest, UnionAll) {
+  auto r = MustQuery(db_,
+                     "SELECT 1 AS x UNION ALL SELECT 2 UNION ALL SELECT 1");
+  EXPECT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.column_names[0], "x");
+}
+
+TEST_F(EngineTest, UnionAllArityMismatchFails) {
+  EXPECT_FALSE(db_.Execute("SELECT 1 UNION ALL SELECT 1, 2").ok());
+}
+
+TEST_F(EngineTest, Distinct) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (1), (2)"));
+  auto r = MustQuery(db_, "SELECT DISTINCT a FROM t");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(EngineTest, OrderByLimitOffset) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (a INTEGER); "
+      "INSERT INTO t VALUES (5), (3), (1), (4), (2)"));
+  auto r = MustQuery(db_, "SELECT a FROM t ORDER BY a LIMIT 2 OFFSET 1");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 3);
+}
+
+TEST_F(EngineTest, OrderByOrdinal) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (a INTEGER, b INTEGER);"
+      "INSERT INTO t VALUES (1, 9), (2, 8)"));
+  auto r = MustQuery(db_, "SELECT a, b FROM t ORDER BY 2");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(EngineTest, CteBasic) {
+  auto r = MustQuery(db_,
+                     "WITH one AS (SELECT 1 AS x), two AS (SELECT x + 1 AS x "
+                     "FROM one) SELECT x FROM two");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(EngineTest, CteReferencedTwice) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (n INTEGER, w REAL);"
+      "INSERT INTO t VALUES (1, 1.0), (1, 2.0), (2, 5.0)"));
+  auto r = MustQuery(
+      db_,
+      "WITH s AS (SELECT n, SUM(w) AS w FROM t GROUP BY n) "
+      "SELECT a.n, a.w / b.total AS frac FROM s AS a, "
+      "(SELECT SUM(w) AS total FROM s) AS b");
+  auto rows = RowStrings(r);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], "1|0.375");
+  EXPECT_EQ(rows[1], "2|0.625");
+}
+
+TEST_F(EngineTest, CteShadowsTable) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (100)"));
+  auto r = MustQuery(db_, "WITH t AS (SELECT 1 AS a) SELECT a FROM t");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+}
+
+TEST_F(EngineTest, PrimaryKeyRejectsDuplicates) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT);"
+      "INSERT INTO t VALUES (1, 'a')"));
+  EXPECT_FALSE(db_.Execute("INSERT INTO t VALUES (1, 'b')").ok());
+}
+
+TEST_F(EngineTest, OnConflictDoNothing) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT);"
+      "INSERT INTO t VALUES (1, 'a');"
+      "INSERT INTO t VALUES (1, 'b') ON CONFLICT (id) DO NOTHING"));
+  auto r = MustQuery(db_, "SELECT v FROM t");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsText(), "a");
+}
+
+TEST_F(EngineTest, OnConflictDoUpdateAccumulates) {
+  // The paper's incremental-learning primitive (§3.2).
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE corpus (j TEXT, k INTEGER, w REAL, PRIMARY KEY (j, k));"
+      "INSERT INTO corpus VALUES ('f1', 1, 1.5);"
+      "INSERT INTO corpus (j, k, w) VALUES ('f1', 1, 2.0), ('f2', 1, 0.5) "
+      "ON CONFLICT (j, k) DO UPDATE SET w = corpus.w + excluded.w"));
+  auto r = MustQuery(db_, "SELECT j, w FROM corpus ORDER BY j");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble(), 3.5);
+  EXPECT_DOUBLE_EQ(r.rows[1][1].AsDouble(), 0.5);
+}
+
+TEST_F(EngineTest, OnConflictTargetMustMatchKey) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (a INTEGER PRIMARY KEY, b INTEGER)"));
+  EXPECT_FALSE(db_.Execute("INSERT INTO t VALUES (1, 2) "
+                           "ON CONFLICT (b) DO NOTHING")
+                   .ok());
+}
+
+TEST_F(EngineTest, CreateUniqueIndexEnablesOnConflict) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (j TEXT, w REAL);"
+      "CREATE UNIQUE INDEX t_j ON t (j);"
+      "INSERT INTO t VALUES ('a', 1.0);"
+      "INSERT INTO t VALUES ('a', 2.0) ON CONFLICT (j) "
+      "DO UPDATE SET w = t.w + excluded.w"));
+  auto r = MustQuery(db_, "SELECT w FROM t");
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 3.0);
+}
+
+TEST_F(EngineTest, UpdateWithWhere) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (a INTEGER, b INTEGER);"
+      "INSERT INTO t VALUES (1, 0), (2, 0), (3, 0)"));
+  auto r = db_.Execute("UPDATE t SET b = a * 10 WHERE a >= 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows_affected, 2u);
+  auto check = MustQuery(db_, "SELECT SUM(b) FROM t");
+  EXPECT_EQ(check.rows[0][0].AsInt(), 50);
+}
+
+TEST_F(EngineTest, DeleteWithWhere) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2), (3)"));
+  auto r = db_.Execute("DELETE FROM t WHERE a % 2 = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows_affected, 2u);
+  auto check = MustQuery(db_, "SELECT COUNT(*) FROM t");
+  EXPECT_EQ(check.rows[0][0].AsInt(), 1);
+}
+
+TEST_F(EngineTest, CreateTableAsSelect) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2);"
+      "CREATE TABLE t2 AS SELECT a * 10 AS b FROM t"));
+  auto r = MustQuery(db_, "SELECT SUM(b) FROM t2");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 30);
+}
+
+TEST_F(EngineTest, InsertFromSelect) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE src (a INTEGER); INSERT INTO src VALUES (1), (2);"
+      "CREATE TABLE dst (a INTEGER, doubled INTEGER);"
+      "INSERT INTO dst (a, doubled) SELECT a, a * 2 FROM src"));
+  auto r = MustQuery(db_, "SELECT SUM(doubled) FROM dst");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 6);
+}
+
+TEST_F(EngineTest, InsertWithColumnSubsetFillsNull) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (a INTEGER, b TEXT); INSERT INTO t (a) VALUES (1)"));
+  auto r = MustQuery(db_, "SELECT b FROM t");
+  EXPECT_TRUE(r.rows[0][0].is_null());
+}
+
+TEST_F(EngineTest, AmbiguousColumnFails) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE a (x INTEGER); CREATE TABLE b (x INTEGER)"));
+  EXPECT_FALSE(db_.Execute("SELECT x FROM a, b").ok());
+}
+
+TEST_F(EngineTest, UnknownColumnFails) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript("CREATE TABLE a (x INTEGER)"));
+  EXPECT_FALSE(db_.Execute("SELECT nope FROM a").ok());
+}
+
+TEST_F(EngineTest, TableAliases) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (n INTEGER, w REAL);"
+      "INSERT INTO t VALUES (1, 2.0), (2, 4.0)"));
+  auto r = MustQuery(db_,
+                     "SELECT a.w * b.w AS p FROM t AS a, t AS b "
+                     "WHERE a.n = 1 AND b.n = 2");
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 8.0);
+}
+
+TEST_F(EngineTest, CaseExpression) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (-1), (0), (5)"));
+  auto r = MustQuery(db_,
+                     "SELECT CASE WHEN a > 0 THEN 'pos' WHEN a < 0 THEN 'neg' "
+                     "ELSE 'zero' END AS s FROM t ORDER BY a");
+  EXPECT_EQ(r.rows[0][0].AsText(), "neg");
+  EXPECT_EQ(r.rows[1][0].AsText(), "zero");
+  EXPECT_EQ(r.rows[2][0].AsText(), "pos");
+}
+
+TEST_F(EngineTest, LikeAndInList) {
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE t (s TEXT); "
+      "INSERT INTO t VALUES ('abstract:robot'), ('pubname:x'), ('keyword:y')"));
+  auto r = MustQuery(db_, "SELECT s FROM t WHERE s LIKE 'abstract:%'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  auto r2 = MustQuery(db_, "SELECT s FROM t WHERE s IN ('pubname:x', 'zzz')");
+  EXPECT_EQ(r2.rows.size(), 1u);
+}
+
+TEST_F(EngineTest, ScalarResultHelper) {
+  auto r = MustQuery(db_, "SELECT 41 + 1");
+  auto v = r.ScalarValue();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 42);
+}
+
+TEST_F(EngineTest, NonTrivialPredicatePlacement) {
+  // Mixed single-table + cross-table + non-equi conjuncts.
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE a (n INTEGER, v INTEGER);"
+      "CREATE TABLE b (n INTEGER, w INTEGER);"
+      "INSERT INTO a VALUES (1, 5), (2, 50), (3, 500);"
+      "INSERT INTO b VALUES (1, 6), (2, 7), (3, 400)"));
+  auto r = MustQuery(db_,
+                     "SELECT a.n FROM a, b WHERE a.n = b.n AND a.v > 10 "
+                     "AND a.v > b.w");
+  auto rows = RowStrings(r);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], "2");
+  EXPECT_EQ(rows[1], "3");
+}
+
+// The same semantics must hold under every join strategy / CTE mode.
+class EngineConfigTest
+    : public ::testing::TestWithParam<std::pair<JoinStrategy, bool>> {};
+
+TEST_P(EngineConfigTest, JoinAggregatePipelineIsConfigInvariant) {
+  EngineConfig config;
+  config.join_strategy = GetParam().first;
+  config.materialize_ctes = GetParam().second;
+  Database db{config};
+  BORNSQL_ASSERT_OK(db.ExecuteScript(
+      "CREATE TABLE x (n INTEGER, j TEXT, w REAL);"
+      "CREATE TABLE y (n INTEGER, k INTEGER, w REAL);"
+      "INSERT INTO x VALUES (1, 'a', 1.0), (1, 'b', 2.0), (2, 'a', 3.0),"
+      " (3, 'c', 1.0);"
+      "INSERT INTO y VALUES (1, 17, 1.0), (2, 26, 1.0), (3, 17, 1.0)"));
+  auto r = MustQuery(
+      db,
+      "WITH xy AS (SELECT x.n AS n, x.j AS j, y.k AS k, x.w * y.w AS w "
+      "FROM x, y WHERE x.n = y.n) "
+      "SELECT j, k, SUM(w) AS w FROM xy GROUP BY j, k ORDER BY j, k");
+  auto rows = RowStrings(r, /*sorted=*/false);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0], "a|17|1");
+  EXPECT_EQ(rows[1], "a|26|3");
+  EXPECT_EQ(rows[2], "b|17|2");
+  EXPECT_EQ(rows[3], "c|17|1");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, EngineConfigTest,
+    ::testing::Values(std::make_pair(JoinStrategy::kHash, true),
+                      std::make_pair(JoinStrategy::kHash, false),
+                      std::make_pair(JoinStrategy::kSortMerge, true),
+                      std::make_pair(JoinStrategy::kSortMerge, false),
+                      std::make_pair(JoinStrategy::kNestedLoop, true)));
+
+}  // namespace
+}  // namespace bornsql::engine

@@ -1,0 +1,229 @@
+// Integration tests executing the paper's §3 SQL listings verbatim over a
+// tiny hand-checkable database, verifying each intermediate tensor
+// (XY_njk, XY_n, P_jk, W_jk, H_jk, HW_jk, HWX_nk, U_nk) against values
+// computed by hand. This pins the engine to the exact semantics the paper
+// assumes of PostgreSQL/MySQL/SQLite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/database.h"
+#include "tests/test_util.h"
+
+namespace bornsql::engine {
+namespace {
+
+using ::bornsql::testing::MustQuery;
+
+// Two items:
+//   n=1: x = {f1: 2}, class 10
+//   n=2: x = {f1: 1, f2: 1}, class 20
+// Hand computation (w_n = 1):
+//   item 1: |x||y| = 2      -> P[f1,10] += 2*1/2 = 1
+//   item 2: |x||y| = 2      -> P[f1,20] += 0.5 ; P[f2,20] += 0.5
+// Marginals: P_j(f1)=1.5, P_j(f2)=0.5 ; P_k(10)=1, P_k(20)=1.
+// With a=1, b=1, h=1:
+//   W = P/P_k:  W[f1,10]=1, W[f1,20]=0.5, W[f2,20]=0.5
+//   W_j(f1)=1.5, W_j(f2)=0.5
+//   H[f1,10]=2/3, H[f1,20]=1/3, H[f2,20]=1
+//   H_j(f1) = 1 + (2/3 ln 2/3 + 1/3 ln 1/3)/ln 2 = 1 - 0.91830/ln2...
+//           = 0.080793...
+//   H_j(f2) = 1 + (1 ln 1)/ln 2 = 1
+//   HW[f1,10] = H_j(f1)*1, HW[f1,20] = H_j(f1)*0.5, HW[f2,20] = 1*0.5
+class PaperListingsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BORNSQL_ASSERT_OK(db_.ExecuteScript(
+        "CREATE TABLE X_nj (n INTEGER, j TEXT, w REAL);"
+        "CREATE TABLE Y_nk (n INTEGER, k INTEGER, w REAL);"
+        "CREATE TABLE W_n (n INTEGER, w REAL);"
+        "INSERT INTO X_nj VALUES (1, 'f1', 2.0), (2, 'f1', 1.0), "
+        "(2, 'f2', 1.0);"
+        "INSERT INTO Y_nk VALUES (1, 10, 1.0), (2, 20, 1.0);"
+        "INSERT INTO W_n VALUES (1, 1.0), (2, 1.0);"
+        "CREATE TABLE params (model TEXT PRIMARY KEY, a REAL, b REAL, "
+        "h REAL);"
+        "INSERT INTO params VALUES ('m', 1.0, 1.0, 1.0)"));
+  }
+
+  // Runs a SELECT and returns a sorted key->value map of "col0|col1..." ->
+  // last column as double.
+  std::map<std::string, double> RunTensor(const std::string& sql) {
+    auto result = MustQuery(db_, sql);
+    std::map<std::string, double> out;
+    for (const Row& row : result.rows) {
+      std::string key;
+      for (size_t c = 0; c + 1 < row.size(); ++c) {
+        if (c > 0) key += "|";
+        key += row[c].ToString();
+      }
+      out[key] = row.back().is_null() ? NAN : row.back().AsDouble();
+    }
+    return out;
+  }
+
+  Database db_;
+};
+
+constexpr const char* kXYnjk =
+    "SELECT X_nj.n AS n, X_nj.j AS j, Y_nk.k AS k, X_nj.w * Y_nk.w AS w "
+    "FROM X_nj, Y_nk WHERE X_nj.n = Y_nk.n";
+
+TEST_F(PaperListingsTest, Listing16XYnjk) {
+  auto t = RunTensor(kXYnjk);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.at("1|f1|10"), 2.0);
+  EXPECT_DOUBLE_EQ(t.at("2|f1|20"), 1.0);
+  EXPECT_DOUBLE_EQ(t.at("2|f2|20"), 1.0);
+}
+
+TEST_F(PaperListingsTest, Listing17XYn) {
+  std::string sql = std::string("WITH XY_njk AS (") + kXYnjk +
+                    ") SELECT n, SUM(w) AS w FROM XY_njk GROUP BY n";
+  auto t = RunTensor(sql);
+  EXPECT_DOUBLE_EQ(t.at("1"), 2.0);
+  EXPECT_DOUBLE_EQ(t.at("2"), 2.0);
+}
+
+std::string PjkSql() {
+  return std::string("WITH XY_njk AS (") + kXYnjk +
+         "), XY_n AS (SELECT n, SUM(w) AS w FROM XY_njk GROUP BY n) "
+         "SELECT XY_njk.j AS j, XY_njk.k AS k, "
+         "SUM(W_n.w * XY_njk.w / XY_n.w) AS w "
+         "FROM XY_njk, XY_n, W_n "
+         "WHERE XY_njk.n = XY_n.n AND XY_njk.n = W_n.n "
+         "GROUP BY XY_njk.j, XY_njk.k";
+}
+
+TEST_F(PaperListingsTest, Listing18Pjk) {
+  auto t = RunTensor(PjkSql());
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.at("f1|10"), 1.0);
+  EXPECT_DOUBLE_EQ(t.at("f1|20"), 0.5);
+  EXPECT_DOUBLE_EQ(t.at("f2|20"), 0.5);
+}
+
+// The deployment chain (listings 19-26) with a=b=h=1.
+std::string WeightChain() {
+  return std::string(
+             "WITH ABH AS (SELECT a, b, h FROM params WHERE model = 'm'), "
+             "P_jk AS (") +
+         PjkSql() +
+         "), "
+         "P_j AS (SELECT j, SUM(w) AS w FROM P_jk GROUP BY j), "
+         "P_k AS (SELECT k, SUM(w) AS w FROM P_jk GROUP BY k), "
+         "KN AS (SELECT COUNT(*) AS n FROM P_k), "
+         "W_jk AS (SELECT P_jk.j AS j, P_jk.k AS k, "
+         "P_jk.w / (POW(P_k.w, b) * POW(P_j.w, 1 - b)) AS w "
+         "FROM P_jk, P_j, P_k, ABH "
+         "WHERE P_jk.j = P_j.j AND P_jk.k = P_k.k), "
+         "W_j AS (SELECT j, SUM(w) AS w FROM W_jk GROUP BY j), "
+         "H_jk AS (SELECT W_jk.j AS j, W_jk.k AS k, W_jk.w / W_j.w AS w "
+         "FROM W_jk, W_j WHERE W_jk.j = W_j.j), "
+         "H_j AS (SELECT H_jk.j AS j, "
+         "1 + SUM(H_jk.w * LN(H_jk.w)) / LN(KN.n) AS w "
+         "FROM H_jk, KN GROUP BY H_jk.j, KN.n), "
+         "HW_jk AS (SELECT W_jk.j AS j, W_jk.k AS k, "
+         "POW(H_j.w, h) * POW(W_jk.w, a) AS w "
+         "FROM W_jk, H_j, ABH WHERE W_jk.j = H_j.j)";
+}
+
+TEST_F(PaperListingsTest, Listings20To22MarginalsAndW) {
+  auto w = RunTensor(WeightChain() + " SELECT j, k, w FROM W_jk");
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.at("f1|10"), 1.0);
+  EXPECT_DOUBLE_EQ(w.at("f1|20"), 0.5);
+  EXPECT_DOUBLE_EQ(w.at("f2|20"), 0.5);
+}
+
+TEST_F(PaperListingsTest, Listings24To25Entropy) {
+  auto h = RunTensor(WeightChain() + " SELECT H_jk.j, H_jk.k, H_jk.w "
+                                     "FROM H_jk");
+  EXPECT_NEAR(h.at("f1|10"), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.at("f1|20"), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.at("f2|20"), 1.0, 1e-12);
+
+  auto hj = RunTensor(WeightChain() + " SELECT j, w FROM H_j");
+  double expected_f1 =
+      1.0 + (2.0 / 3.0 * std::log(2.0 / 3.0) +
+             1.0 / 3.0 * std::log(1.0 / 3.0)) /
+                std::log(2.0);
+  EXPECT_NEAR(hj.at("f1"), expected_f1, 1e-12);
+  // H_jk(f2,20) = 1 exactly: ln(1) = 0 and H_j(f2) = 1 (a single-class
+  // feature carries no entropy discount).
+  EXPECT_NEAR(hj.at("f2"), 1.0, 1e-12);
+}
+
+TEST_F(PaperListingsTest, Listing27InferenceAndArgmax) {
+  // Classify item 2 (x = {f1:1, f2:1}) with the chain weights.
+  std::string sql =
+      WeightChain() +
+      ", HWX_nk AS (SELECT X_nj.n AS n, HW_jk.k AS k, "
+      "SUM(HW_jk.w * POW(X_nj.w, a)) AS w "
+      "FROM HW_jk, X_nj, ABH WHERE HW_jk.j = X_nj.j "
+      "GROUP BY X_nj.n, HW_jk.k) "
+      "SELECT R_nk.n, R_nk.k FROM (SELECT n, k, ROW_NUMBER() OVER("
+      "PARTITION BY n ORDER BY w DESC, k) AS r FROM HWX_nk) AS R_nk "
+      "WHERE R_nk.r = 1";
+  auto result = MustQuery(db_, sql);
+  std::map<int64_t, int64_t> pred;
+  for (const Row& row : result.rows) pred[row[0].AsInt()] = row[1].AsInt();
+  // Item 1 ({f1:2}): u_10 = H_j(f1)*1*2, u_20 = H_j(f1)*0.5*2 -> class 10.
+  EXPECT_EQ(pred.at(1), 10);
+  // Item 2 ({f1:1, f2:1}): u_10 = HW[f1,10] ~ 0.0808;
+  // u_20 = HW[f1,20] + HW[f2,20] ~ 0.0404 + 0.5 -> class 20.
+  EXPECT_EQ(pred.at(2), 20);
+}
+
+TEST_F(PaperListingsTest, Listings28To29Probabilities) {
+  std::string sql =
+      WeightChain() +
+      ", HWX_nk AS (SELECT X_nj.n AS n, HW_jk.k AS k, "
+      "SUM(HW_jk.w * POW(X_nj.w, a)) AS w "
+      "FROM HW_jk, X_nj, ABH WHERE HW_jk.j = X_nj.j "
+      "GROUP BY X_nj.n, HW_jk.k), "
+      "U_nk AS (SELECT n, k, POW(HWX_nk.w, 1 / ABH.a) AS w "
+      "FROM HWX_nk, ABH), "
+      "U_n AS (SELECT n, SUM(w) AS w FROM U_nk GROUP BY n) "
+      "SELECT U_nk.n, U_nk.k, U_nk.w / U_n.w AS p "
+      "FROM U_nk, U_n WHERE U_nk.n = U_n.n";
+  auto t = RunTensor(sql);
+  // Item 1 sees only class-10 weights through f1... plus f1's class-20
+  // weight: p(10) = 1/(1+0.5) = 2/3.
+  EXPECT_NEAR(t.at("1|10"), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(t.at("1|20"), 1.0 / 3.0, 1e-12);
+  // Probabilities per item sum to 1.
+  EXPECT_NEAR(t.at("2|10") + t.at("2|20"), 1.0, 1e-12);
+}
+
+TEST_F(PaperListingsTest, Listings30To32LocalExplanation) {
+  // z for items {1, 2}: z(f1) = 2/2 + 1/2 = 1.5 ; z(f2) = 1/2.
+  std::string sql =
+      "WITH X_n AS (SELECT X_nj.n AS n, SUM(X_nj.w) AS w FROM X_nj "
+      "GROUP BY X_nj.n) "
+      "SELECT X_nj.j, SUM(W_n.w * X_nj.w / X_n.w) AS w "
+      "FROM X_nj, X_n, W_n WHERE X_nj.n = X_n.n AND X_nj.n = W_n.n "
+      "GROUP BY X_nj.j";
+  auto z = RunTensor(sql);
+  EXPECT_DOUBLE_EQ(z.at("f1"), 1.5);
+  EXPECT_DOUBLE_EQ(z.at("f2"), 0.5);
+}
+
+TEST_F(PaperListingsTest, IncrementalUpsertListing) {
+  // The §3.2 corpus upsert, run twice: weights double.
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(
+      "CREATE TABLE m_corpus (j TEXT, k INTEGER, w REAL, "
+      "PRIMARY KEY (j, k))"));
+  std::string upsert =
+      "INSERT INTO m_corpus (j, k, w) " + PjkSql() +
+      " ON CONFLICT (j, k) DO UPDATE SET w = m_corpus.w + excluded.w";
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(upsert));
+  BORNSQL_ASSERT_OK(db_.ExecuteScript(upsert));
+  auto t = RunTensor("SELECT j, k, w FROM m_corpus");
+  EXPECT_DOUBLE_EQ(t.at("f1|10"), 2.0);
+  EXPECT_DOUBLE_EQ(t.at("f1|20"), 1.0);
+  EXPECT_DOUBLE_EQ(t.at("f2|20"), 1.0);
+}
+
+}  // namespace
+}  // namespace bornsql::engine

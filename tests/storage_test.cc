@@ -1,0 +1,166 @@
+// Tests for the row store, unique keys, secondary indexes and catalog.
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "tests/test_util.h"
+
+namespace bornsql::storage {
+namespace {
+
+Schema TwoColSchema() {
+  Schema s;
+  s.Add(Column{"t", "a", ValueType::kInt});
+  s.Add(Column{"t", "b", ValueType::kText});
+  return s;
+}
+
+TEST(TableTest, InsertAndRead) {
+  Table t("t", TwoColSchema(), {});
+  BORNSQL_ASSERT_OK(t.Insert({Value::Int(1), Value::Text("x")}));
+  BORNSQL_ASSERT_OK(t.Insert({Value::Int(2), Value::Text("y")}));
+  ASSERT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.rows()[1][1].AsText(), "y");
+}
+
+TEST(TableTest, UniqueKeyRejectsDuplicates) {
+  Table t("t", TwoColSchema(), {0});
+  BORNSQL_ASSERT_OK(t.Insert({Value::Int(1), Value::Text("x")}));
+  auto st = t.Insert({Value::Int(1), Value::Text("other")});
+  EXPECT_EQ(st.code(), StatusCode::kConstraintViolation);
+}
+
+TEST(TableTest, FindConflictLocatesRow) {
+  Table t("t", TwoColSchema(), {0});
+  BORNSQL_ASSERT_OK(t.Insert({Value::Int(5), Value::Text("x")}));
+  BORNSQL_ASSERT_OK(t.Insert({Value::Int(9), Value::Text("y")}));
+  EXPECT_EQ(t.FindConflict({Value::Int(9), Value::Null()}), 1u);
+  EXPECT_EQ(t.FindConflict({Value::Int(7), Value::Null()}), Table::kNpos);
+}
+
+TEST(TableTest, CompositeKey) {
+  Schema s;
+  s.Add(Column{"t", "j", ValueType::kText});
+  s.Add(Column{"t", "k", ValueType::kInt});
+  Table t("t", s, {0, 1});
+  BORNSQL_ASSERT_OK(t.Insert({Value::Text("f"), Value::Int(1)}));
+  BORNSQL_ASSERT_OK(t.Insert({Value::Text("f"), Value::Int(2)}));
+  EXPECT_FALSE(t.Insert({Value::Text("f"), Value::Int(1)}).ok());
+}
+
+TEST(TableTest, UpdateRowMaintainsUniqueIndex) {
+  Table t("t", TwoColSchema(), {0});
+  BORNSQL_ASSERT_OK(t.Insert({Value::Int(1), Value::Text("x")}));
+  BORNSQL_ASSERT_OK(t.Insert({Value::Int(2), Value::Text("y")}));
+  // Moving row 0 onto key 2 must fail.
+  EXPECT_FALSE(t.UpdateRow(0, {Value::Int(2), Value::Text("z")}).ok());
+  // Moving to a fresh key succeeds and old key is freed.
+  BORNSQL_ASSERT_OK(t.UpdateRow(0, {Value::Int(3), Value::Text("z")}));
+  BORNSQL_ASSERT_OK(t.Insert({Value::Int(1), Value::Text("fresh")}));
+}
+
+TEST(TableTest, DeleteRowsRebuildsIndex) {
+  Table t("t", TwoColSchema(), {0});
+  for (int i = 0; i < 5; ++i) {
+    BORNSQL_ASSERT_OK(t.Insert({Value::Int(i), Value::Text("v")}));
+  }
+  std::vector<bool> flags = {true, false, true, false, true};
+  EXPECT_EQ(t.DeleteRows(flags), 3u);
+  EXPECT_EQ(t.row_count(), 2u);
+  // Keys 0/2/4 are reusable again.
+  BORNSQL_ASSERT_OK(t.Insert({Value::Int(0), Value::Text("new")}));
+  EXPECT_EQ(t.FindConflict({Value::Int(3), Value::Null()}), 1u);
+}
+
+TEST(TableTest, SetUniqueKeyOnExistingData) {
+  Table t("t", TwoColSchema(), {});
+  BORNSQL_ASSERT_OK(t.Insert({Value::Int(1), Value::Text("x")}));
+  BORNSQL_ASSERT_OK(t.Insert({Value::Int(1), Value::Text("y")}));
+  // Duplicates present: declaring uniqueness on column 0 fails...
+  EXPECT_FALSE(t.SetUniqueKey({0}).ok());
+  // ...but (a, b) is unique.
+  BORNSQL_ASSERT_OK(t.SetUniqueKey({0, 1}));
+}
+
+TEST(TableTest, SecondaryIndexLookup) {
+  Table t("t", TwoColSchema(), {});
+  for (int i = 0; i < 6; ++i) {
+    t.AppendUnchecked({Value::Int(i % 2), Value::Text("v")});
+  }
+  size_t idx = t.AddSecondaryIndex({0});
+  std::vector<size_t> hits;
+  t.LookupIndex(idx, {Value::Int(0)}, &hits);
+  EXPECT_EQ(hits.size(), 3u);
+  hits.clear();
+  t.LookupIndex(idx, {Value::Int(7)}, &hits);
+  EXPECT_TRUE(hits.empty());
+  // NULL keys never match.
+  hits.clear();
+  t.LookupIndex(idx, {Value::Null()}, &hits);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(TableTest, SecondaryIndexMaintainedByMutations) {
+  Table t("t", TwoColSchema(), {});
+  size_t idx = t.AddSecondaryIndex({0});
+  t.AppendUnchecked({Value::Int(1), Value::Text("a")});
+  t.AppendUnchecked({Value::Int(1), Value::Text("b")});
+  BORNSQL_ASSERT_OK(t.UpdateRow(0, {Value::Int(2), Value::Text("a")}));
+  std::vector<size_t> hits;
+  t.LookupIndex(idx, {Value::Int(1)}, &hits);
+  EXPECT_EQ(hits.size(), 1u);
+  hits.clear();
+  t.LookupIndex(idx, {Value::Int(2)}, &hits);
+  EXPECT_EQ(hits.size(), 1u);
+  // Delete and re-check.
+  EXPECT_EQ(t.DeleteRows({false, true}), 1u);
+  hits.clear();
+  t.LookupIndex(idx, {Value::Int(1)}, &hits);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(TableTest, FindIndexOnIsOrderInsensitive) {
+  Schema s;
+  s.Add(Column{"t", "x", ValueType::kInt});
+  s.Add(Column{"t", "y", ValueType::kInt});
+  Table t("t", s, {});
+  t.AddSecondaryIndex({1, 0});
+  EXPECT_NE(t.FindIndexOn({0, 1}), Table::kNpos);
+  EXPECT_EQ(t.FindIndexOn({0}), Table::kNpos);
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  catalog::Catalog c;
+  auto t = c.CreateTable("Foo", TwoColSchema(), {}, false);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(c.Exists("foo"));  // case-insensitive
+  EXPECT_TRUE(c.GetTable("FOO").ok());
+  EXPECT_FALSE(c.CreateTable("foo", TwoColSchema(), {}, false).ok());
+  BORNSQL_ASSERT_OK(c.DropTable("Foo", false));
+  EXPECT_FALSE(c.GetTable("foo").ok());
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  catalog::Catalog c;
+  ASSERT_TRUE(c.CreateTable("zeta", TwoColSchema(), {}, false).ok());
+  ASSERT_TRUE(c.CreateTable("alpha", TwoColSchema(), {}, false).ok());
+  auto names = c.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(CatalogTest, EstimateBytesGrowsWithData) {
+  catalog::Catalog c;
+  auto t = c.CreateTable("t", TwoColSchema(), {}, false);
+  ASSERT_TRUE(t.ok());
+  size_t before = c.EstimateBytes();
+  for (int i = 0; i < 100; ++i) {
+    (*t)->AppendUnchecked({Value::Int(i), Value::Text("payload string")});
+  }
+  EXPECT_GT(c.EstimateBytes(), before);
+}
+
+}  // namespace
+}  // namespace bornsql::storage

@@ -1,0 +1,76 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace bornsql::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  auto tokens = Tokenize("Hello, World! Foo-bar");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "foo");
+  EXPECT_EQ(tokens[3], "bar");
+}
+
+TEST(TokenizerTest, DropsShortTokens) {
+  auto tokens = Tokenize("a bc d ef");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "bc");
+  EXPECT_EQ(tokens[1], "ef");
+}
+
+TEST(TokenizerTest, RemovesStopwords) {
+  auto tokens = Tokenize("the cat sat on the mat");
+  // "the" and "on" are stopwords; "cat"/"sat"/"mat" stay. "on" is length 2
+  // and a stopword.
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "cat");
+}
+
+TEST(TokenizerTest, StopwordsKeptWhenDisabled) {
+  TokenizerOptions opts;
+  opts.remove_stopwords = false;
+  auto tokens = Tokenize("the cat", opts);
+  EXPECT_EQ(tokens.size(), 2u);
+}
+
+TEST(TokenizerTest, StripsSimplePlurals) {
+  auto tokens = Tokenize("models model classes");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "model");
+  EXPECT_EQ(tokens[1], "model");
+  // 'ss' endings are not stripped.
+  EXPECT_EQ(tokens[2], "classe");  // "classes" -> strip one trailing 's'
+}
+
+TEST(TokenizerTest, NumbersAreTokens) {
+  auto tokens = Tokenize("born 2022 classifier");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1], "2022");
+}
+
+TEST(TokenizerTest, VectorizeCounts) {
+  auto counts = Vectorize("sample sampling sample variance sample");
+  // "sample" x3 ("samples"? no), "sampling" x1, "variance" x1.
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0].term, "sample");
+  EXPECT_EQ(counts[0].count, 3);
+  EXPECT_EQ(counts[1].term, "sampling");
+  EXPECT_EQ(counts[1].count, 1);
+}
+
+TEST(TokenizerTest, VectorizeEmptyDocument) {
+  EXPECT_TRUE(Vectorize("").empty());
+  EXPECT_TRUE(Vectorize("  ,.;:!  ").empty());
+}
+
+TEST(TokenizerTest, IsStopword) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("with"));
+  EXPECT_FALSE(IsStopword("robot"));
+}
+
+}  // namespace
+}  // namespace bornsql::text

@@ -1,0 +1,112 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+namespace bornsql {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, IntAccessors) {
+  Value v = Value::Int(42);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 42.0);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, DoubleToString) {
+  EXPECT_EQ(Value::Double(1.5).ToString(), "1.5");
+  EXPECT_EQ(Value::Double(-0.25).ToString(), "-0.25");
+}
+
+TEST(ValueTest, BoolIsInt) {
+  EXPECT_EQ(Value::Bool(true).AsInt(), 1);
+  EXPECT_EQ(Value::Bool(false).AsInt(), 0);
+}
+
+TEST(ValueTest, TruthySemantics) {
+  EXPECT_FALSE(Value::Null().Truthy());
+  EXPECT_FALSE(Value::Int(0).Truthy());
+  EXPECT_TRUE(Value::Int(-3).Truthy());
+  EXPECT_FALSE(Value::Double(0.0).Truthy());
+  EXPECT_TRUE(Value::Double(0.1).Truthy());
+  EXPECT_FALSE(Value::Text("").Truthy());
+  EXPECT_TRUE(Value::Text("x").Truthy());
+}
+
+TEST(ValueTest, CompareNumericCrossType) {
+  EXPECT_EQ(Value::Compare(Value::Int(2), Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Compare(Value::Int(1), Value::Double(1.5)), 0);
+  EXPECT_GT(Value::Compare(Value::Double(3.5), Value::Int(3)), 0);
+}
+
+TEST(ValueTest, CompareTypeClasses) {
+  // NULL < numeric < text.
+  EXPECT_LT(Value::Compare(Value::Null(), Value::Int(-100)), 0);
+  EXPECT_LT(Value::Compare(Value::Int(1000), Value::Text("")), 0);
+  EXPECT_EQ(Value::Compare(Value::Null(), Value::Null()), 0);
+}
+
+TEST(ValueTest, CompareText) {
+  EXPECT_LT(Value::Compare(Value::Text("abc"), Value::Text("abd")), 0);
+  EXPECT_EQ(Value::Compare(Value::Text("abc"), Value::Text("abc")), 0);
+}
+
+TEST(ValueTest, SqlEqualsNullNeverMatches) {
+  EXPECT_FALSE(Value::SqlEquals(Value::Null(), Value::Null()));
+  EXPECT_FALSE(Value::SqlEquals(Value::Null(), Value::Int(1)));
+  EXPECT_TRUE(Value::SqlEquals(Value::Int(1), Value::Double(1.0)));
+}
+
+TEST(ValueTest, CoerceIntToDouble) {
+  auto r = Value::Int(7).CoerceTo(ValueType::kDouble);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_double());
+  EXPECT_DOUBLE_EQ(r->AsDouble(), 7.0);
+}
+
+TEST(ValueTest, CoerceDoubleToIntTruncates) {
+  auto r = Value::Double(3.9).CoerceTo(ValueType::kInt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsInt(), 3);
+}
+
+TEST(ValueTest, CoerceTextParsesNumbers) {
+  auto i = Value::Text("123").CoerceTo(ValueType::kInt);
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->AsInt(), 123);
+  auto d = Value::Text("1.25").CoerceTo(ValueType::kDouble);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->AsDouble(), 1.25);
+}
+
+TEST(ValueTest, CoerceBadTextFails) {
+  EXPECT_FALSE(Value::Text("12abc").CoerceTo(ValueType::kInt).ok());
+  EXPECT_FALSE(Value::Text("").CoerceTo(ValueType::kDouble).ok());
+}
+
+TEST(ValueTest, CoerceNullIsIdentity) {
+  auto r = Value::Null().CoerceTo(ValueType::kInt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_null());
+}
+
+TEST(ValueTest, HashConsistentWithCompare) {
+  // Int and equal-valued double must hash alike (they compare equal).
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Double(5.0).Hash());
+}
+
+TEST(ValueTest, HashRowDiffersOnContent) {
+  Row a = {Value::Int(1), Value::Text("x")};
+  Row b = {Value::Int(1), Value::Text("y")};
+  EXPECT_NE(HashRow(a), HashRow(b));
+}
+
+}  // namespace
+}  // namespace bornsql

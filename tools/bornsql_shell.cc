@@ -1,0 +1,166 @@
+// bornsql_shell: an interactive SQL shell over the BornSQL engine.
+//
+//   build/tools/bornsql_shell            # interactive REPL
+//   build/tools/bornsql_shell < script   # batch mode
+//
+// Statements end with ';'. Dot commands:
+//   .tables                list tables
+//   .schema <table>        show a table's columns
+//   .import <csv> <table>  load a CSV file
+//   .export <file> <sql;>  write a query's result as CSV
+//   .timer on|off          print per-statement wall time
+//   .help                  this text
+//   .quit                  exit
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "engine/csv.h"
+#include "engine/database.h"
+
+namespace {
+
+using bornsql::Status;
+using bornsql::StrFormat;
+using bornsql::Value;
+using bornsql::engine::Database;
+using bornsql::engine::QueryResult;
+
+void PrintResult(const QueryResult& result) {
+  if (result.column_names.empty()) {
+    if (result.rows_affected > 0) {
+      std::printf("(%zu rows affected)\n", result.rows_affected);
+    } else {
+      std::printf("ok\n");
+    }
+    return;
+  }
+  // Column widths from header + data (capped for sanity).
+  constexpr size_t kMaxWidth = 48;
+  std::vector<size_t> widths;
+  for (const std::string& name : result.column_names) {
+    widths.push_back(std::min(name.size(), kMaxWidth));
+  }
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& row : result.rows) {
+    std::vector<std::string> line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::string text = row[c].ToString();
+      if (text.size() > kMaxWidth) text = text.substr(0, kMaxWidth - 1) + "…";
+      if (c < widths.size()) widths[c] = std::max(widths[c], text.size());
+      line.push_back(std::move(text));
+    }
+    cells.push_back(std::move(line));
+  }
+  auto rule = [&]() {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::printf("+%s", std::string(widths[c] + 2, '-').c_str());
+    }
+    std::printf("+\n");
+  };
+  rule();
+  for (size_t c = 0; c < result.column_names.size(); ++c) {
+    std::printf("| %-*s ", static_cast<int>(widths[c]),
+                result.column_names[c].c_str());
+  }
+  std::printf("|\n");
+  rule();
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      std::printf("| %-*s ", static_cast<int>(widths[c]), line[c].c_str());
+    }
+    std::printf("|\n");
+  }
+  rule();
+  std::printf("(%zu row%s)\n", result.rows.size(),
+              result.rows.size() == 1 ? "" : "s");
+}
+
+// Handles a dot command; returns false on .quit.
+bool DotCommand(Database& db, const std::string& line, bool* timer) {
+  auto parts = bornsql::Split(line, ' ');
+  const std::string& cmd = parts[0];
+  if (cmd == ".quit" || cmd == ".exit") return false;
+  if (cmd == ".help") {
+    std::printf(
+        ".tables | .schema <t> | .import <csv> <t> | .export <file> <sql;> "
+        "| .timer on|off | .quit\n");
+  } else if (cmd == ".tables") {
+    for (const std::string& name : db.catalog().TableNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+  } else if (cmd == ".schema" && parts.size() >= 2) {
+    auto table = db.catalog().GetTable(parts[1]);
+    if (!table.ok()) {
+      std::printf("error: %s\n", table.status().ToString().c_str());
+    } else {
+      for (const auto& col : (*table)->schema().columns()) {
+        std::printf("  %-24s %s\n", col.name.c_str(),
+                    bornsql::ValueTypeName(col.type));
+      }
+      std::printf("  (%zu rows)\n", (*table)->row_count());
+    }
+  } else if (cmd == ".import" && parts.size() >= 3) {
+    auto loaded = bornsql::engine::LoadCsvFile(&db, parts[2], parts[1]);
+    if (!loaded.ok()) {
+      std::printf("error: %s\n", loaded.status().ToString().c_str());
+    } else {
+      std::printf("loaded %zu rows into %s\n", *loaded, parts[2].c_str());
+    }
+  } else if (cmd == ".export" && parts.size() >= 3) {
+    std::string query;
+    for (size_t i = 2; i < parts.size(); ++i) {
+      if (i > 2) query += ' ';
+      query += parts[i];
+    }
+    auto st = bornsql::engine::DumpCsvFile(&db, query, parts[1]);
+    std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+  } else if (cmd == ".timer" && parts.size() >= 2) {
+    *timer = parts[1] == "on";
+  } else {
+    std::printf("unknown command %s (try .help)\n", cmd.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  bool timer = false;
+  const bool interactive = isatty(fileno(stdin));
+  if (interactive) {
+    std::printf("BornSQL shell — statements end with ';', .help for "
+                "commands, .quit to exit\n");
+  }
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf("%s", buffer.empty() ? "bornsql> " : "    ...> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = bornsql::StripWhitespace(line);
+    if (buffer.empty() && !trimmed.empty() && trimmed[0] == '.') {
+      if (!DotCommand(db, std::string(trimmed), &timer)) break;
+      continue;
+    }
+    buffer += line;
+    buffer += '\n';
+    // Execute once the statement terminator arrives.
+    if (trimmed.empty() || trimmed.back() != ';') continue;
+    bornsql::WallTimer wall;
+    auto result = db.Execute(buffer);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+    } else {
+      PrintResult(*result);
+      if (timer) std::printf("elapsed: %.3fs\n", wall.ElapsedSeconds());
+    }
+    buffer.clear();
+  }
+  return 0;
+}
