@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_deploy.dir/bench/bench_fig4_deploy.cc.o"
+  "CMakeFiles/bench_fig4_deploy.dir/bench/bench_fig4_deploy.cc.o.d"
+  "bench/bench_fig4_deploy"
+  "bench/bench_fig4_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

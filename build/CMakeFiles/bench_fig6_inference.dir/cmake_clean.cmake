@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_inference.dir/bench/bench_fig6_inference.cc.o"
+  "CMakeFiles/bench_fig6_inference.dir/bench/bench_fig6_inference.cc.o.d"
+  "bench/bench_fig6_inference"
+  "bench/bench_fig6_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

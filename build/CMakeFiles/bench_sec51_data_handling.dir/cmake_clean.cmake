@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_data_handling.dir/bench/bench_sec51_data_handling.cc.o"
+  "CMakeFiles/bench_sec51_data_handling.dir/bench/bench_sec51_data_handling.cc.o.d"
+  "bench/bench_sec51_data_handling"
+  "bench/bench_sec51_data_handling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_data_handling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

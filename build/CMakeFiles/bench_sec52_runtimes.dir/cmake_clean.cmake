@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec52_runtimes.dir/bench/bench_sec52_runtimes.cc.o"
+  "CMakeFiles/bench_sec52_runtimes.dir/bench/bench_sec52_runtimes.cc.o.d"
+  "bench/bench_sec52_runtimes"
+  "bench/bench_sec52_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec52_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

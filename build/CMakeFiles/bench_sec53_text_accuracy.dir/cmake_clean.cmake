@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_text_accuracy.dir/bench/bench_sec53_text_accuracy.cc.o"
+  "CMakeFiles/bench_sec53_text_accuracy.dir/bench/bench_sec53_text_accuracy.cc.o.d"
+  "bench/bench_sec53_text_accuracy"
+  "bench/bench_sec53_text_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_text_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_preprocess.dir/bench/bench_table2_preprocess.cc.o"
+  "CMakeFiles/bench_table2_preprocess.dir/bench/bench_table2_preprocess.cc.o.d"
+  "bench/bench_table2_preprocess"
+  "bench/bench_table2_preprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_global_explain.dir/bench/bench_table3_global_explain.cc.o"
+  "CMakeFiles/bench_table3_global_explain.dir/bench/bench_table3_global_explain.cc.o.d"
+  "bench/bench_table3_global_explain"
+  "bench/bench_table3_global_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_global_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_metrics.dir/bench/bench_table5_metrics.cc.o"
+  "CMakeFiles/bench_table5_metrics.dir/bench/bench_table5_metrics.cc.o.d"
+  "bench/bench_table5_metrics"
+  "bench/bench_table5_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

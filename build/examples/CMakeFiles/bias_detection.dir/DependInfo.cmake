@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/bias_detection.cpp" "examples/CMakeFiles/bias_detection.dir/bias_detection.cpp.o" "gcc" "examples/CMakeFiles/bias_detection.dir/bias_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bornsql_born.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bornsql_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bornsql_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bornsql_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bornsql_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bornsql_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bornsql_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bornsql_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bornsql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

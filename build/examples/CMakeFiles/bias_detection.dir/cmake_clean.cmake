@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bias_detection.dir/bias_detection.cpp.o"
+  "CMakeFiles/bias_detection.dir/bias_detection.cpp.o.d"
+  "bias_detection"
+  "bias_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bias_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

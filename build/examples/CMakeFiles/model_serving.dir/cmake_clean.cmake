@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_serving.dir/model_serving.cpp.o"
+  "CMakeFiles/model_serving.dir/model_serving.cpp.o.d"
+  "model_serving"
+  "model_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_unlearning.dir/privacy_unlearning.cpp.o"
+  "CMakeFiles/privacy_unlearning.dir/privacy_unlearning.cpp.o.d"
+  "privacy_unlearning"
+  "privacy_unlearning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_unlearning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

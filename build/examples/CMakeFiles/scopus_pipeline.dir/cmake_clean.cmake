@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scopus_pipeline.dir/scopus_pipeline.cpp.o"
+  "CMakeFiles/scopus_pipeline.dir/scopus_pipeline.cpp.o.d"
+  "scopus_pipeline"
+  "scopus_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scopus_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_ingestion.dir/text_ingestion.cpp.o"
+  "CMakeFiles/text_ingestion.dir/text_ingestion.cpp.o.d"
+  "text_ingestion"
+  "text_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/decision_tree.cc" "src/CMakeFiles/bornsql_baselines.dir/baselines/decision_tree.cc.o" "gcc" "src/CMakeFiles/bornsql_baselines.dir/baselines/decision_tree.cc.o.d"
+  "/root/repo/src/baselines/dense.cc" "src/CMakeFiles/bornsql_baselines.dir/baselines/dense.cc.o" "gcc" "src/CMakeFiles/bornsql_baselines.dir/baselines/dense.cc.o.d"
+  "/root/repo/src/baselines/linear_svm.cc" "src/CMakeFiles/bornsql_baselines.dir/baselines/linear_svm.cc.o" "gcc" "src/CMakeFiles/bornsql_baselines.dir/baselines/linear_svm.cc.o.d"
+  "/root/repo/src/baselines/logistic_regression.cc" "src/CMakeFiles/bornsql_baselines.dir/baselines/logistic_regression.cc.o" "gcc" "src/CMakeFiles/bornsql_baselines.dir/baselines/logistic_regression.cc.o.d"
+  "/root/repo/src/baselines/metrics.cc" "src/CMakeFiles/bornsql_baselines.dir/baselines/metrics.cc.o" "gcc" "src/CMakeFiles/bornsql_baselines.dir/baselines/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bornsql_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bornsql_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bornsql_baselines.dir/baselines/decision_tree.cc.o"
+  "CMakeFiles/bornsql_baselines.dir/baselines/decision_tree.cc.o.d"
+  "CMakeFiles/bornsql_baselines.dir/baselines/dense.cc.o"
+  "CMakeFiles/bornsql_baselines.dir/baselines/dense.cc.o.d"
+  "CMakeFiles/bornsql_baselines.dir/baselines/linear_svm.cc.o"
+  "CMakeFiles/bornsql_baselines.dir/baselines/linear_svm.cc.o.d"
+  "CMakeFiles/bornsql_baselines.dir/baselines/logistic_regression.cc.o"
+  "CMakeFiles/bornsql_baselines.dir/baselines/logistic_regression.cc.o.d"
+  "CMakeFiles/bornsql_baselines.dir/baselines/metrics.cc.o"
+  "CMakeFiles/bornsql_baselines.dir/baselines/metrics.cc.o.d"
+  "libbornsql_baselines.a"
+  "libbornsql_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bornsql_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

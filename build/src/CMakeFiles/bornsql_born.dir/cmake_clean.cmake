@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bornsql_born.dir/born/born_ref.cc.o"
+  "CMakeFiles/bornsql_born.dir/born/born_ref.cc.o.d"
+  "CMakeFiles/bornsql_born.dir/born/born_sql.cc.o"
+  "CMakeFiles/bornsql_born.dir/born/born_sql.cc.o.d"
+  "libbornsql_born.a"
+  "libbornsql_born.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bornsql_born.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

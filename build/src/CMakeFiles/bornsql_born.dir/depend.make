@@ -1,0 +1,2 @@
+# Empty dependencies file for bornsql_born.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bornsql_common.dir/common/rng.cc.o"
+  "CMakeFiles/bornsql_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/bornsql_common.dir/common/status.cc.o"
+  "CMakeFiles/bornsql_common.dir/common/status.cc.o.d"
+  "CMakeFiles/bornsql_common.dir/common/strings.cc.o"
+  "CMakeFiles/bornsql_common.dir/common/strings.cc.o.d"
+  "libbornsql_common.a"
+  "libbornsql_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bornsql_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bornsql_data.dir/data/adult.cc.o"
+  "CMakeFiles/bornsql_data.dir/data/adult.cc.o.d"
+  "CMakeFiles/bornsql_data.dir/data/newsgroups.cc.o"
+  "CMakeFiles/bornsql_data.dir/data/newsgroups.cc.o.d"
+  "CMakeFiles/bornsql_data.dir/data/rlcp.cc.o"
+  "CMakeFiles/bornsql_data.dir/data/rlcp.cc.o.d"
+  "CMakeFiles/bornsql_data.dir/data/scopus.cc.o"
+  "CMakeFiles/bornsql_data.dir/data/scopus.cc.o.d"
+  "libbornsql_data.a"
+  "libbornsql_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bornsql_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/binder.cc" "src/CMakeFiles/bornsql_engine.dir/engine/binder.cc.o" "gcc" "src/CMakeFiles/bornsql_engine.dir/engine/binder.cc.o.d"
+  "/root/repo/src/engine/csv.cc" "src/CMakeFiles/bornsql_engine.dir/engine/csv.cc.o" "gcc" "src/CMakeFiles/bornsql_engine.dir/engine/csv.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/bornsql_engine.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/bornsql_engine.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/planner.cc" "src/CMakeFiles/bornsql_engine.dir/engine/planner.cc.o" "gcc" "src/CMakeFiles/bornsql_engine.dir/engine/planner.cc.o.d"
+  "/root/repo/src/exec/aggregates.cc" "src/CMakeFiles/bornsql_engine.dir/exec/aggregates.cc.o" "gcc" "src/CMakeFiles/bornsql_engine.dir/exec/aggregates.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "src/CMakeFiles/bornsql_engine.dir/exec/evaluator.cc.o" "gcc" "src/CMakeFiles/bornsql_engine.dir/exec/evaluator.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/bornsql_engine.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/bornsql_engine.dir/exec/operators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bornsql_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bornsql_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bornsql_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bornsql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bornsql_engine.dir/engine/binder.cc.o"
+  "CMakeFiles/bornsql_engine.dir/engine/binder.cc.o.d"
+  "CMakeFiles/bornsql_engine.dir/engine/csv.cc.o"
+  "CMakeFiles/bornsql_engine.dir/engine/csv.cc.o.d"
+  "CMakeFiles/bornsql_engine.dir/engine/database.cc.o"
+  "CMakeFiles/bornsql_engine.dir/engine/database.cc.o.d"
+  "CMakeFiles/bornsql_engine.dir/engine/planner.cc.o"
+  "CMakeFiles/bornsql_engine.dir/engine/planner.cc.o.d"
+  "CMakeFiles/bornsql_engine.dir/exec/aggregates.cc.o"
+  "CMakeFiles/bornsql_engine.dir/exec/aggregates.cc.o.d"
+  "CMakeFiles/bornsql_engine.dir/exec/evaluator.cc.o"
+  "CMakeFiles/bornsql_engine.dir/exec/evaluator.cc.o.d"
+  "CMakeFiles/bornsql_engine.dir/exec/operators.cc.o"
+  "CMakeFiles/bornsql_engine.dir/exec/operators.cc.o.d"
+  "libbornsql_engine.a"
+  "libbornsql_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bornsql_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bornsql_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/bornsql_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/bornsql_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/bornsql_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/bornsql_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/bornsql_sql.dir/sql/parser.cc.o.d"
+  "libbornsql_sql.a"
+  "libbornsql_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bornsql_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

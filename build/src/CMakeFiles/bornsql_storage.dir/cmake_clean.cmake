@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bornsql_storage.dir/catalog/catalog.cc.o"
+  "CMakeFiles/bornsql_storage.dir/catalog/catalog.cc.o.d"
+  "CMakeFiles/bornsql_storage.dir/storage/table.cc.o"
+  "CMakeFiles/bornsql_storage.dir/storage/table.cc.o.d"
+  "libbornsql_storage.a"
+  "libbornsql_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bornsql_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bornsql_text.dir/text/tokenizer.cc.o"
+  "CMakeFiles/bornsql_text.dir/text/tokenizer.cc.o.d"
+  "libbornsql_text.a"
+  "libbornsql_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bornsql_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

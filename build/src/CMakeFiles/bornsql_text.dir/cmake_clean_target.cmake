@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbornsql_text.a"
+)

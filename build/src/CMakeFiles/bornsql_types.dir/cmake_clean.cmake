@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bornsql_types.dir/types/schema.cc.o"
+  "CMakeFiles/bornsql_types.dir/types/schema.cc.o.d"
+  "CMakeFiles/bornsql_types.dir/types/value.cc.o"
+  "CMakeFiles/bornsql_types.dir/types/value.cc.o.d"
+  "libbornsql_types.a"
+  "libbornsql_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bornsql_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

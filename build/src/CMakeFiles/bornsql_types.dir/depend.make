@@ -1,0 +1,2 @@
+# Empty dependencies file for bornsql_types.
+# This may be replaced when dependencies are built.

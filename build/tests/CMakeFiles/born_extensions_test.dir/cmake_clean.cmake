@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/born_extensions_test.dir/born_extensions_test.cc.o"
+  "CMakeFiles/born_extensions_test.dir/born_extensions_test.cc.o.d"
+  "born_extensions_test"
+  "born_extensions_test.pdb"
+  "born_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/born_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/born_ref_test.dir/born_ref_test.cc.o"
+  "CMakeFiles/born_ref_test.dir/born_ref_test.cc.o.d"
+  "born_ref_test"
+  "born_ref_test.pdb"
+  "born_ref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/born_ref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

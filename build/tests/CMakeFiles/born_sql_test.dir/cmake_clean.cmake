@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/born_sql_test.dir/born_sql_test.cc.o"
+  "CMakeFiles/born_sql_test.dir/born_sql_test.cc.o.d"
+  "born_sql_test"
+  "born_sql_test.pdb"
+  "born_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/born_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bornsql_shell.dir/bornsql_shell.cc.o"
+  "CMakeFiles/bornsql_shell.dir/bornsql_shell.cc.o.d"
+  "bornsql_shell"
+  "bornsql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bornsql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
