@@ -79,5 +79,22 @@ int main(int argc, char** argv) {
                       e->name + ": deployment is near-instant on this "
                                 "feature set (paper: 0.01s)");
   }
+
+  // Per-operator breakdown of the inference query on both datasets,
+  // written when --obs-json=<path> is passed.
+  if (!args.obs_json.empty()) {
+    std::string json =
+        "{\"adult\": " +
+        bench::ObsJson(adult->predict_plan, adult->metrics_json) +
+        ", \"rlcp\": " +
+        bench::ObsJson(rlcp->predict_plan, rlcp->metrics_json) + "}\n";
+    if (bench::WriteTextFile(args.obs_json, json)) {
+      std::printf("wrote per-operator breakdown to %s\n",
+                  args.obs_json.c_str());
+    } else {
+      std::fprintf(stderr, "could not write %s\n", args.obs_json.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

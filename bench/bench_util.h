@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "engine/planner.h"
+#include "obs/metrics.h"
+#include "obs/plan_stats.h"
 
 namespace bornsql::bench {
 
@@ -19,6 +21,9 @@ struct Args {
   // Multiplies every default dataset size. 1.0 is tuned for a 1-vCPU
   // container; raise it on faster machines.
   double scale = 1.0;
+  // Where to write the per-operator observability breakdown (benches that
+  // support it have a default path; empty keeps the default).
+  std::string obs_json;
 };
 
 inline Args ParseArgs(int argc, char** argv) {
@@ -27,9 +32,27 @@ inline Args ParseArgs(int argc, char** argv) {
     if (std::strncmp(argv[i], "--scale=", 8) == 0) {
       args.scale = std::atof(argv[i] + 8);
       if (args.scale <= 0) args.scale = 1.0;
+    } else if (std::strncmp(argv[i], "--obs-json=", 11) == 0) {
+      args.obs_json = argv[i] + 11;
     }
   }
   return args;
+}
+
+// Observability artifact for one profiled statement: the annotated plan
+// tree plus a metrics-registry snapshot.
+inline std::string ObsJson(const obs::PlanStatsNode& plan,
+                           const std::string& metrics_json) {
+  return "{\"plan\": " + obs::PlanStatsToJson(plan) +
+         ", \"metrics\": " + metrics_json + "}";
+}
+
+inline bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
 }
 
 inline size_t Scaled(size_t base, double scale) {

@@ -19,6 +19,8 @@
 #include "data/adult.h"
 #include "data/rlcp.h"
 #include "engine/database.h"
+#include "obs/metrics.h"
+#include "obs/plan_stats.h"
 
 namespace bornsql::bench {
 
@@ -34,6 +36,11 @@ struct DatasetEval {
   size_t test_size = 0;
   double born_deploy_s = 0.0;
   double madlib_prep_s = 0.0;  // the dense materialization step
+  // Per-operator breakdown of the inference query (profiled separately,
+  // after the timed runs) and the engine's metrics snapshot for this
+  // dataset's SQL session.
+  obs::PlanStatsNode predict_plan;
+  std::string metrics_json;
   // `born` runs in-database (SQL engine); `born_ref` is the same algorithm
   // as plain C++. The baselines are plain C++ too, so the algorithmic
   // comparison of §5.2 is born_ref-vs-baselines, while born/born_ref is
@@ -55,7 +62,11 @@ inline Result<DatasetEval> RunEvaluation(const std::string& name,
   out.test_size = synth.test_rows().size();
 
   // ---- BornSQL: in-database, straight off the normalized tables ----
+  // A private metrics registry so the snapshot covers only this dataset's
+  // statements (the default registry is process-wide).
+  obs::MetricsRegistry metrics;
   engine::Database db;
+  db.set_metrics(&metrics);
   BORNSQL_RETURN_IF_ERROR(synth.Load(&db));
 
   born::SqlSource train_source;
@@ -93,6 +104,15 @@ inline Result<DatasetEval> RunEvaluation(const std::string& name,
   BORNSQL_ASSIGN_OR_RETURN(out.born.metrics,
                            baselines::ComputeMetrics(synth.test_labels(),
                                                      born_pred));
+
+  // Profile the inference query once, outside the timed run, so the bench
+  // can emit a per-operator breakdown without perturbing the measurements.
+  BORNSQL_ASSIGN_OR_RETURN(
+      engine::ProfiledQuery profiled,
+      db.ExecuteProfiled(
+          server.BuildPredictSql("SELECT id AS n FROM " + test_table)));
+  out.predict_plan = std::move(profiled.plan);
+  out.metrics_json = metrics.ToJson();
 
   // ---- The same algorithm as plain C++ (engine overhead factored out) --
   {

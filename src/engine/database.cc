@@ -2,13 +2,72 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 #include "common/strings.h"
+#include "common/timer.h"
 #include "engine/binder.h"
 #include "exec/operators.h"
 #include "sql/parser.h"
 
 namespace bornsql::engine {
+
+namespace {
+
+// Mirrors an operator tree into the obs data model, copying any collected
+// stats.
+obs::PlanStatsNode CapturePlan(const exec::Operator& op) {
+  obs::PlanStatsNode node;
+  node.name = op.DebugString();
+  node.has_stats = op.stats_enabled();
+  node.stats = op.stats();
+  for (const exec::Operator* child : op.children()) {
+    if (child != nullptr) node.children.push_back(CapturePlan(*child));
+  }
+  return node;
+}
+
+// Folds an instrumented plan into the registry: per-operator-type
+// aggregates, rows_scanned from the scan leaves, join_probes from each
+// join's probe input. `seen` dedupes CTE subtrees shared by several gates.
+void AccumulatePlanMetrics(obs::MetricsRegistry* metrics,
+                           const exec::Operator& op,
+                           std::unordered_set<const exec::Operator*>* seen) {
+  if (!seen->insert(&op).second) return;
+  const std::string type = obs::OperatorTypeOf(op.DebugString());
+  metrics->RecordOperator(type, op.stats());
+  if (type == "SeqScan" || type == "MaterializedScan" || type == "CteScan") {
+    metrics->IncrementCounter(obs::kRowsScanned, op.stats().rows_emitted);
+  }
+  const std::vector<exec::Operator*> children = op.children();
+  const bool is_join = type == "HashJoin" || type == "SortMergeJoin" ||
+                       type == "NestedLoopJoin" || type == "IndexJoin";
+  if (is_join && !children.empty() && children.front() != nullptr) {
+    metrics->IncrementCounter(obs::kJoinProbes,
+                              children.front()->stats().rows_emitted);
+  }
+  for (const exec::Operator* child : children) {
+    if (child != nullptr) AccumulatePlanMetrics(metrics, *child, seen);
+  }
+}
+
+// Synthetic stats for DML root nodes (Insert/Update/Delete), which are not
+// iterator operators: one "open", rows_affected as the row count, and the
+// statement's total wall time.
+obs::OperatorStats DmlStats(size_t rows_affected, double elapsed_seconds) {
+  obs::OperatorStats stats;
+  stats.open_calls = 1;
+  stats.rows_emitted = rows_affected;
+  stats.wall_nanos = static_cast<uint64_t>(elapsed_seconds * 1e9);
+  return stats;
+}
+
+std::string InsertNodeName(const sql::InsertStmt& stmt) {
+  return StrFormat("Insert(%s%s)", stmt.table.c_str(),
+                   stmt.on_conflict != nullptr ? ", on conflict" : "");
+}
+
+}  // namespace
 
 Result<Value> QueryResult::ScalarValue() const {
   if (rows.size() != 1 || rows[0].size() != 1) {
@@ -35,11 +94,34 @@ Status Database::ExecuteScript(std::string_view sql) {
 }
 
 Result<QueryResult> Database::ExecuteStatement(const sql::Statement& stmt) {
+  WallTimer timer;
+  Result<QueryResult> result = DispatchStatement(stmt);
+  metrics_->IncrementCounter(obs::kQueriesExecuted);
+  if (!result.ok()) metrics_->IncrementCounter(obs::kQueriesFailed);
+  metrics_->RecordLatency(obs::kStatementLatencyUs, timer.ElapsedSeconds());
+  return result;
+}
+
+Result<ProfiledQuery> Database::ExecuteProfiled(std::string_view sql) {
+  BORNSQL_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  if (stmt.kind == sql::StatementKind::kExplain) {
+    return Status::InvalidArgument(
+        "ExecuteProfiled expects a plain statement, not EXPLAIN");
+  }
+  WallTimer timer;
+  Result<ProfiledQuery> result = ProfileStatement(stmt);
+  metrics_->IncrementCounter(obs::kQueriesExecuted);
+  if (!result.ok()) metrics_->IncrementCounter(obs::kQueriesFailed);
+  metrics_->RecordLatency(obs::kStatementLatencyUs, timer.ElapsedSeconds());
+  return result;
+}
+
+Result<QueryResult> Database::DispatchStatement(const sql::Statement& stmt) {
   switch (stmt.kind) {
     case sql::StatementKind::kSelect:
       return RunSelect(*stmt.select);
     case sql::StatementKind::kExplain:
-      return RunExplain(*stmt.select);
+      return RunExplain(stmt);
     case sql::StatementKind::kCreateTable:
       return RunCreateTable(*stmt.create_table);
     case sql::StatementKind::kDropTable:
@@ -56,43 +138,222 @@ Result<QueryResult> Database::ExecuteStatement(const sql::Statement& stmt) {
   return Status::Internal("bad statement kind");
 }
 
-Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt) {
+Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
+                                        obs::PlanStatsNode* profile) {
   Planner planner(&catalog_, &config_);
   BORNSQL_ASSIGN_OR_RETURN(exec::OperatorPtr plan, planner.PlanSelect(stmt));
+  const bool instrument = profile != nullptr || config_.collect_exec_stats;
+  if (instrument) plan->EnableStats(true);
   BORNSQL_ASSIGN_OR_RETURN(exec::MaterializedResult result,
                            exec::Drain(*plan));
+  if (instrument) {
+    std::unordered_set<const exec::Operator*> seen;
+    AccumulatePlanMetrics(metrics_, *plan, &seen);
+    if (profile != nullptr) *profile = CapturePlan(*plan);
+  }
   QueryResult out;
   out.column_names = result.schema.ColumnNames();
   out.rows = std::move(result.rows);
   return out;
 }
 
-namespace {
-
-void AppendPlanLines(const exec::Operator& op, int depth,
-                     std::vector<Row>* out) {
-  std::string line(static_cast<size_t>(depth) * 2, ' ');
-  line += op.DebugString();
-  out->push_back({Value::Text(std::move(line))});
-  for (const exec::Operator* child : op.children()) {
-    if (child != nullptr) AppendPlanLines(*child, depth + 1, out);
+Result<obs::PlanStatsNode> Database::DescribePlan(const sql::Statement& stmt) {
+  Planner planner(&catalog_, &config_);
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect: {
+      BORNSQL_ASSIGN_OR_RETURN(exec::OperatorPtr plan,
+                               planner.PlanSelect(*stmt.select));
+      return CapturePlan(*plan);
+    }
+    case sql::StatementKind::kInsert: {
+      const sql::InsertStmt& ins = *stmt.insert;
+      BORNSQL_RETURN_IF_ERROR(catalog_.GetTable(ins.table).status());
+      obs::PlanStatsNode root;
+      root.name = InsertNodeName(ins);
+      if (ins.select != nullptr) {
+        BORNSQL_ASSIGN_OR_RETURN(exec::OperatorPtr plan,
+                                 planner.PlanSelect(*ins.select));
+        root.children.push_back(CapturePlan(*plan));
+      } else {
+        obs::PlanStatsNode values;
+        values.name = StrFormat("Values(%zu rows)", ins.values.size());
+        root.children.push_back(std::move(values));
+      }
+      return root;
+    }
+    case sql::StatementKind::kUpdate:
+    case sql::StatementKind::kDelete: {
+      const bool is_update = stmt.kind == sql::StatementKind::kUpdate;
+      const std::string& table_name =
+          is_update ? stmt.update->table : stmt.del->table;
+      const sql::Expr* where =
+          is_update ? stmt.update->where.get() : stmt.del->where.get();
+      BORNSQL_ASSIGN_OR_RETURN(storage::Table * table,
+                               catalog_.GetTable(table_name));
+      obs::PlanStatsNode root;
+      root.name = is_update
+                      ? StrFormat("Update(%s, %zu set clauses)",
+                                  table_name.c_str(),
+                                  stmt.update->set_clauses.size())
+                      : StrFormat("Delete(%s)", table_name.c_str());
+      obs::PlanStatsNode scan;
+      scan.name = StrFormat("SeqScan(%s, %zu rows)", table_name.c_str(),
+                            table->row_count());
+      if (where != nullptr) {
+        obs::PlanStatsNode filter;
+        filter.name = "Filter";
+        filter.children.push_back(std::move(scan));
+        root.children.push_back(std::move(filter));
+      } else {
+        root.children.push_back(std::move(scan));
+      }
+      return root;
+    }
+    case sql::StatementKind::kCreateTable: {
+      const sql::CreateTableStmt& ct = *stmt.create_table;
+      obs::PlanStatsNode root;
+      if (ct.as_select != nullptr) {
+        root.name = StrFormat("CreateTableAs(%s)", ct.table.c_str());
+        BORNSQL_ASSIGN_OR_RETURN(exec::OperatorPtr plan,
+                                 planner.PlanSelect(*ct.as_select));
+        root.children.push_back(CapturePlan(*plan));
+      } else {
+        root.name = StrFormat("CreateTable(%s, %zu columns)",
+                              ct.table.c_str(), ct.columns.size());
+      }
+      return root;
+    }
+    case sql::StatementKind::kDropTable: {
+      obs::PlanStatsNode root;
+      root.name = StrFormat("DropTable(%s)", stmt.drop_table->table.c_str());
+      return root;
+    }
+    case sql::StatementKind::kCreateIndex: {
+      const sql::CreateIndexStmt& ci = *stmt.create_index;
+      BORNSQL_RETURN_IF_ERROR(catalog_.GetTable(ci.table).status());
+      obs::PlanStatsNode root;
+      root.name = StrFormat("Create%sIndex(%s ON %s)",
+                            ci.unique ? "Unique" : "", ci.name.c_str(),
+                            ci.table.c_str());
+      return root;
+    }
+    case sql::StatementKind::kExplain:
+      break;  // parser rejects nested EXPLAIN
   }
+  return Status::Internal("bad statement kind in EXPLAIN");
 }
 
-}  // namespace
+Result<ProfiledQuery> Database::ProfileStatement(const sql::Statement& stmt) {
+  ProfiledQuery out;
+  WallTimer timer;
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect: {
+      BORNSQL_ASSIGN_OR_RETURN(out.result,
+                               RunSelect(*stmt.select, &out.plan));
+      return out;
+    }
+    case sql::StatementKind::kInsert: {
+      obs::PlanStatsNode select_profile;
+      BORNSQL_ASSIGN_OR_RETURN(out.result,
+                               RunInsert(*stmt.insert, &select_profile));
+      out.plan.name = InsertNodeName(*stmt.insert);
+      out.plan.has_stats = true;
+      out.plan.stats =
+          DmlStats(out.result.rows_affected, timer.ElapsedSeconds());
+      if (!select_profile.name.empty()) {
+        out.plan.children.push_back(std::move(select_profile));
+      } else {
+        obs::PlanStatsNode values;
+        values.name =
+            StrFormat("Values(%zu rows)", stmt.insert->values.size());
+        out.plan.children.push_back(std::move(values));
+      }
+      return out;
+    }
+    case sql::StatementKind::kUpdate:
+    case sql::StatementKind::kDelete: {
+      // The update/delete paths scan the table directly rather than through
+      // operators; describe the scan synthetically with the row count it
+      // examined (the table size before mutation).
+      BORNSQL_ASSIGN_OR_RETURN(out.plan, DescribePlan(stmt));
+      obs::PlanStatsNode* scan = &out.plan.children.front();
+      while (!scan->children.empty()) scan = &scan->children.front();
+      uint64_t examined = 0;
+      const std::string& table_name = stmt.kind == sql::StatementKind::kUpdate
+                                          ? stmt.update->table
+                                          : stmt.del->table;
+      if (auto table = catalog_.GetTable(table_name); table.ok()) {
+        examined = (*table)->row_count();
+      }
+      BORNSQL_ASSIGN_OR_RETURN(out.result,
+                               stmt.kind == sql::StatementKind::kUpdate
+                                   ? RunUpdate(*stmt.update)
+                                   : RunDelete(*stmt.del));
+      out.plan.has_stats = true;
+      out.plan.stats =
+          DmlStats(out.result.rows_affected, timer.ElapsedSeconds());
+      scan->has_stats = true;
+      scan->stats.open_calls = 1;
+      scan->stats.rows_emitted = examined;
+      scan->stats.next_calls = examined;
+      return out;
+    }
+    case sql::StatementKind::kCreateTable: {
+      obs::PlanStatsNode select_profile;
+      BORNSQL_ASSIGN_OR_RETURN(
+          out.result, RunCreateTable(*stmt.create_table, &select_profile));
+      const sql::CreateTableStmt& ct = *stmt.create_table;
+      out.plan.name = ct.as_select != nullptr
+                          ? StrFormat("CreateTableAs(%s)", ct.table.c_str())
+                          : StrFormat("CreateTable(%s, %zu columns)",
+                                      ct.table.c_str(), ct.columns.size());
+      out.plan.has_stats = true;
+      out.plan.stats =
+          DmlStats(out.result.rows_affected, timer.ElapsedSeconds());
+      if (!select_profile.name.empty()) {
+        out.plan.children.push_back(std::move(select_profile));
+      }
+      return out;
+    }
+    case sql::StatementKind::kDropTable:
+    case sql::StatementKind::kCreateIndex: {
+      BORNSQL_ASSIGN_OR_RETURN(out.plan, DescribePlan(stmt));
+      BORNSQL_ASSIGN_OR_RETURN(out.result, DispatchStatement(stmt));
+      out.plan.has_stats = true;
+      out.plan.stats =
+          DmlStats(out.result.rows_affected, timer.ElapsedSeconds());
+      return out;
+    }
+    case sql::StatementKind::kExplain:
+      break;
+  }
+  return Status::Internal("bad statement kind in EXPLAIN ANALYZE");
+}
 
-Result<QueryResult> Database::RunExplain(const sql::SelectStmt& stmt) {
-  Planner planner(&catalog_, &config_);
-  BORNSQL_ASSIGN_OR_RETURN(exec::OperatorPtr plan, planner.PlanSelect(stmt));
+Result<QueryResult> Database::RunExplain(const sql::Statement& stmt) {
+  assert(stmt.explained != nullptr);
+  obs::PlanStatsNode plan;
+  if (stmt.explain_analyze) {
+    BORNSQL_ASSIGN_OR_RETURN(ProfiledQuery profiled,
+                             ProfileStatement(*stmt.explained));
+    plan = std::move(profiled.plan);
+  } else {
+    BORNSQL_ASSIGN_OR_RETURN(plan, DescribePlan(*stmt.explained));
+  }
   QueryResult out;
   out.column_names = {"plan"};
-  AppendPlanLines(*plan, 0, &out.rows);
+  for (std::string& line :
+       obs::RenderPlanLines(plan, /*with_stats=*/stmt.explain_analyze)) {
+    out.rows.push_back({Value::Text(std::move(line))});
+  }
   return out;
 }
 
-Result<QueryResult> Database::RunCreateTable(const sql::CreateTableStmt& stmt) {
+Result<QueryResult> Database::RunCreateTable(const sql::CreateTableStmt& stmt,
+                                             obs::PlanStatsNode* profile) {
   if (stmt.as_select != nullptr) {
-    BORNSQL_ASSIGN_OR_RETURN(QueryResult data, RunSelect(*stmt.as_select));
+    BORNSQL_ASSIGN_OR_RETURN(QueryResult data,
+                             RunSelect(*stmt.as_select, profile));
     Schema schema;
     for (const std::string& name : data.column_names) {
       schema.Add(Column{stmt.table, name, ValueType::kNull});
@@ -169,7 +430,8 @@ Status Database::CoerceRow(const storage::Table& table, Row* row) const {
   return Status::OK();
 }
 
-Result<QueryResult> Database::RunInsert(const sql::InsertStmt& stmt) {
+Result<QueryResult> Database::RunInsert(const sql::InsertStmt& stmt,
+                                        obs::PlanStatsNode* profile) {
   BORNSQL_ASSIGN_OR_RETURN(storage::Table * table,
                            catalog_.GetTable(stmt.table));
   const Schema& schema = table->schema();
@@ -213,7 +475,8 @@ Result<QueryResult> Database::RunInsert(const sql::InsertStmt& stmt) {
       incoming.push_back(std::move(row));
     }
   } else {
-    BORNSQL_ASSIGN_OR_RETURN(QueryResult data, RunSelect(*stmt.select));
+    BORNSQL_ASSIGN_OR_RETURN(QueryResult data,
+                             RunSelect(*stmt.select, profile));
     for (Row& src : data.rows) {
       if (src.size() != positions.size()) {
         return Status::BindError(

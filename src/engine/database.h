@@ -20,6 +20,8 @@
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "engine/planner.h"
+#include "obs/metrics.h"
+#include "obs/plan_stats.h"
 #include "sql/ast.h"
 #include "types/value.h"
 
@@ -33,6 +35,14 @@ struct QueryResult {
 
   // Convenience for tests: the single value of a 1x1 result.
   Result<Value> ScalarValue() const;
+};
+
+// Result of ExecuteProfiled: the query's rows plus the annotated plan tree
+// (the data behind EXPLAIN ANALYZE, exposed directly so benches can emit
+// per-operator breakdowns as JSON without reparsing rendered text).
+struct ProfiledQuery {
+  QueryResult result;
+  obs::PlanStatsNode plan;
 };
 
 class Database {
@@ -53,26 +63,54 @@ class Database {
   // skip re-parsing in hot loops).
   Result<QueryResult> ExecuteStatement(const sql::Statement& stmt);
 
+  // Executes one statement with per-operator instrumentation enabled and
+  // returns the stats-annotated plan alongside the result. EXPLAIN ANALYZE
+  // is this plus text rendering.
+  Result<ProfiledQuery> ExecuteProfiled(std::string_view sql);
+
   catalog::Catalog& catalog() { return catalog_; }
   const catalog::Catalog& catalog() const { return catalog_; }
   EngineConfig& config() { return config_; }
 
+  // The metrics sink (process-wide registry by default). Every statement
+  // records a latency sample and bumps queries_executed; instrumented runs
+  // (collect_exec_stats, EXPLAIN ANALYZE, ExecuteProfiled) also fold in
+  // per-operator aggregates, rows_scanned and join_probes.
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
-  Result<QueryResult> RunSelect(const sql::SelectStmt& stmt);
-  // EXPLAIN <select>: one text row per plan node, indented by depth.
-  Result<QueryResult> RunExplain(const sql::SelectStmt& stmt);
-  Result<QueryResult> RunCreateTable(const sql::CreateTableStmt& stmt);
+  // The kind switch shared by ExecuteStatement (which adds metrics) and the
+  // EXPLAIN machinery.
+  Result<QueryResult> DispatchStatement(const sql::Statement& stmt);
+
+  // `profile` non-null requests instrumentation; the annotated plan of the
+  // (inner) SELECT is stored there after execution.
+  Result<QueryResult> RunSelect(const sql::SelectStmt& stmt,
+                                obs::PlanStatsNode* profile = nullptr);
+  // EXPLAIN [ANALYZE] <stmt>: one text row per plan node, indented by depth.
+  Result<QueryResult> RunExplain(const sql::Statement& stmt);
+  Result<QueryResult> RunCreateTable(const sql::CreateTableStmt& stmt,
+                                     obs::PlanStatsNode* profile = nullptr);
   Result<QueryResult> RunDropTable(const sql::DropTableStmt& stmt);
   Result<QueryResult> RunCreateIndex(const sql::CreateIndexStmt& stmt);
-  Result<QueryResult> RunInsert(const sql::InsertStmt& stmt);
+  Result<QueryResult> RunInsert(const sql::InsertStmt& stmt,
+                                obs::PlanStatsNode* profile = nullptr);
   Result<QueryResult> RunUpdate(const sql::UpdateStmt& stmt);
   Result<QueryResult> RunDelete(const sql::DeleteStmt& stmt);
+
+  // Plan tree of `stmt` without executing it (plain EXPLAIN). DML and DDL
+  // statements get synthetic root nodes over their embedded SELECT plans.
+  Result<obs::PlanStatsNode> DescribePlan(const sql::Statement& stmt);
+  // Executes `stmt` instrumented (EXPLAIN ANALYZE / ExecuteProfiled).
+  Result<ProfiledQuery> ProfileStatement(const sql::Statement& stmt);
 
   // Coerces `row` cell-wise to the table's declared column types.
   Status CoerceRow(const storage::Table& table, Row* row) const;
 
   catalog::Catalog catalog_;
   EngineConfig config_;
+  obs::MetricsRegistry* metrics_ = &obs::MetricsRegistry::Global();
 };
 
 }  // namespace bornsql::engine

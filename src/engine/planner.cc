@@ -32,16 +32,16 @@ class RelabelOp : public Operator {
       : child_(std::move(child)),
         schema_(child_->schema().WithQualifier(qualifier)) {}
   const Schema& schema() const override { return schema_; }
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(Row* out) override { return child_->Next(out); }
   std::string DebugString() const override {
     return StrFormat("Relabel(%s)",
                      schema_.size() > 0 ? schema_.column(0).qualifier.c_str()
                                         : "");
   }
-  std::vector<const Operator*> children() const override {
-    return {child_.get()};
-  }
+  std::vector<Operator*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+  Result<bool> NextImpl(Row* out) override { return child_->Next(out); }
 
  private:
   OperatorPtr child_;
@@ -56,7 +56,18 @@ class CteGateOp : public Operator {
       : cell_(std::move(cell)),
         schema_(cell_->plan->schema().WithQualifier(qualifier)) {}
   const Schema& schema() const override { return schema_; }
-  Status Open() override {
+  std::string DebugString() const override {
+    return StrFormat("CteScan(%s%s)",
+                     schema_.size() > 0 ? schema_.column(0).qualifier.c_str()
+                                        : "",
+                     cell_->result != nullptr ? ", materialized" : "");
+  }
+  std::vector<Operator*> children() const override {
+    return {cell_->plan.get()};
+  }
+
+ protected:
+  Status OpenImpl() override {
     if (cell_->result == nullptr) {
       auto drained = exec::Drain(*cell_->plan);
       if (!drained.ok()) return drained.status();
@@ -64,21 +75,13 @@ class CteGateOp : public Operator {
           std::move(drained).value());
     }
     pos_ = 0;
+    RecordPeakEntries(cell_->result->rows.size());
     return Status::OK();
   }
-  Result<bool> Next(Row* out) override {
+  Result<bool> NextImpl(Row* out) override {
     if (pos_ >= cell_->result->rows.size()) return false;
     *out = cell_->result->rows[pos_++];
     return true;
-  }
-  std::string DebugString() const override {
-    return StrFormat("CteScan(%s%s)",
-                     schema_.size() > 0 ? schema_.column(0).qualifier.c_str()
-                                        : "",
-                     cell_->result != nullptr ? ", materialized" : "");
-  }
-  std::vector<const Operator*> children() const override {
-    return {cell_->plan.get()};
   }
 
  private:

@@ -42,6 +42,11 @@ struct EngineConfig {
   // Probe a base table's secondary hash index instead of hash-joining when
   // an equi-join's keys are exactly an indexed column set (kHash only).
   bool use_index_joins = true;
+  // Instrument every executed plan with per-operator stats and fold them
+  // into the database's MetricsRegistry (rows_scanned, join_probes, per
+  // operator-type aggregates). Off by default: instrumentation adds clock
+  // reads to every Next() call, which benchmarks must not pay.
+  bool collect_exec_stats = false;
 };
 
 class Planner {

@@ -45,6 +45,14 @@ Row NullRow(size_t n) { return Row(n); }
 
 }  // namespace
 
+void Operator::EnableStats(bool on) {
+  stats_enabled_ = on;
+  if (on) stats_.Reset();
+  for (Operator* child : children()) {
+    if (child != nullptr) child->EnableStats(on);
+  }
+}
+
 Result<MaterializedResult> Drain(Operator& op) {
   MaterializedResult out;
   out.schema = op.schema();
@@ -58,20 +66,20 @@ Result<MaterializedResult> Drain(Operator& op) {
   return out;
 }
 
-Result<bool> SeqScanOp::Next(Row* out) {
+Result<bool> SeqScanOp::NextImpl(Row* out) {
   const auto& rows = table_->rows();
   if (pos_ >= rows.size()) return false;
   *out = rows[pos_++];
   return true;
 }
 
-Result<bool> MaterializedScanOp::Next(Row* out) {
+Result<bool> MaterializedScanOp::NextImpl(Row* out) {
   if (pos_ >= data_->rows.size()) return false;
   *out = data_->rows[pos_++];
   return true;
 }
 
-Result<bool> FilterOp::Next(Row* out) {
+Result<bool> FilterOp::NextImpl(Row* out) {
   while (true) {
     BORNSQL_ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
@@ -80,7 +88,7 @@ Result<bool> FilterOp::Next(Row* out) {
   }
 }
 
-Result<bool> ProjectOp::Next(Row* out) {
+Result<bool> ProjectOp::NextImpl(Row* out) {
   Row in;
   BORNSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
   if (!more) return false;
@@ -109,7 +117,7 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
   assert(!left_keys_.empty());
 }
 
-Status HashJoinOp::Open() {
+Status HashJoinOp::OpenImpl() {
   build_rows_.clear();
   build_index_.clear();
   have_left_ = false;
@@ -128,10 +136,11 @@ Status HashJoinOp::Open() {
     build_index_[*key].push_back(build_rows_.size());
     build_rows_.push_back(std::move(row));
   }
+  RecordPeakEntries(build_rows_.size());
   return Status::OK();
 }
 
-Result<bool> HashJoinOp::Next(Row* out) {
+Result<bool> HashJoinOp::NextImpl(Row* out) {
   while (true) {
     if (have_left_ && matches_ != nullptr && match_pos_ < matches_->size()) {
       const Row& right_row = build_rows_[(*matches_)[match_pos_++]];
@@ -175,7 +184,7 @@ SortMergeJoinOp::SortMergeJoinOp(OperatorPtr left, OperatorPtr right,
   assert(type_ != JoinType::kCross);
 }
 
-Status SortMergeJoinOp::Open() {
+Status SortMergeJoinOp::OpenImpl() {
   lrows_.clear();
   rrows_.clear();
   li_ = rgroup_begin_ = rgroup_end_ = rj_ = 0;
@@ -200,10 +209,11 @@ Status SortMergeJoinOp::Open() {
   };
   BORNSQL_RETURN_IF_ERROR(load(*left_, left_keys_, &lrows_));
   BORNSQL_RETURN_IF_ERROR(load(*right_, right_keys_, &rrows_));
+  RecordPeakEntries(lrows_.size() + rrows_.size());
   return Status::OK();
 }
 
-Result<bool> SortMergeJoinOp::Next(Row* out) {
+Result<bool> SortMergeJoinOp::NextImpl(Row* out) {
   while (li_ < lrows_.size()) {
     const Row& lkey = lrows_[li_].first;
     if (!in_group_) {
@@ -268,7 +278,7 @@ NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
       type_(type),
       schema_(Schema::Concat(left_->schema(), right_->schema())) {}
 
-Status NestedLoopJoinOp::Open() {
+Status NestedLoopJoinOp::OpenImpl() {
   right_rows_.clear();
   have_left_ = false;
   right_pos_ = 0;
@@ -281,10 +291,11 @@ Status NestedLoopJoinOp::Open() {
     if (!*more) break;
     right_rows_.push_back(std::move(row));
   }
+  RecordPeakEntries(right_rows_.size());
   return Status::OK();
 }
 
-Result<bool> NestedLoopJoinOp::Next(Row* out) {
+Result<bool> NestedLoopJoinOp::NextImpl(Row* out) {
   while (true) {
     if (!have_left_) {
       BORNSQL_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
@@ -329,14 +340,14 @@ IndexJoinOp::IndexJoinOp(OperatorPtr outer, const storage::Table* inner_table,
                              : Schema::Concat(outer_->schema(),
                                               inner_schema_)) {}
 
-Status IndexJoinOp::Open() {
+Status IndexJoinOp::OpenImpl() {
   have_outer_ = false;
   matches_.clear();
   match_pos_ = 0;
   return outer_->Open();
 }
 
-Result<bool> IndexJoinOp::Next(Row* out) {
+Result<bool> IndexJoinOp::NextImpl(Row* out) {
   while (true) {
     if (have_outer_ && match_pos_ < matches_.size()) {
       const Row& inner_row = inner_table_->rows()[matches_[match_pos_++]];
@@ -363,7 +374,7 @@ HashAggOp::HashAggOp(OperatorPtr child, std::vector<BoundExprPtr> group_exprs,
       aggs_(std::move(aggs)),
       schema_(std::move(schema)) {}
 
-Status HashAggOp::Open() {
+Status HashAggOp::OpenImpl() {
   results_.clear();
   pos_ = 0;
 
@@ -417,6 +428,7 @@ Status HashAggOp::Open() {
   }
   // Global aggregate over empty input still yields one row.
   if (group_exprs_.empty() && states.empty()) new_group(Row{});
+  RecordPeakEntries(states.size());
 
   results_.reserve(states.size());
   for (size_t g = 0; g < states.size(); ++g) {
@@ -427,7 +439,7 @@ Status HashAggOp::Open() {
   return Status::OK();
 }
 
-Result<bool> HashAggOp::Next(Row* out) {
+Result<bool> HashAggOp::NextImpl(Row* out) {
   if (pos_ >= results_.size()) return false;
   *out = results_[pos_++];
   return true;
@@ -435,7 +447,7 @@ Result<bool> HashAggOp::Next(Row* out) {
 
 // ---- SortOp ---------------------------------------------------------------
 
-Status SortOp::Open() {
+Status SortOp::OpenImpl() {
   rows_.clear();
   pos_ = 0;
   BORNSQL_RETURN_IF_ERROR(child_->Open());
@@ -465,10 +477,11 @@ Status SortOp::Open() {
                    });
   rows_.reserve(keyed.size());
   for (auto& [key, data] : keyed) rows_.push_back(std::move(data));
+  RecordPeakEntries(rows_.size());
   return Status::OK();
 }
 
-Result<bool> SortOp::Next(Row* out) {
+Result<bool> SortOp::NextImpl(Row* out) {
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
   return true;
@@ -476,7 +489,7 @@ Result<bool> SortOp::Next(Row* out) {
 
 // ---- LimitOp ---------------------------------------------------------------
 
-Status LimitOp::Open() {
+Status LimitOp::OpenImpl() {
   produced_ = 0;
   BORNSQL_RETURN_IF_ERROR(child_->Open());
   Row scratch;
@@ -488,7 +501,7 @@ Status LimitOp::Open() {
   return Status::OK();
 }
 
-Result<bool> LimitOp::Next(Row* out) {
+Result<bool> LimitOp::NextImpl(Row* out) {
   if (limit_ >= 0 && produced_ >= limit_) return false;
   BORNSQL_ASSIGN_OR_RETURN(bool more, child_->Next(out));
   if (!more) return false;
@@ -508,7 +521,7 @@ UnionAllOp::UnionAllOp(std::vector<OperatorPtr> children)
   }
 }
 
-Status UnionAllOp::Open() {
+Status UnionAllOp::OpenImpl() {
   current_ = 0;
   for (auto& c : children_) {
     BORNSQL_RETURN_IF_ERROR(c->Open());
@@ -516,7 +529,7 @@ Status UnionAllOp::Open() {
   return Status::OK();
 }
 
-Result<bool> UnionAllOp::Next(Row* out) {
+Result<bool> UnionAllOp::NextImpl(Row* out) {
   while (current_ < children_.size()) {
     BORNSQL_ASSIGN_OR_RETURN(bool more, children_[current_]->Next(out));
     if (more) return true;
@@ -527,17 +540,20 @@ Result<bool> UnionAllOp::Next(Row* out) {
 
 // ---- DistinctOp -------------------------------------------------------------
 
-Status DistinctOp::Open() {
+Status DistinctOp::OpenImpl() {
   seen_.clear();
   return child_->Open();
 }
 
-Result<bool> DistinctOp::Next(Row* out) {
+Result<bool> DistinctOp::NextImpl(Row* out) {
   while (true) {
     BORNSQL_ASSIGN_OR_RETURN(bool more, child_->Next(out));
     if (!more) return false;
     auto [it, inserted] = seen_.emplace(*out, true);
-    if (inserted) return true;
+    if (inserted) {
+      RecordPeakEntries(seen_.size());
+      return true;
+    }
   }
 }
 
@@ -551,7 +567,7 @@ WindowOp::WindowOp(OperatorPtr child, std::vector<WindowSpec> specs)
   }
 }
 
-Status WindowOp::Open() {
+Status WindowOp::OpenImpl() {
   rows_.clear();
   pos_ = 0;
   BORNSQL_RETURN_IF_ERROR(child_->Open());
@@ -633,10 +649,11 @@ Status WindowOp::Open() {
     for (Value& v : extra[i]) out.push_back(std::move(v));
     rows_.push_back(std::move(out));
   }
+  RecordPeakEntries(rows_.size());
   return Status::OK();
 }
 
-Result<bool> WindowOp::Next(Row* out) {
+Result<bool> WindowOp::NextImpl(Row* out) {
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
   return true;

@@ -17,6 +17,7 @@
 #include "common/strings.h"
 #include "exec/aggregates.h"
 #include "exec/evaluator.h"
+#include "obs/stats.h"
 #include "storage/table.h"
 #include "types/schema.h"
 #include "types/value.h"
@@ -30,17 +31,59 @@ struct MaterializedResult {
   std::vector<Row> rows;
 };
 
+// Base operator. Open()/Next() are non-virtual instrumentation hooks that
+// dispatch to the per-operator OpenImpl()/NextImpl(): with stats disabled
+// (the default) the hook is a single branch, so the uninstrumented path
+// costs nothing measurable; with stats enabled (EXPLAIN ANALYZE, profiled
+// execution) each call is counted and timed into an obs::OperatorStats.
 class Operator {
  public:
   virtual ~Operator() = default;
   virtual const Schema& schema() const = 0;
-  virtual Status Open() = 0;
-  virtual Result<bool> Next(Row* out) = 0;
 
   // One-line plan description for EXPLAIN.
   virtual std::string DebugString() const = 0;
-  // Direct inputs, for EXPLAIN's plan-tree walk.
-  virtual std::vector<const Operator*> children() const { return {}; }
+  // Direct inputs, for EXPLAIN's plan-tree walk and stats propagation.
+  virtual std::vector<Operator*> children() const { return {}; }
+
+  Status Open() {
+    if (!stats_enabled_) return OpenImpl();
+    ++stats_.open_calls;
+    obs::StatsTimer timer(&stats_.wall_nanos);
+    return OpenImpl();
+  }
+
+  Result<bool> Next(Row* out) {
+    if (!stats_enabled_) return NextImpl(out);
+    ++stats_.next_calls;
+    obs::StatsTimer timer(&stats_.wall_nanos);
+    Result<bool> more = NextImpl(out);
+    if (more.ok() && *more) ++stats_.rows_emitted;
+    return more;
+  }
+
+  // Turns stats collection on/off for this operator and its whole subtree.
+  // Enabling resets any previously collected counters.
+  void EnableStats(bool on);
+
+  bool stats_enabled() const { return stats_enabled_; }
+  const obs::OperatorStats& stats() const { return stats_; }
+
+ protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<bool> NextImpl(Row* out) = 0;
+
+  // Blocking operators report the size of their materialized state (hash
+  // entries, buffered rows). No-op while stats are disabled.
+  void RecordPeakEntries(size_t entries) {
+    if (stats_enabled_ && entries > stats_.peak_entries) {
+      stats_.peak_entries = entries;
+    }
+  }
+
+ private:
+  bool stats_enabled_ = false;
+  obs::OperatorStats stats_;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -53,18 +96,19 @@ class SingleRowOp : public Operator {
  public:
   SingleRowOp() = default;
   const Schema& schema() const override { return schema_; }
-  Status Open() override {
+  std::string DebugString() const override { return "SingleRow"; }
+
+ protected:
+  Status OpenImpl() override {
     done_ = false;
     return Status::OK();
   }
-  Result<bool> Next(Row* out) override {
+  Result<bool> NextImpl(Row* out) override {
     if (done_) return false;
     done_ = true;
     out->clear();
     return true;
   }
-
-  std::string DebugString() const override { return "SingleRow"; }
 
  private:
   Schema schema_;
@@ -77,13 +121,14 @@ class SeqScanOp : public Operator {
   SeqScanOp(const storage::Table* table, Schema schema)
       : table_(table), schema_(std::move(schema)) {}
   const Schema& schema() const override { return schema_; }
-  Status Open() override {
+  std::string DebugString() const override { return StrFormat("SeqScan(%s, %zu rows)", table_->name().c_str(), table_->row_count()); }
+
+ protected:
+  Status OpenImpl() override {
     pos_ = 0;
     return Status::OK();
   }
-  Result<bool> Next(Row* out) override;
-
-  std::string DebugString() const override { return StrFormat("SeqScan(%s, %zu rows)", table_->name().c_str(), table_->row_count()); }
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   const storage::Table* table_;
@@ -98,13 +143,15 @@ class MaterializedScanOp : public Operator {
                      Schema schema)
       : data_(std::move(data)), schema_(std::move(schema)) {}
   const Schema& schema() const override { return schema_; }
-  Status Open() override {
+  std::string DebugString() const override { return StrFormat("MaterializedScan(%zu rows)", data_->rows.size()); }
+
+ protected:
+  Status OpenImpl() override {
     pos_ = 0;
+    RecordPeakEntries(data_->rows.size());
     return Status::OK();
   }
-  Result<bool> Next(Row* out) override;
-
-  std::string DebugString() const override { return StrFormat("MaterializedScan(%zu rows)", data_->rows.size()); }
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   std::shared_ptr<const MaterializedResult> data_;
@@ -117,11 +164,12 @@ class FilterOp : public Operator {
   FilterOp(OperatorPtr child, BoundExprPtr predicate)
       : child_(std::move(child)), predicate_(std::move(predicate)) {}
   const Schema& schema() const override { return child_->schema(); }
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(Row* out) override;
-
   std::string DebugString() const override { return "Filter"; }
-  std::vector<const Operator*> children() const override { return {child_.get()}; }
+  std::vector<Operator*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   OperatorPtr child_;
@@ -135,11 +183,12 @@ class ProjectOp : public Operator {
         exprs_(std::move(exprs)),
         schema_(std::move(schema)) {}
   const Schema& schema() const override { return schema_; }
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(Row* out) override;
-
   std::string DebugString() const override { return StrFormat("Project(%zu columns)", exprs_.size()); }
-  std::vector<const Operator*> children() const override { return {child_.get()}; }
+  std::vector<Operator*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   OperatorPtr child_;
@@ -157,11 +206,12 @@ class HashJoinOp : public Operator {
              std::vector<BoundExprPtr> left_keys,
              std::vector<BoundExprPtr> right_keys, JoinType type);
   const Schema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-
   std::string DebugString() const override { return StrFormat("HashJoin(%s, %zu keys)", type_ == JoinType::kLeft ? "left" : "inner", left_keys_.size()); }
-  std::vector<const Operator*> children() const override { return {left_.get(), right_.get()}; }
+  std::vector<Operator*> children() const override { return {left_.get(), right_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   struct KeyHash {
@@ -201,11 +251,12 @@ class SortMergeJoinOp : public Operator {
                   std::vector<BoundExprPtr> left_keys,
                   std::vector<BoundExprPtr> right_keys, JoinType type);
   const Schema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-
   std::string DebugString() const override { return StrFormat("SortMergeJoin(%s, %zu keys)", type_ == JoinType::kLeft ? "left" : "inner", left_keys_.size()); }
-  std::vector<const Operator*> children() const override { return {left_.get(), right_.get()}; }
+  std::vector<Operator*> children() const override { return {left_.get(), right_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   OperatorPtr left_;
@@ -229,11 +280,12 @@ class NestedLoopJoinOp : public Operator {
   NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, BoundExprPtr predicate,
                    JoinType type);
   const Schema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-
   std::string DebugString() const override { return StrFormat("NestedLoopJoin(%s)", type_ == JoinType::kLeft ? "left" : (type_ == JoinType::kCross ? "cross" : "inner")); }
-  std::vector<const Operator*> children() const override { return {left_.get(), right_.get()}; }
+  std::vector<Operator*> children() const override { return {left_.get(), right_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   OperatorPtr left_;
@@ -260,11 +312,12 @@ class IndexJoinOp : public Operator {
               Schema inner_schema, size_t index_id,
               std::vector<BoundExprPtr> outer_keys, bool inner_on_left);
   const Schema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-
   std::string DebugString() const override { return StrFormat("IndexJoin(%s via index, %zu keys)", inner_table_->name().c_str(), outer_keys_.size()); }
-  std::vector<const Operator*> children() const override { return {outer_.get()}; }
+  std::vector<Operator*> children() const override { return {outer_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   OperatorPtr outer_;
@@ -293,11 +346,12 @@ class HashAggOp : public Operator {
   HashAggOp(OperatorPtr child, std::vector<BoundExprPtr> group_exprs,
             std::vector<AggSpec> aggs, Schema schema);
   const Schema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-
   std::string DebugString() const override { return StrFormat("HashAggregate(%zu group keys, %zu aggregates)", group_exprs_.size(), aggs_.size()); }
-  std::vector<const Operator*> children() const override { return {child_.get()}; }
+  std::vector<Operator*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   OperatorPtr child_;
@@ -319,11 +373,12 @@ class SortOp : public Operator {
   SortOp(OperatorPtr child, std::vector<SortKey> keys)
       : child_(std::move(child)), keys_(std::move(keys)) {}
   const Schema& schema() const override { return child_->schema(); }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-
   std::string DebugString() const override { return StrFormat("Sort(%zu keys)", keys_.size()); }
-  std::vector<const Operator*> children() const override { return {child_.get()}; }
+  std::vector<Operator*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   OperatorPtr child_;
@@ -337,11 +392,12 @@ class LimitOp : public Operator {
   LimitOp(OperatorPtr child, int64_t limit, int64_t offset)
       : child_(std::move(child)), limit_(limit), offset_(offset) {}
   const Schema& schema() const override { return child_->schema(); }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-
   std::string DebugString() const override { return StrFormat("Limit(%lld offset %lld)", static_cast<long long>(limit_), static_cast<long long>(offset_)); }
-  std::vector<const Operator*> children() const override { return {child_.get()}; }
+  std::vector<Operator*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   OperatorPtr child_;
@@ -356,16 +412,18 @@ class UnionAllOp : public Operator {
  public:
   explicit UnionAllOp(std::vector<OperatorPtr> children);
   const Schema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
   std::string DebugString() const override {
     return StrFormat("UnionAll(%zu inputs)", children_.size());
   }
-  std::vector<const Operator*> children() const override {
-    std::vector<const Operator*> out;
+  std::vector<Operator*> children() const override {
+    std::vector<Operator*> out;
     for (const OperatorPtr& c : children_) out.push_back(c.get());
     return out;
   }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   std::vector<OperatorPtr> children_;
@@ -377,11 +435,12 @@ class DistinctOp : public Operator {
  public:
   explicit DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
   const Schema& schema() const override { return child_->schema(); }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-
   std::string DebugString() const override { return "Distinct"; }
-  std::vector<const Operator*> children() const override { return {child_.get()}; }
+  std::vector<Operator*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   struct KeyHash {
@@ -417,11 +476,12 @@ class WindowOp : public Operator {
  public:
   WindowOp(OperatorPtr child, std::vector<WindowSpec> specs);
   const Schema& schema() const override { return schema_; }
-  Status Open() override;
-  Result<bool> Next(Row* out) override;
-
   std::string DebugString() const override { return StrFormat("Window(%zu functions)", specs_.size()); }
-  std::vector<const Operator*> children() const override { return {child_.get()}; }
+  std::vector<Operator*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* out) override;
 
  private:
   OperatorPtr child_;

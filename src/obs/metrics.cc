@@ -1,0 +1,156 @@
+#include "obs/metrics.h"
+
+#include "common/strings.h"
+
+namespace bornsql::obs {
+
+void LatencyHistogram::Record(double seconds) {
+  double us = seconds * 1e6;
+  if (us < 0) us = 0;
+  ++count_;
+  sum_us_ += us;
+  for (size_t i = 0; i < kBucketBoundsUs.size(); ++i) {
+    if (us <= static_cast<double>(kBucketBoundsUs[i])) {
+      ++buckets_[i];
+      return;
+    }
+  }
+  ++buckets_[kNumBuckets - 1];  // overflow
+}
+
+double LatencyHistogram::PercentileUs(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  uint64_t target = static_cast<uint64_t>(p * static_cast<double>(count_));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return i < kBucketBoundsUs.size()
+                 ? static_cast<double>(kBucketBoundsUs[i])
+                 : static_cast<double>(kBucketBoundsUs.back());
+    }
+  }
+  return static_cast<double>(kBucketBoundsUs.back());
+}
+
+std::string LatencyHistogram::ToJson() const {
+  std::string out = StrFormat("{\"count\": %llu, \"sum_us\": %.1f, \"p95_us\": %.1f, \"buckets\": [",
+                              static_cast<unsigned long long>(count_),
+                              sum_us_, PercentileUs(0.95));
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (i > 0) out += ", ";
+    if (i < kBucketBoundsUs.size()) {
+      out += StrFormat("{\"le_us\": %llu, \"count\": %llu}",
+                       static_cast<unsigned long long>(kBucketBoundsUs[i]),
+                       static_cast<unsigned long long>(buckets_[i]));
+    } else {
+      out += StrFormat("{\"le_us\": \"inf\", \"count\": %llu}",
+                       static_cast<unsigned long long>(buckets_[i]));
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void MetricsRegistry::IncrementCounter(std::string_view name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+uint64_t MetricsRegistry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::RecordLatency(std::string_view name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), LatencyHistogram{}).first;
+  }
+  it->second.Record(seconds);
+}
+
+LatencyHistogram MetricsRegistry::histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? LatencyHistogram{} : it->second;
+}
+
+void MetricsRegistry::RecordOperator(std::string_view op_type,
+                                     const OperatorStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = operators_.find(op_type);
+  if (it == operators_.end()) {
+    it = operators_.emplace(std::string(op_type), OperatorAggregate{}).first;
+  }
+  ++it->second.instances;
+  it->second.stats.MergeFrom(stats);
+}
+
+OperatorAggregate MetricsRegistry::operator_aggregate(
+    std::string_view op_type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = operators_.find(op_type);
+  return it == operators_.end() ? OperatorAggregate{} : it->second;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    out += StrFormat("\"%s\": %llu", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    out += StrFormat("\"%s\": %s", name.c_str(), histogram.ToJson().c_str());
+  }
+  out += "}, \"operators\": {";
+  first = true;
+  for (const auto& [name, agg] : operators_) {
+    if (!first) out += ", ";
+    first = false;
+    out += StrFormat(
+        "\"%s\": {\"instances\": %llu, \"open_calls\": %llu, "
+        "\"next_calls\": %llu, \"rows\": %llu, \"wall_ms\": %.3f, "
+        "\"peak_entries\": %llu}",
+        name.c_str(), static_cast<unsigned long long>(agg.instances),
+        static_cast<unsigned long long>(agg.stats.open_calls),
+        static_cast<unsigned long long>(agg.stats.next_calls),
+        static_cast<unsigned long long>(agg.stats.rows_emitted),
+        agg.stats.wall_millis(),
+        static_cast<unsigned long long>(agg.stats.peak_entries));
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  histograms_.clear();
+  operators_.clear();
+}
+
+}  // namespace bornsql::obs

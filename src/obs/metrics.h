@@ -1,0 +1,100 @@
+// Process-wide metrics for the BornSQL engine: monotonic counters,
+// fixed-bucket latency histograms, and per-operator-type aggregates of the
+// runtime stats collected by instrumented plans. Serializes to JSON for the
+// bench harness and the shell's .metrics command.
+//
+// The engine itself is single-threaded, but the registry is guarded by a
+// mutex so several Database instances (e.g. the three engine variants a
+// bench runs side by side) and future executor threads can share it safely.
+#ifndef BORNSQL_OBS_METRICS_H_
+#define BORNSQL_OBS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/stats.h"
+
+namespace bornsql::obs {
+
+// Well-known metric names (callers may also mint their own).
+inline constexpr char kQueriesExecuted[] = "queries_executed";
+inline constexpr char kQueriesFailed[] = "queries_failed";
+inline constexpr char kRowsScanned[] = "rows_scanned";
+inline constexpr char kJoinProbes[] = "join_probes";
+inline constexpr char kStatementLatencyUs[] = "statement_latency_us";
+
+// Latency histogram with fixed microsecond bucket bounds (plus an overflow
+// bucket), cheap enough to record on every statement.
+class LatencyHistogram {
+ public:
+  static constexpr std::array<uint64_t, 12> kBucketBoundsUs = {
+      10,     50,     100,     500,     1000,    5000,
+      10000,  50000,  100000,  500000,  1000000, 5000000};
+  static constexpr size_t kNumBuckets = kBucketBoundsUs.size() + 1;
+
+  void Record(double seconds);
+
+  uint64_t count() const { return count_; }
+  double sum_us() const { return sum_us_; }
+  double mean_us() const { return count_ == 0 ? 0.0 : sum_us_ / count_; }
+  uint64_t bucket(size_t i) const { return buckets_[i]; }
+
+  // Upper-bound estimate of the p-th percentile (0 < p <= 1) from the
+  // bucket counts; returns the overflow bound for the last bucket.
+  double PercentileUs(double p) const;
+
+  std::string ToJson() const;
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_ = {};
+  uint64_t count_ = 0;
+  double sum_us_ = 0.0;
+};
+
+// Per-operator-type aggregate across all instrumented executions.
+struct OperatorAggregate {
+  uint64_t instances = 0;
+  OperatorStats stats;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry every Database uses by default.
+  static MetricsRegistry& Global();
+
+  void IncrementCounter(std::string_view name, uint64_t delta = 1);
+  uint64_t counter(std::string_view name) const;
+
+  void RecordLatency(std::string_view name, double seconds);
+  // Snapshot of a histogram (zero-value if never recorded).
+  LatencyHistogram histogram(std::string_view name) const;
+
+  // Folds one operator instance's stats into the aggregate for `op_type`
+  // (e.g. "SeqScan", "HashJoin").
+  void RecordOperator(std::string_view op_type, const OperatorStats& stats);
+  OperatorAggregate operator_aggregate(std::string_view op_type) const;
+
+  // {"counters": {...}, "histograms": {...}, "operators": {...}} — schema
+  // documented in DESIGN.md §Observability.
+  std::string ToJson() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, LatencyHistogram, std::less<>> histograms_;
+  std::map<std::string, OperatorAggregate, std::less<>> operators_;
+};
+
+}  // namespace bornsql::obs
+
+#endif  // BORNSQL_OBS_METRICS_H_

@@ -1,0 +1,74 @@
+#include "obs/plan_stats.h"
+
+#include "common/strings.h"
+
+namespace bornsql::obs {
+namespace {
+
+void RenderInto(const PlanStatsNode& node, int depth, bool with_stats,
+                std::vector<std::string>* out) {
+  std::string line(static_cast<size_t>(depth) * 2, ' ');
+  line += node.name;
+  if (with_stats && node.has_stats) {
+    line += StrFormat(
+        "  (actual rows=%llu next=%llu time=%.3fms",
+        static_cast<unsigned long long>(node.stats.rows_emitted),
+        static_cast<unsigned long long>(node.stats.next_calls),
+        node.stats.wall_millis());
+    if (node.stats.peak_entries > 0) {
+      line += StrFormat(" peak=%llu", static_cast<unsigned long long>(
+                                          node.stats.peak_entries));
+    }
+    line += ")";
+  }
+  out->push_back(std::move(line));
+  for (const PlanStatsNode& child : node.children) {
+    RenderInto(child, depth + 1, with_stats, out);
+  }
+}
+
+void JsonInto(const PlanStatsNode& node, std::string* out) {
+  *out += StrFormat("{\"operator\": \"%s\"", node.name.c_str());
+  if (node.has_stats) {
+    *out += StrFormat(
+        ", \"open_calls\": %llu, \"next_calls\": %llu, \"rows\": %llu, "
+        "\"wall_ms\": %.3f, \"peak_entries\": %llu",
+        static_cast<unsigned long long>(node.stats.open_calls),
+        static_cast<unsigned long long>(node.stats.next_calls),
+        static_cast<unsigned long long>(node.stats.rows_emitted),
+        node.stats.wall_millis(),
+        static_cast<unsigned long long>(node.stats.peak_entries));
+  }
+  if (!node.children.empty()) {
+    *out += ", \"children\": [";
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      if (i > 0) *out += ", ";
+      JsonInto(node.children[i], out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string OperatorTypeOf(const std::string& debug_string) {
+  size_t paren = debug_string.find('(');
+  return paren == std::string::npos ? debug_string
+                                    : debug_string.substr(0, paren);
+}
+
+std::vector<std::string> RenderPlanLines(const PlanStatsNode& root,
+                                         bool with_stats) {
+  std::vector<std::string> out;
+  RenderInto(root, 0, with_stats, &out);
+  return out;
+}
+
+std::string PlanStatsToJson(const PlanStatsNode& root) {
+  std::string out;
+  JsonInto(root, &out);
+  return out;
+}
+
+}  // namespace bornsql::obs

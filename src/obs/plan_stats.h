@@ -1,0 +1,37 @@
+// Annotated plan trees: the data model behind EXPLAIN ANALYZE and the bench
+// harness's per-operator breakdowns. A PlanStatsNode mirrors one physical
+// operator (or a synthetic DML node such as Insert/Update) with its
+// DebugString and, when the plan was instrumented, its OperatorStats.
+#ifndef BORNSQL_OBS_PLAN_STATS_H_
+#define BORNSQL_OBS_PLAN_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/stats.h"
+
+namespace bornsql::obs {
+
+struct PlanStatsNode {
+  std::string name;  // operator DebugString, e.g. "SeqScan(t, 4 rows)"
+  OperatorStats stats;
+  bool has_stats = false;  // false for plain EXPLAIN / synthetic-only nodes
+  std::vector<PlanStatsNode> children;
+};
+
+// "SeqScan" from "SeqScan(t, 4 rows)": the operator type used as the
+// aggregation key in MetricsRegistry::RecordOperator.
+std::string OperatorTypeOf(const std::string& debug_string);
+
+// One line per node, indented two spaces per depth. With `with_stats`,
+// instrumented nodes get an "(actual rows=... next=... time=...ms
+// [peak=...])" suffix; time is inclusive of children.
+std::vector<std::string> RenderPlanLines(const PlanStatsNode& root,
+                                         bool with_stats);
+
+// Nested JSON mirror of the tree (schema in DESIGN.md §Observability).
+std::string PlanStatsToJson(const PlanStatsNode& root);
+
+}  // namespace bornsql::obs
+
+#endif  // BORNSQL_OBS_PLAN_STATS_H_

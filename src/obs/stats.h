@@ -1,0 +1,62 @@
+// Per-operator runtime statistics for the observability subsystem.
+//
+// OperatorStats is embedded in every physical operator (exec/operators.h).
+// Collection is gated on a per-operator flag: when disabled (the default)
+// the only cost is one predictable branch per Open()/Next() call — no clock
+// reads, no counter updates — so benchmark paths pay essentially nothing.
+#ifndef BORNSQL_OBS_STATS_H_
+#define BORNSQL_OBS_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace bornsql::obs {
+
+// Counters collected by one operator instance during one execution.
+// wall_nanos is inclusive of children: an operator's Next() time contains
+// the Next() calls it issues downstream (exclusive time is derived at
+// render time by subtracting the children's inclusive totals).
+struct OperatorStats {
+  uint64_t open_calls = 0;
+  uint64_t next_calls = 0;
+  uint64_t rows_emitted = 0;
+  uint64_t wall_nanos = 0;
+  // Peak size of materialized state: hash-table entries (join build,
+  // aggregate groups, distinct set) or buffered rows (sort, window).
+  uint64_t peak_entries = 0;
+
+  void Reset() { *this = OperatorStats{}; }
+
+  void MergeFrom(const OperatorStats& other) {
+    open_calls += other.open_calls;
+    next_calls += other.next_calls;
+    rows_emitted += other.rows_emitted;
+    wall_nanos += other.wall_nanos;
+    if (other.peak_entries > peak_entries) peak_entries = other.peak_entries;
+  }
+
+  double wall_millis() const { return static_cast<double>(wall_nanos) / 1e6; }
+};
+
+// Adds the scope's elapsed wall time to *sink on destruction.
+class StatsTimer {
+ public:
+  explicit StatsTimer(uint64_t* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  StatsTimer(const StatsTimer&) = delete;
+  StatsTimer& operator=(const StatsTimer&) = delete;
+  ~StatsTimer() {
+    *sink_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  uint64_t* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bornsql::obs
+
+#endif  // BORNSQL_OBS_STATS_H_

@@ -209,7 +209,7 @@ struct DeleteStmt {
 
 enum class StatementKind {
   kSelect,
-  kExplain,  // EXPLAIN <select>: uses the `select` field
+  kExplain,  // EXPLAIN [ANALYZE] <stmt>: uses `explained` / `explain_analyze`
   kCreateTable,
   kDropTable,
   kCreateIndex,
@@ -227,6 +227,11 @@ struct Statement {
   std::unique_ptr<InsertStmt> insert;
   std::unique_ptr<UpdateStmt> update;
   std::unique_ptr<DeleteStmt> del;
+
+  // kExplain: the wrapped statement (any kind except kExplain itself) and
+  // whether ANALYZE (execute + per-operator stats) was requested.
+  std::unique_ptr<Statement> explained;
+  bool explain_analyze = false;
 };
 
 }  // namespace bornsql::sql

@@ -13,7 +13,7 @@ namespace {
 // Reserved words of the dialect. Function names (POW, LN, SUM, ROW_NUMBER,
 // ...) are deliberately NOT keywords: they lex as identifiers and the parser
 // recognizes the call syntax, so they stay usable as column names.
-constexpr std::array<std::string_view, 58> kKeywords = {
+constexpr std::array<std::string_view, 59> kKeywords = {
     "SELECT",  "FROM",    "WHERE",   "GROUP",    "BY",       "HAVING",
     "ORDER",   "ASC",     "DESC",    "LIMIT",    "OFFSET",   "AS",
     "AND",     "OR",      "NOT",     "NULL",     "IS",       "IN",
@@ -23,7 +23,7 @@ constexpr std::array<std::string_view, 58> kKeywords = {
     "ON",      "CONFLICT", "DO",     "UPDATE",   "SET",      "DELETE",
     "UNION",   "ALL",     "DISTINCT", "PRIMARY", "KEY",      "UNIQUE",
     "WITH",    "OVER",    "PARTITION", "JOIN",   "INNER",    "CROSS",
-    "LEFT",    "INDEX",   "NOTHING", "EXPLAIN",
+    "LEFT",    "INDEX",   "NOTHING", "EXPLAIN",  "ANALYZE",
 };
 
 bool IsIdentStart(char c) {

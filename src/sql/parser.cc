@@ -102,10 +102,12 @@ class Parser {
       return st;
     }
     if (MatchKeyword("EXPLAIN")) {
-      BORNSQL_ASSIGN_OR_RETURN(auto sel, SelectStatement());
       Statement st;
       st.kind = StatementKind::kExplain;
-      st.select = std::move(sel);
+      st.explain_analyze = MatchKeyword("ANALYZE");
+      if (CheckKeyword("EXPLAIN")) return Error("cannot EXPLAIN an EXPLAIN");
+      BORNSQL_ASSIGN_OR_RETURN(Statement inner, StatementRule());
+      st.explained = std::make_unique<Statement>(std::move(inner));
       return st;
     }
     if (CheckKeyword("CREATE")) return CreateStatement();

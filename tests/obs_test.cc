@@ -1,0 +1,342 @@
+// Tests for the observability subsystem: EXPLAIN / EXPLAIN ANALYZE output
+// shape (golden, with volatile timings masked), the MetricsRegistry, and
+// ExecuteProfiled. Also covers QueryResult::ScalarValue's error message.
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "obs/metrics.h"
+#include "obs/plan_stats.h"
+#include "obs/stats.h"
+#include "tests/test_util.h"
+
+namespace bornsql {
+namespace {
+
+using engine::Database;
+using engine::EngineConfig;
+using engine::JoinStrategy;
+using engine::QueryResult;
+using bornsql::testing::MustQuery;
+
+// EXPLAIN [ANALYZE] output as lines with the volatile wall times masked:
+// "time=0.123ms" -> "time=Xms". Everything else (rows, next, peak, shape)
+// is deterministic for a fixed dataset.
+std::vector<std::string> MaskedPlanLines(Database& db,
+                                         const std::string& sql) {
+  QueryResult result = MustQuery(db, sql);
+  EXPECT_EQ(result.column_names, std::vector<std::string>{"plan"});
+  static const std::regex kTime("time=[0-9.]+ms");
+  std::vector<std::string> out;
+  for (const Row& row : result.rows) {
+    out.push_back(std::regex_replace(row[0].AsText(), kTime, "time=Xms"));
+  }
+  return out;
+}
+
+// Two small joinable tables: t1 has 4 rows, t2 has 3 (two of which match).
+void LoadJoinFixture(Database* db) {
+  BORNSQL_ASSERT_OK(db->ExecuteScript(
+      "CREATE TABLE t1 (a INTEGER, b TEXT);"
+      "INSERT INTO t1 VALUES (1,'x'),(2,'y'),(3,'z'),(4,'w');"
+      "CREATE TABLE t2 (a INTEGER, c INTEGER);"
+      "INSERT INTO t2 VALUES (2,20),(3,30),(9,90);"));
+}
+
+constexpr char kJoinSql[] =
+    "SELECT t1.b, t2.c FROM t1 JOIN t2 ON t1.a = t2.a";
+
+TEST(ExplainGoldenTest, SelectWithHashJoin) {
+  Database db;  // default config: hash joins
+  LoadJoinFixture(&db);
+  std::vector<std::string> expected = {
+      "Project(2 columns)",
+      "  HashJoin(inner, 1 keys)",
+      "    SeqScan(t1, 4 rows)",
+      "    SeqScan(t2, 3 rows)",
+  };
+  EXPECT_EQ(MaskedPlanLines(db, std::string("EXPLAIN ") + kJoinSql),
+            expected);
+}
+
+TEST(ExplainGoldenTest, AnalyzeSelectWithHashJoin) {
+  Database db;
+  LoadJoinFixture(&db);
+  // HashJoin builds on the right input (3 rows) and emits 2 matches.
+  std::vector<std::string> expected = {
+      "Project(2 columns)  (actual rows=2 next=3 time=Xms)",
+      "  HashJoin(inner, 1 keys)  (actual rows=2 next=3 time=Xms peak=3)",
+      "    SeqScan(t1, 4 rows)  (actual rows=4 next=5 time=Xms)",
+      "    SeqScan(t2, 3 rows)  (actual rows=3 next=4 time=Xms)",
+  };
+  EXPECT_EQ(MaskedPlanLines(db, std::string("EXPLAIN ANALYZE ") + kJoinSql),
+            expected);
+}
+
+TEST(ExplainGoldenTest, AnalyzeSelectWithSortMergeJoin) {
+  EngineConfig config;
+  config.join_strategy = JoinStrategy::kSortMerge;
+  config.use_index_joins = false;
+  Database db{config};
+  LoadJoinFixture(&db);
+  // Sort-merge materializes both sides: peak = 4 + 3 rows.
+  std::vector<std::string> expected = {
+      "Project(2 columns)  (actual rows=2 next=3 time=Xms)",
+      "  SortMergeJoin(inner, 1 keys)  "
+      "(actual rows=2 next=3 time=Xms peak=7)",
+      "    SeqScan(t1, 4 rows)  (actual rows=4 next=5 time=Xms)",
+      "    SeqScan(t2, 3 rows)  (actual rows=3 next=4 time=Xms)",
+  };
+  EXPECT_EQ(MaskedPlanLines(db, std::string("EXPLAIN ANALYZE ") + kJoinSql),
+            expected);
+}
+
+TEST(ExplainGoldenTest, AnalyzeSelectWithNestedLoopJoin) {
+  EngineConfig config;
+  config.join_strategy = JoinStrategy::kNestedLoop;
+  config.use_index_joins = false;
+  Database db{config};
+  LoadJoinFixture(&db);
+  // The nested-loop strategy plans the equi-join as a cross product (4*3 =
+  // 12 rows, right side materialized: peak=3) under the join predicate.
+  std::vector<std::string> expected = {
+      "Project(2 columns)  (actual rows=2 next=3 time=Xms)",
+      "  Filter  (actual rows=2 next=3 time=Xms)",
+      "    NestedLoopJoin(cross)  (actual rows=12 next=13 time=Xms peak=3)",
+      "      SeqScan(t1, 4 rows)  (actual rows=4 next=5 time=Xms)",
+      "      SeqScan(t2, 3 rows)  (actual rows=3 next=4 time=Xms)",
+  };
+  EXPECT_EQ(MaskedPlanLines(db, std::string("EXPLAIN ANALYZE ") + kJoinSql),
+            expected);
+}
+
+TEST(ExplainGoldenTest, AnalyzeInsertSelect) {
+  Database db;
+  LoadJoinFixture(&db);
+  std::vector<std::string> expected = {
+      "Insert(t2)  (actual rows=4 next=0 time=Xms)",
+      "  Project(2 columns)  (actual rows=4 next=5 time=Xms)",
+      "    SeqScan(t1, 4 rows)  (actual rows=4 next=5 time=Xms)",
+  };
+  EXPECT_EQ(MaskedPlanLines(
+                db, "EXPLAIN ANALYZE INSERT INTO t2 SELECT a, a*10 FROM t1"),
+            expected);
+  // The insert really executed (ANALYZE runs the statement).
+  EXPECT_EQ(MustQuery(db, "SELECT COUNT(*) FROM t2").rows[0][0].AsInt(), 7);
+}
+
+TEST(ExplainGoldenTest, AnalyzeUpdateReportsRowsExamined) {
+  Database db;
+  LoadJoinFixture(&db);
+  std::vector<std::string> expected = {
+      "Update(t1, 1 set clauses)  (actual rows=2 next=0 time=Xms)",
+      "  Filter",
+      "    SeqScan(t1, 4 rows)  (actual rows=4 next=4 time=Xms)",
+  };
+  EXPECT_EQ(MaskedPlanLines(
+                db, "EXPLAIN ANALYZE UPDATE t1 SET b = 'q' WHERE a > 2"),
+            expected);
+  EXPECT_EQ(MustQuery(db, "SELECT COUNT(*) FROM t1 WHERE b = 'q'")
+                .rows[0][0]
+                .AsInt(),
+            2);
+}
+
+TEST(ExplainGoldenTest, AnalyzeDelete) {
+  Database db;
+  LoadJoinFixture(&db);
+  std::vector<std::string> expected = {
+      "Delete(t2)  (actual rows=1 next=0 time=Xms)",
+      "  Filter",
+      "    SeqScan(t2, 3 rows)  (actual rows=3 next=3 time=Xms)",
+  };
+  EXPECT_EQ(MaskedPlanLines(db, "EXPLAIN ANALYZE DELETE FROM t2 WHERE a = 9"),
+            expected);
+  EXPECT_EQ(MustQuery(db, "SELECT COUNT(*) FROM t2").rows[0][0].AsInt(), 2);
+}
+
+TEST(ExplainGoldenTest, PlainExplainCoversEveryStatementKind) {
+  Database db;
+  LoadJoinFixture(&db);
+  // Plain EXPLAIN never executes: t1/t2 must stay untouched throughout.
+  EXPECT_EQ(MaskedPlanLines(db, "EXPLAIN INSERT INTO t2 VALUES (5, 50)"),
+            (std::vector<std::string>{"Insert(t2)", "  Values(1 rows)"}));
+  EXPECT_EQ(MaskedPlanLines(db, "EXPLAIN INSERT INTO t2 SELECT a, a FROM t1"),
+            (std::vector<std::string>{"Insert(t2)", "  Project(2 columns)",
+                                      "    SeqScan(t1, 4 rows)"}));
+  EXPECT_EQ(MaskedPlanLines(db, "EXPLAIN UPDATE t1 SET b = 'u' WHERE a = 1"),
+            (std::vector<std::string>{"Update(t1, 1 set clauses)", "  Filter",
+                                      "    SeqScan(t1, 4 rows)"}));
+  EXPECT_EQ(MaskedPlanLines(db, "EXPLAIN DELETE FROM t1"),
+            (std::vector<std::string>{"Delete(t1)",
+                                      "  SeqScan(t1, 4 rows)"}));
+  EXPECT_EQ(
+      MaskedPlanLines(db, "EXPLAIN CREATE TABLE t3 AS SELECT a FROM t1"),
+      (std::vector<std::string>{"CreateTableAs(t3)", "  Project(1 columns)",
+                                "    SeqScan(t1, 4 rows)"}));
+  EXPECT_EQ(MaskedPlanLines(db, "EXPLAIN CREATE TABLE t4 (x INTEGER)"),
+            (std::vector<std::string>{"CreateTable(t4, 1 columns)"}));
+  EXPECT_EQ(MaskedPlanLines(db, "EXPLAIN DROP TABLE t2"),
+            (std::vector<std::string>{"DropTable(t2)"}));
+  EXPECT_EQ(MaskedPlanLines(db, "EXPLAIN CREATE INDEX idx ON t2 (a)"),
+            (std::vector<std::string>{"CreateIndex(idx ON t2)"}));
+  // Nothing executed.
+  EXPECT_EQ(MustQuery(db, "SELECT COUNT(*) FROM t1").rows[0][0].AsInt(), 4);
+  EXPECT_EQ(MustQuery(db, "SELECT COUNT(*) FROM t2").rows[0][0].AsInt(), 3);
+  EXPECT_FALSE(db.catalog().Exists("t3"));
+  EXPECT_FALSE(db.catalog().Exists("t4"));
+}
+
+TEST(ExplainGoldenTest, ExplainOfExplainIsRejected) {
+  Database db;
+  auto result = db.Execute("EXPLAIN EXPLAIN SELECT 1");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ExecuteProfiledTest, ReturnsResultAndAnnotatedPlan) {
+  Database db;
+  LoadJoinFixture(&db);
+  auto profiled = db.ExecuteProfiled(kJoinSql);
+  BORNSQL_ASSERT_OK(profiled.status());
+  EXPECT_EQ(profiled->result.rows.size(), 2u);
+  EXPECT_EQ(profiled->plan.name, "Project(2 columns)");
+  ASSERT_TRUE(profiled->plan.has_stats);
+  EXPECT_EQ(profiled->plan.stats.rows_emitted, 2u);
+  ASSERT_EQ(profiled->plan.children.size(), 1u);
+  EXPECT_EQ(obs::OperatorTypeOf(profiled->plan.children[0].name), "HashJoin");
+  // The JSON mirror carries the same numbers.
+  std::string json = obs::PlanStatsToJson(profiled->plan);
+  EXPECT_NE(json.find("\"operator\": \"Project(2 columns)\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"rows\": 2"), std::string::npos);
+}
+
+TEST(ExecuteProfiledTest, RejectsExplainStatements) {
+  Database db;
+  auto profiled = db.ExecuteProfiled("EXPLAIN SELECT 1");
+  EXPECT_FALSE(profiled.ok());
+}
+
+TEST(MetricsRegistryTest, CountersAccumulateAndReset) {
+  obs::MetricsRegistry metrics;
+  EXPECT_EQ(metrics.counter("nope"), 0u);
+  metrics.IncrementCounter("c");
+  metrics.IncrementCounter("c", 41);
+  EXPECT_EQ(metrics.counter("c"), 42u);
+  metrics.Reset();
+  EXPECT_EQ(metrics.counter("c"), 0u);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAndPercentile) {
+  obs::MetricsRegistry metrics;
+  // 5us, 30us, 2ms, 20s (overflow) as seconds.
+  metrics.RecordLatency("lat", 5e-6);
+  metrics.RecordLatency("lat", 30e-6);
+  metrics.RecordLatency("lat", 2e-3);
+  metrics.RecordLatency("lat", 20.0);
+  obs::LatencyHistogram hist = metrics.histogram("lat");
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_EQ(hist.bucket(0), 1u);  // <= 10us
+  EXPECT_EQ(hist.bucket(1), 1u);  // <= 50us
+  EXPECT_EQ(hist.bucket(obs::LatencyHistogram::kNumBuckets - 1), 1u);
+  // p50 over {5us, 30us, 2ms, 20s}: the 2nd sample lands in the 50us bucket.
+  EXPECT_DOUBLE_EQ(hist.PercentileUs(0.5), 50.0);
+  std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"le_us\": \"inf\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, OperatorAggregatesMerge) {
+  obs::MetricsRegistry metrics;
+  obs::OperatorStats stats;
+  stats.open_calls = 1;
+  stats.next_calls = 10;
+  stats.rows_emitted = 9;
+  stats.peak_entries = 5;
+  metrics.RecordOperator("SeqScan", stats);
+  stats.peak_entries = 3;
+  metrics.RecordOperator("SeqScan", stats);
+  obs::OperatorAggregate agg = metrics.operator_aggregate("SeqScan");
+  EXPECT_EQ(agg.instances, 2u);
+  EXPECT_EQ(agg.stats.rows_emitted, 18u);
+  EXPECT_EQ(agg.stats.next_calls, 20u);
+  EXPECT_EQ(agg.stats.peak_entries, 5u);  // max, not sum
+  EXPECT_EQ(metrics.operator_aggregate("HashJoin").instances, 0u);
+}
+
+TEST(MetricsTest, DatabaseRecordsStatementCountsAndLatency) {
+  obs::MetricsRegistry metrics;
+  Database db;
+  db.set_metrics(&metrics);
+  LoadJoinFixture(&db);  // 4 statements
+  MustQuery(db, "SELECT COUNT(*) FROM t1");
+  EXPECT_FALSE(db.Execute("SELECT nonsense FROM nowhere").ok());
+  EXPECT_EQ(metrics.counter(obs::kQueriesExecuted), 6u);
+  EXPECT_EQ(metrics.counter(obs::kQueriesFailed), 1u);
+  EXPECT_EQ(metrics.histogram(obs::kStatementLatencyUs).count(), 6u);
+  // Plain (uninstrumented) execution folds no per-operator data.
+  EXPECT_EQ(metrics.counter(obs::kRowsScanned), 0u);
+}
+
+TEST(MetricsTest, CollectExecStatsFoldsOperatorAggregates) {
+  obs::MetricsRegistry metrics;
+  EngineConfig config;
+  config.collect_exec_stats = true;
+  Database db{config};
+  db.set_metrics(&metrics);
+  LoadJoinFixture(&db);
+  MustQuery(db, kJoinSql);
+  // The join scanned both tables and probed with the left input's rows.
+  EXPECT_EQ(metrics.counter(obs::kRowsScanned), 7u);
+  EXPECT_EQ(metrics.counter(obs::kJoinProbes), 4u);
+  EXPECT_EQ(metrics.operator_aggregate("SeqScan").instances, 2u);
+  EXPECT_EQ(metrics.operator_aggregate("HashJoin").instances, 1u);
+  EXPECT_EQ(metrics.operator_aggregate("HashJoin").stats.rows_emitted, 2u);
+}
+
+TEST(ScalarValueTest, DescribesNonScalarShapes) {
+  Database db;
+  BORNSQL_ASSERT_OK(db.ExecuteScript(
+      "CREATE TABLE t (a INTEGER);"
+      "INSERT INTO t VALUES (1),(2);"));
+  QueryResult two_rows = MustQuery(db, "SELECT a FROM t");
+  auto scalar = two_rows.ScalarValue();
+  ASSERT_FALSE(scalar.ok());
+  EXPECT_NE(scalar.status().ToString().find("2x1"), std::string::npos);
+
+  QueryResult empty = MustQuery(db, "SELECT a FROM t WHERE a > 9");
+  auto none = empty.ScalarValue();
+  ASSERT_FALSE(none.ok());
+  EXPECT_NE(none.status().ToString().find("0x0"), std::string::npos);
+
+  QueryResult ok = MustQuery(db, "SELECT COUNT(*) FROM t");
+  auto value = ok.ScalarValue();
+  BORNSQL_ASSERT_OK(value.status());
+  EXPECT_EQ(value->AsInt(), 2);
+}
+
+TEST(StatsTest, OperatorStatsMergeAndTimer) {
+  obs::OperatorStats a;
+  a.open_calls = 1;
+  a.next_calls = 5;
+  a.rows_emitted = 4;
+  a.peak_entries = 2;
+  obs::OperatorStats b;
+  b.next_calls = 7;
+  b.peak_entries = 9;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.next_calls, 12u);
+  EXPECT_EQ(a.peak_entries, 9u);
+  uint64_t nanos = 0;
+  { obs::StatsTimer timer(&nanos); }
+  EXPECT_GE(nanos, 0u);
+  a.Reset();
+  EXPECT_EQ(a.next_calls, 0u);
+}
+
+}  // namespace
+}  // namespace bornsql

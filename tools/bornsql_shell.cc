@@ -8,9 +8,13 @@
 //   .schema <table>        show a table's columns
 //   .import <csv> <table>  load a CSV file
 //   .export <file> <sql;>  write a query's result as CSV
-//   .timer on|off          print per-statement wall time
+//   .timing on|off         print per-statement wall time (.timer works too)
+//   .metrics               dump the engine metrics registry as JSON
 //   .help                  this text
 //   .quit                  exit
+//
+// EXPLAIN <stmt> prints the plan; EXPLAIN ANALYZE <stmt> executes it and
+// annotates every operator with actual rows and wall time.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -37,8 +41,11 @@ void PrintResult(const QueryResult& result) {
     }
     return;
   }
-  // Column widths from header + data (capped for sanity).
-  constexpr size_t kMaxWidth = 48;
+  // Column widths from header + data (capped for sanity). EXPLAIN output
+  // (a single "plan" column) gets a wide cap so stats suffixes survive.
+  const bool is_plan = result.column_names.size() == 1 &&
+                       result.column_names[0] == "plan";
+  const size_t kMaxWidth = is_plan ? 160 : 48;
   std::vector<size_t> widths;
   for (const std::string& name : result.column_names) {
     widths.push_back(std::min(name.size(), kMaxWidth));
@@ -86,7 +93,9 @@ bool DotCommand(Database& db, const std::string& line, bool* timer) {
   if (cmd == ".help") {
     std::printf(
         ".tables | .schema <t> | .import <csv> <t> | .export <file> <sql;> "
-        "| .timer on|off | .quit\n");
+        "| .timing on|off | .metrics | .quit\n"
+        "EXPLAIN ANALYZE <stmt;> runs a statement and annotates the plan "
+        "with per-operator stats\n");
   } else if (cmd == ".tables") {
     for (const std::string& name : db.catalog().TableNames()) {
       std::printf("%s\n", name.c_str());
@@ -117,8 +126,10 @@ bool DotCommand(Database& db, const std::string& line, bool* timer) {
     }
     auto st = bornsql::engine::DumpCsvFile(&db, query, parts[1]);
     std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
-  } else if (cmd == ".timer" && parts.size() >= 2) {
+  } else if ((cmd == ".timer" || cmd == ".timing") && parts.size() >= 2) {
     *timer = parts[1] == "on";
+  } else if (cmd == ".metrics") {
+    std::printf("%s\n", db.metrics().ToJson().c_str());
   } else {
     std::printf("unknown command %s (try .help)\n", cmd.c_str());
   }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI entry point: the default build + full test suite, then a Debug
+# ASan/UBSan build + full test suite. Run from the repository root:
+#
+#   tools/ci.sh            # both legs
+#   tools/ci.sh --fast     # default build only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_leg() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$(nproc)"
+  ctest --test-dir "$dir" --output-on-failure
+}
+
+echo "=== leg 1: default build ==="
+run_leg build
+
+if [[ "${1:-}" != "--fast" ]]; then
+  echo "=== leg 2: Debug + ASan/UBSan ==="
+  # halt_on_error so ctest actually fails on a UBSan report.
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  run_leg build-san -DCMAKE_BUILD_TYPE=Debug \
+    -DBORNSQL_SANITIZE=address,undefined
+fi
+
+echo "ci: all legs passed"
