@@ -37,6 +37,9 @@ int main(int argc, char** argv) {
   std::vector<double> items(kSteps, 0.0);
 
   for (size_t v = 0; v < variants.size(); ++v) {
+    // Each variant starts from a clean registry so the aggregates one
+    // engine leaves behind don't pollute the next engine's numbers.
+    obs::MetricsRegistry::Global().Reset();
     engine::Database db{variants[v].config};
     if (auto st = synth.Load(&db); !st.ok()) {
       std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
@@ -161,6 +164,15 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "could not write %s\n", path.c_str());
       return 1;
+    }
+    if (!args.trace_json.empty()) {
+      if (auto st = db.ExportTrace(args.trace_json); st.ok()) {
+        std::printf("wrote Chrome trace to %s\n", args.trace_json.c_str());
+      } else {
+        std::fprintf(stderr, "could not write %s: %s\n",
+                     args.trace_json.c_str(), st.ToString().c_str());
+        return 1;
+      }
     }
   }
   return 0;

@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
   options.num_publications = bench::Scaled(12000, args.scale);
   data::ScopusSynthesizer synth(options);
 
+  // Start from a clean process-wide registry so back-to-back bench runs in
+  // one process don't accumulate stale aggregates.
+  obs::MetricsRegistry::Global().Reset();
   engine::Database db;
   if (auto st = synth.Load(&db); !st.ok()) {
     std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
@@ -125,5 +128,15 @@ int main(int argc, char** argv) {
   bench::ShapeCheck(per_item_ms < 10.0,
                     "amortized deployed inference is on the order of "
                     "milliseconds per item");
+
+  if (!args.trace_json.empty()) {
+    if (auto st = db.ExportTrace(args.trace_json); st.ok()) {
+      std::printf("wrote Chrome trace to %s\n", args.trace_json.c_str());
+    } else {
+      std::fprintf(stderr, "could not write %s: %s\n",
+                   args.trace_json.c_str(), st.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -24,6 +24,9 @@ struct Args {
   // Where to write the per-operator observability breakdown (benches that
   // support it have a default path; empty keeps the default).
   std::string obs_json;
+  // Where to write a Chrome trace_event JSON of the bench's statements
+  // (loadable by chrome://tracing). Empty disables trace export.
+  std::string trace_json;
 };
 
 inline Args ParseArgs(int argc, char** argv) {
@@ -34,6 +37,8 @@ inline Args ParseArgs(int argc, char** argv) {
       if (args.scale <= 0) args.scale = 1.0;
     } else if (std::strncmp(argv[i], "--obs-json=", 11) == 0) {
       args.obs_json = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
+      args.trace_json = argv[i] + 13;
     }
   }
   return args;

@@ -30,6 +30,10 @@ std::string StrFormat(const char* fmt, ...)
 // Escapes single quotes for embedding in a SQL string literal ('' doubling).
 std::string SqlQuote(std::string_view s);
 
+// Escapes `s` for embedding in a JSON string literal (quotes, backslash,
+// control characters via \uXXXX). Does not add the surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
 }  // namespace bornsql
 
 #endif  // BORNSQL_COMMON_STRINGS_H_

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <unordered_set>
 
 #include "common/strings.h"
 #include "common/timer.h"
 #include "engine/binder.h"
+#include "engine/sql_text.h"
 #include "exec/operators.h"
+#include "sql/lexer.h"
 #include "sql/parser.h"
 
 namespace bornsql::engine {
@@ -67,6 +70,29 @@ std::string InsertNodeName(const sql::InsertStmt& stmt) {
                    stmt.on_conflict != nullptr ? ", on conflict" : "");
 }
 
+// Appends one trace span per instrumented operator, using the lifetime
+// interval (first/last hook timestamps) each operator's stats collected.
+// `seen` dedupes CTE subtrees shared by several gates.
+void AppendOperatorSpans(const obs::TraceRecorder& recorder,
+                         const exec::Operator& op, obs::StatementTrace* trace,
+                         std::unordered_set<const exec::Operator*>* seen) {
+  if (!seen->insert(&op).second) return;
+  const obs::OperatorStats& stats = op.stats();
+  if (stats.first_ns != 0) {
+    obs::TraceSpan span;
+    span.name = op.DebugString();
+    span.category = "operator";
+    span.start_ns = recorder.RelativeNs(stats.first_ns);
+    span.dur_ns = stats.last_ns > stats.first_ns
+                      ? stats.last_ns - stats.first_ns
+                      : 0;
+    trace->spans.push_back(std::move(span));
+  }
+  for (const exec::Operator* child : op.children()) {
+    if (child != nullptr) AppendOperatorSpans(recorder, *child, trace, seen);
+  }
+}
+
 }  // namespace
 
 Result<Value> QueryResult::ScalarValue() const {
@@ -78,42 +104,173 @@ Result<Value> QueryResult::ScalarValue() const {
   return rows[0][0];
 }
 
+void Database::BeginStatement(StatementContext* ctx) {
+  ctx->tracing = trace_enabled_;
+  if (ctx->tracing) ctx->trace.start_ns = trace_.NowNs();
+}
+
+void Database::AddPhaseSpan(StatementContext* ctx, const char* name,
+                            uint64_t start_ns) {
+  if (!ctx->tracing) return;
+  obs::TraceSpan span;
+  span.name = name;
+  span.category = "phase";
+  span.start_ns = start_ns;
+  span.dur_ns = trace_.NowNs() - start_ns;
+  ctx->trace.spans.push_back(std::move(span));
+}
+
 Result<QueryResult> Database::Execute(std::string_view sql) {
-  BORNSQL_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
-  return ExecuteStatement(stmt);
+  StatementContext ctx;
+  BeginStatement(&ctx);
+  const uint64_t lex_start = ctx.tracing ? trace_.NowNs() : 0;
+  BORNSQL_ASSIGN_OR_RETURN(std::vector<sql::Token> tokens, sql::Lex(sql));
+  AddPhaseSpan(&ctx, "lex", lex_start);
+  ctx.key = NormalizeTokens(tokens, 0, tokens.size());
+  const uint64_t parse_start = ctx.tracing ? trace_.NowNs() : 0;
+  BORNSQL_ASSIGN_OR_RETURN(sql::Statement stmt,
+                           sql::ParseStatementTokens(std::move(tokens)));
+  AddPhaseSpan(&ctx, "parse", parse_start);
+  return ExecuteTracked(stmt, &ctx);
 }
 
 Status Database::ExecuteScript(std::string_view sql) {
+  // Lex once for per-statement normalized keys; the parser re-lexes
+  // internally (lexing is cheap next to execution).
+  std::vector<std::string> keys;
+  if (auto tokens = sql::Lex(sql); tokens.ok()) {
+    keys = NormalizeScriptTokens(*tokens);
+  }
   BORNSQL_ASSIGN_OR_RETURN(std::vector<sql::Statement> stmts,
                            sql::ParseScript(sql));
-  for (const sql::Statement& stmt : stmts) {
-    auto result = ExecuteStatement(stmt);
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    StatementContext ctx;
+    BeginStatement(&ctx);
+    ctx.key = i < keys.size() && keys.size() == stmts.size()
+                  ? keys[i]
+                  : FallbackStatementKey(stmts[i]);
+    auto result = ExecuteTracked(stmts[i], &ctx);
     if (!result.ok()) return result.status();
   }
   return Status::OK();
 }
 
 Result<QueryResult> Database::ExecuteStatement(const sql::Statement& stmt) {
-  WallTimer timer;
-  Result<QueryResult> result = DispatchStatement(stmt);
-  metrics_->IncrementCounter(obs::kQueriesExecuted);
-  if (!result.ok()) metrics_->IncrementCounter(obs::kQueriesFailed);
-  metrics_->RecordLatency(obs::kStatementLatencyUs, timer.ElapsedSeconds());
-  return result;
+  StatementContext ctx;
+  BeginStatement(&ctx);
+  ctx.key = FallbackStatementKey(stmt);
+  return ExecuteTracked(stmt, &ctx);
 }
 
 Result<ProfiledQuery> Database::ExecuteProfiled(std::string_view sql) {
-  BORNSQL_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  StatementContext ctx;
+  BeginStatement(&ctx);
+  const uint64_t lex_start = ctx.tracing ? trace_.NowNs() : 0;
+  BORNSQL_ASSIGN_OR_RETURN(std::vector<sql::Token> tokens, sql::Lex(sql));
+  AddPhaseSpan(&ctx, "lex", lex_start);
+  ctx.key = NormalizeTokens(tokens, 0, tokens.size());
+  const uint64_t parse_start = ctx.tracing ? trace_.NowNs() : 0;
+  BORNSQL_ASSIGN_OR_RETURN(sql::Statement stmt,
+                           sql::ParseStatementTokens(std::move(tokens)));
+  AddPhaseSpan(&ctx, "parse", parse_start);
   if (stmt.kind == sql::StatementKind::kExplain) {
     return Status::InvalidArgument(
         "ExecuteProfiled expects a plain statement, not EXPLAIN");
   }
+  ProfiledQuery out;
+  ctx.profile_plan = &out.plan;
+  BORNSQL_ASSIGN_OR_RETURN(out.result, ExecuteTracked(stmt, &ctx));
+  return out;
+}
+
+Result<QueryResult> Database::ExecuteTracked(const sql::Statement& stmt,
+                                             StatementContext* ctx) {
   WallTimer timer;
-  Result<ProfiledQuery> result = ProfileStatement(stmt);
+  // While the slow-query log is armed, eligible statements run instrumented
+  // (the auto_explain.log_analyze approach) so a logged entry carries its
+  // stats-annotated plan. EXPLAIN and SET never profile.
+  const bool slow_armed = slow_query_ms_ >= 0 &&
+                          stmt.kind != sql::StatementKind::kExplain &&
+                          stmt.kind != sql::StatementKind::kSet;
+  const bool want_profile = ctx->profile_plan != nullptr || slow_armed;
+
+  obs::StatementTrace* saved_trace = active_trace_;
+  active_trace_ = ctx->tracing ? &ctx->trace : nullptr;
+  const uint64_t dispatch_start = ctx->tracing ? trace_.NowNs() : 0;
+  const size_t spans_before = ctx->trace.spans.size();
+
+  obs::PlanStatsNode plan;
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    if (!want_profile) return DispatchStatement(stmt);
+    Result<ProfiledQuery> profiled = ProfileStatement(stmt);
+    if (!profiled.ok()) return profiled.status();
+    plan = std::move(profiled->plan);
+    return std::move(profiled->result);
+  }();
+  active_trace_ = saved_trace;
+
+  const double elapsed_seconds = timer.ElapsedSeconds();
+  const double elapsed_ms = elapsed_seconds * 1e3;
   metrics_->IncrementCounter(obs::kQueriesExecuted);
   if (!result.ok()) metrics_->IncrementCounter(obs::kQueriesFailed);
-  metrics_->RecordLatency(obs::kStatementLatencyUs, timer.ElapsedSeconds());
+  metrics_->RecordLatency(obs::kStatementLatencyUs, elapsed_seconds);
+
+  const uint64_t rows =
+      result.ok() ? std::max<uint64_t>(result->rows.size(),
+                                       result->rows_affected)
+                  : 0;
+  stmt_stats_.Record(ctx->key, elapsed_ms, rows, !result.ok());
+
+  if (slow_armed && result.ok() && elapsed_ms >= slow_query_ms_) {
+    obs::SlowQueryEntry entry;
+    entry.statement = ctx->key;
+    entry.elapsed_ms = elapsed_ms;
+    entry.threshold_ms = slow_query_ms_;
+    entry.rows = rows;
+    entry.plan =
+        Join(obs::RenderPlanLines(plan, /*with_stats=*/true), "\n");
+    slow_log_.Record(std::move(entry));
+  }
+  if (ctx->profile_plan != nullptr && result.ok()) {
+    *ctx->profile_plan = std::move(plan);
+  }
+
+  if (ctx->tracing) {
+    if (ctx->trace.spans.size() == spans_before) {
+      // No fine-grained spans were recorded (pure-DML path without an
+      // embedded SELECT): cover dispatch with one coarse execute span.
+      obs::TraceSpan span;
+      span.name = "execute";
+      span.category = "phase";
+      span.start_ns = dispatch_start;
+      span.dur_ns = trace_.NowNs() - dispatch_start;
+      ctx->trace.spans.push_back(std::move(span));
+    }
+    ctx->trace.statement = ctx->key;
+    ctx->trace.dur_ns = trace_.NowNs() - ctx->trace.start_ns;
+    ctx->trace.rows = rows;
+    ctx->trace.error = !result.ok();
+    trace_.Record(std::move(ctx->trace));
+  }
   return result;
+}
+
+std::string Database::TraceJson() const {
+  return obs::ChromeTraceJson(trace_.Snapshot());
+}
+
+Status Database::ExportTrace(const std::string& path) const {
+  const std::string json = TraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open trace file '" + path + "'");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::Internal("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
 }
 
 Result<QueryResult> Database::DispatchStatement(const sql::Statement& stmt) {
@@ -134,22 +291,72 @@ Result<QueryResult> Database::DispatchStatement(const sql::Statement& stmt) {
       return RunUpdate(*stmt.update);
     case sql::StatementKind::kDelete:
       return RunDelete(*stmt.del);
+    case sql::StatementKind::kSet:
+      return RunSet(*stmt.set);
   }
   return Status::Internal("bad statement kind");
 }
 
+Result<QueryResult> Database::RunSet(const sql::SetStmt& stmt) {
+  BORNSQL_ASSIGN_OR_RETURN(Value value, EvalConstExpr(*stmt.value));
+  if (stmt.name == "born.slow_query_ms") {
+    BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kDouble));
+    slow_query_ms_ = v.AsDouble();
+  } else if (stmt.name == "born.trace") {
+    BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kInt));
+    trace_enabled_ = v.AsInt() != 0;
+  } else if (stmt.name == "born.trace_capacity") {
+    BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kInt));
+    if (v.AsInt() < 1) {
+      return Status::InvalidArgument("born.trace_capacity must be >= 1");
+    }
+    trace_.set_capacity(static_cast<size_t>(v.AsInt()));
+  } else if (stmt.name == "born.collect_exec_stats") {
+    BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kInt));
+    config_.collect_exec_stats = v.AsInt() != 0;
+  } else {
+    return Status::InvalidArgument("unknown setting '" + stmt.name + "'");
+  }
+  return QueryResult{};
+}
+
 Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
                                         obs::PlanStatsNode* profile) {
-  Planner planner(&catalog_, &config_);
+  obs::StatementTrace* trace = active_trace_;
+  // Binding interleaves with planning in this engine (the planner calls the
+  // binder per expression), so the trace gets one merged bind+plan span.
+  const uint64_t plan_start = trace != nullptr ? trace_.NowNs() : 0;
+  Planner planner(&catalog_, &config_, &system_views_);
   BORNSQL_ASSIGN_OR_RETURN(exec::OperatorPtr plan, planner.PlanSelect(stmt));
+  if (trace != nullptr) {
+    obs::TraceSpan span;
+    span.name = "bind+plan";
+    span.category = "phase";
+    span.start_ns = plan_start;
+    span.dur_ns = trace_.NowNs() - plan_start;
+    trace->spans.push_back(std::move(span));
+  }
   const bool instrument = profile != nullptr || config_.collect_exec_stats;
   if (instrument) plan->EnableStats(true);
+  const uint64_t exec_start = trace != nullptr ? trace_.NowNs() : 0;
   BORNSQL_ASSIGN_OR_RETURN(exec::MaterializedResult result,
                            exec::Drain(*plan));
+  if (trace != nullptr) {
+    obs::TraceSpan span;
+    span.name = "execute";
+    span.category = "phase";
+    span.start_ns = exec_start;
+    span.dur_ns = trace_.NowNs() - exec_start;
+    trace->spans.push_back(std::move(span));
+  }
   if (instrument) {
     std::unordered_set<const exec::Operator*> seen;
     AccumulatePlanMetrics(metrics_, *plan, &seen);
     if (profile != nullptr) *profile = CapturePlan(*plan);
+    if (trace != nullptr) {
+      std::unordered_set<const exec::Operator*> span_seen;
+      AppendOperatorSpans(trace_, *plan, trace, &span_seen);
+    }
   }
   QueryResult out;
   out.column_names = result.schema.ColumnNames();
@@ -158,7 +365,7 @@ Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
 }
 
 Result<obs::PlanStatsNode> Database::DescribePlan(const sql::Statement& stmt) {
-  Planner planner(&catalog_, &config_);
+  Planner planner(&catalog_, &config_, &system_views_);
   switch (stmt.kind) {
     case sql::StatementKind::kSelect: {
       BORNSQL_ASSIGN_OR_RETURN(exec::OperatorPtr plan,
@@ -235,6 +442,11 @@ Result<obs::PlanStatsNode> Database::DescribePlan(const sql::Statement& stmt) {
       root.name = StrFormat("Create%sIndex(%s ON %s)",
                             ci.unique ? "Unique" : "", ci.name.c_str(),
                             ci.table.c_str());
+      return root;
+    }
+    case sql::StatementKind::kSet: {
+      obs::PlanStatsNode root;
+      root.name = StrFormat("Set(%s)", stmt.set->name.c_str());
       return root;
     }
     case sql::StatementKind::kExplain:
@@ -316,7 +528,8 @@ Result<ProfiledQuery> Database::ProfileStatement(const sql::Statement& stmt) {
       return out;
     }
     case sql::StatementKind::kDropTable:
-    case sql::StatementKind::kCreateIndex: {
+    case sql::StatementKind::kCreateIndex:
+    case sql::StatementKind::kSet: {
       BORNSQL_ASSIGN_OR_RETURN(out.plan, DescribePlan(stmt));
       BORNSQL_ASSIGN_OR_RETURN(out.result, DispatchStatement(stmt));
       out.plan.has_stats = true;
@@ -465,7 +678,7 @@ Result<QueryResult> Database::RunInsert(const sql::InsertStmt& stmt,
       Row row(schema.size());
       for (size_t i = 0; i < exprs.size(); ++i) {
         sql::ExprPtr folded = sql::CloneExpr(*exprs[i]);
-        Planner planner(&catalog_, &config_);
+        Planner planner(&catalog_, &config_, &system_views_);
         BORNSQL_RETURN_IF_ERROR(planner.FoldSubqueries(folded.get()));
         BORNSQL_ASSIGN_OR_RETURN(exec::BoundExprPtr bound,
                                  BindExpr(*folded, empty));
@@ -575,7 +788,7 @@ Result<QueryResult> Database::RunUpdate(const sql::UpdateStmt& stmt) {
   BORNSQL_ASSIGN_OR_RETURN(storage::Table * table,
                            catalog_.GetTable(stmt.table));
   Schema schema = table->schema().WithQualifier(stmt.table);
-  Planner planner(&catalog_, &config_);
+  Planner planner(&catalog_, &config_, &system_views_);
 
   exec::BoundExprPtr where;
   if (stmt.where != nullptr) {
@@ -630,7 +843,7 @@ Result<QueryResult> Database::RunDelete(const sql::DeleteStmt& stmt) {
   if (stmt.where == nullptr) {
     flags.assign(table->rows().size(), true);
   } else {
-    Planner planner(&catalog_, &config_);
+    Planner planner(&catalog_, &config_, &system_views_);
     sql::ExprPtr folded = sql::CloneExpr(*stmt.where);
     BORNSQL_RETURN_IF_ERROR(planner.FoldSubqueries(folded.get()));
     BORNSQL_ASSIGN_OR_RETURN(exec::BoundExprPtr where,

@@ -20,8 +20,11 @@
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "engine/planner.h"
+#include "engine/system_views.h"
 #include "obs/metrics.h"
 #include "obs/plan_stats.h"
+#include "obs/statement_stats.h"
+#include "obs/trace.h"
 #include "sql/ast.h"
 #include "types/value.h"
 
@@ -79,7 +82,50 @@ class Database {
   obs::MetricsRegistry& metrics() const { return *metrics_; }
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  // Per-normalized-statement aggregates (born_stat_statements).
+  const obs::StatementStatsRegistry& statement_stats() const {
+    return stmt_stats_;
+  }
+  obs::StatementStatsRegistry& statement_stats() { return stmt_stats_; }
+
+  // Slow-query log (born_slow_log). Armed via SET born.slow_query_ms = N
+  // or set_slow_query_ms; negative disables. While armed, every eligible
+  // statement runs instrumented (auto_explain-style) so logged entries
+  // carry stats-annotated plans — documented overhead.
+  const obs::SlowQueryLog& slow_log() const { return slow_log_; }
+  double slow_query_ms() const { return slow_query_ms_; }
+  void set_slow_query_ms(double ms) { slow_query_ms_ = ms; }
+
+  // Span-based statement tracing (on by default; SET born.trace = 0 turns
+  // it off). TraceJson renders the ring buffer as Chrome trace_event JSON;
+  // ExportTrace writes it to a file loadable by chrome://tracing.
+  bool trace_enabled() const { return trace_enabled_; }
+  void set_trace_enabled(bool on) { trace_enabled_ = on; }
+  obs::TraceRecorder& trace() { return trace_; }
+  std::string TraceJson() const;
+  Status ExportTrace(const std::string& path) const;
+
  private:
+  // Per-statement bookkeeping threaded through the execution paths: the
+  // normalized statement key, the trace under construction, and (for
+  // ExecuteProfiled) where to store the annotated plan.
+  struct StatementContext {
+    std::string key;
+    obs::StatementTrace trace;
+    bool tracing = false;
+    obs::PlanStatsNode* profile_plan = nullptr;
+  };
+
+  // Starts the statement's trace interval (when tracing is enabled).
+  void BeginStatement(StatementContext* ctx);
+  // Appends a phase span [start_ns, now] to the context's trace.
+  void AddPhaseSpan(StatementContext* ctx, const char* name,
+                    uint64_t start_ns);
+  // Dispatches `stmt` and records everything the introspection layer
+  // needs: metrics counters + latency, statement stats under ctx->key,
+  // the trace, and — when the slow-query log is armed — the profiled plan.
+  Result<QueryResult> ExecuteTracked(const sql::Statement& stmt,
+                                     StatementContext* ctx);
   // The kind switch shared by ExecuteStatement (which adds metrics) and the
   // EXPLAIN machinery.
   Result<QueryResult> DispatchStatement(const sql::Statement& stmt);
@@ -98,6 +144,9 @@ class Database {
                                 obs::PlanStatsNode* profile = nullptr);
   Result<QueryResult> RunUpdate(const sql::UpdateStmt& stmt);
   Result<QueryResult> RunDelete(const sql::DeleteStmt& stmt);
+  // SET <name> = <value>: engine settings (born.slow_query_ms, born.trace,
+  // born.trace_capacity, born.collect_exec_stats).
+  Result<QueryResult> RunSet(const sql::SetStmt& stmt);
 
   // Plan tree of `stmt` without executing it (plain EXPLAIN). DML and DDL
   // statements get synthetic root nodes over their embedded SELECT plans.
@@ -111,6 +160,16 @@ class Database {
   catalog::Catalog catalog_;
   EngineConfig config_;
   obs::MetricsRegistry* metrics_ = &obs::MetricsRegistry::Global();
+  obs::StatementStatsRegistry stmt_stats_;
+  obs::SlowQueryLog slow_log_;
+  obs::TraceRecorder trace_;
+  SystemViews system_views_{this};
+  bool trace_enabled_ = true;
+  double slow_query_ms_ = -1.0;  // < 0 => slow-query log disarmed
+  // Trace of the statement currently executing; RunSelect appends its
+  // bind+plan / execute phase spans and operator spans here. Null when
+  // tracing is off or no statement is in flight.
+  obs::StatementTrace* active_trace_ = nullptr;
 };
 
 }  // namespace bornsql::engine

@@ -646,6 +646,12 @@ Result<OperatorPtr> Planner::PlanTableRef(const sql::TableRef& ref,
     return OperatorPtr(
         std::make_unique<RelabelOp>(std::move(sub), qualifier));
   }
+  // System views resolve after CTEs but are shadowed by real tables, so a
+  // user table that happens to be named born_stat_* keeps working.
+  if (system_views_ != nullptr && !catalog_->Exists(ref.table_name) &&
+      system_views_->IsSystemView(ref.table_name)) {
+    return system_views_->MakeViewScan(ref.table_name, qualifier);
+  }
   BORNSQL_ASSIGN_OR_RETURN(storage::Table * table,
                            catalog_->GetTable(ref.table_name));
   Schema schema = table->schema().WithQualifier(qualifier);

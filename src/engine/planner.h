@@ -49,10 +49,26 @@ struct EngineConfig {
   bool collect_exec_stats = false;
 };
 
+// Resolves system-view names (born_stat_statements & friends) during
+// planning. Implemented by the engine's SystemViews provider
+// (engine/system_views.h); the planner treats a resolved view exactly like
+// a base relation, so views compose with joins, filters and aggregation.
+class SystemCatalog {
+ public:
+  virtual ~SystemCatalog() = default;
+  virtual bool IsSystemView(const std::string& name) const = 0;
+  // Scan operator over view `name`, schema qualified by `qualifier` (the
+  // alias or the view name). Only called when IsSystemView(name).
+  virtual exec::OperatorPtr MakeViewScan(const std::string& name,
+                                         const std::string& qualifier)
+      const = 0;
+};
+
 class Planner {
  public:
-  Planner(catalog::Catalog* catalog, const EngineConfig* config)
-      : catalog_(catalog), config_(config) {}
+  Planner(catalog::Catalog* catalog, const EngineConfig* config,
+          const SystemCatalog* system_views = nullptr)
+      : catalog_(catalog), config_(config), system_views_(system_views) {}
 
   // Builds the operator tree for `stmt`. The returned tree is self-contained
   // except that base-table scans borrow the catalog's tables: the catalog
@@ -94,6 +110,7 @@ class Planner {
 
   catalog::Catalog* catalog_;
   const EngineConfig* config_;
+  const SystemCatalog* system_views_;  // may be null (no system views)
   std::vector<CteScope> cte_scopes_;
 };
 

@@ -1,0 +1,116 @@
+#include "engine/sql_text.h"
+
+#include "common/strings.h"
+
+namespace bornsql::engine {
+
+namespace {
+
+// Spelling of one token in normalized output ("?" for literals).
+std::string TokenSpelling(const sql::Token& t) {
+  switch (t.type) {
+    case sql::TokenType::kIdentifier:
+    case sql::TokenType::kKeyword:
+      return t.text;
+    case sql::TokenType::kIntLiteral:
+    case sql::TokenType::kDoubleLiteral:
+    case sql::TokenType::kStringLiteral:
+      return "?";
+    case sql::TokenType::kLParen: return "(";
+    case sql::TokenType::kRParen: return ")";
+    case sql::TokenType::kComma: return ",";
+    case sql::TokenType::kDot: return ".";
+    case sql::TokenType::kStar: return "*";
+    case sql::TokenType::kPlus: return "+";
+    case sql::TokenType::kMinus: return "-";
+    case sql::TokenType::kSlash: return "/";
+    case sql::TokenType::kPercent: return "%";
+    case sql::TokenType::kEq: return "=";
+    case sql::TokenType::kNotEq: return "<>";
+    case sql::TokenType::kLt: return "<";
+    case sql::TokenType::kLtEq: return "<=";
+    case sql::TokenType::kGt: return ">";
+    case sql::TokenType::kGtEq: return ">=";
+    case sql::TokenType::kConcat: return "||";
+    case sql::TokenType::kSemicolon:
+    case sql::TokenType::kEof:
+      return "";
+  }
+  return "";
+}
+
+bool NoSpaceBefore(sql::TokenType t) {
+  return t == sql::TokenType::kComma || t == sql::TokenType::kRParen ||
+         t == sql::TokenType::kDot;
+}
+
+bool NoSpaceAfter(sql::TokenType t) {
+  return t == sql::TokenType::kLParen || t == sql::TokenType::kDot;
+}
+
+}  // namespace
+
+std::string NormalizeTokens(const std::vector<sql::Token>& tokens,
+                            size_t begin, size_t end) {
+  std::string out;
+  sql::TokenType prev = sql::TokenType::kEof;
+  bool first = true;
+  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+    const sql::Token& t = tokens[i];
+    std::string spelling = TokenSpelling(t);
+    if (spelling.empty()) continue;
+    if (!first && !NoSpaceBefore(t.type) && !NoSpaceAfter(prev)) {
+      out += ' ';
+    }
+    out += spelling;
+    prev = t.type;
+    first = false;
+  }
+  return out;
+}
+
+std::vector<std::string> NormalizeScriptTokens(
+    const std::vector<sql::Token>& tokens) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  for (size_t i = 0; i <= tokens.size(); ++i) {
+    const bool boundary = i == tokens.size() ||
+                          tokens[i].type == sql::TokenType::kSemicolon ||
+                          tokens[i].type == sql::TokenType::kEof;
+    if (!boundary) continue;
+    std::string text = NormalizeTokens(tokens, begin, i);
+    if (!text.empty()) out.push_back(std::move(text));
+    begin = i + 1;
+  }
+  return out;
+}
+
+std::string FallbackStatementKey(const sql::Statement& stmt) {
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect:
+      return "<prepared SELECT>";
+    case sql::StatementKind::kExplain:
+      return "<prepared EXPLAIN>";
+    case sql::StatementKind::kCreateTable:
+      return StrFormat("<prepared CREATE TABLE %s>",
+                       stmt.create_table->table.c_str());
+    case sql::StatementKind::kDropTable:
+      return StrFormat("<prepared DROP TABLE %s>",
+                       stmt.drop_table->table.c_str());
+    case sql::StatementKind::kCreateIndex:
+      return StrFormat("<prepared CREATE INDEX %s>",
+                       stmt.create_index->name.c_str());
+    case sql::StatementKind::kInsert:
+      return StrFormat("<prepared INSERT INTO %s>",
+                       stmt.insert->table.c_str());
+    case sql::StatementKind::kUpdate:
+      return StrFormat("<prepared UPDATE %s>", stmt.update->table.c_str());
+    case sql::StatementKind::kDelete:
+      return StrFormat("<prepared DELETE FROM %s>", stmt.del->table.c_str());
+    case sql::StatementKind::kSet:
+      return StrFormat("<prepared SET %s>", stmt.set->name.c_str());
+  }
+  return "<prepared statement>";
+}
+
+}  // namespace bornsql::engine

@@ -1,0 +1,177 @@
+#include "engine/system_views.h"
+
+#include <cassert>
+#include <initializer_list>
+#include <utility>
+
+#include "common/strings.h"
+#include "engine/database.h"
+#include "obs/metrics.h"
+#include "obs/statement_stats.h"
+
+namespace bornsql::engine {
+
+namespace {
+
+constexpr char kStatStatements[] = "born_stat_statements";
+constexpr char kStatOperators[] = "born_stat_operators";
+constexpr char kStatTables[] = "born_stat_tables";
+constexpr char kSlowLog[] = "born_slow_log";
+
+Schema MakeSchema(const char* view,
+                  std::initializer_list<std::pair<const char*, ValueType>>
+                      columns) {
+  Schema schema;
+  for (const auto& [name, type] : columns) {
+    schema.Add(Column{view, name, type});
+  }
+  return schema;
+}
+
+const Schema& StatementsSchema() {
+  static const Schema* schema = new Schema(MakeSchema(
+      kStatStatements, {{"query", ValueType::kText},
+                        {"calls", ValueType::kInt},
+                        {"rows", ValueType::kInt},
+                        {"errors", ValueType::kInt},
+                        {"total_ms", ValueType::kDouble},
+                        {"min_ms", ValueType::kDouble},
+                        {"max_ms", ValueType::kDouble},
+                        {"mean_ms", ValueType::kDouble}}));
+  return *schema;
+}
+
+const Schema& OperatorsSchema() {
+  static const Schema* schema = new Schema(MakeSchema(
+      kStatOperators, {{"operator", ValueType::kText},
+                       {"instances", ValueType::kInt},
+                       {"open_calls", ValueType::kInt},
+                       {"next_calls", ValueType::kInt},
+                       {"rows", ValueType::kInt},
+                       {"wall_ms", ValueType::kDouble},
+                       {"peak_entries", ValueType::kInt}}));
+  return *schema;
+}
+
+const Schema& TablesSchema() {
+  static const Schema* schema = new Schema(MakeSchema(
+      kStatTables, {{"name", ValueType::kText},
+                    {"columns", ValueType::kInt},
+                    {"rows", ValueType::kInt},
+                    {"scans", ValueType::kInt},
+                    {"inserts", ValueType::kInt},
+                    {"updates", ValueType::kInt},
+                    {"deletes", ValueType::kInt}}));
+  return *schema;
+}
+
+const Schema& SlowLogSchema() {
+  static const Schema* schema = new Schema(MakeSchema(
+      kSlowLog, {{"id", ValueType::kInt},
+                 {"query", ValueType::kText},
+                 {"elapsed_ms", ValueType::kDouble},
+                 {"threshold_ms", ValueType::kDouble},
+                 {"rows", ValueType::kInt},
+                 {"plan", ValueType::kText}}));
+  return *schema;
+}
+
+Value Uint(uint64_t v) { return Value::Int(static_cast<int64_t>(v)); }
+
+std::vector<Row> StatementsRows(const Database& db) {
+  std::vector<Row> rows;
+  for (const auto& [query, stats] : db.statement_stats().Snapshot()) {
+    rows.push_back({Value::Text(query), Uint(stats.calls), Uint(stats.rows),
+                    Uint(stats.errors), Value::Double(stats.total_ms),
+                    Value::Double(stats.min_ms), Value::Double(stats.max_ms),
+                    Value::Double(stats.mean_ms())});
+  }
+  return rows;
+}
+
+std::vector<Row> OperatorsRows(const Database& db) {
+  std::vector<Row> rows;
+  for (const auto& [op, agg] : db.metrics().OperatorsSnapshot()) {
+    rows.push_back({Value::Text(op), Uint(agg.instances),
+                    Uint(agg.stats.open_calls), Uint(agg.stats.next_calls),
+                    Uint(agg.stats.rows_emitted),
+                    Value::Double(agg.stats.wall_millis()),
+                    Uint(agg.stats.peak_entries)});
+  }
+  return rows;
+}
+
+std::vector<Row> TablesRows(const Database& db) {
+  std::vector<Row> rows;
+  for (const std::string& name : db.catalog().TableNames()) {
+    auto table = db.catalog().GetTable(name);
+    if (!table.ok()) continue;  // dropped between listing and lookup
+    const storage::TableUsage& usage = (*table)->usage();
+    rows.push_back({Value::Text(name), Uint((*table)->schema().size()),
+                    Uint((*table)->row_count()), Uint(usage.scans),
+                    Uint(usage.inserts), Uint(usage.updates),
+                    Uint(usage.deletes)});
+  }
+  return rows;
+}
+
+std::vector<Row> SlowLogRows(const Database& db) {
+  std::vector<Row> rows;
+  for (const obs::SlowQueryEntry& e : db.slow_log().Snapshot()) {
+    rows.push_back({Uint(e.id), Value::Text(e.statement),
+                    Value::Double(e.elapsed_ms),
+                    Value::Double(e.threshold_ms), Uint(e.rows),
+                    Value::Text(e.plan)});
+  }
+  return rows;
+}
+
+}  // namespace
+
+const std::vector<std::string>& SystemViews::ViewNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      kSlowLog, kStatOperators, kStatStatements, kStatTables};
+  return *names;
+}
+
+const Schema* SystemViews::ViewSchema(const std::string& name) {
+  const std::string lower = AsciiToLower(name);
+  if (lower == kStatStatements) return &StatementsSchema();
+  if (lower == kStatOperators) return &OperatorsSchema();
+  if (lower == kStatTables) return &TablesSchema();
+  if (lower == kSlowLog) return &SlowLogSchema();
+  return nullptr;
+}
+
+bool SystemViews::IsSystemView(const std::string& name) const {
+  return ViewSchema(name) != nullptr;
+}
+
+exec::OperatorPtr SystemViews::MakeViewScan(const std::string& name,
+                                            const std::string& qualifier)
+    const {
+  const std::string lower = AsciiToLower(name);
+  const Schema* base = ViewSchema(lower);
+  assert(base != nullptr);
+  Schema schema = base->WithQualifier(qualifier);
+  const Database* db = db_;
+  exec::SystemViewScanOp::Generator generator =
+      [db, lower, schema]() -> Result<exec::MaterializedResult> {
+    exec::MaterializedResult result;
+    result.schema = schema;
+    if (lower == kStatStatements) {
+      result.rows = StatementsRows(*db);
+    } else if (lower == kStatOperators) {
+      result.rows = OperatorsRows(*db);
+    } else if (lower == kStatTables) {
+      result.rows = TablesRows(*db);
+    } else {
+      result.rows = SlowLogRows(*db);
+    }
+    return result;
+  };
+  return std::make_unique<exec::SystemViewScanOp>(lower, std::move(generator),
+                                                  std::move(schema));
+}
+
+}  // namespace bornsql::engine

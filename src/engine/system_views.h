@@ -1,0 +1,47 @@
+// born_stat_* system views: SQL-queryable introspection.
+//
+// The engine's observability state (statement stats, operator aggregates,
+// table usage counters, the slow-query log) is exposed as virtual tables
+// that resolve in the planner like ordinary relations, so they compose with
+// joins, filters and aggregation:
+//
+//   SELECT query, calls, total_ms FROM born_stat_statements
+//   ORDER BY total_ms DESC LIMIT 10;
+//
+// Views materialize at scan Open() time, so every execution sees a fresh
+// snapshot. Real catalog tables shadow view names (checked by the planner),
+// so a user table named born_stat_statements keeps working.
+#ifndef BORNSQL_ENGINE_SYSTEM_VIEWS_H_
+#define BORNSQL_ENGINE_SYSTEM_VIEWS_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/planner.h"
+#include "types/schema.h"
+
+namespace bornsql::engine {
+
+class Database;
+
+class SystemViews : public SystemCatalog {
+ public:
+  explicit SystemViews(const Database* db) : db_(db) {}
+
+  // All view names, sorted (for .tables-style listings and tests).
+  static const std::vector<std::string>& ViewNames();
+
+  // Unqualified schema of view `name`, or null if not a system view.
+  static const Schema* ViewSchema(const std::string& name);
+
+  bool IsSystemView(const std::string& name) const override;
+  exec::OperatorPtr MakeViewScan(const std::string& name,
+                                 const std::string& qualifier) const override;
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace bornsql::engine
+
+#endif  // BORNSQL_ENGINE_SYSTEM_VIEWS_H_

@@ -9,6 +9,7 @@
 #ifndef BORNSQL_EXEC_OPERATORS_H_
 #define BORNSQL_EXEC_OPERATORS_H_
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -49,14 +50,14 @@ class Operator {
   Status Open() {
     if (!stats_enabled_) return OpenImpl();
     ++stats_.open_calls;
-    obs::StatsTimer timer(&stats_.wall_nanos);
+    obs::StatsTimer timer(&stats_);
     return OpenImpl();
   }
 
   Result<bool> Next(Row* out) {
     if (!stats_enabled_) return NextImpl(out);
     ++stats_.next_calls;
-    obs::StatsTimer timer(&stats_.wall_nanos);
+    obs::StatsTimer timer(&stats_);
     Result<bool> more = NextImpl(out);
     if (more.ok() && *more) ++stats_.rows_emitted;
     return more;
@@ -126,6 +127,7 @@ class SeqScanOp : public Operator {
  protected:
   Status OpenImpl() override {
     pos_ = 0;
+    table_->RecordScan();
     return Status::OK();
   }
   Result<bool> NextImpl(Row* out) override;
@@ -156,6 +158,44 @@ class MaterializedScanOp : public Operator {
  private:
   std::shared_ptr<const MaterializedResult> data_;
   Schema schema_;
+  size_t pos_ = 0;
+};
+
+// Scans a system view (born_stat_statements & friends). The view's rows
+// are produced by a generator at Open() time, so each execution observes a
+// fresh snapshot of the engine's introspection state — re-running the query
+// sees updated counters, exactly like pg_stat_statements.
+class SystemViewScanOp : public Operator {
+ public:
+  using Generator = std::function<Result<MaterializedResult>()>;
+
+  SystemViewScanOp(std::string view_name, Generator generator, Schema schema)
+      : view_name_(std::move(view_name)),
+        generator_(std::move(generator)),
+        schema_(std::move(schema)) {}
+  const Schema& schema() const override { return schema_; }
+  std::string DebugString() const override {
+    return StrFormat("SystemViewScan(%s)", view_name_.c_str());
+  }
+
+ protected:
+  Status OpenImpl() override {
+    BORNSQL_ASSIGN_OR_RETURN(data_, generator_());
+    pos_ = 0;
+    RecordPeakEntries(data_.rows.size());
+    return Status::OK();
+  }
+  Result<bool> NextImpl(Row* out) override {
+    if (pos_ >= data_.rows.size()) return false;
+    *out = data_.rows[pos_++];
+    return true;
+  }
+
+ private:
+  std::string view_name_;
+  Generator generator_;
+  Schema schema_;
+  MaterializedResult data_;
   size_t pos_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include <cmath>
+
 #include "common/strings.h"
 
 namespace bornsql::obs {
@@ -9,8 +11,15 @@ void LatencyHistogram::Record(double seconds) {
   if (us < 0) us = 0;
   ++count_;
   sum_us_ += us;
+  // Bucket on the rounded integer microsecond: seconds * 1e6 for a value
+  // meant to be exactly a bucket bound (say 10µs) need not be exactly 10.0
+  // in floating point, so comparing the double against the bound could put
+  // boundary values on either side. Rounding first makes the assignment
+  // deterministic: a bound value lands in that bound's bucket, anything
+  // above the last bound lands in overflow.
+  const uint64_t us_int = static_cast<uint64_t>(std::llround(us));
   for (size_t i = 0; i < kBucketBoundsUs.size(); ++i) {
-    if (us <= static_cast<double>(kBucketBoundsUs[i])) {
+    if (us_int <= kBucketBoundsUs[i]) {
       ++buckets_[i];
       return;
     }
@@ -107,6 +116,18 @@ OperatorAggregate MetricsRegistry::operator_aggregate(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = operators_.find(op_type);
   return it == operators_.end() ? OperatorAggregate{} : it->second;
+}
+
+std::map<std::string, uint64_t, std::less<>> MetricsRegistry::CountersSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::map<std::string, OperatorAggregate, std::less<>>
+MetricsRegistry::OperatorsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return operators_;
 }
 
 std::string MetricsRegistry::ToJson() const {

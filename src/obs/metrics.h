@@ -82,6 +82,12 @@ class MetricsRegistry {
   void RecordOperator(std::string_view op_type, const OperatorStats& stats);
   OperatorAggregate operator_aggregate(std::string_view op_type) const;
 
+  // Consistent copies of the full maps, for consumers that iterate every
+  // entry (the born_stat_operators system view, tests).
+  std::map<std::string, uint64_t, std::less<>> CountersSnapshot() const;
+  std::map<std::string, OperatorAggregate, std::less<>> OperatorsSnapshot()
+      const;
+
   // {"counters": {...}, "histograms": {...}, "operators": {...}} — schema
   // documented in DESIGN.md §Observability.
   std::string ToJson() const;

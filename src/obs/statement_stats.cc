@@ -1,0 +1,72 @@
+#include "obs/statement_stats.h"
+
+#include <algorithm>
+
+namespace bornsql::obs {
+
+void StatementStatsRegistry::Record(std::string_view key, double elapsed_ms,
+                                    uint64_t rows, bool error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (entries_.size() >= kMaxEntries) {
+      it = entries_.emplace(kOverflowKey, StatementStats{}).first;
+    } else {
+      it = entries_.emplace(std::string(key), StatementStats{}).first;
+    }
+  }
+  StatementStats& stats = it->second;
+  if (stats.calls == 0 || elapsed_ms < stats.min_ms) stats.min_ms = elapsed_ms;
+  if (elapsed_ms > stats.max_ms) stats.max_ms = elapsed_ms;
+  ++stats.calls;
+  stats.rows += rows;
+  if (error) ++stats.errors;
+  stats.total_ms += elapsed_ms;
+}
+
+std::map<std::string, StatementStats, std::less<>>
+StatementStatsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+void StatementStatsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t StatementStatsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+SlowQueryLog::SlowQueryLog(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+void SlowQueryLog::Record(SlowQueryEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.id = next_id_++;
+  if (entries_.size() >= capacity_) {
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + static_cast<ptrdiff_t>(
+                                          entries_.size() - capacity_ + 1));
+  }
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace bornsql::obs

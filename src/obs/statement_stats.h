@@ -1,0 +1,88 @@
+// Per-statement execution statistics and the slow-query log.
+//
+// StatementStatsRegistry is BornSQL's pg_stat_statements: executions are
+// folded into one entry per *normalized* statement text (literals replaced
+// by '?' — normalization itself lives in the engine layer, which owns the
+// lexer; this registry just keys on whatever string it is handed). The
+// registry is bounded: once kMaxEntries distinct keys exist, further new
+// keys collapse into a single "<other>" overflow entry so a workload of
+// unique statements cannot grow memory without bound.
+//
+// SlowQueryLog keeps the most recent statements whose wall time crossed the
+// configured threshold, together with their stats-annotated plan text. Both
+// back the born_stat_statements / born_slow_log system views.
+#ifndef BORNSQL_OBS_STATEMENT_STATS_H_
+#define BORNSQL_OBS_STATEMENT_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bornsql::obs {
+
+struct StatementStats {
+  uint64_t calls = 0;
+  uint64_t rows = 0;
+  uint64_t errors = 0;
+  double total_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+
+  double mean_ms() const {
+    return calls == 0 ? 0.0 : total_ms / static_cast<double>(calls);
+  }
+};
+
+class StatementStatsRegistry {
+ public:
+  static constexpr size_t kMaxEntries = 512;
+  // Key charged with executions once kMaxEntries distinct keys exist.
+  static constexpr char kOverflowKey[] = "<other>";
+
+  void Record(std::string_view key, double elapsed_ms, uint64_t rows,
+              bool error);
+
+  // Consistent copy, sorted by key (map order).
+  std::map<std::string, StatementStats, std::less<>> Snapshot() const;
+
+  void Reset();
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, StatementStats, std::less<>> entries_;
+};
+
+struct SlowQueryEntry {
+  uint64_t id = 0;  // monotonically increasing across the log's lifetime
+  std::string statement;
+  double elapsed_ms = 0.0;
+  double threshold_ms = 0.0;
+  uint64_t rows = 0;
+  std::string plan;  // stats-annotated plan text, one operator per line
+};
+
+class SlowQueryLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 128;
+
+  explicit SlowQueryLog(size_t capacity = kDefaultCapacity);
+
+  void Record(SlowQueryEntry entry);
+  std::vector<SlowQueryEntry> Snapshot() const;
+  void Clear();
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> entries_;  // chronological, bounded
+  size_t capacity_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace bornsql::obs
+
+#endif  // BORNSQL_OBS_STATEMENT_STATS_H_

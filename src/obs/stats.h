@@ -24,6 +24,13 @@ struct OperatorStats {
   // Peak size of materialized state: hash-table entries (join build,
   // aggregate groups, distinct set) or buffered rows (sort, window).
   uint64_t peak_entries = 0;
+  // Lifetime span of this operator instance on the steady clock (ns since
+  // its epoch): start of the first Open()/Next() and end of the last one.
+  // Zero when never called. This is what trace export uses for operator
+  // spans: the span covers child interleavings, so it is a real timeline
+  // interval, unlike wall_nanos which is a sum.
+  uint64_t first_ns = 0;
+  uint64_t last_ns = 0;
 
   void Reset() { *this = OperatorStats{}; }
 
@@ -33,28 +40,43 @@ struct OperatorStats {
     rows_emitted += other.rows_emitted;
     wall_nanos += other.wall_nanos;
     if (other.peak_entries > peak_entries) peak_entries = other.peak_entries;
+    if (other.first_ns != 0 &&
+        (first_ns == 0 || other.first_ns < first_ns)) {
+      first_ns = other.first_ns;
+    }
+    if (other.last_ns > last_ns) last_ns = other.last_ns;
   }
 
   double wall_millis() const { return static_cast<double>(wall_nanos) / 1e6; }
 };
 
-// Adds the scope's elapsed wall time to *sink on destruction.
+// Steady-clock nanoseconds since the clock's epoch (the time base of
+// OperatorStats::first_ns/last_ns and of obs::TraceRecorder).
+inline uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Adds the scope's elapsed wall time to stats->wall_nanos on destruction
+// and maintains the instance's first_ns/last_ns lifetime span.
 class StatsTimer {
  public:
-  explicit StatsTimer(uint64_t* sink)
-      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  explicit StatsTimer(OperatorStats* stats)
+      : stats_(stats), start_ns_(SteadyNowNs()) {}
   StatsTimer(const StatsTimer&) = delete;
   StatsTimer& operator=(const StatsTimer&) = delete;
   ~StatsTimer() {
-    *sink_ += static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - start_)
-            .count());
+    const uint64_t end_ns = SteadyNowNs();
+    stats_->wall_nanos += end_ns - start_ns_;
+    if (stats_->first_ns == 0) stats_->first_ns = start_ns_;
+    if (end_ns > stats_->last_ns) stats_->last_ns = end_ns;
   }
 
  private:
-  uint64_t* sink_;
-  std::chrono::steady_clock::time_point start_;
+  OperatorStats* stats_;
+  uint64_t start_ns_;
 };
 
 }  // namespace bornsql::obs

@@ -207,6 +207,13 @@ struct DeleteStmt {
   ExprPtr where;
 };
 
+// SET <name> = <expr>: a dotted setting name (e.g. born.slow_query_ms) and
+// a constant value expression, evaluated at execution time.
+struct SetStmt {
+  std::string name;  // dot-joined, lower-cased by the parser
+  ExprPtr value;
+};
+
 enum class StatementKind {
   kSelect,
   kExplain,  // EXPLAIN [ANALYZE] <stmt>: uses `explained` / `explain_analyze`
@@ -216,6 +223,7 @@ enum class StatementKind {
   kInsert,
   kUpdate,
   kDelete,
+  kSet,
 };
 
 struct Statement {
@@ -227,6 +235,7 @@ struct Statement {
   std::unique_ptr<InsertStmt> insert;
   std::unique_ptr<UpdateStmt> update;
   std::unique_ptr<DeleteStmt> del;
+  std::unique_ptr<SetStmt> set;
 
   // kExplain: the wrapped statement (any kind except kExplain itself) and
   // whether ANALYZE (execute + per-operator stats) was requested.

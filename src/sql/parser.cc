@@ -115,7 +115,27 @@ class Parser {
     if (CheckKeyword("INSERT")) return InsertStatement();
     if (CheckKeyword("UPDATE")) return UpdateStatement();
     if (CheckKeyword("DELETE")) return DeleteStatement();
+    if (CheckKeyword("SET")) return SetStatement();
     return Error("expected a statement");
+  }
+
+  // SET <name>[.<name>...] = <expr>
+  Result<Statement> SetStatement() {
+    BORNSQL_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    auto stmt = std::make_unique<SetStmt>();
+    BORNSQL_ASSIGN_OR_RETURN(std::string part, Identifier("setting name"));
+    stmt->name = AsciiToLower(part);
+    while (Match(TokenType::kDot)) {
+      BORNSQL_ASSIGN_OR_RETURN(part, Identifier("setting name"));
+      stmt->name += '.';
+      stmt->name += AsciiToLower(part);
+    }
+    BORNSQL_RETURN_IF_ERROR(Expect(TokenType::kEq));
+    BORNSQL_ASSIGN_OR_RETURN(stmt->value, Expression());
+    Statement st;
+    st.kind = StatementKind::kSet;
+    st.set = std::move(stmt);
+    return st;
   }
 
   Result<Statement> CreateStatement() {
@@ -812,6 +832,11 @@ class Parser {
 
 Result<Statement> ParseStatement(std::string_view sql) {
   BORNSQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser p(std::move(tokens));
+  return p.Single();
+}
+
+Result<Statement> ParseStatementTokens(std::vector<Token> tokens) {
   Parser p(std::move(tokens));
   return p.Single();
 }

@@ -103,6 +103,7 @@ Status Table::Insert(Row row) {
   }
   AddToSecondaryIndexes(row, rows_.size());
   rows_.push_back(std::move(row));
+  ++usage_.inserts;
   return Status::OK();
 }
 
@@ -113,6 +114,7 @@ void Table::AppendUnchecked(Row row) {
   }
   AddToSecondaryIndexes(row, rows_.size());
   rows_.push_back(std::move(row));
+  ++usage_.inserts;
 }
 
 Status Table::UpdateRow(size_t idx, Row row) {
@@ -146,6 +148,7 @@ Status Table::UpdateRow(size_t idx, Row row) {
     }
   }
   rows_[idx] = std::move(row);
+  ++usage_.updates;
   return Status::OK();
 }
 
@@ -163,6 +166,7 @@ size_t Table::DeleteRows(const std::vector<bool>& flags) {
   }
   rows_ = std::move(kept);
   RebuildIndex();
+  usage_.deletes += removed;
   return removed;
 }
 

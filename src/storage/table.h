@@ -6,6 +6,7 @@
 #ifndef BORNSQL_STORAGE_TABLE_H_
 #define BORNSQL_STORAGE_TABLE_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,6 +16,16 @@
 #include "types/value.h"
 
 namespace bornsql::storage {
+
+// Lifetime usage counters per table, surfaced by the born_stat_tables
+// system view. Mutation methods maintain them; scans are recorded by the
+// executor's SeqScan via RecordScan().
+struct TableUsage {
+  uint64_t scans = 0;
+  uint64_t inserts = 0;
+  uint64_t updates = 0;
+  uint64_t deletes = 0;
+};
 
 class Table {
  public:
@@ -81,6 +92,12 @@ class Table {
   void LookupIndex(size_t index_id, const Row& key,
                    std::vector<size_t>* out) const;
 
+  // ---- usage counters (born_stat_tables) ----
+  const TableUsage& usage() const { return usage_; }
+  // Called by SeqScan at Open time; scanning is logically const, so the
+  // counter is mutable.
+  void RecordScan() const { ++usage_.scans; }
+
  private:
   struct KeyHash {
     size_t operator()(const Row& key) const { return HashRow(key); }
@@ -111,6 +128,7 @@ class Table {
   std::vector<Row> rows_;
   std::unordered_map<Row, size_t, KeyHash, KeyEq> index_;
   std::vector<SecondaryIndex> secondary_;
+  mutable TableUsage usage_;
 };
 
 }  // namespace bornsql::storage

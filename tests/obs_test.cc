@@ -5,6 +5,7 @@
 
 #include <regex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/database.h"
@@ -331,11 +332,65 @@ TEST(StatsTest, OperatorStatsMergeAndTimer) {
   a.MergeFrom(b);
   EXPECT_EQ(a.next_calls, 12u);
   EXPECT_EQ(a.peak_entries, 9u);
-  uint64_t nanos = 0;
-  { obs::StatsTimer timer(&nanos); }
-  EXPECT_GE(nanos, 0u);
+  obs::OperatorStats timed;
+  { obs::StatsTimer timer(&timed); }
+  EXPECT_GE(timed.wall_nanos, 0u);
+  // The timer records the operator's lifetime interval for trace spans.
+  EXPECT_GT(timed.first_ns, 0u);
+  EXPECT_GE(timed.last_ns, timed.first_ns);
   a.Reset();
   EXPECT_EQ(a.next_calls, 0u);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundariesAreDeterministic) {
+  // Regression: values exactly on a bucket boundary must land in that
+  // bucket (<= bound), and values above the last finite bound must land in
+  // the overflow bucket — independent of floating-point representation.
+  obs::MetricsRegistry metrics;
+  metrics.RecordLatency("edge", 10e-6);    // exactly 10us -> bucket 0
+  metrics.RecordLatency("edge", 50e-6);    // exactly 50us -> bucket 1
+  metrics.RecordLatency("edge", 100e-6);   // exactly 100us -> bucket 2
+  metrics.RecordLatency("edge", 1e-3);     // exactly 1ms
+  metrics.RecordLatency("edge", 5.0);      // exactly 5s -> last finite bucket
+  metrics.RecordLatency("edge", 5.000001);  // just above -> overflow
+  obs::LatencyHistogram hist = metrics.histogram("edge");
+  EXPECT_EQ(hist.count(), 6u);
+  EXPECT_EQ(hist.bucket(0), 1u);
+  EXPECT_EQ(hist.bucket(1), 1u);
+  EXPECT_EQ(hist.bucket(2), 1u);
+  EXPECT_EQ(hist.bucket(obs::LatencyHistogram::kNumBuckets - 2), 1u);
+  EXPECT_EQ(hist.bucket(obs::LatencyHistogram::kNumBuckets - 1), 1u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentHammer) {
+  // Many threads hitting every registry entry point; the sums must come
+  // out exact and the run must be clean under ASan/TSan.
+  obs::MetricsRegistry metrics;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&metrics] {
+      obs::OperatorStats stats;
+      stats.open_calls = 1;
+      stats.next_calls = 2;
+      stats.rows_emitted = 1;
+      for (int i = 0; i < kIters; ++i) {
+        metrics.IncrementCounter("hammer");
+        metrics.RecordLatency("hammer_lat", 1e-6 * (i % 100));
+        metrics.RecordOperator("HammerOp", stats);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const uint64_t expected = uint64_t{kThreads} * kIters;
+  EXPECT_EQ(metrics.counter("hammer"), expected);
+  EXPECT_EQ(metrics.histogram("hammer_lat").count(), expected);
+  obs::OperatorAggregate agg = metrics.operator_aggregate("HammerOp");
+  EXPECT_EQ(agg.instances, expected);
+  EXPECT_EQ(agg.stats.rows_emitted, expected);
+  EXPECT_EQ(agg.stats.next_calls, 2 * expected);
 }
 
 }  // namespace

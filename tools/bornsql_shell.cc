@@ -9,7 +9,8 @@
 //   .import <csv> <table>  load a CSV file
 //   .export <file> <sql;>  write a query's result as CSV
 //   .timing on|off         print per-statement wall time (.timer works too)
-//   .metrics               dump the engine metrics registry as JSON
+//   .metrics [reset]       dump the engine metrics registry as JSON / reset it
+//   .trace <file>          export the statement trace as Chrome trace JSON
 //   .help                  this text
 //   .quit                  exit
 //
@@ -93,9 +94,12 @@ bool DotCommand(Database& db, const std::string& line, bool* timer) {
   if (cmd == ".help") {
     std::printf(
         ".tables | .schema <t> | .import <csv> <t> | .export <file> <sql;> "
-        "| .timing on|off | .metrics | .quit\n"
+        "| .timing on|off | .metrics [reset] | .trace <file> | .quit\n"
         "EXPLAIN ANALYZE <stmt;> runs a statement and annotates the plan "
-        "with per-operator stats\n");
+        "with per-operator stats\n"
+        "system views: born_stat_statements, born_stat_operators, "
+        "born_stat_tables, born_slow_log (SET born.slow_query_ms = N to "
+        "arm the slow log)\n");
   } else if (cmd == ".tables") {
     for (const std::string& name : db.catalog().TableNames()) {
       std::printf("%s\n", name.c_str());
@@ -129,7 +133,15 @@ bool DotCommand(Database& db, const std::string& line, bool* timer) {
   } else if ((cmd == ".timer" || cmd == ".timing") && parts.size() >= 2) {
     *timer = parts[1] == "on";
   } else if (cmd == ".metrics") {
-    std::printf("%s\n", db.metrics().ToJson().c_str());
+    if (parts.size() >= 2 && parts[1] == "reset") {
+      db.metrics().Reset();
+      std::printf("ok\n");
+    } else {
+      std::printf("%s\n", db.metrics().ToJson().c_str());
+    }
+  } else if (cmd == ".trace" && parts.size() >= 2) {
+    auto st = db.ExportTrace(parts[1]);
+    std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
   } else {
     std::printf("unknown command %s (try .help)\n", cmd.c_str());
   }

@@ -19,6 +19,24 @@ run_leg() {
 echo "=== leg 1: default build ==="
 run_leg build
 
+echo "=== leg 1b: trace export smoke ==="
+# A bench run with --trace-json= must emit well-formed Chrome trace JSON
+# (an array of complete events), loadable by chrome://tracing.
+trace_out="build/ci_trace.json"
+build/bench/bench_fig3_training --scale=0.02 --trace-json="$trace_out" \
+  --obs-json=build/ci_obs.json >/dev/null
+python3 -m json.tool "$trace_out" >/dev/null
+python3 - "$trace_out" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))
+assert isinstance(events, list) and events, "expected a non-empty event array"
+for e in events:
+    assert e["ph"] == "X" and "ts" in e and "dur" in e and "name" in e, e
+cats = {e["cat"] for e in events}
+assert "statement" in cats, cats
+print(f"trace ok: {len(events)} events, categories {sorted(cats)}")
+EOF
+
 if [[ "${1:-}" != "--fast" ]]; then
   echo "=== leg 2: Debug + ASan/UBSan ==="
   # halt_on_error so ctest actually fails on a UBSan report.
