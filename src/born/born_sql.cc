@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/strings.h"
+#include "lint/linter.h"
 
 namespace bornsql::born {
 namespace {
@@ -35,6 +36,42 @@ BornSqlClassifier::BornSqlClassifier(engine::Database* db, std::string model,
       source_(std::move(source)),
       params_(params) {}
 
+namespace {
+
+// Debug-build guard for the SQL the driver generates: error-severity lint
+// findings (statements that cannot execute correctly, e.g. BSL005) fail
+// fast with the diagnostic; warnings are expected on this workload (the
+// 1-row normalizer CTE is comma-joined by design, tripping BSL001) and
+// pass through. No-op in release builds.
+Status LintGeneratedSql(engine::Database* db, const std::string& sql) {
+#ifndef NDEBUG
+  BORNSQL_ASSIGN_OR_RETURN(std::vector<lint::Diagnostic> diags,
+                           lint::LintSql(sql, &db->catalog()));
+  for (const lint::Diagnostic& d : diags) {
+    if (d.severity == lint::Severity::kError) {
+      return Status::Internal("generated SQL failed lint: " +
+                              lint::FormatDiagnostic(d));
+    }
+  }
+#else
+  (void)db;
+  (void)sql;
+#endif
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<engine::QueryResult> BornSqlClassifier::Exec(const std::string& sql) {
+  BORNSQL_RETURN_IF_ERROR(LintGeneratedSql(db_, sql));
+  return db_->Execute(sql);
+}
+
+Status BornSqlClassifier::ExecScript(const std::string& sql) {
+  BORNSQL_RETURN_IF_ERROR(LintGeneratedSql(db_, sql));
+  return db_->ExecuteScript(sql);
+}
+
 Status BornSqlClassifier::EnsureModel() {
   if (!IsValidModelName(model_)) {
     return Status::InvalidArgument("invalid model name '" + model_ +
@@ -47,10 +84,10 @@ Status BornSqlClassifier::EnsureModel() {
     return Status::InvalidArgument("SqlSource.y must not be empty");
   }
   if (model_ready_) return Status::OK();
-  BORNSQL_RETURN_IF_ERROR(db_->ExecuteScript(
+  BORNSQL_RETURN_IF_ERROR(ExecScript(
       "CREATE TABLE IF NOT EXISTS params "
       "(model TEXT PRIMARY KEY, a REAL, b REAL, h REAL)"));
-  BORNSQL_RETURN_IF_ERROR(db_->ExecuteScript(StrFormat(
+  BORNSQL_RETURN_IF_ERROR(ExecScript(StrFormat(
       "INSERT INTO params (model, a, b, h) VALUES ('%s', %s, %s, %s) "
       "ON CONFLICT (model) DO UPDATE SET a = excluded.a, b = excluded.b, "
       "h = excluded.h",
@@ -58,7 +95,7 @@ Status BornSqlClassifier::EnsureModel() {
       FormatDouble(params_.b).c_str(), FormatDouble(params_.h).c_str())));
   // The (j, k) primary key is what powers the ON CONFLICT upsert of §3.2.
   // k is left untyped: class labels may be integers or text.
-  BORNSQL_RETURN_IF_ERROR(db_->ExecuteScript(
+  BORNSQL_RETURN_IF_ERROR(ExecScript(
       StrFormat("CREATE TABLE IF NOT EXISTS %s "
                 "(j TEXT, k, w REAL, PRIMARY KEY (j, k))",
                 corpus_table().c_str())));
@@ -122,7 +159,7 @@ std::string BornSqlClassifier::BuildFitSql(const std::string& q_n,
 }
 
 Status BornSqlClassifier::Fit(const std::string& q_n) {
-  BORNSQL_RETURN_IF_ERROR(db_->ExecuteScript(
+  BORNSQL_RETURN_IF_ERROR(ExecScript(
       StrFormat("DROP TABLE IF EXISTS %s", corpus_table().c_str())));
   BORNSQL_RETURN_IF_ERROR(Undeploy());
   model_ready_ = false;
@@ -132,7 +169,7 @@ Status BornSqlClassifier::Fit(const std::string& q_n) {
 Status BornSqlClassifier::PartialFit(const std::string& q_n) {
   BORNSQL_RETURN_IF_ERROR(EnsureModel());
   BORNSQL_RETURN_IF_ERROR(
-      db_->Execute(BuildFitSql(q_n, /*unlearn=*/false)).status());
+      Exec(BuildFitSql(q_n, /*unlearn=*/false)).status());
   // Any previous deployment is stale.
   return Undeploy();
 }
@@ -140,7 +177,7 @@ Status BornSqlClassifier::PartialFit(const std::string& q_n) {
 Status BornSqlClassifier::Unlearn(const std::string& q_n) {
   BORNSQL_RETURN_IF_ERROR(EnsureModel());
   BORNSQL_RETURN_IF_ERROR(
-      db_->Execute(BuildFitSql(q_n, /*unlearn=*/true)).status());
+      Exec(BuildFitSql(q_n, /*unlearn=*/true)).status());
   return Undeploy();
 }
 
@@ -178,7 +215,7 @@ Status BornSqlClassifier::PartialFitExternal(
   auto flush = [&]() -> Status {
     if (in_chunk == 0) return Status::OK();
     Status st =
-        db_->Execute(StrFormat(
+        Exec(StrFormat(
                 "INSERT INTO %s (j, k, w) VALUES %s "
                 "ON CONFLICT (j, k) DO UPDATE SET w = %s.w + excluded.w",
                 corpus_table().c_str(), values.c_str(),
@@ -213,7 +250,7 @@ Result<std::vector<SqlPrediction>> BornSqlClassifier::PredictExternal(
   // Write the feature vectors to a temporary table (§7: "constructed
   // externally and written to a temporary table when needed").
   const std::string temp = model_ + "_external_x";
-  BORNSQL_RETURN_IF_ERROR(db_->ExecuteScript(StrFormat(
+  BORNSQL_RETURN_IF_ERROR(ExecScript(StrFormat(
       "DROP TABLE IF EXISTS %s;"
       "CREATE TABLE %s (n INTEGER, j TEXT, w REAL)",
       temp.c_str(), temp.c_str())));
@@ -237,7 +274,7 @@ Result<std::vector<SqlPrediction>> BornSqlClassifier::PredictExternal(
   }
   auto result =
       scratch.Predict(StrFormat("SELECT DISTINCT n FROM %s", temp.c_str()));
-  BORNSQL_RETURN_IF_ERROR(db_->ExecuteScript(
+  BORNSQL_RETURN_IF_ERROR(ExecScript(
       StrFormat("DROP TABLE IF EXISTS %s", temp.c_str())));
   return result;
 }
@@ -248,7 +285,7 @@ Result<double> BornSqlClassifier::Score(const std::string& q_n) {
   // True labels: q_y filtered to the same items, exactly like training.
   BORNSQL_ASSIGN_OR_RETURN(
       engine::QueryResult truth,
-      db_->Execute(StrFormat(
+      Exec(StrFormat(
           "WITH N_n AS (%s) SELECT y0.n AS n, y0.k AS k "
           "FROM (%s) AS y0, N_n WHERE y0.n = N_n.n",
           q_n.c_str(), source_.y.c_str())));
@@ -326,10 +363,10 @@ std::string BornSqlClassifier::BuildDeploySql() const {
 Status BornSqlClassifier::Deploy() {
   BORNSQL_RETURN_IF_ERROR(EnsureModel());
   BORNSQL_RETURN_IF_ERROR(Undeploy());
-  BORNSQL_RETURN_IF_ERROR(db_->ExecuteScript(BuildDeploySql()));
+  BORNSQL_RETURN_IF_ERROR(ExecScript(BuildDeploySql()));
   // A secondary index on j turns per-item inference into index lookups —
   // this is what reproduces Fig. 6's post-deployment drop.
-  BORNSQL_RETURN_IF_ERROR(db_->ExecuteScript(
+  BORNSQL_RETURN_IF_ERROR(ExecScript(
       StrFormat("CREATE INDEX %s_j ON %s (j)", weights_table().c_str(),
                 weights_table().c_str())));
   deployed_ = true;
@@ -338,14 +375,14 @@ Status BornSqlClassifier::Deploy() {
 
 Status BornSqlClassifier::Undeploy() {
   deployed_ = false;
-  return db_->ExecuteScript(
+  return ExecScript(
       StrFormat("DROP TABLE IF EXISTS %s", weights_table().c_str()));
 }
 
 Status BornSqlClassifier::AttachDeployment() {
   BORNSQL_RETURN_IF_ERROR(EnsureModel());
   BORNSQL_RETURN_IF_ERROR(
-      db_->Execute(StrFormat("SELECT COUNT(*) FROM %s",
+      Exec(StrFormat("SELECT COUNT(*) FROM %s",
                              weights_table().c_str()))
           .status());
   deployed_ = true;
@@ -403,7 +440,7 @@ Result<std::vector<SqlPrediction>> BornSqlClassifier::Predict(
     const std::string& q_n) {
   BORNSQL_RETURN_IF_ERROR(EnsureModel());
   BORNSQL_ASSIGN_OR_RETURN(engine::QueryResult result,
-                           db_->Execute(BuildPredictSql(q_n)));
+                           Exec(BuildPredictSql(q_n)));
   std::vector<SqlPrediction> out;
   out.reserve(result.rows.size());
   for (Row& row : result.rows) {
@@ -416,7 +453,7 @@ Result<std::vector<SqlProbability>> BornSqlClassifier::PredictProba(
     const std::string& q_n) {
   BORNSQL_RETURN_IF_ERROR(EnsureModel());
   BORNSQL_ASSIGN_OR_RETURN(engine::QueryResult result,
-                           db_->Execute(BuildPredictProbaSql(q_n)));
+                           Exec(BuildPredictProbaSql(q_n)));
   std::vector<SqlProbability> out;
   out.reserve(result.rows.size());
   for (Row& row : result.rows) {
@@ -446,7 +483,7 @@ Result<std::vector<ExplanationEntry>> BornSqlClassifier::ExplainGlobal(
         WeightCtes(/*from_weights_table=*/false).c_str(),
         limit_clause.c_str());
   }
-  BORNSQL_ASSIGN_OR_RETURN(engine::QueryResult result, db_->Execute(sql));
+  BORNSQL_ASSIGN_OR_RETURN(engine::QueryResult result, Exec(sql));
   std::vector<ExplanationEntry> out;
   for (Row& row : result.rows) {
     ExplanationEntry e;
@@ -480,7 +517,7 @@ Result<std::vector<ExplanationEntry>> BornSqlClassifier::ExplainLocal(
       PreprocessCtes(q_n, /*training=*/true, false).c_str(),
       WeightCtes(deployed_).c_str(),
       HwSource(deployed_, weights_table()).c_str(), limit_clause.c_str());
-  BORNSQL_ASSIGN_OR_RETURN(engine::QueryResult result, db_->Execute(sql));
+  BORNSQL_ASSIGN_OR_RETURN(engine::QueryResult result, Exec(sql));
   std::vector<ExplanationEntry> out;
   for (Row& row : result.rows) {
     ExplanationEntry e;
@@ -495,7 +532,7 @@ Result<std::vector<ExplanationEntry>> BornSqlClassifier::ExplainLocal(
 Status BornSqlClassifier::SetParams(Hyperparams params) {
   params_ = params;
   if (model_ready_) {
-    BORNSQL_RETURN_IF_ERROR(db_->ExecuteScript(StrFormat(
+    BORNSQL_RETURN_IF_ERROR(ExecScript(StrFormat(
         "UPDATE params SET a = %s, b = %s, h = %s WHERE model = '%s'",
         FormatDouble(params_.a).c_str(), FormatDouble(params_.b).c_str(),
         FormatDouble(params_.h).c_str(), model_.c_str())));
@@ -520,7 +557,7 @@ Result<std::string> BornSqlClassifier::DumpModelSql(bool weights_only) {
                         bool indexed) -> Status {
     BORNSQL_ASSIGN_OR_RETURN(
         engine::QueryResult rows,
-        db_->Execute(StrFormat("SELECT j, k, w FROM %s", table.c_str())));
+        Exec(StrFormat("SELECT j, k, w FROM %s", table.c_str())));
     out += StrFormat("DROP TABLE IF EXISTS %s;\n", table.c_str());
     out += StrFormat("CREATE TABLE %s (j TEXT, k, w REAL%s);\n",
                      table.c_str(), with_key ? ", PRIMARY KEY (j, k)" : "");
@@ -562,7 +599,7 @@ Result<int64_t> BornSqlClassifier::CorpusEntries() {
   BORNSQL_RETURN_IF_ERROR(EnsureModel());
   BORNSQL_ASSIGN_OR_RETURN(
       engine::QueryResult result,
-      db_->Execute(
+      Exec(
           StrFormat("SELECT COUNT(*) FROM %s", corpus_table().c_str())));
   BORNSQL_ASSIGN_OR_RETURN(Value v, result.ScalarValue());
   return v.AsInt();
@@ -572,7 +609,7 @@ Result<int64_t> BornSqlClassifier::FeatureCount() {
   BORNSQL_RETURN_IF_ERROR(EnsureModel());
   BORNSQL_ASSIGN_OR_RETURN(
       engine::QueryResult result,
-      db_->Execute(StrFormat(
+      Exec(StrFormat(
           "SELECT COUNT(*) FROM (SELECT DISTINCT j FROM %s WHERE w > %s) "
           "AS f",
           corpus_table().c_str(), kEpsLiteral)));

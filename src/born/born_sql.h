@@ -151,6 +151,16 @@ class BornSqlClassifier {
   std::string BuildPredictProbaSql(const std::string& q_n) const;
 
  private:
+  // All generated SQL funnels through these instead of calling db_
+  // directly. Debug builds lint every statement first and fail on
+  // error-severity findings (e.g. an ON CONFLICT target drifting from the
+  // corpus key) so SQL-generation bugs surface at the driver, not as an
+  // engine error deep in a training run. Warnings are expected — the
+  // normalizer CTE is intentionally comma-joined 1-row-cartesian — and
+  // ignored. Release builds delegate straight through.
+  Result<engine::QueryResult> Exec(const std::string& sql);
+  Status ExecScript(const std::string& sql);
+
   // Ensures {model}_corpus and the params row exist.
   Status EnsureModel();
   // CTE list: N_n, X_nj (+ Y_nk, W_n when `training`), per §3.1.

@@ -28,7 +28,7 @@ std::vector<std::string> Split(std::string_view s, char sep) {
   std::vector<std::string> out;
   size_t start = 0;
   while (true) {
-    size_t pos = s.find(sep, start);
+    const size_t pos = s.find(sep, start);
     if (pos == std::string_view::npos) {
       out.emplace_back(s.substr(start));
       break;
@@ -63,7 +63,7 @@ std::string StrFormat(const char* fmt, ...) {
   va_start(args, fmt);
   va_list args_copy;
   va_copy(args_copy, args);
-  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
   va_end(args);
   std::string out;
   if (n > 0) {
@@ -78,7 +78,7 @@ std::string SqlQuote(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 2);
   out.push_back('\'');
-  for (char c : s) {
+  for (const char c : s) {
     if (c == '\'') out.push_back('\'');
     out.push_back(c);
   }

@@ -43,9 +43,32 @@ exec::BoundBinaryOp LowerBinary(sql::BinaryOp op) {
   return exec::BoundBinaryOp::kAdd;
 }
 
+// Appends the expression's source span to an error message when the parser
+// recorded one. The innermost failing expression wins: once a message
+// carries a span, enclosing frames leave it untouched.
+Status WithLoc(const Status& st, const sql::SourceLoc& loc) {
+  if (st.ok() || !loc.valid() ||
+      st.message().find("(at line ") != std::string::npos) {
+    return st;
+  }
+  return Status(st.code(), StrFormat("%s (at line %zu:%zu)",
+                                     st.message().c_str(), loc.line,
+                                     loc.column));
+}
+
+Result<BoundExprPtr> BindExprImpl(const sql::Expr& e, const Schema& schema);
+
 }  // namespace
 
 Result<BoundExprPtr> BindExpr(const sql::Expr& e, const Schema& schema) {
+  auto r = BindExprImpl(e, schema);
+  if (!r.ok()) return WithLoc(r.status(), e.loc);
+  return r;
+}
+
+namespace {
+
+Result<BoundExprPtr> BindExprImpl(const sql::Expr& e, const Schema& schema) {
   auto out = std::make_unique<BoundExpr>();
   switch (e.kind) {
     case sql::ExprKind::kLiteral:
@@ -158,6 +181,8 @@ Result<BoundExprPtr> BindExpr(const sql::Expr& e, const Schema& schema) {
   }
   return Status::Internal("bad expression kind in binder");
 }
+
+}  // namespace
 
 bool BindsTo(const sql::Expr& expr, const Schema& schema) {
   return BindExpr(expr, schema).ok();

@@ -10,6 +10,8 @@
 #include "engine/binder.h"
 #include "engine/sql_text.h"
 #include "exec/operators.h"
+#include "lint/linter.h"
+#include "lint/plan_verifier.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
 
@@ -314,6 +316,9 @@ Result<QueryResult> Database::RunSet(const sql::SetStmt& stmt) {
   } else if (stmt.name == "born.collect_exec_stats") {
     BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kInt));
     config_.collect_exec_stats = v.AsInt() != 0;
+  } else if (stmt.name == "born.verify_plans") {
+    BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kInt));
+    config_.verify_plans = v.AsInt() != 0;
   } else {
     return Status::InvalidArgument("unknown setting '" + stmt.name + "'");
   }
@@ -328,6 +333,9 @@ Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
   const uint64_t plan_start = trace != nullptr ? trace_.NowNs() : 0;
   Planner planner(&catalog_, &config_, &system_views_);
   BORNSQL_ASSIGN_OR_RETURN(exec::OperatorPtr plan, planner.PlanSelect(stmt));
+  if (config_.verify_plans) {
+    BORNSQL_RETURN_IF_ERROR(lint::VerifyPlanStatus(*plan));
+  }
   if (trace != nullptr) {
     obs::TraceSpan span;
     span.name = "bind+plan";
@@ -545,6 +553,8 @@ Result<ProfiledQuery> Database::ProfileStatement(const sql::Statement& stmt) {
 
 Result<QueryResult> Database::RunExplain(const sql::Statement& stmt) {
   assert(stmt.explained != nullptr);
+  if (stmt.explain_verify) return RunExplainVerify(*stmt.explained);
+  if (stmt.explain_lint) return RunExplainLint(*stmt.explained);
   obs::PlanStatsNode plan;
   if (stmt.explain_analyze) {
     BORNSQL_ASSIGN_OR_RETURN(ProfiledQuery profiled,
@@ -558,6 +568,62 @@ Result<QueryResult> Database::RunExplain(const sql::Statement& stmt) {
   for (std::string& line :
        obs::RenderPlanLines(plan, /*with_stats=*/stmt.explain_analyze)) {
     out.rows.push_back({Value::Text(std::move(line))});
+  }
+  return out;
+}
+
+Result<QueryResult> Database::RunExplainVerify(const sql::Statement& stmt) {
+  // Only statements with an embedded SELECT have an operator tree; the
+  // remaining kinds (INSERT VALUES, UPDATE, DELETE, DDL) execute through
+  // dedicated non-operator paths with nothing for the verifier to walk.
+  const sql::SelectStmt* select = nullptr;
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect:
+      select = stmt.select.get();
+      break;
+    case sql::StatementKind::kInsert:
+      select = stmt.insert->select.get();
+      break;
+    case sql::StatementKind::kCreateTable:
+      select = stmt.create_table->as_select.get();
+      break;
+    default:
+      break;
+  }
+  QueryResult out;
+  out.column_names = {"verify"};
+  if (select == nullptr) {
+    out.rows.push_back(
+        {Value::Text("ok: statement has no operator plan to verify")});
+    return out;
+  }
+  Planner planner(&catalog_, &config_, &system_views_);
+  BORNSQL_ASSIGN_OR_RETURN(exec::OperatorPtr plan,
+                           planner.PlanSelect(*select));
+  size_t checks = 0;
+  const std::vector<lint::Diagnostic> diags = lint::VerifyPlan(*plan, &checks);
+  if (diags.empty()) {
+    out.rows.push_back({Value::Text(
+        StrFormat("ok: %zu invariant checks, 0 violations", checks))});
+  } else {
+    for (const lint::Diagnostic& d : diags) {
+      out.rows.push_back({Value::Text(lint::FormatDiagnostic(d))});
+    }
+  }
+  return out;
+}
+
+Result<QueryResult> Database::RunExplainLint(const sql::Statement& stmt) {
+  const std::vector<lint::Diagnostic> diags =
+      lint::LintStatement(stmt, &catalog_);
+  QueryResult out;
+  out.column_names = {"lint"};
+  if (diags.empty()) {
+    out.rows.push_back({Value::Text("ok: no lint findings")});
+  } else {
+    for (const lint::Diagnostic& d : diags) {
+      out.rows.push_back({Value::Text(lint::FormatDiagnostic(d))});
+    }
   }
   return out;
 }

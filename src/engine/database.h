@@ -136,6 +136,12 @@ class Database {
                                 obs::PlanStatsNode* profile = nullptr);
   // EXPLAIN [ANALYZE] <stmt>: one text row per plan node, indented by depth.
   Result<QueryResult> RunExplain(const sql::Statement& stmt);
+  // EXPLAIN VERIFY <stmt>: plans the statement's SELECT (if any) and runs
+  // the plan-invariant verifier; one row per violation, or an "ok" row.
+  Result<QueryResult> RunExplainVerify(const sql::Statement& stmt);
+  // EXPLAIN LINT <stmt>: static diagnostics from the SQL linter, one row
+  // per finding, or an "ok" row.
+  Result<QueryResult> RunExplainLint(const sql::Statement& stmt);
   Result<QueryResult> RunCreateTable(const sql::CreateTableStmt& stmt,
                                      obs::PlanStatsNode* profile = nullptr);
   Result<QueryResult> RunDropTable(const sql::DropTableStmt& stmt);
@@ -145,7 +151,7 @@ class Database {
   Result<QueryResult> RunUpdate(const sql::UpdateStmt& stmt);
   Result<QueryResult> RunDelete(const sql::DeleteStmt& stmt);
   // SET <name> = <value>: engine settings (born.slow_query_ms, born.trace,
-  // born.trace_capacity, born.collect_exec_stats).
+  // born.trace_capacity, born.collect_exec_stats, born.verify_plans).
   Result<QueryResult> RunSet(const sql::SetStmt& stmt);
 
   // Plan tree of `stmt` without executing it (plain EXPLAIN). DML and DDL

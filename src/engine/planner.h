@@ -47,6 +47,16 @@ struct EngineConfig {
   // operator-type aggregates). Off by default: instrumentation adds clock
   // reads to every Next() call, which benchmarks must not pay.
   bool collect_exec_stats = false;
+  // Run the plan-invariant verifier (lint/plan_verifier.h) on every planned
+  // statement before execution; violations fail the statement with
+  // Internal. Default on in debug builds (the walk is O(plan size), cheap
+  // next to execution, and catches planner index bugs at the source), off
+  // in release. SET born.verify_plans = 0/1 overrides at runtime.
+#ifndef NDEBUG
+  bool verify_plans = true;
+#else
+  bool verify_plans = false;
+#endif
 };
 
 // Resolves system-view names (born_stat_statements & friends) during

@@ -32,6 +32,20 @@ struct MaterializedResult {
   std::vector<Row> rows;
 };
 
+// Read-only view of one bound expression an operator evaluates at runtime,
+// together with the schema whose rows the expression's column indices index
+// into. Operators publish these via CollectBindings() so the plan verifier
+// (lint/plan_verifier.h) can check index bounds and key-type agreement
+// without operators exposing their private members.
+struct ExprBinding {
+  const BoundExpr* expr = nullptr;  // never null when emitted
+  const Schema* input = nullptr;    // row layout the expr evaluates against
+  const char* role = "";            // "predicate", "left key", "project", ...
+  // Join key pairing: bindings with the same non-negative pair_group are the
+  // two sides of one equi-join key and must agree on type. -1 => unpaired.
+  int pair_group = -1;
+};
+
 // Base operator. Open()/Next() are non-virtual instrumentation hooks that
 // dispatch to the per-operator OpenImpl()/NextImpl(): with stats disabled
 // (the default) the hook is a single branch, so the uninstrumented path
@@ -46,6 +60,13 @@ class Operator {
   virtual std::string DebugString() const = 0;
   // Direct inputs, for EXPLAIN's plan-tree walk and stats propagation.
   virtual std::vector<Operator*> children() const { return {}; }
+
+  // Appends every bound expression this operator evaluates (with its input
+  // schema and role) to `out`. Leaf and pass-through operators that hold no
+  // expressions keep the default no-op.
+  virtual void CollectBindings(std::vector<ExprBinding>* out) const {
+    (void)out;
+  }
 
   Status Open() {
     if (!stats_enabled_) return OpenImpl();
@@ -206,6 +227,9 @@ class FilterOp : public Operator {
   const Schema& schema() const override { return child_->schema(); }
   std::string DebugString() const override { return "Filter"; }
   std::vector<Operator*> children() const override { return {child_.get()}; }
+  void CollectBindings(std::vector<ExprBinding>* out) const override {
+    out->push_back({predicate_.get(), &child_->schema(), "predicate", -1});
+  }
 
  protected:
   Status OpenImpl() override { return child_->Open(); }
@@ -225,6 +249,11 @@ class ProjectOp : public Operator {
   const Schema& schema() const override { return schema_; }
   std::string DebugString() const override { return StrFormat("Project(%zu columns)", exprs_.size()); }
   std::vector<Operator*> children() const override { return {child_.get()}; }
+  void CollectBindings(std::vector<ExprBinding>* out) const override {
+    for (const BoundExprPtr& e : exprs_) {
+      out->push_back({e.get(), &child_->schema(), "project", -1});
+    }
+  }
 
  protected:
   Status OpenImpl() override { return child_->Open(); }
@@ -248,6 +277,16 @@ class HashJoinOp : public Operator {
   const Schema& schema() const override { return schema_; }
   std::string DebugString() const override { return StrFormat("HashJoin(%s, %zu keys)", type_ == JoinType::kLeft ? "left" : "inner", left_keys_.size()); }
   std::vector<Operator*> children() const override { return {left_.get(), right_.get()}; }
+  void CollectBindings(std::vector<ExprBinding>* out) const override {
+    for (size_t i = 0; i < left_keys_.size(); ++i) {
+      out->push_back({left_keys_[i].get(), &left_->schema(), "left key",
+                      static_cast<int>(i)});
+    }
+    for (size_t i = 0; i < right_keys_.size(); ++i) {
+      out->push_back({right_keys_[i].get(), &right_->schema(), "right key",
+                      static_cast<int>(i)});
+    }
+  }
 
  protected:
   Status OpenImpl() override;
@@ -293,6 +332,16 @@ class SortMergeJoinOp : public Operator {
   const Schema& schema() const override { return schema_; }
   std::string DebugString() const override { return StrFormat("SortMergeJoin(%s, %zu keys)", type_ == JoinType::kLeft ? "left" : "inner", left_keys_.size()); }
   std::vector<Operator*> children() const override { return {left_.get(), right_.get()}; }
+  void CollectBindings(std::vector<ExprBinding>* out) const override {
+    for (size_t i = 0; i < left_keys_.size(); ++i) {
+      out->push_back({left_keys_[i].get(), &left_->schema(), "left key",
+                      static_cast<int>(i)});
+    }
+    for (size_t i = 0; i < right_keys_.size(); ++i) {
+      out->push_back({right_keys_[i].get(), &right_->schema(), "right key",
+                      static_cast<int>(i)});
+    }
+  }
 
  protected:
   Status OpenImpl() override;
@@ -322,6 +371,12 @@ class NestedLoopJoinOp : public Operator {
   const Schema& schema() const override { return schema_; }
   std::string DebugString() const override { return StrFormat("NestedLoopJoin(%s)", type_ == JoinType::kLeft ? "left" : (type_ == JoinType::kCross ? "cross" : "inner")); }
   std::vector<Operator*> children() const override { return {left_.get(), right_.get()}; }
+  void CollectBindings(std::vector<ExprBinding>* out) const override {
+    if (predicate_ != nullptr) {
+      // The residual predicate sees the concatenated left++right row.
+      out->push_back({predicate_.get(), &schema_, "join predicate", -1});
+    }
+  }
 
  protected:
   Status OpenImpl() override;
@@ -354,6 +409,11 @@ class IndexJoinOp : public Operator {
   const Schema& schema() const override { return schema_; }
   std::string DebugString() const override { return StrFormat("IndexJoin(%s via index, %zu keys)", inner_table_->name().c_str(), outer_keys_.size()); }
   std::vector<Operator*> children() const override { return {outer_.get()}; }
+  void CollectBindings(std::vector<ExprBinding>* out) const override {
+    for (const BoundExprPtr& k : outer_keys_) {
+      out->push_back({k.get(), &outer_->schema(), "outer key", -1});
+    }
+  }
 
  protected:
   Status OpenImpl() override;
@@ -388,6 +448,19 @@ class HashAggOp : public Operator {
   const Schema& schema() const override { return schema_; }
   std::string DebugString() const override { return StrFormat("HashAggregate(%zu group keys, %zu aggregates)", group_exprs_.size(), aggs_.size()); }
   std::vector<Operator*> children() const override { return {child_.get()}; }
+  // Output width contract for the plan verifier: schema = groups ++ aggs.
+  size_t group_key_count() const { return group_exprs_.size(); }
+  size_t aggregate_count() const { return aggs_.size(); }
+  void CollectBindings(std::vector<ExprBinding>* out) const override {
+    for (const BoundExprPtr& g : group_exprs_) {
+      out->push_back({g.get(), &child_->schema(), "group key", -1});
+    }
+    for (const AggSpec& a : aggs_) {
+      if (a.arg != nullptr) {  // null arg => COUNT(*)
+        out->push_back({a.arg.get(), &child_->schema(), "aggregate arg", -1});
+      }
+    }
+  }
 
  protected:
   Status OpenImpl() override;
@@ -415,6 +488,11 @@ class SortOp : public Operator {
   const Schema& schema() const override { return child_->schema(); }
   std::string DebugString() const override { return StrFormat("Sort(%zu keys)", keys_.size()); }
   std::vector<Operator*> children() const override { return {child_.get()}; }
+  void CollectBindings(std::vector<ExprBinding>* out) const override {
+    for (const SortKey& k : keys_) {
+      out->push_back({k.expr.get(), &child_->schema(), "sort key", -1});
+    }
+  }
 
  protected:
   Status OpenImpl() override;
@@ -518,6 +596,19 @@ class WindowOp : public Operator {
   const Schema& schema() const override { return schema_; }
   std::string DebugString() const override { return StrFormat("Window(%zu functions)", specs_.size()); }
   std::vector<Operator*> children() const override { return {child_.get()}; }
+  // Output width contract for the plan verifier: schema = child ++ specs.
+  size_t window_func_count() const { return specs_.size(); }
+  void CollectBindings(std::vector<ExprBinding>* out) const override {
+    for (const WindowSpec& s : specs_) {
+      for (const BoundExprPtr& p : s.partition_by) {
+        out->push_back({p.get(), &child_->schema(), "partition key", -1});
+      }
+      for (const SortKey& k : s.order_by) {
+        out->push_back({k.expr.get(), &child_->schema(), "window order key",
+                        -1});
+      }
+    }
+  }
 
  protected:
   Status OpenImpl() override;

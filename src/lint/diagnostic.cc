@@ -1,0 +1,55 @@
+#include "lint/diagnostic.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/strings.h"
+
+namespace bornsql::lint {
+
+const char* SeverityName(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  std::string out = StrFormat("%s %s: %s", d.code.c_str(),
+                              SeverityName(d.severity), d.message.c_str());
+  if (d.loc.valid()) {
+    out += StrFormat(" (at line %zu:%zu)", d.loc.line, d.loc.column);
+  }
+  return out;
+}
+
+namespace {
+
+// Unknown spans (line 0) sort after every real position.
+std::tuple<size_t, size_t, size_t, const std::string&, int, const std::string&>
+OrderKey(const Diagnostic& d) {
+  const size_t line = d.loc.valid() ? d.loc.line : static_cast<size_t>(-1);
+  const size_t col = d.loc.valid() ? d.loc.column : static_cast<size_t>(-1);
+  return {line, col, d.loc.offset, d.code, static_cast<int>(d.severity),
+          d.message};
+}
+
+}  // namespace
+
+void SortAndDedupe(std::vector<Diagnostic>* diags) {
+  std::stable_sort(diags->begin(), diags->end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return OrderKey(a) < OrderKey(b);
+                   });
+  diags->erase(std::unique(diags->begin(), diags->end(),
+                           [](const Diagnostic& a, const Diagnostic& b) {
+                             return OrderKey(a) == OrderKey(b);
+                           }),
+               diags->end());
+}
+
+bool HasError(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+}  // namespace bornsql::lint

@@ -1,0 +1,47 @@
+// Coded diagnostics shared by the SQL linter (lint/linter.h) and the plan
+// verifier (lint/plan_verifier.h).
+//
+// Every finding carries a stable code (BSLnnn for lint rules, BSVnnn for
+// plan invariants), a severity, and the source span of the offending AST
+// node when the parser recorded one. Output ordering is deterministic:
+// SortAndDedupe() orders by position, then code, then message, and drops
+// exact duplicates, so golden tests can assert on full diagnostic lists.
+#ifndef BORNSQL_LINT_DIAGNOSTIC_H_
+#define BORNSQL_LINT_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace bornsql::lint {
+
+enum class Severity {
+  kWarning,  // suspicious but executable; reported, never blocks
+  kError,    // will fail (or silently misbehave) at runtime
+};
+
+const char* SeverityName(Severity s);  // "warning" / "error"
+
+struct Diagnostic {
+  std::string code;  // "BSL001", "BSV003", ...
+  Severity severity = Severity::kWarning;
+  std::string message;
+  sql::SourceLoc loc;  // invalid (line 0) => rendered without a span
+};
+
+// "BSL001 warning: <message> (at line L:C)"; the span is omitted when
+// loc is invalid.
+std::string FormatDiagnostic(const Diagnostic& d);
+
+// Deterministic presentation order: source position (unknown spans last),
+// then code, then message. Exact duplicates (same code, severity, message
+// and span) collapse to one.
+void SortAndDedupe(std::vector<Diagnostic>* diags);
+
+// True if any diagnostic has error severity.
+bool HasError(const std::vector<Diagnostic>& diags);
+
+}  // namespace bornsql::lint
+
+#endif  // BORNSQL_LINT_DIAGNOSTIC_H_

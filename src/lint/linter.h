@@ -1,0 +1,51 @@
+// Static SQL linter: AST-level analyses over parsed statements, with
+// catalog-aware type and key checks when a catalog is supplied.
+//
+// Rules (each has a golden trigger + non-trigger test in tests/lint_test.cc):
+//
+//   BSL001  warning  comma join with no predicate connecting the new table
+//                    to the tables before it (accidental cartesian product;
+//                    explicit CROSS JOIN is exempt)
+//   BSL002  warning  non-sargable predicate: a WHERE comparison applies a
+//                    function or arithmetic to a column and compares the
+//                    result to a constant, defeating index use
+//   BSL003  warning  comparison between a TEXT column and a numeric
+//                    constant (or vice versa): relies on implicit coercion
+//   BSL004  warning  CTE defined but never referenced
+//   BSL005  error    INSERT ... ON CONFLICT whose target does not match the
+//                    table's unique key (fails at execution time)
+//   BSL006  warning  LIMIT without ORDER BY (nondeterministic row choice)
+//   BSL007  warning  UPDATE or DELETE without a WHERE clause
+//
+// Severities follow one principle: errors are statements that cannot
+// execute correctly; warnings are legal SQL that is usually a mistake.
+// BornSQL's own generated statements intentionally trip BSL001 (the 1-row
+// normalizer CTE is comma-joined with no shared column), which is why the
+// debug-build hook in born/born_sql.cc only aborts on errors.
+#ifndef BORNSQL_LINT_LINTER_H_
+#define BORNSQL_LINT_LINTER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "lint/diagnostic.h"
+#include "sql/ast.h"
+
+namespace bornsql::lint {
+
+// Lints one parsed statement. `catalog` enables the catalog-aware rules
+// (BSL003, BSL005) and may be null, in which case those rules are skipped.
+// The result is sorted and deduplicated (see diagnostic.h).
+std::vector<Diagnostic> LintStatement(const sql::Statement& stmt,
+                                      const catalog::Catalog* catalog);
+
+// Parses a ';'-separated script and lints every statement in it. Fails
+// only when the script does not parse.
+Result<std::vector<Diagnostic>> LintSql(std::string_view sql,
+                                        const catalog::Catalog* catalog);
+
+}  // namespace bornsql::lint
+
+#endif  // BORNSQL_LINT_LINTER_H_

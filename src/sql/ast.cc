@@ -45,6 +45,7 @@ ExprPtr MakeCall(std::string name, std::vector<ExprPtr> args) {
 ExprPtr CloneExpr(const Expr& e) {
   auto out = std::make_unique<Expr>();
   out->kind = e.kind;
+  out->loc = e.loc;
   out->literal = e.literal;
   out->qualifier = e.qualifier;
   out->column = e.column;
@@ -81,6 +82,7 @@ SelectCore CloneCore(const SelectCore& core) {
   }
   for (const auto& ref : core.from) {
     TableRef r;
+    r.loc = ref.loc;
     r.table_name = ref.table_name;
     if (ref.subquery) r.subquery = CloneSelect(*ref.subquery);
     r.alias = ref.alias;
@@ -98,6 +100,7 @@ std::unique_ptr<SelectStmt> CloneSelect(const SelectStmt& s) {
   auto out = std::make_unique<SelectStmt>();
   for (const auto& cte : s.ctes) {
     CommonTableExpr c;
+    c.loc = cte.loc;
     c.name = cte.name;
     c.select = CloneSelect(*cte.select);
     out->ctes.push_back(std::move(c));

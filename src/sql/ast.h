@@ -20,6 +20,16 @@ struct Expr;
 struct SelectStmt;
 using ExprPtr = std::unique_ptr<Expr>;
 
+// Source position of an AST node, carried from the token that started it.
+// Programmatically built nodes (tests, query builders, planner rewrites)
+// leave it invalid; diagnostics then omit the span.
+struct SourceLoc {
+  size_t offset = 0;
+  size_t line = 0;  // 1-based; 0 => unknown
+  size_t column = 0;
+  bool valid() const { return line > 0; }
+};
+
 enum class ExprKind {
   kLiteral,
   kColumnRef,
@@ -51,6 +61,7 @@ struct OrderItem;
 
 struct Expr {
   ExprKind kind = ExprKind::kLiteral;
+  SourceLoc loc;
 
   // kLiteral
   Value literal;
@@ -113,6 +124,7 @@ struct SelectItem {
 struct SelectStmt;
 
 struct TableRef {
+  SourceLoc loc;
   // Exactly one of table_name / subquery is set.
   std::string table_name;
   std::unique_ptr<SelectStmt> subquery;
@@ -136,6 +148,7 @@ struct SelectCore {
 };
 
 struct CommonTableExpr {
+  SourceLoc loc;
   std::string name;
   std::unique_ptr<SelectStmt> select;
 };
@@ -200,11 +213,13 @@ struct UpdateStmt {
   std::string table;
   std::vector<std::pair<std::string, ExprPtr>> set_clauses;
   ExprPtr where;
+  SourceLoc loc;  // position of the UPDATE keyword
 };
 
 struct DeleteStmt {
   std::string table;
   ExprPtr where;
+  SourceLoc loc;  // position of the DELETE keyword
 };
 
 // SET <name> = <expr>: a dotted setting name (e.g. born.slow_query_ms) and
@@ -216,7 +231,7 @@ struct SetStmt {
 
 enum class StatementKind {
   kSelect,
-  kExplain,  // EXPLAIN [ANALYZE] <stmt>: uses `explained` / `explain_analyze`
+  kExplain,  // EXPLAIN [ANALYZE|VERIFY|LINT] <stmt>: uses `explained` + flags
   kCreateTable,
   kDropTable,
   kCreateIndex,
@@ -238,9 +253,13 @@ struct Statement {
   std::unique_ptr<SetStmt> set;
 
   // kExplain: the wrapped statement (any kind except kExplain itself) and
-  // whether ANALYZE (execute + per-operator stats) was requested.
+  // which mode was requested: ANALYZE (execute + per-operator stats),
+  // VERIFY (plan-invariant check, src/lint/plan_verifier.h) or LINT
+  // (static SQL diagnostics, src/lint/linter.h). At most one is set.
   std::unique_ptr<Statement> explained;
   bool explain_analyze = false;
+  bool explain_verify = false;
+  bool explain_lint = false;
 };
 
 }  // namespace bornsql::sql

@@ -47,10 +47,35 @@ Result<std::vector<Token>> Lex(std::string_view src) {
   size_t i = 0;
   const size_t n = src.size();
 
+  // Line/column bookkeeping: `scanned` trails the token starts (which are
+  // monotonically increasing), so the whole pass stays O(n).
+  size_t line = 1;
+  size_t line_start = 0;
+  size_t scanned = 0;
+  auto sync = [&](size_t to) {
+    for (; scanned < to; ++scanned) {
+      if (src[scanned] == '\n') {
+        ++line;
+        line_start = scanned + 1;
+      }
+    }
+  };
+  auto locate = [&](size_t at, size_t* out_line, size_t* out_column) {
+    sync(at);
+    *out_line = line;
+    *out_column = at - line_start + 1;
+  };
+  auto here = [&](size_t at) {
+    size_t l = 1, c = 1;
+    locate(at, &l, &c);
+    return StrFormat("line %zu:%zu", l, c);
+  };
+
   auto make = [&](TokenType t, size_t at) {
     Token tok;
     tok.type = t;
     tok.offset = at;
+    locate(at, &tok.line, &tok.column);
     return tok;
   };
 
@@ -70,8 +95,8 @@ Result<std::vector<Token>> Lex(std::string_view src) {
       i += 2;
       while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) ++i;
       if (i + 1 >= n) {
-        return Status::ParseError(
-            StrFormat("unterminated block comment at offset %zu", start));
+        return Status::ParseError(StrFormat("unterminated block comment at %s",
+                                            here(start).c_str()));
       }
       i += 2;
       continue;
@@ -97,8 +122,8 @@ Result<std::vector<Token>> Lex(std::string_view src) {
         ++i;
       }
       if (!closed) {
-        return Status::ParseError(
-            StrFormat("unterminated string literal at offset %zu", at));
+        return Status::ParseError(StrFormat("unterminated string literal at %s",
+                                            here(at).c_str()));
       }
       Token tok = make(TokenType::kStringLiteral, at);
       tok.text = std::move(body);
@@ -125,8 +150,8 @@ Result<std::vector<Token>> Lex(std::string_view src) {
         ++i;
       }
       if (!closed) {
-        return Status::ParseError(
-            StrFormat("unterminated quoted identifier at offset %zu", at));
+        return Status::ParseError(StrFormat(
+            "unterminated quoted identifier at %s", here(at).c_str()));
       }
       Token tok = make(TokenType::kIdentifier, at);
       tok.text = std::move(body);
@@ -249,8 +274,8 @@ Result<std::vector<Token>> Lex(std::string_view src) {
           out.push_back(make(TokenType::kNotEq, at));
           i += 2;
         } else {
-          return Status::ParseError(
-              StrFormat("unexpected character '!' at offset %zu", at));
+          return Status::ParseError(StrFormat(
+              "unexpected character '!' at %s", here(at).c_str()));
         }
         break;
       case '<':
@@ -279,13 +304,13 @@ Result<std::vector<Token>> Lex(std::string_view src) {
           out.push_back(make(TokenType::kConcat, at));
           i += 2;
         } else {
-          return Status::ParseError(
-              StrFormat("unexpected character '|' at offset %zu", at));
+          return Status::ParseError(StrFormat(
+              "unexpected character '|' at %s", here(at).c_str()));
         }
         break;
       default:
-        return Status::ParseError(
-            StrFormat("unexpected character '%c' at offset %zu", c, at));
+        return Status::ParseError(StrFormat("unexpected character '%c' at %s",
+                                            c, here(at).c_str()));
     }
   }
   out.push_back(make(TokenType::kEof, n));

@@ -82,8 +82,26 @@ class Parser {
     return TokenTypeName(t.type);
   }
   Status Error(std::string msg) const {
-    return Status::ParseError(
-        StrFormat("%s (at offset %zu)", msg.c_str(), Peek().offset));
+    const Token& t = Peek();
+    return Status::ParseError(StrFormat("%s (at line %zu:%zu)", msg.c_str(),
+                                        t.line, t.column));
+  }
+
+  // Source location of the next token, for stamping AST nodes.
+  SourceLoc Loc() const {
+    const Token& t = Peek();
+    return SourceLoc{t.offset, t.line, t.column};
+  }
+
+  // VERIFY/LINT are deliberately not keywords (they stay usable as table or
+  // column names); EXPLAIN matches them as bare identifiers instead.
+  bool MatchIdent(std::string_view word) {
+    if (!Check(TokenType::kIdentifier) ||
+        !EqualsIgnoreCase(Peek().text, word)) {
+      return false;
+    }
+    Advance();
+    return true;
   }
 
   Result<std::string> Identifier(const char* what) {
@@ -104,7 +122,13 @@ class Parser {
     if (MatchKeyword("EXPLAIN")) {
       Statement st;
       st.kind = StatementKind::kExplain;
-      st.explain_analyze = MatchKeyword("ANALYZE");
+      if (MatchKeyword("ANALYZE")) {
+        st.explain_analyze = true;
+      } else if (MatchIdent("VERIFY")) {
+        st.explain_verify = true;
+      } else if (MatchIdent("LINT")) {
+        st.explain_lint = true;
+      }
       if (CheckKeyword("EXPLAIN")) return Error("cannot EXPLAIN an EXPLAIN");
       BORNSQL_ASSIGN_OR_RETURN(Statement inner, StatementRule());
       st.explained = std::make_unique<Statement>(std::move(inner));
@@ -310,8 +334,10 @@ class Parser {
   }
 
   Result<Statement> UpdateStatement() {
+    SourceLoc loc = Loc();
     BORNSQL_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
     auto stmt = std::make_unique<UpdateStmt>();
+    stmt->loc = loc;
     BORNSQL_ASSIGN_OR_RETURN(stmt->table, Identifier("table name"));
     BORNSQL_RETURN_IF_ERROR(ExpectKeyword("SET"));
     do {
@@ -330,9 +356,11 @@ class Parser {
   }
 
   Result<Statement> DeleteStatement() {
+    SourceLoc loc = Loc();
     BORNSQL_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
     BORNSQL_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     auto stmt = std::make_unique<DeleteStmt>();
+    stmt->loc = loc;
     BORNSQL_ASSIGN_OR_RETURN(stmt->table, Identifier("table name"));
     if (MatchKeyword("WHERE")) {
       BORNSQL_ASSIGN_OR_RETURN(stmt->where, Expression());
@@ -349,6 +377,7 @@ class Parser {
     if (MatchKeyword("WITH")) {
       do {
         CommonTableExpr cte;
+        cte.loc = Loc();
         BORNSQL_ASSIGN_OR_RETURN(cte.name, Identifier("CTE name"));
         BORNSQL_RETURN_IF_ERROR(ExpectKeyword("AS"));
         BORNSQL_RETURN_IF_ERROR(Expect(TokenType::kLParen));
@@ -481,6 +510,7 @@ class Parser {
 
   Result<TableRef> TableRefRule() {
     TableRef ref;
+    ref.loc = Loc();
     if (Match(TokenType::kLParen)) {
       BORNSQL_ASSIGN_OR_RETURN(ref.subquery, SelectStatement());
       BORNSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen));
@@ -503,35 +533,45 @@ class Parser {
   }
 
   // ---- expressions (precedence climbing) ----
+  // Compound nodes (binary/unary) inherit the location of their first
+  // token, so a diagnostic about `a + 1 > b` points at `a`.
   Result<ExprPtr> Expression() { return OrExpr(); }
 
   Result<ExprPtr> OrExpr() {
+    const SourceLoc start = Loc();
     BORNSQL_ASSIGN_OR_RETURN(ExprPtr left, AndExpr());
     while (MatchKeyword("OR")) {
       BORNSQL_ASSIGN_OR_RETURN(ExprPtr right, AndExpr());
       left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+      left->loc = start;
     }
     return left;
   }
 
   Result<ExprPtr> AndExpr() {
+    const SourceLoc start = Loc();
     BORNSQL_ASSIGN_OR_RETURN(ExprPtr left, NotExpr());
     while (MatchKeyword("AND")) {
       BORNSQL_ASSIGN_OR_RETURN(ExprPtr right, NotExpr());
       left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+      left->loc = start;
     }
     return left;
   }
 
   Result<ExprPtr> NotExpr() {
+    const SourceLoc start = Loc();
     if (MatchKeyword("NOT")) {
       BORNSQL_ASSIGN_OR_RETURN(ExprPtr inner, NotExpr());
-      return MakeUnary(UnaryOp::kNot, std::move(inner));
+      ExprPtr e = MakeUnary(UnaryOp::kNot, std::move(inner));
+      e->loc = start;
+      return e;
     }
     return Comparison();
   }
 
   Result<ExprPtr> Comparison() {
+    const SourceLoc start = Loc();
     BORNSQL_ASSIGN_OR_RETURN(ExprPtr left, Additive());
     while (true) {
       if (MatchKeyword("IS")) {
@@ -539,6 +579,7 @@ class Parser {
         BORNSQL_RETURN_IF_ERROR(ExpectKeyword("NULL"));
         auto e = std::make_unique<Expr>();
         e->kind = ExprKind::kIsNull;
+        e->loc = start;
         e->left = std::move(left);
         e->negated = negated;
         left = std::move(e);
@@ -554,6 +595,7 @@ class Parser {
         if (CheckKeyword("SELECT") || CheckKeyword("WITH")) {
           auto sub = std::make_unique<Expr>();
           sub->kind = ExprKind::kInSubquery;
+          sub->loc = start;
           sub->left = std::move(left);
           sub->negated = negated_in;
           BORNSQL_ASSIGN_OR_RETURN(sub->subquery, SelectStatement());
@@ -563,6 +605,7 @@ class Parser {
         }
         auto e = std::make_unique<Expr>();
         e->kind = ExprKind::kInList;
+        e->loc = start;
         e->left = std::move(left);
         e->negated = negated_in;
         do {
@@ -590,6 +633,7 @@ class Parser {
             MakeBinary(BinaryOp::kLtEq, std::move(copy), std::move(hi)));
         left = negated_between ? MakeUnary(UnaryOp::kNot, std::move(both))
                                : std::move(both);
+        left->loc = start;
         continue;
       }
       bool negated_like = false;
@@ -603,6 +647,7 @@ class Parser {
             MakeBinary(BinaryOp::kLike, std::move(left), std::move(pattern));
         left = negated_like ? MakeUnary(UnaryOp::kNot, std::move(like))
                             : std::move(like);
+        left->loc = start;
         continue;
       }
       BinaryOp op;
@@ -623,11 +668,13 @@ class Parser {
       }
       BORNSQL_ASSIGN_OR_RETURN(ExprPtr right, Additive());
       left = MakeBinary(op, std::move(left), std::move(right));
+      left->loc = start;
     }
     return left;
   }
 
   Result<ExprPtr> Additive() {
+    const SourceLoc start = Loc();
     BORNSQL_ASSIGN_OR_RETURN(ExprPtr left, Multiplicative());
     while (true) {
       BinaryOp op;
@@ -642,11 +689,13 @@ class Parser {
       }
       BORNSQL_ASSIGN_OR_RETURN(ExprPtr right, Multiplicative());
       left = MakeBinary(op, std::move(left), std::move(right));
+      left->loc = start;
     }
     return left;
   }
 
   Result<ExprPtr> Multiplicative() {
+    const SourceLoc start = Loc();
     BORNSQL_ASSIGN_OR_RETURN(ExprPtr left, Unary());
     while (true) {
       BinaryOp op;
@@ -661,39 +710,51 @@ class Parser {
       }
       BORNSQL_ASSIGN_OR_RETURN(ExprPtr right, Unary());
       left = MakeBinary(op, std::move(left), std::move(right));
+      left->loc = start;
     }
     return left;
   }
 
   Result<ExprPtr> Unary() {
+    const SourceLoc start = Loc();
     if (Match(TokenType::kMinus)) {
       BORNSQL_ASSIGN_OR_RETURN(ExprPtr inner, Unary());
-      return MakeUnary(UnaryOp::kNegate, std::move(inner));
+      ExprPtr e = MakeUnary(UnaryOp::kNegate, std::move(inner));
+      e->loc = start;
+      return e;
     }
     if (Match(TokenType::kPlus)) {
       BORNSQL_ASSIGN_OR_RETURN(ExprPtr inner, Unary());
-      return MakeUnary(UnaryOp::kPlus, std::move(inner));
+      ExprPtr e = MakeUnary(UnaryOp::kPlus, std::move(inner));
+      e->loc = start;
+      return e;
     }
     return Primary();
   }
 
   Result<ExprPtr> Primary() {
     const Token& t = Peek();
+    const SourceLoc at{t.offset, t.line, t.column};
+    auto with_loc = [&at](ExprPtr e) {
+      e->loc = at;
+      return e;
+    };
     switch (t.type) {
       case TokenType::kIntLiteral:
         Advance();
-        return MakeLiteral(Value::Int(t.int_value));
+        return with_loc(MakeLiteral(Value::Int(t.int_value)));
       case TokenType::kDoubleLiteral:
         Advance();
-        return MakeLiteral(Value::Double(t.double_value));
+        return with_loc(MakeLiteral(Value::Double(t.double_value)));
       case TokenType::kStringLiteral:
         Advance();
-        return MakeLiteral(Value::Text(t.text));
+        return with_loc(MakeLiteral(Value::Text(t.text)));
       case TokenType::kLParen: {
         Advance();
         if (CheckKeyword("SELECT") || CheckKeyword("WITH")) {
           auto e = std::make_unique<Expr>();
           e->kind = ExprKind::kScalarSubquery;
+          e->loc = at;
           BORNSQL_ASSIGN_OR_RETURN(e->subquery, SelectStatement());
           BORNSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen));
           ExprPtr out = std::move(e);
@@ -704,11 +765,12 @@ class Parser {
         return inner;
       }
       case TokenType::kKeyword:
-        if (MatchKeyword("NULL")) return MakeLiteral(Value::Null());
+        if (MatchKeyword("NULL")) return with_loc(MakeLiteral(Value::Null()));
         if (MatchKeyword("EXISTS")) {
           BORNSQL_RETURN_IF_ERROR(Expect(TokenType::kLParen));
           auto e = std::make_unique<Expr>();
           e->kind = ExprKind::kExists;
+          e->loc = at;
           BORNSQL_ASSIGN_OR_RETURN(e->subquery, SelectStatement());
           BORNSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen));
           ExprPtr out = std::move(e);
@@ -726,7 +788,7 @@ class Parser {
           std::vector<ExprPtr> args;
           args.push_back(std::move(inner));
           args.push_back(MakeLiteral(Value::Text(AsciiToLower(type_name))));
-          return MakeCall("cast", std::move(args));
+          return with_loc(MakeCall("cast", std::move(args)));
         }
         return Error(StrFormat("unexpected keyword '%s' in expression",
                                t.text.c_str()));
@@ -739,9 +801,11 @@ class Parser {
   }
 
   Result<ExprPtr> CaseExpr() {
+    const SourceLoc start = Loc();
     BORNSQL_RETURN_IF_ERROR(ExpectKeyword("CASE"));
     auto e = std::make_unique<Expr>();
     e->kind = ExprKind::kCase;
+    e->loc = start;
     // Optional operand form: CASE x WHEN v THEN r ... desugars each WHEN to
     // (x = v).
     ExprPtr operand;
@@ -769,12 +833,14 @@ class Parser {
   }
 
   Result<ExprPtr> IdentifierExpr() {
+    const SourceLoc start = Loc();
     std::string first = Advance().text;
     // Function call?
     if (Check(TokenType::kLParen)) {
       Advance();
       auto call = std::make_unique<Expr>();
       call->kind = ExprKind::kFunctionCall;
+      call->loc = start;
       call->func_name = first;
       if (Match(TokenType::kStar)) {  // COUNT(*)
         auto star = std::make_unique<Expr>();
@@ -819,9 +885,13 @@ class Parser {
     // Qualified column?
     if (Match(TokenType::kDot)) {
       BORNSQL_ASSIGN_OR_RETURN(std::string col, Identifier("column name"));
-      return MakeColumnRef(std::move(first), std::move(col));
+      ExprPtr e = MakeColumnRef(std::move(first), std::move(col));
+      e->loc = start;
+      return e;
     }
-    return MakeColumnRef("", std::move(first));
+    ExprPtr e = MakeColumnRef("", std::move(first));
+    e->loc = start;
+    return e;
   }
 
   std::vector<Token> tokens_;

@@ -38,7 +38,9 @@ struct Token {
   std::string text;    // identifier/keyword/literal spelling
   int64_t int_value = 0;
   double double_value = 0.0;
-  size_t offset = 0;   // byte offset in the source, for error messages
+  size_t offset = 0;   // byte offset in the source
+  size_t line = 1;     // 1-based source line, for diagnostics
+  size_t column = 1;   // 1-based column within the line
 };
 
 const char* TokenTypeName(TokenType t);

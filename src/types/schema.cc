@@ -13,13 +13,13 @@ Result<size_t> Schema::Resolve(const std::string& qualifier,
     if (!qualifier.empty() && !EqualsIgnoreCase(c.qualifier, qualifier))
       continue;
     if (found != kNpos) {
-      std::string ref = qualifier.empty() ? name : qualifier + "." + name;
+      const std::string ref = qualifier.empty() ? name : qualifier + "." + name;
       return Status::BindError("ambiguous column reference '" + ref + "'");
     }
     found = i;
   }
   if (found == kNpos) {
-    std::string ref = qualifier.empty() ? name : qualifier + "." + name;
+    const std::string ref = qualifier.empty() ? name : qualifier + "." + name;
     return Status::NotFound("column '" + ref + "' not found");
   }
   return found;
@@ -34,9 +34,7 @@ size_t Schema::FindUnqualified(const std::string& name) const {
 
 Schema Schema::WithQualifier(const std::string& alias) const {
   Schema out = *this;
-  for (size_t i = 0; i < out.columns_.size(); ++i) {
-    out.columns_[i].qualifier = alias;
-  }
+  for (Column& c : out.columns_) c.qualifier = alias;
   return out;
 }
 

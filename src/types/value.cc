@@ -101,7 +101,8 @@ int Value::Compare(const Value& a, const Value& b) {
     }
     return 3;
   };
-  int ra = rank(a), rb = rank(b);
+  const int ra = rank(a);
+  const int rb = rank(b);
   if (ra != rb) return ra < rb ? -1 : 1;
   switch (ra) {
     case 0:
@@ -112,13 +113,14 @@ int Value::Compare(const Value& a, const Value& b) {
         if (a.int_ > b.int_) return 1;
         return 0;
       }
-      double da = a.AsDouble(), db = b.AsDouble();
+      const double da = a.AsDouble();
+      const double db = b.AsDouble();
       if (da < db) return -1;
       if (da > db) return 1;
       return 0;
     }
     default: {
-      int c = a.text_.compare(b.text_);
+      const int c = a.text_.compare(b.text_);
       return c < 0 ? -1 : (c > 0 ? 1 : 0);
     }
   }
@@ -140,8 +142,7 @@ std::string Value::ToString() const {
       // reads naturally.
       if (std::isnan(double_)) return "NaN";
       if (std::isinf(double_)) return double_ > 0 ? "Inf" : "-Inf";
-      std::string s = StrFormat("%.12g", double_);
-      return s;
+      return StrFormat("%.12g", double_);
     }
     case ValueType::kText:
       return text_;

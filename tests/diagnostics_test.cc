@@ -1,0 +1,161 @@
+// Frontend diagnostics: lexer/parser/binder errors carry line:column source
+// spans, and the EXPLAIN VERIFY / EXPLAIN LINT parse forms round-trip.
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace bornsql {
+namespace {
+
+// Count of "(at line" markers in an error message; binder recursion must
+// attach exactly one span (the innermost failing expression's).
+size_t SpanCount(const std::string& message) {
+  size_t count = 0;
+  for (size_t pos = message.find("(at line");
+       pos != std::string::npos; pos = message.find("(at line", pos + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer: token positions and error spans.
+
+TEST(DiagnosticsTest, LexerStampsTokenLineAndColumn) {
+  auto tokens = sql::Lex("SELECT\n  x,\n  y FROM t");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = *tokens;
+  EXPECT_EQ(t[0].line, 1u);  // SELECT
+  EXPECT_EQ(t[0].column, 1u);
+  EXPECT_EQ(t[1].line, 2u);  // x
+  EXPECT_EQ(t[1].column, 3u);
+  EXPECT_EQ(t[3].line, 3u);  // y
+  EXPECT_EQ(t[3].column, 3u);
+}
+
+TEST(DiagnosticsTest, LexerErrorsCarryASpan) {
+  auto tokens = sql::Lex("SELECT a,\n       @");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("at line 2:8"), std::string::npos)
+      << tokens.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Parser: error spans and the EXPLAIN sub-forms.
+
+TEST(DiagnosticsTest, ParserErrorsCarryASpan) {
+  auto stmt = sql::ParseStatement("SELECT a FROM t WHERE\n");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(SpanCount(stmt.status().message()), 1u)
+      << stmt.status().ToString();
+}
+
+TEST(DiagnosticsTest, ParserErrorSpanPointsAtTheOffendingToken) {
+  auto stmt = sql::ParseStatement("SELECT a,\nFROM t");
+  ASSERT_FALSE(stmt.ok());
+  // The select list is malformed where FROM appears: line 2, column 1.
+  EXPECT_NE(stmt.status().message().find("at line 2:1"), std::string::npos)
+      << stmt.status().ToString();
+}
+
+TEST(DiagnosticsTest, ExplainSubFormsSetDistinctFlags) {
+  auto plain = sql::ParseStatement("EXPLAIN SELECT 1");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->explain_analyze);
+  EXPECT_FALSE(plain->explain_verify);
+  EXPECT_FALSE(plain->explain_lint);
+
+  auto verify = sql::ParseStatement("EXPLAIN VERIFY SELECT 1");
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify->explain_verify);
+  EXPECT_FALSE(verify->explain_lint);
+
+  auto lint = sql::ParseStatement("EXPLAIN LINT SELECT 1");
+  ASSERT_TRUE(lint.ok());
+  EXPECT_TRUE(lint->explain_lint);
+  EXPECT_FALSE(lint->explain_verify);
+}
+
+TEST(DiagnosticsTest, VerifyAndLintStayUsableAsIdentifiers) {
+  // VERIFY/LINT are contextual after EXPLAIN, not reserved words.
+  auto stmt = sql::ParseStatement("SELECT verify, lint FROM audit");
+  BORNSQL_EXPECT_OK(stmt.status());
+}
+
+// ---------------------------------------------------------------------------
+// Binder: golden error paths, each with the innermost expression's span.
+
+class BinderDiagnosticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BORNSQL_ASSERT_OK(db_.ExecuteScript(
+        "CREATE TABLE t (a INTEGER, b TEXT);"
+        "CREATE TABLE u (a INTEGER, c TEXT)"));
+  }
+
+  // Executes `sql`, asserts failure, returns the error message.
+  std::string MustFail(std::string_view sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_FALSE(r.ok()) << "expected failure: " << sql;
+    return r.ok() ? std::string() : r.status().message();
+  }
+
+  engine::Database db_;
+};
+
+TEST_F(BinderDiagnosticsTest, UnresolvedColumn) {
+  std::string message = MustFail("SELECT nope FROM t");
+  EXPECT_NE(message.find("'nope' not found"), std::string::npos) << message;
+  EXPECT_NE(message.find("(at line 1:8)"), std::string::npos) << message;
+}
+
+TEST_F(BinderDiagnosticsTest, UnresolvedColumnOnALaterLine) {
+  std::string message = MustFail("SELECT a\nFROM t\nWHERE missing = 1");
+  EXPECT_NE(message.find("'missing' not found"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("(at line 3:7)"), std::string::npos) << message;
+}
+
+TEST_F(BinderDiagnosticsTest, AmbiguousReference) {
+  std::string message = MustFail("SELECT a FROM t, u WHERE t.a = u.a");
+  EXPECT_NE(message.find("ambiguous"), std::string::npos) << message;
+  EXPECT_NE(message.find("(at line 1:8)"), std::string::npos) << message;
+}
+
+TEST_F(BinderDiagnosticsTest, FunctionArityMismatch) {
+  std::string message = MustFail("SELECT pow(a) FROM t");
+  EXPECT_NE(message.find("pow() called with 1 args"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("(at line 1:8)"), std::string::npos) << message;
+}
+
+TEST_F(BinderDiagnosticsTest, UnknownFunction) {
+  std::string message = MustFail("SELECT frobnicate(a) FROM t");
+  EXPECT_NE(message.find("frobnicate"), std::string::npos) << message;
+  EXPECT_NE(message.find("(at line"), std::string::npos) << message;
+}
+
+TEST_F(BinderDiagnosticsTest, NestedFailureAttachesExactlyOneSpan) {
+  // The dangling reference is three expression levels deep; the rewrapping
+  // in BindExpr must tag the innermost frame only, not once per level.
+  std::string message =
+      MustFail("SELECT a FROM t WHERE lower(b) = lower(missing || 'x')");
+  EXPECT_EQ(SpanCount(message), 1u) << message;
+  EXPECT_NE(message.find("'missing' not found"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("(at line 1:40)"), std::string::npos) << message;
+}
+
+TEST_F(BinderDiagnosticsTest, DiagnosticsAreDeterministic) {
+  // Two runs of the same failing statement produce byte-identical
+  // messages (no pointer values, iteration-order artifacts, ...).
+  EXPECT_EQ(MustFail("SELECT a, nope, b FROM t"),
+            MustFail("SELECT a, nope, b FROM t"));
+}
+
+}  // namespace
+}  // namespace bornsql

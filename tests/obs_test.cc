@@ -12,6 +12,8 @@
 #include "obs/metrics.h"
 #include "obs/plan_stats.h"
 #include "obs/stats.h"
+#include "obs/statement_stats.h"
+#include "obs/trace.h"
 #include "tests/test_util.h"
 
 namespace bornsql {
@@ -391,6 +393,78 @@ TEST(MetricsRegistryTest, ConcurrentHammer) {
   EXPECT_EQ(agg.instances, expected);
   EXPECT_EQ(agg.stats.rows_emitted, expected);
   EXPECT_EQ(agg.stats.next_calls, 2 * expected);
+}
+
+
+TEST(TraceRecorderTest, ConcurrentHammer) {
+  // Several threads recording, snapshotting, clearing and resizing one
+  // recorder; exercised under TSan by ci.sh leg 3. Counts are checked
+  // only loosely (Clear races with Record by design) — the point is that
+  // every entry point is safe to interleave.
+  obs::TraceRecorder recorder(/*capacity=*/64);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kIters; ++i) {
+        obs::StatementTrace trace;
+        trace.statement = "SELECT " + std::to_string(t);
+        trace.start_ns = recorder.NowNs();
+        trace.spans.push_back({"execute", "phase", trace.start_ns, 1});
+        recorder.Record(std::move(trace));
+        if (i % 64 == 0) {
+          auto snapshot = recorder.Snapshot();
+          EXPECT_LE(snapshot.size(), recorder.capacity());
+          for (const obs::StatementTrace& st : snapshot) {
+            EXPECT_GT(st.id, 0u);
+          }
+        }
+        if (t == 0 && i % 128 == 0) {
+          recorder.set_capacity(i % 256 == 0 ? 32 : 64);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(recorder.size(), recorder.capacity());
+  // Ids keep increasing monotonically within the surviving window.
+  auto snapshot = recorder.Snapshot();
+  for (size_t i = 1; i < snapshot.size(); ++i) {
+    EXPECT_LT(snapshot[i - 1].id, snapshot[i].id);
+  }
+}
+
+TEST(StatementStatsRegistryTest, ConcurrentHammer) {
+  // Distinct per-thread keys plus one shared key; totals must come out
+  // exact and the run must be clean under TSan (ci.sh leg 3).
+  obs::StatementStatsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      const std::string mine = "SELECT " + std::to_string(t);
+      for (int i = 0; i < kIters; ++i) {
+        registry.Record(mine, 0.5, 1, /*error=*/false);
+        registry.Record("SELECT shared", 0.25, 2, /*error=*/(i % 2) == 0);
+        if (i % 100 == 0) (void)registry.Snapshot();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  auto snapshot = registry.Snapshot();
+  const uint64_t expected = uint64_t{kThreads} * kIters;
+  const obs::StatementStats& shared = snapshot.at("SELECT shared");
+  EXPECT_EQ(shared.calls, expected);
+  EXPECT_EQ(shared.rows, 2 * expected);
+  EXPECT_EQ(shared.errors, expected / 2);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snapshot.at("SELECT " + std::to_string(t)).calls,
+              uint64_t{kIters});
+  }
 }
 
 }  // namespace

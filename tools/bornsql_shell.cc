@@ -11,6 +11,7 @@
 //   .timing on|off         print per-statement wall time (.timer works too)
 //   .metrics [reset]       dump the engine metrics registry as JSON / reset it
 //   .trace <file>          export the statement trace as Chrome trace JSON
+//   .lint <sql;>           run the static SQL linter over a statement/script
 //   .help                  this text
 //   .quit                  exit
 //
@@ -24,6 +25,7 @@
 #include "common/timer.h"
 #include "engine/csv.h"
 #include "engine/database.h"
+#include "lint/linter.h"
 
 namespace {
 
@@ -94,9 +96,12 @@ bool DotCommand(Database& db, const std::string& line, bool* timer) {
   if (cmd == ".help") {
     std::printf(
         ".tables | .schema <t> | .import <csv> <t> | .export <file> <sql;> "
-        "| .timing on|off | .metrics [reset] | .trace <file> | .quit\n"
+        "| .timing on|off | .metrics [reset] | .trace <file> | .lint <sql;> "
+        "| .quit\n"
         "EXPLAIN ANALYZE <stmt;> runs a statement and annotates the plan "
         "with per-operator stats\n"
+        "EXPLAIN LINT <stmt;> / EXPLAIN VERIFY <stmt;> run the static "
+        "linter / plan-invariant verifier\n"
         "system views: born_stat_statements, born_stat_operators, "
         "born_stat_tables, born_slow_log (SET born.slow_query_ms = N to "
         "arm the slow log)\n");
@@ -142,6 +147,22 @@ bool DotCommand(Database& db, const std::string& line, bool* timer) {
   } else if (cmd == ".trace" && parts.size() >= 2) {
     auto st = db.ExportTrace(parts[1]);
     std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+  } else if (cmd == ".lint" && parts.size() >= 2) {
+    std::string sql;
+    for (size_t i = 1; i < parts.size(); ++i) {
+      if (i > 1) sql += ' ';
+      sql += parts[i];
+    }
+    auto diags = bornsql::lint::LintSql(sql, &db.catalog());
+    if (!diags.ok()) {
+      std::printf("error: %s\n", diags.status().ToString().c_str());
+    } else if (diags->empty()) {
+      std::printf("ok: no lint findings\n");
+    } else {
+      for (const auto& d : *diags) {
+        std::printf("%s\n", bornsql::lint::FormatDiagnostic(d).c_str());
+      }
+    }
   } else {
     std::printf("unknown command %s (try .help)\n", cmd.c_str());
   }

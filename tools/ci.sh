@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# CI entry point: the default build + full test suite, then a Debug
-# ASan/UBSan build + full test suite. Run from the repository root:
+# CI entry point. Legs, in order:
+#   1   default build + full test suite
+#   1b  trace export smoke (Chrome trace JSON shape)
+#   2   Debug + ASan/UBSan build + full test suite
+#   3   Debug + TSan build, concurrency hammer tests (registry/trace/stats)
+#   4   clang-tidy over the files changed by the latest commit (skipped
+#       with a notice when clang-tidy is not installed)
 #
-#   tools/ci.sh            # both legs
-#   tools/ci.sh --fast     # default build only
+#   tools/ci.sh            # all legs
+#   tools/ci.sh --fast     # leg 1 + 1b only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -43,6 +48,29 @@ if [[ "${1:-}" != "--fast" ]]; then
   export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
   run_leg build-san -DCMAKE_BUILD_TYPE=Debug \
     -DBORNSQL_SANITIZE=address,undefined
+
+  echo "=== leg 3: Debug + TSan (concurrency hammers) ==="
+  # The engine itself is single-threaded by contract; what must be
+  # thread-safe are the observability sinks (MetricsRegistry, TraceRecorder,
+  # StatementStatsRegistry). Run their multithreaded hammer tests under
+  # TSan rather than the whole suite: the single-threaded tests cannot race
+  # and TSan slows them ~10x for no signal.
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DBORNSQL_SANITIZE=thread
+  cmake --build build-tsan -j "$(nproc)"
+  ctest --test-dir build-tsan --output-on-failure -R 'Concurrent'
+
+  echo "=== leg 4: clang-tidy over changed files ==="
+  # New warnings in the files a commit touches fail the leg; pre-existing
+  # warnings elsewhere in the tree do not block unrelated changes.
+  changed=$(git diff --name-only --diff-filter=d HEAD~1 -- \
+    'src/*.cc' 'src/**/*.cc' 'tools/*.cc' 2>/dev/null || true)
+  if [[ -n "$changed" ]]; then
+    # shellcheck disable=SC2086
+    tools/run_clang_tidy.sh build $changed
+  else
+    echo "clang-tidy: no C++ sources changed by the latest commit"
+  fi
 fi
 
 echo "ci: all legs passed"

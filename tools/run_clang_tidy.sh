@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs clang-tidy with the project profile (.clang-tidy) against a build
+# directory's compilation database.
+#
+#   tools/run_clang_tidy.sh [build-dir] [file...]
+#
+# With no files, every .cc under src/ is checked. All reported warnings are
+# treated as errors (--warnings-as-errors='*'): the profile is curated so a
+# clean tree stays clean, and CI only passes the files a commit changed.
+# Exits 0 with a notice when clang-tidy is not installed, so environments
+# without it (including the reference container image) skip gracefully.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not installed; skipping"
+  exit 0
+fi
+
+build_dir="${1:-build}"
+if [[ $# -gt 0 ]]; then shift; fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_clang_tidy: generating compilation database in $build_dir"
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+files=("$@")
+if [[ ${#files[@]} -eq 0 ]]; then
+  mapfile -t files < <(find src -name '*.cc' | sort)
+fi
+
+echo "run_clang_tidy: checking ${#files[@]} file(s)"
+clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*' "${files[@]}"
+echo "run_clang_tidy: clean"
