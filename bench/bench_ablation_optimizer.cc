@@ -1,0 +1,190 @@
+// Ablation A3: optimizer rules. Runs the paper's training query (listings
+// 16-18) and undeployed inference (Eqs. 8-10, listing 27) at fig3-scale
+// with every optimizer rule enabled, with each rule individually disabled,
+// and with all rules disabled, and reports the before/after numbers. Also
+// dumps the per-rule born_stat_optimizer counters for the all-on run.
+//
+// Writes BENCH_optimizer.json (override with --obs-json=<path>):
+//   {"configs": [{"name", "fit_ms", "predict_ms"}...],
+//    "rules":   [{"rule", "invocations", "fired", "rewrites"}...]}
+//
+// Expected shape: every ablated config returns identical predictions
+// (correctness is checked, not assumed), and all-rules-on is no slower
+// than all-rules-off on the wide multi-join aggregates. Variants that
+// disable equi_join_extraction execute every join as a cross product with
+// a post-filter, so they run on their own tiny dataset — the same
+// treatment ablation A1 gives nested-loop joins.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "born/born_sql.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "data/scopus.h"
+#include "engine/database.h"
+#include "engine/optimizer.h"
+
+int main(int argc, char** argv) {
+  using namespace bornsql;
+  bench::Args args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Ablation A3", "Optimizer rules (fit + inference)");
+
+  born::SqlSource source;
+  source.x_parts = data::ScopusSynthesizer::XParts();
+  source.y = data::ScopusSynthesizer::YQuery();
+  const std::string q_n = "SELECT id AS n FROM publication";
+
+  // all-on, each flagged rule off, all flagged rules off (cte_inline is
+  // the materialize_ctes axis, covered by ablation A2 / fig5). Variants
+  // without equi_join_extraction cross-join the feature tables, so they
+  // get the tiny dataset; everything else runs at fig3 scale.
+  struct Variant {
+    std::string name;
+    engine::EngineConfig config;
+    bool tiny = false;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"all_rules_on", engine::EngineConfig{}});
+  for (const std::string& rule : engine::OptimizerRuleNames()) {
+    engine::EngineConfig config;
+    if (bool* flag = engine::OptimizerRuleFlag(&config.rules, rule)) {
+      *flag = false;
+      variants.push_back(
+          {"no_" + rule, config, rule == "equi_join_extraction"});
+    }
+  }
+  {
+    engine::EngineConfig config;
+    for (const std::string& rule : engine::OptimizerRuleNames()) {
+      if (bool* flag = engine::OptimizerRuleFlag(&config.rules, rule)) {
+        *flag = false;
+      }
+    }
+    variants.push_back({"all_rules_off", config, /*tiny=*/true});
+  }
+  // Baseline for the tiny dataset so the cross-join variants have an
+  // apples-to-apples reference for both timing and predictions.
+  variants.push_back({"all_rules_on_tiny", engine::EngineConfig{},
+                      /*tiny=*/true});
+
+  struct Sample {
+    std::string name;
+    double fit_ms = 0.0;
+    double predict_ms = 0.0;
+  };
+  std::vector<Sample> samples;
+  std::vector<std::string> reference_predictions;
+  std::vector<std::string> reference_predictions_tiny;
+  std::string rule_counters_json;
+  bool predictions_agree = true;
+
+  data::ScopusOptions options;
+  options.num_publications = bench::Scaled(2000, args.scale);
+  data::ScopusSynthesizer synth(options);
+  data::ScopusOptions tiny_options;
+  tiny_options.num_publications = bench::Scaled(40, args.scale);
+  data::ScopusSynthesizer tiny_synth(tiny_options);
+
+  std::printf("%-28s %9s %12s %12s\n", "config", "pubs", "fit_ms",
+              "predict_ms");
+  for (const Variant& variant : variants) {
+    data::ScopusSynthesizer& loader = variant.tiny ? tiny_synth : synth;
+    engine::Database db{variant.config};
+    if (auto st = loader.Load(&db); !st.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    born::BornSqlClassifier clf(&db, "abl", source);
+    WallTimer fit_timer;
+    if (auto st = clf.Fit(q_n); !st.ok()) {
+      std::fprintf(stderr, "fit failed (%s): %s\n", variant.name.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    const double fit_ms = fit_timer.ElapsedSeconds() * 1e3;
+
+    WallTimer predict_timer;
+    auto pred = clf.Predict(q_n);
+    if (!pred.ok()) {
+      std::fprintf(stderr, "predict failed (%s): %s\n", variant.name.c_str(),
+                   pred.status().ToString().c_str());
+      return 1;
+    }
+    const double predict_ms = predict_timer.ElapsedSeconds() * 1e3;
+
+    std::vector<std::string> predictions;
+    for (const auto& p : *pred) {
+      predictions.push_back(p.n.ToString() + ":" + p.k.ToString());
+    }
+    std::vector<std::string>& reference =
+        variant.tiny ? reference_predictions_tiny : reference_predictions;
+    if (reference.empty()) {
+      reference = std::move(predictions);
+    } else if (predictions != reference) {
+      predictions_agree = false;
+      std::fprintf(stderr, "prediction mismatch under %s\n",
+                   variant.name.c_str());
+    }
+
+    if (variant.name == "all_rules_on") {
+      std::string rules_json;
+      for (const auto& [rule, stats] : db.optimizer_stats().Snapshot()) {
+        if (!rules_json.empty()) rules_json += ", ";
+        rules_json += StrFormat(
+            "{\"rule\": \"%s\", \"invocations\": %llu, \"fired\": %llu, "
+            "\"rewrites\": %llu}",
+            rule.c_str(), static_cast<unsigned long long>(stats.invocations),
+            static_cast<unsigned long long>(stats.fired),
+            static_cast<unsigned long long>(stats.rewrites));
+      }
+      rule_counters_json = "[" + rules_json + "]";
+    }
+
+    const size_t pubs = variant.tiny ? tiny_options.num_publications
+                                     : options.num_publications;
+    std::printf("%-28s %9zu %12.1f %12.1f\n", variant.name.c_str(), pubs,
+                fit_ms, predict_ms);
+    samples.push_back({variant.name, fit_ms, predict_ms});
+  }
+
+  // Before/after on the tiny dataset, where all-off actually runs.
+  const Sample* all_off = nullptr;
+  const Sample* all_on_tiny = nullptr;
+  for (const Sample& s : samples) {
+    if (s.name == "all_rules_off") all_off = &s;
+    if (s.name == "all_rules_on_tiny") all_on_tiny = &s;
+  }
+  std::printf("\nall rules off vs on (tiny dataset): fit %.1f -> %.1f ms, "
+              "predict %.1f -> %.1f ms\n",
+              all_off->fit_ms, all_on_tiny->fit_ms, all_off->predict_ms,
+              all_on_tiny->predict_ms);
+  bench::ShapeCheck(predictions_agree,
+                    "every ablated config returns identical predictions");
+  bench::ShapeCheck(all_on_tiny->fit_ms <= all_off->fit_ms * 1.10,
+                    "optimized fit is no slower than unoptimized (10% "
+                    "tolerance)");
+  bench::ShapeCheck(all_on_tiny->predict_ms <= all_off->predict_ms * 1.10,
+                    "optimized inference is no slower than unoptimized "
+                    "(10% tolerance)");
+
+  std::string configs_json;
+  for (const Sample& s : samples) {
+    if (!configs_json.empty()) configs_json += ", ";
+    configs_json += StrFormat(
+        "{\"name\": \"%s\", \"fit_ms\": %.3f, \"predict_ms\": %.3f}",
+        s.name.c_str(), s.fit_ms, s.predict_ms);
+  }
+  const std::string json = "{\"configs\": [" + configs_json + "], " +
+                           "\"rules\": " + rule_counters_json + "}";
+  const std::string path =
+      args.obs_json.empty() ? "BENCH_optimizer.json" : args.obs_json;
+  if (bench::WriteTextFile(path, json)) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -29,3 +29,4 @@ endfunction()
 
 bornsql_microbench(bench_ablation_join)
 bornsql_microbench(bench_ablation_exec)
+bornsql_bench(bench_ablation_optimizer)

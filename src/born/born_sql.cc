@@ -466,24 +466,25 @@ Result<std::vector<SqlProbability>> BornSqlClassifier::PredictProba(
   return out;
 }
 
-Result<std::vector<ExplanationEntry>> BornSqlClassifier::ExplainGlobal(
-    int64_t limit) {
-  BORNSQL_RETURN_IF_ERROR(EnsureModel());
+std::string BornSqlClassifier::BuildExplainGlobalSql(int64_t limit) const {
   std::string limit_clause =
       limit > 0 ? StrFormat(" LIMIT %lld", static_cast<long long>(limit))
                 : std::string();
-  std::string sql;
   if (deployed_) {
-    sql = StrFormat("SELECT j, k, w FROM %s ORDER BY w DESC, j, k%s",
-                    weights_table().c_str(), limit_clause.c_str());
-  } else {
-    sql = StrFormat(
-        "WITH %s SELECT HW_jk.j AS j, HW_jk.k AS k, HW_jk.w AS w FROM HW_jk "
-        "ORDER BY w DESC, j, k%s",
-        WeightCtes(/*from_weights_table=*/false).c_str(),
-        limit_clause.c_str());
+    return StrFormat("SELECT j, k, w FROM %s ORDER BY w DESC, j, k%s",
+                     weights_table().c_str(), limit_clause.c_str());
   }
-  BORNSQL_ASSIGN_OR_RETURN(engine::QueryResult result, Exec(sql));
+  return StrFormat(
+      "WITH %s SELECT HW_jk.j AS j, HW_jk.k AS k, HW_jk.w AS w FROM HW_jk "
+      "ORDER BY w DESC, j, k%s",
+      WeightCtes(/*from_weights_table=*/false).c_str(), limit_clause.c_str());
+}
+
+Result<std::vector<ExplanationEntry>> BornSqlClassifier::ExplainGlobal(
+    int64_t limit) {
+  BORNSQL_RETURN_IF_ERROR(EnsureModel());
+  BORNSQL_ASSIGN_OR_RETURN(engine::QueryResult result,
+                           Exec(BuildExplainGlobalSql(limit)));
   std::vector<ExplanationEntry> out;
   for (Row& row : result.rows) {
     ExplanationEntry e;
@@ -495,16 +496,15 @@ Result<std::vector<ExplanationEntry>> BornSqlClassifier::ExplainGlobal(
   return out;
 }
 
-Result<std::vector<ExplanationEntry>> BornSqlClassifier::ExplainLocal(
-    const std::string& q_n, int64_t limit) {
-  BORNSQL_RETURN_IF_ERROR(EnsureModel());
+std::string BornSqlClassifier::BuildExplainLocalSql(const std::string& q_n,
+                                                    int64_t limit) const {
   std::string limit_clause =
       limit > 0 ? StrFormat(" LIMIT %lld", static_cast<long long>(limit))
                 : std::string();
   // X_n (31), Z_j (32), then the local weights HW_jk * z_j^a. The W_n CTE
   // comes from the training preprocessing (sample weights weight the
   // average of Eq. 30).
-  std::string sql = StrFormat(
+  return StrFormat(
       "WITH %s,\n%s,\n"
       "X_n AS (SELECT X_nj.n AS n, SUM(X_nj.w) AS w FROM X_nj "
       "GROUP BY X_nj.n),\n"
@@ -517,7 +517,13 @@ Result<std::vector<ExplanationEntry>> BornSqlClassifier::ExplainLocal(
       PreprocessCtes(q_n, /*training=*/true, false).c_str(),
       WeightCtes(deployed_).c_str(),
       HwSource(deployed_, weights_table()).c_str(), limit_clause.c_str());
-  BORNSQL_ASSIGN_OR_RETURN(engine::QueryResult result, Exec(sql));
+}
+
+Result<std::vector<ExplanationEntry>> BornSqlClassifier::ExplainLocal(
+    const std::string& q_n, int64_t limit) {
+  BORNSQL_RETURN_IF_ERROR(EnsureModel());
+  BORNSQL_ASSIGN_OR_RETURN(engine::QueryResult result,
+                           Exec(BuildExplainLocalSql(q_n, limit)));
   std::vector<ExplanationEntry> out;
   for (Row& row : result.rows) {
     ExplanationEntry e;

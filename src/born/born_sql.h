@@ -149,6 +149,11 @@ class BornSqlClassifier {
   std::string BuildDeploySql() const;
   std::string BuildPredictSql(const std::string& q_n) const;
   std::string BuildPredictProbaSql(const std::string& q_n) const;
+  // Explanation queries (Eqs. 30-32); the generated SQL depends on whether
+  // the model is deployed, like Predict. limit <= 0 means no LIMIT clause.
+  std::string BuildExplainGlobalSql(int64_t limit) const;
+  std::string BuildExplainLocalSql(const std::string& q_n,
+                                   int64_t limit) const;
 
  private:
   // All generated SQL funnels through these instead of calling db_

@@ -319,4 +319,23 @@ Result<Value> EvalConstExpr(const sql::Expr& expr) {
   return exec::Eval(*bound, row);
 }
 
+bool IsEquiPair(const sql::Expr& e, const Schema& left, const Schema& right,
+                const sql::Expr** lexpr, const sql::Expr** rexpr) {
+  if (e.kind != sql::ExprKind::kBinary ||
+      e.binary_op != sql::BinaryOp::kEq) {
+    return false;
+  }
+  if (BindsTo(*e.left, left) && BindsTo(*e.right, right)) {
+    *lexpr = e.left.get();
+    *rexpr = e.right.get();
+    return true;
+  }
+  if (BindsTo(*e.left, right) && BindsTo(*e.right, left)) {
+    *lexpr = e.right.get();
+    *rexpr = e.left.get();
+    return true;
+  }
+  return false;
+}
+
 }  // namespace bornsql::engine

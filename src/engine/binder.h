@@ -37,6 +37,13 @@ bool ContainsWindow(const sql::Expr& expr);
 // Evaluates a constant expression (no column references).
 Result<Value> EvalConstExpr(const sql::Expr& expr);
 
+// True if `e` is `lhs = rhs` with lhs bindable to `left` and rhs to `right`
+// (or flipped); outputs the side-ordered subexpressions. Shared by the
+// equi-join extraction rule (engine/optimizer.cc) and the logical builder's
+// LEFT JOIN handling.
+bool IsEquiPair(const sql::Expr& e, const Schema& left, const Schema& right,
+                const sql::Expr** lexpr, const sql::Expr** rexpr);
+
 }  // namespace bornsql::engine
 
 #endif  // BORNSQL_ENGINE_BINDER_H_

@@ -8,6 +8,7 @@
 #include "common/strings.h"
 #include "common/timer.h"
 #include "engine/binder.h"
+#include "engine/optimizer.h"
 #include "engine/sql_text.h"
 #include "exec/operators.h"
 #include "lint/linter.h"
@@ -299,8 +300,37 @@ Result<QueryResult> Database::DispatchStatement(const sql::Statement& stmt) {
   return Status::Internal("bad statement kind");
 }
 
+Planner Database::MakePlanner() {
+  return Planner(&catalog_, &config_, &system_views_, &opt_stats_, &trace_,
+                 active_trace_);
+}
+
+std::string Database::IndexJoinNote() const {
+  if (!config_.use_index_joins ||
+      config_.join_strategy == JoinStrategy::kHash) {
+    return "";
+  }
+  return StrFormat(
+      "note: use_index_joins is ignored under the %s join strategy "
+      "(index joins require join_strategy = hash)",
+      config_.join_strategy == JoinStrategy::kSortMerge ? "sort-merge"
+                                                        : "nested-loop");
+}
+
 Result<QueryResult> Database::RunSet(const sql::SetStmt& stmt) {
   BORNSQL_ASSIGN_OR_RETURN(Value value, EvalConstExpr(*stmt.value));
+  constexpr std::string_view kOptPrefix = "born.opt.";
+  if (stmt.name.size() > kOptPrefix.size() &&
+      std::string_view(stmt.name).substr(0, kOptPrefix.size()) == kOptPrefix) {
+    const std::string rule = stmt.name.substr(kOptPrefix.size());
+    bool* flag = OptimizerRuleFlag(&config_.rules, rule);
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown optimizer rule '" + rule + "'");
+    }
+    BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kInt));
+    *flag = v.AsInt() != 0;
+    return QueryResult{};
+  }
   if (stmt.name == "born.slow_query_ms") {
     BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kDouble));
     slow_query_ms_ = v.AsDouble();
@@ -331,7 +361,7 @@ Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
   // Binding interleaves with planning in this engine (the planner calls the
   // binder per expression), so the trace gets one merged bind+plan span.
   const uint64_t plan_start = trace != nullptr ? trace_.NowNs() : 0;
-  Planner planner(&catalog_, &config_, &system_views_);
+  Planner planner = MakePlanner();
   BORNSQL_ASSIGN_OR_RETURN(exec::OperatorPtr plan, planner.PlanSelect(stmt));
   if (config_.verify_plans) {
     BORNSQL_RETURN_IF_ERROR(lint::VerifyPlanStatus(*plan));
@@ -373,7 +403,7 @@ Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
 }
 
 Result<obs::PlanStatsNode> Database::DescribePlan(const sql::Statement& stmt) {
-  Planner planner(&catalog_, &config_, &system_views_);
+  Planner planner = MakePlanner();
   switch (stmt.kind) {
     case sql::StatementKind::kSelect: {
       BORNSQL_ASSIGN_OR_RETURN(exec::OperatorPtr plan,
@@ -555,6 +585,7 @@ Result<QueryResult> Database::RunExplain(const sql::Statement& stmt) {
   assert(stmt.explained != nullptr);
   if (stmt.explain_verify) return RunExplainVerify(*stmt.explained);
   if (stmt.explain_lint) return RunExplainLint(*stmt.explained);
+  if (stmt.explain_logical) return RunExplainLogical(*stmt.explained);
   obs::PlanStatsNode plan;
   if (stmt.explain_analyze) {
     BORNSQL_ASSIGN_OR_RETURN(ProfiledQuery profiled,
@@ -568,6 +599,56 @@ Result<QueryResult> Database::RunExplain(const sql::Statement& stmt) {
   for (std::string& line :
        obs::RenderPlanLines(plan, /*with_stats=*/stmt.explain_analyze)) {
     out.rows.push_back({Value::Text(std::move(line))});
+  }
+  if (std::string note = IndexJoinNote(); !note.empty()) {
+    out.rows.push_back({Value::Text(std::move(note))});
+  }
+  return out;
+}
+
+Result<QueryResult> Database::RunExplainLogical(const sql::Statement& stmt) {
+  // Like EXPLAIN VERIFY, only statements with an embedded SELECT have a
+  // logical plan.
+  const sql::SelectStmt* select = nullptr;
+  switch (stmt.kind) {
+    case sql::StatementKind::kSelect:
+      select = stmt.select.get();
+      break;
+    case sql::StatementKind::kInsert:
+      select = stmt.insert->select.get();
+      break;
+    case sql::StatementKind::kCreateTable:
+      select = stmt.create_table->as_select.get();
+      break;
+    default:
+      break;
+  }
+  QueryResult out;
+  out.column_names = {"plan"};
+  if (select == nullptr) {
+    out.rows.push_back(
+        {Value::Text("statement has no logical plan (no embedded SELECT)")});
+    return out;
+  }
+  Planner planner = MakePlanner();
+  // Two independent builds: the "before" tree stays naive (CTE bodies
+  // included), the "after" tree runs the full rule pipeline.
+  BORNSQL_ASSIGN_OR_RETURN(
+      plan::LogicalPlan before,
+      planner.BuildLogical(*select, /*optimize_ctes=*/false));
+  BORNSQL_ASSIGN_OR_RETURN(plan::LogicalPlan after,
+                           planner.BuildLogical(*select));
+  BORNSQL_RETURN_IF_ERROR(planner.OptimizeLogical(&after));
+  out.rows.push_back({Value::Text("logical plan (before rules):")});
+  for (std::string& line : plan::RenderLogicalLines(before)) {
+    out.rows.push_back({Value::Text("  " + std::move(line))});
+  }
+  out.rows.push_back({Value::Text("logical plan (after rules):")});
+  for (std::string& line : plan::RenderLogicalLines(after)) {
+    out.rows.push_back({Value::Text("  " + std::move(line))});
+  }
+  if (std::string note = IndexJoinNote(); !note.empty()) {
+    out.rows.push_back({Value::Text(std::move(note))});
   }
   return out;
 }
@@ -597,7 +678,7 @@ Result<QueryResult> Database::RunExplainVerify(const sql::Statement& stmt) {
         {Value::Text("ok: statement has no operator plan to verify")});
     return out;
   }
-  Planner planner(&catalog_, &config_, &system_views_);
+  Planner planner = MakePlanner();
   BORNSQL_ASSIGN_OR_RETURN(exec::OperatorPtr plan,
                            planner.PlanSelect(*select));
   size_t checks = 0;
@@ -744,7 +825,7 @@ Result<QueryResult> Database::RunInsert(const sql::InsertStmt& stmt,
       Row row(schema.size());
       for (size_t i = 0; i < exprs.size(); ++i) {
         sql::ExprPtr folded = sql::CloneExpr(*exprs[i]);
-        Planner planner(&catalog_, &config_, &system_views_);
+        Planner planner = MakePlanner();
         BORNSQL_RETURN_IF_ERROR(planner.FoldSubqueries(folded.get()));
         BORNSQL_ASSIGN_OR_RETURN(exec::BoundExprPtr bound,
                                  BindExpr(*folded, empty));
@@ -854,7 +935,7 @@ Result<QueryResult> Database::RunUpdate(const sql::UpdateStmt& stmt) {
   BORNSQL_ASSIGN_OR_RETURN(storage::Table * table,
                            catalog_.GetTable(stmt.table));
   Schema schema = table->schema().WithQualifier(stmt.table);
-  Planner planner(&catalog_, &config_, &system_views_);
+  Planner planner = MakePlanner();
 
   exec::BoundExprPtr where;
   if (stmt.where != nullptr) {
@@ -909,7 +990,7 @@ Result<QueryResult> Database::RunDelete(const sql::DeleteStmt& stmt) {
   if (stmt.where == nullptr) {
     flags.assign(table->rows().size(), true);
   } else {
-    Planner planner(&catalog_, &config_, &system_views_);
+    Planner planner = MakePlanner();
     sql::ExprPtr folded = sql::CloneExpr(*stmt.where);
     BORNSQL_RETURN_IF_ERROR(planner.FoldSubqueries(folded.get()));
     BORNSQL_ASSIGN_OR_RETURN(exec::BoundExprPtr where,

@@ -22,6 +22,7 @@
 #include "engine/planner.h"
 #include "engine/system_views.h"
 #include "obs/metrics.h"
+#include "obs/optimizer_stats.h"
 #include "obs/plan_stats.h"
 #include "obs/statement_stats.h"
 #include "obs/trace.h"
@@ -88,6 +89,13 @@ class Database {
   }
   obs::StatementStatsRegistry& statement_stats() { return stmt_stats_; }
 
+  // Per-optimizer-rule counters (born_stat_optimizer): invocations, fired
+  // (invocations that rewrote >= 1 node) and total rewrites per rule.
+  const obs::OptimizerStatsRegistry& optimizer_stats() const {
+    return opt_stats_;
+  }
+  obs::OptimizerStatsRegistry& optimizer_stats() { return opt_stats_; }
+
   // Slow-query log (born_slow_log). Armed via SET born.slow_query_ms = N
   // or set_slow_query_ms; negative disables. While armed, every eligible
   // statement runs instrumented (auto_explain-style) so logged entries
@@ -142,6 +150,9 @@ class Database {
   // EXPLAIN LINT <stmt>: static diagnostics from the SQL linter, one row
   // per finding, or an "ok" row.
   Result<QueryResult> RunExplainLint(const sql::Statement& stmt);
+  // EXPLAIN LOGICAL <stmt>: renders the statement's logical plan before and
+  // after the optimizer rule pipeline, one text row per plan line.
+  Result<QueryResult> RunExplainLogical(const sql::Statement& stmt);
   Result<QueryResult> RunCreateTable(const sql::CreateTableStmt& stmt,
                                      obs::PlanStatsNode* profile = nullptr);
   Result<QueryResult> RunDropTable(const sql::DropTableStmt& stmt);
@@ -151,8 +162,17 @@ class Database {
   Result<QueryResult> RunUpdate(const sql::UpdateStmt& stmt);
   Result<QueryResult> RunDelete(const sql::DeleteStmt& stmt);
   // SET <name> = <value>: engine settings (born.slow_query_ms, born.trace,
-  // born.trace_capacity, born.collect_exec_stats, born.verify_plans).
+  // born.trace_capacity, born.collect_exec_stats, born.verify_plans, and
+  // per-rule optimizer flags born.opt.<rule>).
   Result<QueryResult> RunSet(const sql::SetStmt& stmt);
+
+  // Builds a Planner wired to this database's optimizer stats and (when a
+  // statement trace is active) the trace recorder.
+  Planner MakePlanner();
+  // The diagnostic appended to EXPLAIN / EXPLAIN LOGICAL output when
+  // use_index_joins cannot take effect under the configured join strategy;
+  // empty when the setting is honored.
+  std::string IndexJoinNote() const;
 
   // Plan tree of `stmt` without executing it (plain EXPLAIN). DML and DDL
   // statements get synthetic root nodes over their embedded SELECT plans.
@@ -167,6 +187,7 @@ class Database {
   EngineConfig config_;
   obs::MetricsRegistry* metrics_ = &obs::MetricsRegistry::Global();
   obs::StatementStatsRegistry stmt_stats_;
+  obs::OptimizerStatsRegistry opt_stats_;
   obs::SlowQueryLog slow_log_;
   obs::TraceRecorder trace_;
   SystemViews system_views_{this};

@@ -1,0 +1,96 @@
+// Engine configuration: join strategy, CTE mode, and the optimizer's
+// per-rule enable flags.
+//
+// Every optimization the engine performs is a named rewrite rule with a
+// flag here, so the paper's engine configurations (hash / sort-merge /
+// nested-loop joins x materialized / inlined CTEs) and the rule ablations
+// (projection pruning, constant folding, ...) are exact, independently
+// toggleable experiment axes. SET born.opt.<rule> = 0/1 flips a rule at
+// runtime.
+#ifndef BORNSQL_ENGINE_ENGINE_CONFIG_H_
+#define BORNSQL_ENGINE_ENGINE_CONFIG_H_
+
+#include <string>
+
+#include "exec/operators.h"
+
+namespace bornsql::engine {
+
+enum class JoinStrategy {
+  kHash,       // default; PostgreSQL-like
+  kSortMerge,  // alternative strategy (DBMS-spread ablation)
+  kNestedLoop, // pedagogical / ablation only: O(n*m) per join
+};
+
+// Enable flags for the optimizer's rewrite rules (engine/optimizer.h has
+// the rule catalog; DESIGN.md section 9 documents each with before/after
+// plans). All default on: the default engine is the fully optimized one,
+// and ablations turn individual rules off.
+struct OptimizerRules {
+  // AST-level (applied while building the logical plan): merge derived
+  // tables that are plain projections of one base table into the outer
+  // query, enabling index probes on the base table (Fig. 6).
+  bool derived_table_pullup = true;
+  // Evaluate literal-only subexpressions at plan time.
+  bool constant_folding = true;
+  // Move single-relation WHERE conjuncts below joins.
+  bool predicate_pushdown = true;
+  // Turn `a.x = b.y` conjuncts over cross joins into equi-join keys (and
+  // all-equi LEFT JOIN ON clauses into key lists). Never applies under
+  // JoinStrategy::kNestedLoop, which deliberately keeps cross products.
+  bool equi_join_extraction = true;
+  // Merge adjacent Filter nodes and order conjuncts by estimated
+  // selectivity (cheap, selective predicates first).
+  bool filter_reorder = true;
+  // Insert pass-through projections that drop unreferenced columns below
+  // joins and aggregates (BornSQL's token x class intermediates are wide).
+  bool projection_pruning = true;
+};
+
+struct EngineConfig {
+  JoinStrategy join_strategy = JoinStrategy::kHash;
+  // Materialize each CTE once per query (true) or inline it at every
+  // reference (false). Inlining is the optimizer's cte_inline rule.
+  bool materialize_ctes = true;
+  // Probe a base table's secondary hash index instead of hash-joining when
+  // an equi-join's keys are exactly an indexed column set. Only honored
+  // under JoinStrategy::kHash; EXPLAIN surfaces a note when the flag is
+  // armed under the other strategies (where it has no effect).
+  bool use_index_joins = true;
+  // Per-rule optimizer toggles (SET born.opt.<rule> = 0/1).
+  OptimizerRules rules;
+  // Instrument every executed plan with per-operator stats and fold them
+  // into the database's MetricsRegistry (rows_scanned, join_probes, per
+  // operator-type aggregates). Off by default: instrumentation adds clock
+  // reads to every Next() call, which benchmarks must not pay.
+  bool collect_exec_stats = false;
+  // Run the plan-invariant verifier (lint/plan_verifier.h) on every planned
+  // statement before execution, and the logical verifier
+  // (lint/logical_verifier.h) after every optimizer rule that rewrote the
+  // plan; violations fail the statement with Internal. Default on in debug
+  // builds, off in release. SET born.verify_plans = 0/1 overrides.
+#ifndef NDEBUG
+  bool verify_plans = true;
+#else
+  bool verify_plans = false;
+#endif
+};
+
+// Resolves system-view names (born_stat_statements & friends) during
+// planning. Implemented by the engine's SystemViews provider
+// (engine/system_views.h); the planner treats a resolved view exactly like
+// a base relation, so views compose with joins, filters and aggregation.
+class SystemCatalog {
+ public:
+  virtual ~SystemCatalog() = default;
+  virtual bool IsSystemView(const std::string& name) const = 0;
+  // Scan operator over view `name`, schema qualified by `qualifier` (the
+  // alias or the view name). Only called when IsSystemView(name).
+  virtual exec::OperatorPtr MakeViewScan(const std::string& name,
+                                         const std::string& qualifier)
+      const = 0;
+};
+
+}  // namespace bornsql::engine
+
+#endif  // BORNSQL_ENGINE_ENGINE_CONFIG_H_

@@ -1,0 +1,61 @@
+// Physical lowering: the last stage of the planning pipeline
+// (engine/logical_builder.h -> engine/optimizer.h -> here).
+//
+// Lowering is a mechanical translation of the (optimized) logical tree into
+// executable operators: every expression is bound to column indices here
+// and nowhere else. All strategy decisions that depend on physical
+// properties also live here -- hash vs sort-merge vs nested-loop dispatch
+// for extracted join keys, and the index-join rewrite (an equi join whose
+// build side is a bare scan with a covering secondary index becomes an
+// index probe). Everything shape-changing happened earlier, as named rules.
+#ifndef BORNSQL_ENGINE_LOWERING_H_
+#define BORNSQL_ENGINE_LOWERING_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "engine/engine_config.h"
+#include "exec/operators.h"
+#include "plan/logical_plan.h"
+
+namespace bornsql::plan {
+
+// Physical state shared by every gate of one CTE binding (declared opaque
+// in plan/logical_plan.h; the IR layer stays independent of exec). The
+// first gate to Open() drains `plan` into `result`; later gates -- in the
+// same statement or in a plan-time subquery of it -- reuse the rows.
+struct LoweredCte {
+  exec::OperatorPtr plan;
+  std::shared_ptr<exec::MaterializedResult> result;
+};
+
+}  // namespace bornsql::plan
+
+namespace bornsql::engine {
+
+class Lowering {
+ public:
+  Lowering(const EngineConfig* config, const SystemCatalog* system_views)
+      : config_(config), system_views_(system_views) {}
+
+  // Lowers the tree rooted at `node` to an operator tree. CTE bindings
+  // reached through CteRef nodes are lowered once into their shared cell
+  // (materialize mode) or re-lowered per reference (inline mode, only seen
+  // when the cte_inline rule was unable to run).
+  Result<exec::OperatorPtr> Lower(const plan::LogicalNode& node);
+
+ private:
+  Result<exec::OperatorPtr> LowerJoin(const plan::LogicalNode& node);
+  // Strategy dispatch for a key-extracted join.
+  Result<exec::OperatorPtr> MakeKeyedJoin(
+      exec::OperatorPtr left, exec::OperatorPtr right,
+      std::vector<exec::BoundExprPtr> lkeys,
+      std::vector<exec::BoundExprPtr> rkeys, exec::JoinType type);
+
+  const EngineConfig* config_;
+  const SystemCatalog* system_views_;  // may be null (no system views)
+};
+
+}  // namespace bornsql::engine
+
+#endif  // BORNSQL_ENGINE_LOWERING_H_

@@ -1,0 +1,77 @@
+// Rule-based logical-plan optimizer: the middle stage of the planning
+// pipeline (engine/logical_builder.h -> here -> engine/lowering.h).
+//
+// Every optimization the engine performs is a named rewrite rule over the
+// logical IR, run in a fixed order:
+//
+//   cte_inline            CteRef -> Relabel(clone of body); active when
+//                         EngineConfig::materialize_ctes is false
+//   constant_folding      literal-only subexpressions -> literals
+//   predicate_pushdown    single-relation pool conjuncts sink to their leaf;
+//                         multi-relation ones to the lowest join that binds
+//   equi_join_extraction  `a.x = b.y` conjuncts over cross joins -> join
+//                         keys (and all-equi LEFT ON clauses -> key lists);
+//                         inactive under JoinStrategy::kNestedLoop
+//   filter_reorder        merge stacked Filters, order conjuncts by
+//                         estimated selectivity class
+//   projection_pruning    pass-through Projects below joins/aggregates that
+//                         drop unreferenced columns
+//
+// (A seventh rule, derived_table_pullup, rewrites the AST and therefore
+// lives in the logical builder; it shares the flag/stats plumbing.)
+//
+// Each invocation records (invocations, fired, rewrites) into the
+// OptimizerStatsRegistry behind the born_stat_optimizer view and emits one
+// trace span per rule. When EngineConfig::verify_plans is set, the logical
+// verifier (lint/logical_verifier.h) runs after every rule that rewrote
+// the plan, so a rule bug fails with Internal naming the offending rule.
+#ifndef BORNSQL_ENGINE_OPTIMIZER_H_
+#define BORNSQL_ENGINE_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine_config.h"
+#include "obs/optimizer_stats.h"
+#include "obs/trace.h"
+#include "plan/logical_plan.h"
+
+namespace bornsql::engine {
+
+// Every known rule name, pipeline order (the builder's derived_table_pullup
+// first). born_stat_optimizer lists exactly these.
+const std::vector<std::string>& OptimizerRuleNames();
+
+// Pointer to the OptimizerRules flag named `rule` (SET born.opt.<rule>),
+// or nullptr for unknown names. cte_inline has no flag here: it is driven
+// by EngineConfig::materialize_ctes, the paper's CTE-mode axis.
+bool* OptimizerRuleFlag(OptimizerRules* rules, const std::string& rule);
+
+class Optimizer {
+ public:
+  // `stats`, `recorder` and `trace` may each be null (stats / spans are
+  // then skipped). `trace` spans are appended with category "optimizer".
+  Optimizer(const EngineConfig* config, obs::OptimizerStatsRegistry* stats,
+            const obs::TraceRecorder* recorder, obs::StatementTrace* trace)
+      : config_(config), stats_(stats), recorder_(recorder), trace_(trace) {}
+
+  // Runs the rule pipeline over the tree rooted at `root`, in place. Also
+  // the builder's CTE-body hook. CteRef bodies are not descended into
+  // (each body is optimized once, when built).
+  Status Run(plan::LogicalNode* root);
+
+  // Run(plan->root) plus a refresh of plan->ctes (cte_inline removes
+  // references).
+  Status Run(plan::LogicalPlan* plan);
+
+ private:
+  const EngineConfig* config_;
+  obs::OptimizerStatsRegistry* stats_;
+  const obs::TraceRecorder* recorder_;
+  obs::StatementTrace* trace_;
+};
+
+}  // namespace bornsql::engine
+
+#endif  // BORNSQL_ENGINE_OPTIMIZER_H_

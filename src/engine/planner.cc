@@ -1,1163 +1,61 @@
 #include "engine/planner.h"
 
-#include <cassert>
+#include <utility>
 
-#include "common/strings.h"
 #include "engine/binder.h"
+#include "engine/lowering.h"
+#include "engine/optimizer.h"
 
 namespace bornsql::engine {
 
-using exec::BoundExprPtr;
-using exec::Operator;
 using exec::OperatorPtr;
 
-namespace internal {
-
-struct CteCell {
-  const sql::SelectStmt* stmt = nullptr;
-  // Materialize mode: plan built on first reference, result shared by all
-  // gates of this query.
-  OperatorPtr plan;
-  std::shared_ptr<exec::MaterializedResult> result;
-};
-
-}  // namespace internal
-
-namespace {
-
-// Exposes the child's rows under a new qualifier (table alias).
-class RelabelOp : public Operator {
- public:
-  RelabelOp(OperatorPtr child, const std::string& qualifier)
-      : child_(std::move(child)),
-        schema_(child_->schema().WithQualifier(qualifier)) {}
-  const Schema& schema() const override { return schema_; }
-  std::string DebugString() const override {
-    return StrFormat("Relabel(%s)",
-                     schema_.size() > 0 ? schema_.column(0).qualifier.c_str()
-                                        : "");
+LogicalBuildHooks Planner::MakeHooks(bool optimize) {
+  LogicalBuildHooks hooks;
+  if (optimize) {
+    hooks.optimize = [this](plan::LogicalNode* root) {
+      Optimizer opt(config_, opt_stats_, recorder_, trace_);
+      return opt.Run(root);
+    };
   }
-  std::vector<Operator*> children() const override { return {child_.get()}; }
-
- protected:
-  Status OpenImpl() override { return child_->Open(); }
-  Result<bool> NextImpl(Row* out) override { return child_->Next(out); }
-
- private:
-  OperatorPtr child_;
-  Schema schema_;
-};
-
-// Scan over a shared, lazily-computed CTE result. The first gate to Open()
-// runs the CTE's plan; later gates (and re-opens) reuse the rows.
-class CteGateOp : public Operator {
- public:
-  CteGateOp(std::shared_ptr<internal::CteCell> cell, std::string qualifier)
-      : cell_(std::move(cell)),
-        schema_(cell_->plan->schema().WithQualifier(qualifier)) {}
-  const Schema& schema() const override { return schema_; }
-  std::string DebugString() const override {
-    return StrFormat("CteScan(%s%s)",
-                     schema_.size() > 0 ? schema_.column(0).qualifier.c_str()
-                                        : "",
-                     cell_->result != nullptr ? ", materialized" : "");
-  }
-  std::vector<Operator*> children() const override {
-    return {cell_->plan.get()};
-  }
-
- protected:
-  Status OpenImpl() override {
-    if (cell_->result == nullptr) {
-      auto drained = exec::Drain(*cell_->plan);
-      if (!drained.ok()) return drained.status();
-      cell_->result = std::make_shared<exec::MaterializedResult>(
-          std::move(drained).value());
-    }
-    pos_ = 0;
-    RecordPeakEntries(cell_->result->rows.size());
-    return Status::OK();
-  }
-  Result<bool> NextImpl(Row* out) override {
-    if (pos_ >= cell_->result->rows.size()) return false;
-    *out = cell_->result->rows[pos_++];
-    return true;
-  }
-
- private:
-  std::shared_ptr<internal::CteCell> cell_;
-  Schema schema_;
-  size_t pos_ = 0;
-};
-
-// RAII push/pop of one CTE scope.
-class ScopeGuard {
- public:
-  ScopeGuard(std::vector<std::unordered_map<
-                 std::string, std::shared_ptr<internal::CteCell>>>* scopes)
-      : scopes_(scopes) {
-    scopes_->emplace_back();
-  }
-  ~ScopeGuard() { scopes_->pop_back(); }
-
- private:
-  std::vector<std::unordered_map<std::string,
-                                 std::shared_ptr<internal::CteCell>>>* scopes_;
-};
-
-// True if `e` is `lhs = rhs` with lhs bindable to `left` and rhs to `right`
-// (or flipped); outputs the side-ordered subexpressions.
-bool IsEquiPair(const sql::Expr& e, const Schema& left, const Schema& right,
-                const sql::Expr** lexpr, const sql::Expr** rexpr) {
-  if (e.kind != sql::ExprKind::kBinary ||
-      e.binary_op != sql::BinaryOp::kEq) {
-    return false;
-  }
-  if (BindsTo(*e.left, left) && BindsTo(*e.right, right)) {
-    *lexpr = e.left.get();
-    *rexpr = e.right.get();
-    return true;
-  }
-  if (BindsTo(*e.left, right) && BindsTo(*e.right, left)) {
-    *lexpr = e.right.get();
-    *rexpr = e.left.get();
-    return true;
-  }
-  return false;
-}
-
-// Collects distinct (structurally) aggregate calls in `e` into `out`.
-void CollectAggCalls(const sql::Expr& e, std::vector<const sql::Expr*>* out) {
-  if (e.kind == sql::ExprKind::kFunctionCall) {
-    exec::AggFunc agg;
-    if (exec::LookupAggFunc(e.func_name, &agg)) {
-      for (const sql::Expr* seen : *out) {
-        if (ExprEquals(*seen, e)) return;
-      }
-      out->push_back(&e);
-      return;  // no nested aggregates
-    }
-  }
-  if (e.kind == sql::ExprKind::kWindow) return;
-  if (e.left) CollectAggCalls(*e.left, out);
-  if (e.right) CollectAggCalls(*e.right, out);
-  for (const auto& a : e.args) CollectAggCalls(*a, out);
-  for (const auto& [w, t] : e.when_clauses) {
-    CollectAggCalls(*w, out);
-    CollectAggCalls(*t, out);
-  }
-  if (e.else_clause) CollectAggCalls(*e.else_clause, out);
-}
-
-void CollectWindowCalls(const sql::Expr& e,
-                        std::vector<const sql::Expr*>* out) {
-  if (e.kind == sql::ExprKind::kWindow) {
-    for (const sql::Expr* seen : *out) {
-      if (ExprEquals(*seen, e)) return;
-    }
-    out->push_back(&e);
-    return;
-  }
-  if (e.left) CollectWindowCalls(*e.left, out);
-  if (e.right) CollectWindowCalls(*e.right, out);
-  for (const auto& a : e.args) CollectWindowCalls(*a, out);
-  for (const auto& [w, t] : e.when_clauses) {
-    CollectWindowCalls(*w, out);
-    CollectWindowCalls(*t, out);
-  }
-  if (e.else_clause) CollectWindowCalls(*e.else_clause, out);
-}
-
-// Rewrites `e`, replacing subtrees equal to replacements[i].first with a
-// fresh ColumnRef replacements[i].second = (qualifier, name).
-sql::ExprPtr RewriteWithReplacements(
-    const sql::Expr& e,
-    const std::vector<std::pair<const sql::Expr*,
-                                std::pair<std::string, std::string>>>&
-        replacements) {
-  for (const auto& [target, ref] : replacements) {
-    if (ExprEquals(*target, e)) {
-      return sql::MakeColumnRef(ref.first, ref.second);
-    }
-  }
-  sql::ExprPtr out = sql::CloneExpr(e);
-  // Rewrite children in place on the clone.
-  if (out->left) out->left = RewriteWithReplacements(*out->left, replacements);
-  if (out->right) {
-    out->right = RewriteWithReplacements(*out->right, replacements);
-  }
-  for (auto& a : out->args) a = RewriteWithReplacements(*a, replacements);
-  for (auto& [w, t] : out->when_clauses) {
-    w = RewriteWithReplacements(*w, replacements);
-    t = RewriteWithReplacements(*t, replacements);
-  }
-  if (out->else_clause) {
-    out->else_clause = RewriteWithReplacements(*out->else_clause, replacements);
-  }
-  return out;
-}
-
-// If every key is a bare column of the (bare-scan) table and the column set
-// is covered by a secondary index, returns the index id; kNpos otherwise.
-size_t MatchIndex(const storage::Table* table,
-                  const std::vector<BoundExprPtr>& keys) {
-  if (table == nullptr) return storage::Table::kNpos;
-  std::vector<size_t> cols;
-  for (const BoundExprPtr& k : keys) {
-    if (k == nullptr || k->kind != exec::BoundKind::kColumn) {
-      return storage::Table::kNpos;
-    }
-    cols.push_back(k->column_index);
-  }
-  return table->FindIndexOn(cols);
-}
-
-// Orders the probing side's key expressions to match the index column
-// layout: outer key p pairs with inner key p, and inner key p is the bare
-// column inner_keys[p]->column_index.
-std::vector<BoundExprPtr> ReorderOuterKeys(
-    const std::vector<size_t>& index_cols,
-    std::vector<BoundExprPtr>* inner_keys,
-    std::vector<BoundExprPtr>* outer_keys) {
-  std::vector<BoundExprPtr> out;
-  for (size_t ic : index_cols) {
-    for (size_t p = 0; p < inner_keys->size(); ++p) {
-      if ((*inner_keys)[p] != nullptr &&
-          (*inner_keys)[p]->column_index == ic) {
-        out.push_back(std::move((*outer_keys)[p]));
-        (*inner_keys)[p].reset();
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-struct ExpandedItem {
-  sql::ExprPtr expr;
-  std::string name;
-};
-
-// ---- derived-table pull-up ------------------------------------------------
-//
-// A derived table that is a plain projection of one base table is merged
-// into the outer query: the ref becomes the base table itself and every
-// outer reference to the alias is replaced by the projected expression.
-// This is what lets an equi join against the derived table turn into an
-// index probe on the base table — the optimization that makes single-item
-// inference cheap after deployment (Fig. 6).
-
-// True if `stmt` is a plain projection of a single named table.
-bool IsSimpleProjection(const sql::SelectStmt& stmt) {
-  if (stmt.cores.size() != 1 || !stmt.ctes.empty() ||
-      !stmt.order_by.empty() || stmt.limit != nullptr ||
-      stmt.offset != nullptr) {
-    return false;
-  }
-  const sql::SelectCore& c = stmt.cores[0];
-  if (c.distinct || c.where != nullptr || !c.group_by.empty() ||
-      c.having != nullptr) {
-    return false;
-  }
-  if (c.from.size() != 1 || c.from[0].subquery != nullptr ||
-      c.from[0].join_condition != nullptr) {
-    return false;
-  }
-  for (const sql::SelectItem& item : c.items) {
-    if (item.is_star || item.expr == nullptr) return false;
-    if (ContainsAggregate(*item.expr) || ContainsWindow(*item.expr)) {
-      return false;
-    }
-  }
-  return true;
-}
-
-void RequalifyColumns(sql::Expr* e, const std::string& qualifier) {
-  if (e->kind == sql::ExprKind::kColumnRef) {
-    e->qualifier = qualifier;
-    return;
-  }
-  if (e->left) RequalifyColumns(e->left.get(), qualifier);
-  if (e->right) RequalifyColumns(e->right.get(), qualifier);
-  for (auto& a : e->args) RequalifyColumns(a.get(), qualifier);
-  for (auto& p : e->partition_by) RequalifyColumns(p.get(), qualifier);
-  for (auto& [oe, d] : e->window_order_by) RequalifyColumns(oe.get(), qualifier);
-  for (auto& [w, t] : e->when_clauses) {
-    RequalifyColumns(w.get(), qualifier);
-    RequalifyColumns(t.get(), qualifier);
-  }
-  if (e->else_clause) RequalifyColumns(e->else_clause.get(), qualifier);
-}
-
-// Collects the column references in `e` into qualified/unqualified name sets.
-void CollectColumnRefs(const sql::Expr& e,
-                       std::vector<const sql::Expr*>* out) {
-  if (e.kind == sql::ExprKind::kColumnRef) {
-    out->push_back(&e);
-    return;
-  }
-  if (e.left) CollectColumnRefs(*e.left, out);
-  if (e.right) CollectColumnRefs(*e.right, out);
-  for (const auto& a : e.args) CollectColumnRefs(*a, out);
-  for (const auto& p : e.partition_by) CollectColumnRefs(*p, out);
-  for (const auto& [oe, d] : e.window_order_by) CollectColumnRefs(*oe, out);
-  for (const auto& [w, t] : e.when_clauses) {
-    CollectColumnRefs(*w, out);
-    CollectColumnRefs(*t, out);
-  }
-  if (e.else_clause) CollectColumnRefs(*e.else_clause, out);
-}
-
-// Replaces `alias.col` references inside *e using the substitution map.
-void SubstituteAliasRefs(
-    sql::ExprPtr* e, const std::string& alias,
-    const std::unordered_map<std::string, const sql::Expr*>& subs) {
-  if ((*e)->kind == sql::ExprKind::kColumnRef) {
-    if (EqualsIgnoreCase((*e)->qualifier, alias)) {
-      auto it = subs.find(AsciiToLower((*e)->column));
-      if (it != subs.end()) *e = sql::CloneExpr(*it->second);
-    }
-    return;
-  }
-  sql::Expr* node = e->get();
-  if (node->left) SubstituteAliasRefs(&node->left, alias, subs);
-  if (node->right) SubstituteAliasRefs(&node->right, alias, subs);
-  for (auto& a : node->args) SubstituteAliasRefs(&a, alias, subs);
-  for (auto& p : node->partition_by) SubstituteAliasRefs(&p, alias, subs);
-  for (auto& [oe, d] : node->window_order_by) {
-    SubstituteAliasRefs(&oe, alias, subs);
-  }
-  for (auto& [w, t] : node->when_clauses) {
-    SubstituteAliasRefs(&w, alias, subs);
-    SubstituteAliasRefs(&t, alias, subs);
-  }
-  if (node->else_clause) {
-    SubstituteAliasRefs(&node->else_clause, alias, subs);
-  }
-}
-
-// Pulls simple-projection derived tables up into `core`, rewriting
-// `order_exprs` alongside. Conservative: bails out per-ref on stars or on
-// references it cannot prove safe.
-void PullUpSimpleSubqueries(sql::SelectCore* core,
-                            std::vector<sql::ExprPtr>* order_exprs) {
-  // Any star in the outer projection makes column provenance ambiguous.
-  for (const sql::SelectItem& item : core->items) {
-    if (item.is_star) return;
-  }
-  int counter = 0;
-  for (sql::TableRef& ref : core->from) {
-    if (ref.subquery == nullptr || ref.alias.empty()) continue;
-    if (ref.join_kind == sql::TableRef::JoinKind::kLeft) continue;
-    if (!IsSimpleProjection(*ref.subquery)) continue;
-    const sql::SelectCore& inner = ref.subquery->cores[0];
-
-    // Output map: exposed column name -> inner expression.
-    std::unordered_map<std::string, const sql::Expr*> subs;
-    bool nameable = true;
-    for (const sql::SelectItem& item : inner.items) {
-      std::string name = item.alias;
-      if (name.empty() && item.expr->kind == sql::ExprKind::kColumnRef) {
-        name = item.expr->column;
-      }
-      if (name.empty()) {
-        nameable = false;
-        break;
-      }
-      subs[AsciiToLower(name)] = item.expr.get();
-    }
-    if (!nameable) continue;
-
-    // Gather every outer expression that might reference the alias.
-    std::vector<sql::ExprPtr*> outer_exprs;
-    for (sql::SelectItem& item : core->items) outer_exprs.push_back(&item.expr);
-    if (core->where) outer_exprs.push_back(&core->where);
-    for (sql::ExprPtr& g : core->group_by) outer_exprs.push_back(&g);
-    if (core->having) outer_exprs.push_back(&core->having);
-    for (sql::TableRef& other : core->from) {
-      if (other.join_condition) outer_exprs.push_back(&other.join_condition);
-    }
-    for (sql::ExprPtr& o : *order_exprs) outer_exprs.push_back(&o);
-
-    // Safety: every qualified use of the alias must resolve in the map, and
-    // no *unqualified* reference may collide with an output name (it might
-    // belong to the subquery).
-    bool safe = true;
-    for (sql::ExprPtr* e : outer_exprs) {
-      std::vector<const sql::Expr*> refs;
-      CollectColumnRefs(**e, &refs);
-      for (const sql::Expr* r : refs) {
-        if (EqualsIgnoreCase(r->qualifier, ref.alias)) {
-          if (subs.find(AsciiToLower(r->column)) == subs.end()) safe = false;
-        } else if (r->qualifier.empty() &&
-                   subs.find(AsciiToLower(r->column)) != subs.end()) {
-          safe = false;
-        }
-      }
-    }
-    if (!safe) continue;
-
-    // Perform the pull-up: requalify the inner expressions onto a fresh
-    // alias for the base table, substitute, and swap the ref.
-    std::string new_alias = StrFormat("#pu%d_%s", counter++,
-                                      ref.alias.c_str());
-    std::vector<sql::ExprPtr> owned;
-    std::unordered_map<std::string, const sql::Expr*> requalified;
-    for (auto& [name, expr] : subs) {
-      sql::ExprPtr clone = sql::CloneExpr(*expr);
-      RequalifyColumns(clone.get(), new_alias);
-      requalified[name] = clone.get();
-      owned.push_back(std::move(clone));
-    }
-    for (sql::ExprPtr* e : outer_exprs) {
-      SubstituteAliasRefs(e, ref.alias, requalified);
-    }
-    ref.table_name = inner.from[0].table_name;
-    ref.alias = new_alias;
-    ref.subquery.reset();
-  }
-}
-
-// Expands stars against `schema` and names every output column.
-Result<std::vector<ExpandedItem>> ExpandItems(
-    const std::vector<sql::SelectItem>& items, const Schema& schema) {
-  std::vector<ExpandedItem> out;
-  for (size_t i = 0; i < items.size(); ++i) {
-    const sql::SelectItem& item = items[i];
-    if (item.is_star) {
-      bool matched = false;
-      for (const Column& c : schema.columns()) {
-        if (!item.star_qualifier.empty() &&
-            !EqualsIgnoreCase(c.qualifier, item.star_qualifier)) {
-          continue;
-        }
-        ExpandedItem e;
-        e.expr = sql::MakeColumnRef(c.qualifier, c.name);
-        e.name = c.name;
-        out.push_back(std::move(e));
-        matched = true;
-      }
-      if (!matched) {
-        return Status::BindError("no columns match '" + item.star_qualifier +
-                                 ".*'");
-      }
-      continue;
-    }
-    ExpandedItem e;
-    e.expr = sql::CloneExpr(*item.expr);
-    if (!item.alias.empty()) {
-      e.name = item.alias;
-    } else if (item.expr->kind == sql::ExprKind::kColumnRef) {
-      e.name = item.expr->column;
-    } else {
-      e.name = StrFormat("col%zu", i + 1);
-    }
-    out.push_back(std::move(e));
-  }
-  return out;
-}
-
-}  // namespace
-
-std::shared_ptr<internal::CteCell> Planner::FindCte(
-    const std::string& name) const {
-  std::string key = AsciiToLower(name);
-  for (auto it = cte_scopes_.rbegin(); it != cte_scopes_.rend(); ++it) {
-    auto found = it->find(key);
-    if (found != it->end()) return found->second;
-  }
-  return nullptr;
+  hooks.execute =
+      [this](plan::LogicalPtr root) -> Result<exec::MaterializedResult> {
+    Optimizer opt(config_, opt_stats_, recorder_, trace_);
+    BORNSQL_RETURN_IF_ERROR(opt.Run(root.get()));
+    Lowering lowering(config_, system_views_);
+    BORNSQL_ASSIGN_OR_RETURN(OperatorPtr op, lowering.Lower(*root));
+    return exec::Drain(*op);
+  };
+  return hooks;
 }
 
 Result<OperatorPtr> Planner::PlanSelect(const sql::SelectStmt& stmt) {
-  return PlanStmt(stmt);
+  BORNSQL_ASSIGN_OR_RETURN(plan::LogicalPlan lp, BuildLogical(stmt));
+  BORNSQL_RETURN_IF_ERROR(OptimizeLogical(&lp));
+  return LowerLogical(lp);
 }
 
-Status Planner::FoldSubqueries(sql::Expr* e) {
-  switch (e->kind) {
-    case sql::ExprKind::kScalarSubquery: {
-      BORNSQL_ASSIGN_OR_RETURN(OperatorPtr plan, PlanStmt(*e->subquery));
-      BORNSQL_ASSIGN_OR_RETURN(exec::MaterializedResult result,
-                               exec::Drain(*plan));
-      if (result.schema.size() != 1) {
-        return Status::BindError("scalar subquery must return one column");
-      }
-      if (result.rows.size() > 1) {
-        return Status::ExecutionError(
-            "scalar subquery returned more than one row");
-      }
-      Value v = result.rows.empty() ? Value::Null() : result.rows[0][0];
-      e->kind = sql::ExprKind::kLiteral;
-      e->literal = std::move(v);
-      e->subquery.reset();
-      return Status::OK();
-    }
-    case sql::ExprKind::kInSubquery: {
-      BORNSQL_ASSIGN_OR_RETURN(OperatorPtr plan, PlanStmt(*e->subquery));
-      BORNSQL_ASSIGN_OR_RETURN(exec::MaterializedResult result,
-                               exec::Drain(*plan));
-      if (result.schema.size() != 1) {
-        return Status::BindError("IN subquery must return one column");
-      }
-      e->kind = sql::ExprKind::kInSet;
-      e->set_values.clear();
-      e->set_values.reserve(result.rows.size());
-      for (Row& row : result.rows) e->set_values.push_back(std::move(row[0]));
-      e->subquery.reset();
-      return FoldSubqueries(e->left.get());
-    }
-    case sql::ExprKind::kExists: {
-      BORNSQL_ASSIGN_OR_RETURN(OperatorPtr plan, PlanStmt(*e->subquery));
-      BORNSQL_ASSIGN_OR_RETURN(exec::MaterializedResult result,
-                               exec::Drain(*plan));
-      e->kind = sql::ExprKind::kLiteral;
-      e->literal = Value::Bool(!result.rows.empty());
-      e->subquery.reset();
-      return Status::OK();
-    }
-    default:
-      break;
-  }
-  if (e->left) BORNSQL_RETURN_IF_ERROR(FoldSubqueries(e->left.get()));
-  if (e->right) BORNSQL_RETURN_IF_ERROR(FoldSubqueries(e->right.get()));
-  for (auto& a : e->args) BORNSQL_RETURN_IF_ERROR(FoldSubqueries(a.get()));
-  for (auto& p : e->partition_by) {
-    BORNSQL_RETURN_IF_ERROR(FoldSubqueries(p.get()));
-  }
-  for (auto& [oe, d] : e->window_order_by) {
-    BORNSQL_RETURN_IF_ERROR(FoldSubqueries(oe.get()));
-  }
-  for (auto& [w, t] : e->when_clauses) {
-    BORNSQL_RETURN_IF_ERROR(FoldSubqueries(w.get()));
-    BORNSQL_RETURN_IF_ERROR(FoldSubqueries(t.get()));
-  }
-  if (e->else_clause) {
-    BORNSQL_RETURN_IF_ERROR(FoldSubqueries(e->else_clause.get()));
-  }
-  return Status::OK();
+Status Planner::FoldSubqueries(sql::Expr* expr) {
+  LogicalBuilder builder(catalog_, config_, system_views_, opt_stats_,
+                         MakeHooks(/*optimize=*/true));
+  return builder.FoldSubqueries(expr);
 }
 
-Result<OperatorPtr> Planner::PlanStmt(const sql::SelectStmt& stmt) {
-  ScopeGuard scope(&cte_scopes_);
-  for (const sql::CommonTableExpr& cte : stmt.ctes) {
-    auto cell = std::make_shared<internal::CteCell>();
-    cell->stmt = cte.select.get();
-    cte_scopes_.back()[AsciiToLower(cte.name)] = std::move(cell);
-  }
-
-  // Cores (UNION ALL chain). A single core handles ORDER BY itself so sort
-  // keys may reference non-projected input columns.
-  OperatorPtr op;
-  if (stmt.cores.size() == 1) {
-    BORNSQL_ASSIGN_OR_RETURN(op, PlanCore(stmt.cores[0], &stmt.order_by));
-  } else {
-    std::vector<OperatorPtr> children;
-    size_t arity = 0;
-    for (size_t i = 0; i < stmt.cores.size(); ++i) {
-      BORNSQL_ASSIGN_OR_RETURN(OperatorPtr child,
-                               PlanCore(stmt.cores[i], nullptr));
-      if (i == 0) {
-        arity = child->schema().size();
-      } else if (child->schema().size() != arity) {
-        return Status::BindError(
-            "UNION ALL operands have different column counts");
-      }
-      children.push_back(std::move(child));
-    }
-    op = std::make_unique<exec::UnionAllOp>(std::move(children));
-
-    // ORDER BY over a UNION binds against the union's output schema only.
-    if (!stmt.order_by.empty()) {
-      std::vector<exec::SortKey> keys;
-      for (const sql::OrderItem& item : stmt.order_by) {
-        exec::SortKey key;
-        key.desc = item.desc;
-        if (item.expr->kind == sql::ExprKind::kLiteral &&
-            item.expr->literal.is_int()) {
-          int64_t ordinal = item.expr->literal.AsInt();
-          if (ordinal < 1 ||
-              ordinal > static_cast<int64_t>(op->schema().size())) {
-            return Status::BindError(
-                StrFormat("ORDER BY position %lld is out of range",
-                          static_cast<long long>(ordinal)));
-          }
-          key.expr = exec::BoundColumn(static_cast<size_t>(ordinal - 1));
-        } else {
-          BORNSQL_ASSIGN_OR_RETURN(key.expr,
-                                   BindExpr(*item.expr, op->schema()));
-        }
-        keys.push_back(std::move(key));
-      }
-      op = std::make_unique<exec::SortOp>(std::move(op), std::move(keys));
-    }
-  }
-
-  if (stmt.limit != nullptr) {
-    BORNSQL_ASSIGN_OR_RETURN(Value limit_v, EvalConstExpr(*stmt.limit));
-    BORNSQL_ASSIGN_OR_RETURN(Value limit_i, limit_v.CoerceTo(ValueType::kInt));
-    int64_t offset = 0;
-    if (stmt.offset != nullptr) {
-      BORNSQL_ASSIGN_OR_RETURN(Value off_v, EvalConstExpr(*stmt.offset));
-      BORNSQL_ASSIGN_OR_RETURN(Value off_i, off_v.CoerceTo(ValueType::kInt));
-      offset = off_i.AsInt();
-    }
-    op = std::make_unique<exec::LimitOp>(std::move(op), limit_i.AsInt(),
-                                         offset);
-  }
-  return op;
+Result<plan::LogicalPlan> Planner::BuildLogical(const sql::SelectStmt& stmt,
+                                                bool optimize_ctes) {
+  LogicalBuilder builder(catalog_, config_, system_views_, opt_stats_,
+                         MakeHooks(optimize_ctes));
+  return builder.Build(stmt);
 }
 
-Result<OperatorPtr> Planner::PlanJoin(OperatorPtr left, OperatorPtr right,
-                                      std::vector<BoundExprPtr> lkeys,
-                                      std::vector<BoundExprPtr> rkeys,
-                                      exec::JoinType type) {
-  switch (config_->join_strategy) {
-    case JoinStrategy::kSortMerge:
-      return OperatorPtr(std::make_unique<exec::SortMergeJoinOp>(
-          std::move(left), std::move(right), std::move(lkeys),
-          std::move(rkeys), type));
-    case JoinStrategy::kHash:
-    case JoinStrategy::kNestedLoop:  // nested-loop never extracts keys
-      return OperatorPtr(std::make_unique<exec::HashJoinOp>(
-          std::move(left), std::move(right), std::move(lkeys),
-          std::move(rkeys), type));
-  }
-  return Status::Internal("bad join strategy");
+Status Planner::OptimizeLogical(plan::LogicalPlan* plan) {
+  Optimizer opt(config_, opt_stats_, recorder_, trace_);
+  return opt.Run(plan);
 }
 
-Result<OperatorPtr> Planner::PlanTableRef(const sql::TableRef& ref,
-                                          const storage::Table** base_table) {
-  *base_table = nullptr;
-  if (ref.subquery != nullptr) {
-    BORNSQL_ASSIGN_OR_RETURN(OperatorPtr sub, PlanStmt(*ref.subquery));
-    return OperatorPtr(
-        std::make_unique<RelabelOp>(std::move(sub), ref.alias));
-  }
-  const std::string qualifier =
-      ref.alias.empty() ? ref.table_name : ref.alias;
-  if (auto cell = FindCte(ref.table_name)) {
-    if (config_->materialize_ctes) {
-      if (cell->plan == nullptr) {
-        BORNSQL_ASSIGN_OR_RETURN(cell->plan, PlanStmt(*cell->stmt));
-      }
-      return OperatorPtr(std::make_unique<CteGateOp>(cell, qualifier));
-    }
-    BORNSQL_ASSIGN_OR_RETURN(OperatorPtr sub, PlanStmt(*cell->stmt));
-    return OperatorPtr(
-        std::make_unique<RelabelOp>(std::move(sub), qualifier));
-  }
-  // System views resolve after CTEs but are shadowed by real tables, so a
-  // user table that happens to be named born_stat_* keeps working.
-  if (system_views_ != nullptr && !catalog_->Exists(ref.table_name) &&
-      system_views_->IsSystemView(ref.table_name)) {
-    return system_views_->MakeViewScan(ref.table_name, qualifier);
-  }
-  BORNSQL_ASSIGN_OR_RETURN(storage::Table * table,
-                           catalog_->GetTable(ref.table_name));
-  Schema schema = table->schema().WithQualifier(qualifier);
-  *base_table = table;
-  return OperatorPtr(std::make_unique<exec::SeqScanOp>(table, schema));
-}
-
-Result<OperatorPtr> Planner::PlanFrom(const sql::SelectCore& core,
-                                      std::vector<sql::ExprPtr>* conjuncts) {
-  if (core.from.empty()) {
-    return OperatorPtr(std::make_unique<exec::SingleRowOp>());
-  }
-
-  // Plan every ref first so pushdown can consult their schemas. `bases[i]`
-  // is the underlying table while refs[i] is still a bare scan (the
-  // precondition for index joins).
-  std::vector<OperatorPtr> refs;
-  std::vector<const storage::Table*> bases;
-  refs.reserve(core.from.size());
-  for (const sql::TableRef& ref : core.from) {
-    const storage::Table* base = nullptr;
-    BORNSQL_ASSIGN_OR_RETURN(OperatorPtr op, PlanTableRef(ref, &base));
-    refs.push_back(std::move(op));
-    bases.push_back(base);
-  }
-
-  // Fold INNER JOIN ... ON conditions into the conjunct pool: for inner
-  // joins they are equivalent to WHERE predicates.
-  for (const sql::TableRef& ref : core.from) {
-    if (ref.join_kind == sql::TableRef::JoinKind::kInner &&
-        ref.join_condition != nullptr) {
-      SplitConjuncts(sql::CloneExpr(*ref.join_condition), conjuncts);
-    }
-  }
-
-  // Predicate pushdown: a conjunct that binds to exactly one ref filters
-  // that ref before any join. Constant conjuncts go to the first ref.
-  for (sql::ExprPtr& c : *conjuncts) {
-    if (c == nullptr) continue;
-    size_t bind_count = 0;
-    size_t bind_ref = 0;
-    for (size_t i = 0; i < refs.size(); ++i) {
-      if (BindsTo(*c, refs[i]->schema())) {
-        ++bind_count;
-        bind_ref = i;
-      }
-    }
-    Schema empty;
-    if (bind_count == refs.size() && BindsTo(*c, empty)) {
-      bind_count = 1;  // constant predicate: apply once, on the first ref
-      bind_ref = 0;
-    }
-    if (bind_count == 1) {
-      BORNSQL_ASSIGN_OR_RETURN(BoundExprPtr pred,
-                               BindExpr(*c, refs[bind_ref]->schema()));
-      refs[bind_ref] = std::make_unique<exec::FilterOp>(
-          std::move(refs[bind_ref]), std::move(pred));
-      bases[bind_ref] = nullptr;  // no longer a bare scan
-      c = nullptr;
-    }
-  }
-
-  // Applies any remaining conjuncts that bind to `op`'s schema as a filter.
-  // `base` (nullable) is cleared when a filter is added.
-  auto apply_bindable = [&](OperatorPtr op, const storage::Table** base)
-      -> Result<OperatorPtr> {
-    for (sql::ExprPtr& c : *conjuncts) {
-      if (c == nullptr) continue;
-      if (BindsTo(*c, op->schema())) {
-        BORNSQL_ASSIGN_OR_RETURN(BoundExprPtr pred,
-                                 BindExpr(*c, op->schema()));
-        op = std::make_unique<exec::FilterOp>(std::move(op), std::move(pred));
-        if (base != nullptr) *base = nullptr;
-        c = nullptr;
-      }
-    }
-    return op;
-  };
-
-  OperatorPtr current = std::move(refs[0]);
-  const storage::Table* current_base = bases[0];
-  BORNSQL_ASSIGN_OR_RETURN(current,
-                           apply_bindable(std::move(current), &current_base));
-
-  for (size_t i = 1; i < refs.size(); ++i) {
-    OperatorPtr right = std::move(refs[i]);
-    const storage::Table* right_base = bases[i];
-    const sql::TableRef& ref = core.from[i];
-
-    if (ref.join_kind == sql::TableRef::JoinKind::kLeft) {
-      // LEFT JOIN keeps its ON condition attached to the join itself.
-      std::vector<sql::ExprPtr> on;
-      if (ref.join_condition != nullptr) {
-        SplitConjuncts(sql::CloneExpr(*ref.join_condition), &on);
-      }
-      std::vector<BoundExprPtr> lkeys, rkeys;
-      bool all_equi = config_->join_strategy != JoinStrategy::kNestedLoop;
-      if (all_equi) {
-        for (const sql::ExprPtr& c : on) {
-          const sql::Expr *le = nullptr, *re = nullptr;
-          if (!IsEquiPair(*c, current->schema(), right->schema(), &le, &re)) {
-            all_equi = false;
-            break;
-          }
-        }
-      }
-      if (all_equi && !on.empty()) {
-        for (const sql::ExprPtr& c : on) {
-          const sql::Expr *le = nullptr, *re = nullptr;
-          IsEquiPair(*c, current->schema(), right->schema(), &le, &re);
-          BORNSQL_ASSIGN_OR_RETURN(BoundExprPtr bl,
-                                   BindExpr(*le, current->schema()));
-          BORNSQL_ASSIGN_OR_RETURN(BoundExprPtr br,
-                                   BindExpr(*re, right->schema()));
-          lkeys.push_back(std::move(bl));
-          rkeys.push_back(std::move(br));
-        }
-        BORNSQL_ASSIGN_OR_RETURN(
-            current, PlanJoin(std::move(current), std::move(right),
-                              std::move(lkeys), std::move(rkeys),
-                              exec::JoinType::kLeft));
-      } else {
-        // Non-equi (or nested-loop strategy) LEFT join: bind the whole ON
-        // clause against the concatenated schema.
-        BoundExprPtr pred;
-        if (ref.join_condition != nullptr) {
-          Schema combined =
-              Schema::Concat(current->schema(), right->schema());
-          BORNSQL_ASSIGN_OR_RETURN(pred,
-                                   BindExpr(*ref.join_condition, combined));
-        }
-        current = std::make_unique<exec::NestedLoopJoinOp>(
-            std::move(current), std::move(right), std::move(pred),
-            exec::JoinType::kLeft);
-      }
-      current_base = nullptr;
-      BORNSQL_ASSIGN_OR_RETURN(current,
-                               apply_bindable(std::move(current), nullptr));
-      continue;
-    }
-
-    // Comma / INNER / CROSS join: extract equi keys from the pool.
-    std::vector<BoundExprPtr> lkeys, rkeys;
-    if (config_->join_strategy != JoinStrategy::kNestedLoop) {
-      for (sql::ExprPtr& c : *conjuncts) {
-        if (c == nullptr) continue;
-        const sql::Expr *le = nullptr, *re = nullptr;
-        if (IsEquiPair(*c, current->schema(), right->schema(), &le, &re)) {
-          BORNSQL_ASSIGN_OR_RETURN(BoundExprPtr bl,
-                                   BindExpr(*le, current->schema()));
-          BORNSQL_ASSIGN_OR_RETURN(BoundExprPtr br,
-                                   BindExpr(*re, right->schema()));
-          lkeys.push_back(std::move(bl));
-          rkeys.push_back(std::move(br));
-          c = nullptr;
-        }
-      }
-    }
-    if (!lkeys.empty()) {
-      bool joined = false;
-      if (config_->join_strategy == JoinStrategy::kHash &&
-          config_->use_index_joins) {
-        // Probe the indexed side with the other side's rows. Output column
-        // order must stay current-then-right either way.
-        size_t idx = MatchIndex(right_base, rkeys);
-        if (idx != storage::Table::kNpos) {
-          Schema inner_schema = right->schema();
-          std::vector<BoundExprPtr> outer_keys = ReorderOuterKeys(
-              right_base->index_columns(idx), &rkeys, &lkeys);
-          current = std::make_unique<exec::IndexJoinOp>(
-              std::move(current), right_base, std::move(inner_schema), idx,
-              std::move(outer_keys), /*inner_on_left=*/false);
-          joined = true;
-        } else if ((idx = MatchIndex(current_base, lkeys)) !=
-                   storage::Table::kNpos) {
-          Schema inner_schema = current->schema();
-          std::vector<BoundExprPtr> outer_keys = ReorderOuterKeys(
-              current_base->index_columns(idx), &lkeys, &rkeys);
-          current = std::make_unique<exec::IndexJoinOp>(
-              std::move(right), current_base, std::move(inner_schema), idx,
-              std::move(outer_keys), /*inner_on_left=*/true);
-          joined = true;
-        }
-      }
-      if (!joined) {
-        BORNSQL_ASSIGN_OR_RETURN(
-            current,
-            PlanJoin(std::move(current), std::move(right), std::move(lkeys),
-                     std::move(rkeys), exec::JoinType::kInner));
-      }
-    } else {
-      current = std::make_unique<exec::NestedLoopJoinOp>(
-          std::move(current), std::move(right), nullptr,
-          exec::JoinType::kCross);
-    }
-    current_base = nullptr;
-    BORNSQL_ASSIGN_OR_RETURN(current,
-                             apply_bindable(std::move(current), nullptr));
-  }
-  return current;
-}
-
-Result<OperatorPtr> Planner::PlanCore(
-    const sql::SelectCore& original_core,
-    const std::vector<sql::OrderItem>* order_by) {
-  // Work on a private copy: derived-table pull-up rewrites the core and
-  // the ORDER BY expressions in place.
-  sql::SelectCore core = sql::CloneCore(original_core);
-  std::vector<sql::ExprPtr> order_exprs;
-  if (order_by != nullptr) {
-    for (const sql::OrderItem& item : *order_by) {
-      order_exprs.push_back(sql::CloneExpr(*item.expr));
-    }
-  }
-  PullUpSimpleSubqueries(&core, &order_exprs);
-
-  // Fold uncorrelated subqueries everywhere an expression may hold one.
-  for (sql::SelectItem& item : core.items) {
-    if (item.expr) BORNSQL_RETURN_IF_ERROR(FoldSubqueries(item.expr.get()));
-  }
-  if (core.where) BORNSQL_RETURN_IF_ERROR(FoldSubqueries(core.where.get()));
-  for (sql::ExprPtr& g : core.group_by) {
-    BORNSQL_RETURN_IF_ERROR(FoldSubqueries(g.get()));
-  }
-  if (core.having) {
-    BORNSQL_RETURN_IF_ERROR(FoldSubqueries(core.having.get()));
-  }
-  for (sql::TableRef& ref : core.from) {
-    if (ref.join_condition) {
-      BORNSQL_RETURN_IF_ERROR(FoldSubqueries(ref.join_condition.get()));
-    }
-  }
-  for (sql::ExprPtr& o : order_exprs) {
-    BORNSQL_RETURN_IF_ERROR(FoldSubqueries(o.get()));
-  }
-
-  std::vector<sql::ExprPtr> conjuncts;
-  if (core.where != nullptr) {
-    SplitConjuncts(std::move(core.where), &conjuncts);
-  }
-  BORNSQL_ASSIGN_OR_RETURN(OperatorPtr input, PlanFrom(core, &conjuncts));
-
-  // Any conjunct the join planner could not place must bind here.
-  for (sql::ExprPtr& c : conjuncts) {
-    if (c == nullptr) continue;
-    BORNSQL_ASSIGN_OR_RETURN(BoundExprPtr pred, BindExpr(*c, input->schema()));
-    input = std::make_unique<exec::FilterOp>(std::move(input),
-                                             std::move(pred));
-    c = nullptr;
-  }
-
-  BORNSQL_ASSIGN_OR_RETURN(std::vector<ExpandedItem> items,
-                           ExpandItems(core.items, input->schema()));
-
-  // ---- aggregation ----
-  bool has_agg = !core.group_by.empty();
-  for (const ExpandedItem& item : items) {
-    if (ContainsAggregate(*item.expr)) has_agg = true;
-  }
-  if (core.having != nullptr && ContainsAggregate(*core.having)) {
-    has_agg = true;
-  }
-  for (const sql::ExprPtr& o : order_exprs) {
-    if (ContainsAggregate(*o)) has_agg = true;
-  }
-  sql::ExprPtr having =
-      core.having != nullptr ? sql::CloneExpr(*core.having) : nullptr;
-
-  if (has_agg) {
-    const Schema& in_schema = input->schema();
-    // Group expressions, with select-alias substitution (PostgreSQL/SQLite
-    // allow GROUP BY <output alias>).
-    std::vector<sql::ExprPtr> group_exprs;
-    for (const sql::ExprPtr& g : core.group_by) {
-      sql::ExprPtr expr = sql::CloneExpr(*g);
-      if (expr->kind == sql::ExprKind::kColumnRef &&
-          expr->qualifier.empty() && !BindsTo(*expr, in_schema)) {
-        for (size_t i = 0; i < core.items.size(); ++i) {
-          if (!core.items[i].is_star &&
-              EqualsIgnoreCase(core.items[i].alias, expr->column)) {
-            expr = sql::CloneExpr(*items[i].expr);
-            break;
-          }
-        }
-      }
-      group_exprs.push_back(std::move(expr));
-    }
-
-    std::vector<BoundExprPtr> bound_groups;
-    Schema agg_schema;
-    for (size_t i = 0; i < group_exprs.size(); ++i) {
-      BORNSQL_ASSIGN_OR_RETURN(BoundExprPtr b,
-                               BindExpr(*group_exprs[i], in_schema));
-      Column col;
-      if (group_exprs[i]->kind == sql::ExprKind::kColumnRef) {
-        col = in_schema.column(b->column_index);
-      } else {
-        col = Column{"", StrFormat("#g%zu", i), ValueType::kNull};
-      }
-      agg_schema.Add(col);
-      bound_groups.push_back(std::move(b));
-    }
-
-    // Aggregate calls across select items, HAVING and ORDER BY. The calls
-    // are cloned into owned storage: replacement targets must stay valid
-    // while the very expressions they came from are being rewritten.
-    std::vector<const sql::Expr*> agg_call_ptrs;
-    for (const ExpandedItem& item : items) {
-      CollectAggCalls(*item.expr, &agg_call_ptrs);
-    }
-    if (having != nullptr) CollectAggCalls(*having, &agg_call_ptrs);
-    for (const sql::ExprPtr& o : order_exprs) {
-      CollectAggCalls(*o, &agg_call_ptrs);
-    }
-    std::vector<sql::ExprPtr> agg_calls;
-    for (const sql::Expr* call : agg_call_ptrs) {
-      agg_calls.push_back(sql::CloneExpr(*call));
-    }
-
-    std::vector<exec::AggSpec> specs;
-    for (size_t k = 0; k < agg_calls.size(); ++k) {
-      const sql::Expr& call = *agg_calls[k];
-      exec::AggFunc func;
-      exec::LookupAggFunc(call.func_name, &func);
-      exec::AggSpec spec;
-      if (call.args.size() == 1 &&
-          call.args[0]->kind == sql::ExprKind::kStar) {
-        spec.func = exec::AggFunc::kCountStar;
-        spec.arg = nullptr;
-      } else if (call.args.size() == 1) {
-        spec.func = func;
-        BORNSQL_ASSIGN_OR_RETURN(spec.arg,
-                                 BindExpr(*call.args[0], in_schema));
-      } else {
-        return Status::BindError("aggregate " + call.func_name +
-                                 "() takes exactly one argument");
-      }
-      agg_schema.Add(Column{"", StrFormat("#a%zu", k), ValueType::kNull});
-      specs.push_back(std::move(spec));
-    }
-
-    input = std::make_unique<exec::HashAggOp>(
-        std::move(input), std::move(bound_groups), std::move(specs),
-        agg_schema);
-
-    // Rewrite select items and HAVING against the aggregate output.
-    std::vector<
-        std::pair<const sql::Expr*, std::pair<std::string, std::string>>>
-        replacements;
-    for (size_t i = 0; i < group_exprs.size(); ++i) {
-      const Column& col = agg_schema.column(i);
-      replacements.emplace_back(group_exprs[i].get(),
-                                std::make_pair(col.qualifier, col.name));
-    }
-    for (size_t k = 0; k < agg_calls.size(); ++k) {
-      const Column& col = agg_schema.column(group_exprs.size() + k);
-      replacements.emplace_back(agg_calls[k].get(),
-                                std::make_pair(col.qualifier, col.name));
-    }
-    for (ExpandedItem& item : items) {
-      item.expr = RewriteWithReplacements(*item.expr, replacements);
-    }
-    for (sql::ExprPtr& o : order_exprs) {
-      o = RewriteWithReplacements(*o, replacements);
-    }
-    if (having != nullptr) {
-      having = RewriteWithReplacements(*having, replacements);
-      BORNSQL_ASSIGN_OR_RETURN(BoundExprPtr pred,
-                               BindExpr(*having, input->schema()));
-      input = std::make_unique<exec::FilterOp>(std::move(input),
-                                               std::move(pred));
-    }
-  } else if (having != nullptr) {
-    return Status::BindError("HAVING without aggregation is not supported");
-  }
-
-  // ---- window functions ----
-  std::vector<const sql::Expr*> window_call_ptrs;
-  for (const ExpandedItem& item : items) {
-    CollectWindowCalls(*item.expr, &window_call_ptrs);
-  }
-  for (const sql::ExprPtr& o : order_exprs) {
-    CollectWindowCalls(*o, &window_call_ptrs);
-  }
-  std::vector<sql::ExprPtr> window_calls;
-  for (const sql::Expr* call : window_call_ptrs) {
-    window_calls.push_back(sql::CloneExpr(*call));
-  }
-  if (!window_calls.empty()) {
-    const Schema& in_schema = input->schema();
-    std::vector<exec::WindowSpec> specs;
-    std::vector<
-        std::pair<const sql::Expr*, std::pair<std::string, std::string>>>
-        replacements;
-    for (size_t i = 0; i < window_calls.size(); ++i) {
-      const sql::Expr& call = *window_calls[i];
-      exec::WindowSpec spec;
-      if (EqualsIgnoreCase(call.func_name, "row_number")) {
-        spec.func = exec::WindowFunc::kRowNumber;
-      } else if (EqualsIgnoreCase(call.func_name, "rank")) {
-        spec.func = exec::WindowFunc::kRank;
-      } else if (EqualsIgnoreCase(call.func_name, "dense_rank")) {
-        spec.func = exec::WindowFunc::kDenseRank;
-      } else {
-        return Status::Unsupported(
-            "window function " + call.func_name +
-            "() is not supported (ROW_NUMBER, RANK, DENSE_RANK)");
-      }
-      if (!call.args.empty()) {
-        return Status::BindError(call.func_name + "() takes no arguments");
-      }
-      if (spec.func != exec::WindowFunc::kRowNumber &&
-          call.window_order_by.empty()) {
-        return Status::BindError(call.func_name +
-                                 "() requires an ORDER BY in its window");
-      }
-      spec.output_name = StrFormat("#w%zu", i);
-      for (const sql::ExprPtr& p : call.partition_by) {
-        BORNSQL_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*p, in_schema));
-        spec.partition_by.push_back(std::move(b));
-      }
-      for (const auto& [expr, desc] : call.window_order_by) {
-        exec::SortKey key;
-        key.desc = desc;
-        BORNSQL_ASSIGN_OR_RETURN(key.expr, BindExpr(*expr, in_schema));
-        spec.order_by.push_back(std::move(key));
-      }
-      replacements.emplace_back(&call,
-                                std::make_pair("", spec.output_name));
-      specs.push_back(std::move(spec));
-    }
-    input = std::make_unique<exec::WindowOp>(std::move(input),
-                                             std::move(specs));
-    for (ExpandedItem& item : items) {
-      item.expr = RewriteWithReplacements(*item.expr, replacements);
-    }
-    for (sql::ExprPtr& o : order_exprs) {
-      o = RewriteWithReplacements(*o, replacements);
-    }
-  }
-
-  // ---- projection (with hidden ORDER BY columns where needed) ----
-  std::vector<BoundExprPtr> exprs;
-  Schema out_schema;
-  for (ExpandedItem& item : items) {
-    BORNSQL_ASSIGN_OR_RETURN(BoundExprPtr b,
-                             BindExpr(*item.expr, input->schema()));
-    exprs.push_back(std::move(b));
-    out_schema.Add(Column{"", item.name, ValueType::kNull});
-  }
-  const size_t visible_columns = items.size();
-
-  // Resolve each ORDER BY key to a post-projection column: an ordinal, an
-  // output name/alias, or a hidden column computed from the input schema.
-  std::vector<exec::SortKey> sort_keys;
-  size_t hidden = 0;
-  for (size_t i = 0; i < order_exprs.size(); ++i) {
-    const sql::Expr& oe = *order_exprs[i];
-    exec::SortKey key;
-    key.desc = (*order_by)[i].desc;
-    if (oe.kind == sql::ExprKind::kLiteral && oe.literal.is_int()) {
-      int64_t ordinal = oe.literal.AsInt();
-      if (ordinal < 1 || ordinal > static_cast<int64_t>(visible_columns)) {
-        return Status::BindError(
-            StrFormat("ORDER BY position %lld is out of range",
-                      static_cast<long long>(ordinal)));
-      }
-      key.expr = exec::BoundColumn(static_cast<size_t>(ordinal - 1));
-    } else if (auto bound = BindExpr(oe, out_schema); bound.ok()) {
-      key.expr = std::move(bound).value();
-    } else {
-      // Hidden column over the pre-projection schema.
-      BORNSQL_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(oe, input->schema()));
-      if (core.distinct) {
-        return Status::BindError(
-            "for SELECT DISTINCT, ORDER BY expressions must appear in the "
-            "select list");
-      }
-      exprs.push_back(std::move(b));
-      out_schema.Add(Column{"", StrFormat("#s%zu", hidden++), ValueType::kNull});
-      key.expr = exec::BoundColumn(out_schema.size() - 1);
-    }
-    sort_keys.push_back(std::move(key));
-  }
-
-  OperatorPtr op = std::make_unique<exec::ProjectOp>(
-      std::move(input), std::move(exprs), out_schema);
-
-  if (core.distinct) {
-    op = std::make_unique<exec::DistinctOp>(std::move(op));
-  }
-  if (!sort_keys.empty()) {
-    op = std::make_unique<exec::SortOp>(std::move(op), std::move(sort_keys));
-  }
-  if (hidden > 0) {
-    // Strip the hidden sort columns.
-    std::vector<BoundExprPtr> strip;
-    Schema strip_schema;
-    for (size_t i = 0; i < visible_columns; ++i) {
-      strip.push_back(exec::BoundColumn(i));
-      strip_schema.Add(out_schema.column(i));
-    }
-    op = std::make_unique<exec::ProjectOp>(std::move(op), std::move(strip),
-                                           std::move(strip_schema));
-  }
-  return op;
+Result<OperatorPtr> Planner::LowerLogical(const plan::LogicalPlan& plan) {
+  Lowering lowering(config_, system_views_);
+  return lowering.Lower(*plan.root);
 }
 
 }  // namespace bornsql::engine

@@ -1,89 +1,56 @@
-// Plans sql::SelectStmt ASTs into executable operator trees.
+// Planner facade: SELECT AST -> executable operator tree, as a three-stage
+// pipeline with an explicit logical plan in the middle:
 //
-// Optimizations implemented (each with an ablation bench, see DESIGN.md):
-//  * predicate pushdown: single-table WHERE conjuncts filter before joins;
-//  * equi-join extraction: comma joins + `a.x = b.y` conjuncts become hash
-//    (or sort-merge) joins instead of cross products;
-//  * CTE handling: materialize-once (shared across references, PostgreSQL-12
-//    style) or inline-per-reference (configurable).
+//   engine/logical_builder.h   AST -> naive logical tree (name-level only)
+//   engine/optimizer.h         named rewrite rules over the logical tree
+//   engine/lowering.h          logical tree -> bound physical operators
+//
+// The stages are also exposed individually (BuildLogical / OptimizeLogical /
+// LowerLogical) for EXPLAIN LOGICAL, the shell's .plan command and tests.
+// Optimizations -- predicate pushdown, equi-join extraction, CTE
+// materialize/inline, derived-table pull-up, constant folding, filter
+// reordering, projection pruning -- are all named optimizer rules with
+// per-rule enable flags (EngineConfig::rules) and ablation benches.
 #ifndef BORNSQL_ENGINE_PLANNER_H_
 #define BORNSQL_ENGINE_PLANNER_H_
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "engine/engine_config.h"
+#include "engine/logical_builder.h"
 #include "exec/operators.h"
+#include "obs/optimizer_stats.h"
+#include "obs/trace.h"
+#include "plan/logical_plan.h"
 #include "sql/ast.h"
 
 namespace bornsql::engine {
 
-namespace internal {
-// Shared state of one CTE within one query: the definition, the plan (built
-// on first reference) and, in materialize mode, the result shared by every
-// reference.
-struct CteCell;
-}  // namespace internal
-
-enum class JoinStrategy {
-  kHash,       // default; PostgreSQL-like
-  kSortMerge,  // alternative strategy (DBMS-spread ablation)
-  kNestedLoop, // pedagogical / ablation only: O(n*m) per join
-};
-
-struct EngineConfig {
-  JoinStrategy join_strategy = JoinStrategy::kHash;
-  // Materialize each CTE once per query (true) or re-plan it at every
-  // reference (false).
-  bool materialize_ctes = true;
-  // Probe a base table's secondary hash index instead of hash-joining when
-  // an equi-join's keys are exactly an indexed column set (kHash only).
-  bool use_index_joins = true;
-  // Instrument every executed plan with per-operator stats and fold them
-  // into the database's MetricsRegistry (rows_scanned, join_probes, per
-  // operator-type aggregates). Off by default: instrumentation adds clock
-  // reads to every Next() call, which benchmarks must not pay.
-  bool collect_exec_stats = false;
-  // Run the plan-invariant verifier (lint/plan_verifier.h) on every planned
-  // statement before execution; violations fail the statement with
-  // Internal. Default on in debug builds (the walk is O(plan size), cheap
-  // next to execution, and catches planner index bugs at the source), off
-  // in release. SET born.verify_plans = 0/1 overrides at runtime.
-#ifndef NDEBUG
-  bool verify_plans = true;
-#else
-  bool verify_plans = false;
-#endif
-};
-
-// Resolves system-view names (born_stat_statements & friends) during
-// planning. Implemented by the engine's SystemViews provider
-// (engine/system_views.h); the planner treats a resolved view exactly like
-// a base relation, so views compose with joins, filters and aggregation.
-class SystemCatalog {
- public:
-  virtual ~SystemCatalog() = default;
-  virtual bool IsSystemView(const std::string& name) const = 0;
-  // Scan operator over view `name`, schema qualified by `qualifier` (the
-  // alias or the view name). Only called when IsSystemView(name).
-  virtual exec::OperatorPtr MakeViewScan(const std::string& name,
-                                         const std::string& qualifier)
-      const = 0;
-};
-
 class Planner {
  public:
+  // `opt_stats` feeds born_stat_optimizer; `recorder` + `trace` add one
+  // trace span per optimizer rule to the statement's trace. All three may
+  // be null (and default so: existing call sites keep working).
   Planner(catalog::Catalog* catalog, const EngineConfig* config,
-          const SystemCatalog* system_views = nullptr)
-      : catalog_(catalog), config_(config), system_views_(system_views) {}
+          const SystemCatalog* system_views = nullptr,
+          obs::OptimizerStatsRegistry* opt_stats = nullptr,
+          const obs::TraceRecorder* recorder = nullptr,
+          obs::StatementTrace* trace = nullptr)
+      : catalog_(catalog),
+        config_(config),
+        system_views_(system_views),
+        opt_stats_(opt_stats),
+        recorder_(recorder),
+        trace_(trace) {}
 
-  // Builds the operator tree for `stmt`. The returned tree is self-contained
-  // except that base-table scans borrow the catalog's tables: the catalog
-  // must outlive execution, and tables must not be mutated while the tree
-  // runs.
+  // Builds the operator tree for `stmt` (build + optimize + lower). The
+  // returned tree is self-contained except that base-table scans borrow the
+  // catalog's tables: the catalog must outlive execution, and tables must
+  // not be mutated while the tree runs.
   Result<exec::OperatorPtr> PlanSelect(const sql::SelectStmt& stmt);
 
   // Evaluates every uncorrelated subquery inside `expr` and folds the
@@ -93,35 +60,30 @@ class Planner {
   // column.
   Status FoldSubqueries(sql::Expr* expr);
 
+  // ---- individual pipeline stages ----
+
+  // AST -> logical plan. When `optimize_ctes` is false, CTE bodies are
+  // built naive too (EXPLAIN LOGICAL's "before rules" rendering).
+  Result<plan::LogicalPlan> BuildLogical(const sql::SelectStmt& stmt,
+                                         bool optimize_ctes = true);
+  // Runs the rule pipeline over `plan` in place.
+  Status OptimizeLogical(plan::LogicalPlan* plan);
+  // Logical -> physical. Expects an optimized plan (a naive one lowers
+  // correctly but reproduces the unoptimized execution).
+  Result<exec::OperatorPtr> LowerLogical(const plan::LogicalPlan& plan);
+
  private:
-  using CteScope =
-      std::unordered_map<std::string, std::shared_ptr<internal::CteCell>>;
-
-  Result<exec::OperatorPtr> PlanStmt(const sql::SelectStmt& stmt);
-  // Plans one core. `order_by` (may be null) is handled inside the core so
-  // sort keys can reference non-projected input columns via hidden columns.
-  Result<exec::OperatorPtr> PlanCore(const sql::SelectCore& core,
-                                     const std::vector<sql::OrderItem>* order_by);
-  Result<exec::OperatorPtr> PlanFrom(const sql::SelectCore& core,
-                                     std::vector<sql::ExprPtr>* conjuncts);
-  // Plans a FROM item. `*base_table` is set to the underlying table when
-  // the plan is a bare sequential scan (candidate for index joins), else
-  // nullptr.
-  Result<exec::OperatorPtr> PlanTableRef(const sql::TableRef& ref,
-                                         const storage::Table** base_table);
-  Result<exec::OperatorPtr> PlanJoin(exec::OperatorPtr left,
-                                     exec::OperatorPtr right,
-                                     std::vector<exec::BoundExprPtr> lkeys,
-                                     std::vector<exec::BoundExprPtr> rkeys,
-                                     exec::JoinType type);
-
-  // Null if `name` is not a CTE in any enclosing scope.
-  std::shared_ptr<internal::CteCell> FindCte(const std::string& name) const;
+  // Hook bundle for a LogicalBuilder. `optimize` controls whether CTE
+  // bodies get the rule pipeline; the execute hook always runs full
+  // optimize + lower (plan-time subquery results must match execution).
+  LogicalBuildHooks MakeHooks(bool optimize);
 
   catalog::Catalog* catalog_;
   const EngineConfig* config_;
   const SystemCatalog* system_views_;  // may be null (no system views)
-  std::vector<CteScope> cte_scopes_;
+  obs::OptimizerStatsRegistry* opt_stats_;  // may be null
+  const obs::TraceRecorder* recorder_;      // may be null
+  obs::StatementTrace* trace_;              // may be null
 };
 
 }  // namespace bornsql::engine

@@ -6,6 +6,7 @@
 
 #include "common/strings.h"
 #include "engine/database.h"
+#include "engine/optimizer.h"
 #include "obs/metrics.h"
 #include "obs/statement_stats.h"
 
@@ -16,6 +17,7 @@ namespace {
 constexpr char kStatStatements[] = "born_stat_statements";
 constexpr char kStatOperators[] = "born_stat_operators";
 constexpr char kStatTables[] = "born_stat_tables";
+constexpr char kStatOptimizer[] = "born_stat_optimizer";
 constexpr char kSlowLog[] = "born_slow_log";
 
 Schema MakeSchema(const char* view,
@@ -62,6 +64,15 @@ const Schema& TablesSchema() {
                     {"inserts", ValueType::kInt},
                     {"updates", ValueType::kInt},
                     {"deletes", ValueType::kInt}}));
+  return *schema;
+}
+
+const Schema& OptimizerSchema() {
+  static const Schema* schema = new Schema(MakeSchema(
+      kStatOptimizer, {{"rule", ValueType::kText},
+                       {"invocations", ValueType::kInt},
+                       {"fired", ValueType::kInt},
+                       {"rewrites", ValueType::kInt}}));
   return *schema;
 }
 
@@ -115,6 +126,22 @@ std::vector<Row> TablesRows(const Database& db) {
   return rows;
 }
 
+std::vector<Row> OptimizerRows(const Database& db) {
+  // Every known rule gets a row (zeros before its first invocation), in
+  // pipeline order, so ablation scripts can rely on the shape.
+  const auto snapshot = db.optimizer_stats().Snapshot();
+  std::vector<Row> rows;
+  for (const std::string& rule : OptimizerRuleNames()) {
+    obs::OptimizerRuleStats stats;
+    if (auto it = snapshot.find(rule); it != snapshot.end()) {
+      stats = it->second;
+    }
+    rows.push_back({Value::Text(rule), Uint(stats.invocations),
+                    Uint(stats.fired), Uint(stats.rewrites)});
+  }
+  return rows;
+}
+
 std::vector<Row> SlowLogRows(const Database& db) {
   std::vector<Row> rows;
   for (const obs::SlowQueryEntry& e : db.slow_log().Snapshot()) {
@@ -130,7 +157,8 @@ std::vector<Row> SlowLogRows(const Database& db) {
 
 const std::vector<std::string>& SystemViews::ViewNames() {
   static const std::vector<std::string>* names = new std::vector<std::string>{
-      kSlowLog, kStatOperators, kStatStatements, kStatTables};
+      kSlowLog, kStatOperators, kStatOptimizer, kStatStatements,
+      kStatTables};
   return *names;
 }
 
@@ -139,6 +167,7 @@ const Schema* SystemViews::ViewSchema(const std::string& name) {
   if (lower == kStatStatements) return &StatementsSchema();
   if (lower == kStatOperators) return &OperatorsSchema();
   if (lower == kStatTables) return &TablesSchema();
+  if (lower == kStatOptimizer) return &OptimizerSchema();
   if (lower == kSlowLog) return &SlowLogSchema();
   return nullptr;
 }
@@ -165,6 +194,8 @@ exec::OperatorPtr SystemViews::MakeViewScan(const std::string& name,
       result.rows = OperatorsRows(*db);
     } else if (lower == kStatTables) {
       result.rows = TablesRows(*db);
+    } else if (lower == kStatOptimizer) {
+      result.rows = OptimizerRows(*db);
     } else {
       result.rows = SlowLogRows(*db);
     }

@@ -1,0 +1,213 @@
+#include "lint/logical_verifier.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace bornsql::lint {
+
+namespace {
+
+using plan::LogicalKind;
+using plan::LogicalNode;
+
+struct Verifier {
+  std::vector<Diagnostic> diags;
+  size_t checks = 0;
+  std::unordered_set<const plan::CteBinding*> visited_ctes;
+
+  void Report(const char* code, std::string message,
+              const sql::SourceLoc& loc) {
+    Diagnostic d;
+    d.code = code;
+    d.severity = Severity::kError;
+    d.message = std::move(message);
+    d.loc = loc;
+    diags.push_back(std::move(d));
+  }
+
+  void CollectRefs(const sql::Expr& e,
+                   std::vector<const sql::Expr*>* out) const {
+    if (e.kind == sql::ExprKind::kColumnRef) {
+      out->push_back(&e);
+      return;
+    }
+    if (e.left) CollectRefs(*e.left, out);
+    if (e.right) CollectRefs(*e.right, out);
+    for (const sql::ExprPtr& a : e.args) CollectRefs(*a, out);
+    for (const sql::ExprPtr& p : e.partition_by) CollectRefs(*p, out);
+    for (const auto& [oe, desc] : e.window_order_by) CollectRefs(*oe, out);
+    for (const auto& [w, t] : e.when_clauses) {
+      CollectRefs(*w, out);
+      CollectRefs(*t, out);
+    }
+    if (e.else_clause) CollectRefs(*e.else_clause, out);
+    // Subquery kinds are folded away before optimization; if one survives
+    // it binds in its own scope, so there is nothing to check here.
+  }
+
+  // BSV007: every column name in `e` must exist somewhere in `scope`.
+  // Ambiguity is fine -- Resolve distinguishes NotFound from BindError.
+  void CheckRefs(const sql::Expr& e, const Schema& scope,
+                 const LogicalNode& node) {
+    std::vector<const sql::Expr*> refs;
+    CollectRefs(e, &refs);
+    for (const sql::Expr* r : refs) {
+      ++checks;
+      Result<size_t> idx = scope.Resolve(r->qualifier, r->column);
+      if (!idx.ok() && idx.status().code() == StatusCode::kNotFound) {
+        const std::string name =
+            r->qualifier.empty() ? r->column : r->qualifier + "." + r->column;
+        Report("BSV007",
+               StrFormat("column '%s' does not exist in the input of %s",
+                         name.c_str(), plan::RenderLogicalTree(node)[0].c_str()),
+               r->loc);
+      }
+    }
+  }
+
+  void CheckWidth(bool ok, const char* code, std::string message,
+                  const LogicalNode& node) {
+    ++checks;
+    if (!ok) Report(code, std::move(message), node.loc);
+  }
+
+  void Visit(const LogicalNode& node) {
+    for (const plan::LogicalPtr& child : node.children) Visit(*child);
+    const Schema* in =
+        node.children.empty() ? nullptr : &node.children[0]->schema;
+    switch (node.kind) {
+      case LogicalKind::kScan:
+      case LogicalKind::kSingleRow:
+        break;
+      case LogicalKind::kCteRef: {
+        ++checks;
+        if (node.cte == nullptr || node.cte->plan == nullptr) {
+          Report("BSV010", "CteRef without a built binding", node.loc);
+          break;
+        }
+        CheckWidth(node.schema.size() == node.cte->plan->schema.size(),
+                   "BSV010",
+                   StrFormat("CteRef(%s) width %zu != body width %zu",
+                             node.cte->name.c_str(), node.schema.size(),
+                             node.cte->plan->schema.size()),
+                   node);
+        if (visited_ctes.insert(node.cte.get()).second) {
+          Visit(*node.cte->plan);
+        }
+        break;
+      }
+      case LogicalKind::kRelabel:
+      case LogicalKind::kFilter:
+      case LogicalKind::kSort:
+      case LogicalKind::kLimit:
+      case LogicalKind::kDistinct:
+        CheckWidth(node.schema.size() == in->size(), "BSV008",
+                   StrFormat("pass-through node width %zu != child width %zu",
+                             node.schema.size(), in->size()),
+                   node);
+        for (const sql::ExprPtr& c : node.conjuncts) CheckRefs(*c, *in, node);
+        for (const plan::SortKeySpec& k : node.sort_keys) {
+          if (k.expr != nullptr) {
+            CheckRefs(*k.expr, *in, node);
+          } else {
+            CheckWidth(k.ordinal < in->size(), "BSV009",
+                       StrFormat("sort ordinal %zu out of range (child has "
+                                 "%zu columns)",
+                                 k.ordinal, in->size()),
+                       node);
+          }
+        }
+        break;
+      case LogicalKind::kProject:
+        CheckWidth(node.schema.size() == node.items.size(), "BSV008",
+                   StrFormat("project width %zu != item count %zu",
+                             node.schema.size(), node.items.size()),
+                   node);
+        for (const plan::ProjectItem& item : node.items) {
+          if (item.expr != nullptr) {
+            CheckRefs(*item.expr, *in, node);
+          } else {
+            CheckWidth(item.ordinal < in->size(), "BSV009",
+                       StrFormat("project pass-through ordinal %zu out of "
+                                 "range (child has %zu columns)",
+                                 item.ordinal, in->size()),
+                       node);
+          }
+        }
+        break;
+      case LogicalKind::kJoin: {
+        const Schema& left = node.children[0]->schema;
+        const Schema& right = node.children[1]->schema;
+        CheckWidth(node.schema.size() == left.size() + right.size(), "BSV008",
+                   StrFormat("join width %zu != %zu + %zu", node.schema.size(),
+                             left.size(), right.size()),
+                   node);
+        for (const plan::JoinKeyPair& key : node.keys) {
+          CheckRefs(*key.left, left, node);
+          CheckRefs(*key.right, right, node);
+        }
+        if (node.on_condition != nullptr) {
+          CheckRefs(*node.on_condition, node.schema, node);
+        }
+        break;
+      }
+      case LogicalKind::kAggregate:
+        CheckWidth(node.schema.size() ==
+                       node.group_exprs.size() + node.agg_calls.size(),
+                   "BSV008",
+                   StrFormat("aggregate width %zu != %zu groups + %zu calls",
+                             node.schema.size(), node.group_exprs.size(),
+                             node.agg_calls.size()),
+                   node);
+        for (const sql::ExprPtr& g : node.group_exprs) {
+          CheckRefs(*g, *in, node);
+        }
+        for (const sql::ExprPtr& a : node.agg_calls) CheckRefs(*a, *in, node);
+        break;
+      case LogicalKind::kWindow:
+        CheckWidth(node.schema.size() == in->size() + node.windows.size(),
+                   "BSV008",
+                   StrFormat("window width %zu != child %zu + %zu functions",
+                             node.schema.size(), in->size(),
+                             node.windows.size()),
+                   node);
+        for (const plan::WindowItem& w : node.windows) {
+          CheckRefs(*w.call, *in, node);
+        }
+        break;
+      case LogicalKind::kUnion:
+        for (const plan::LogicalPtr& child : node.children) {
+          CheckWidth(child->schema.size() == node.schema.size(), "BSV008",
+                     StrFormat("UNION ALL input width %zu != output width %zu",
+                               child->schema.size(), node.schema.size()),
+                     node);
+        }
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Diagnostic> VerifyLogicalPlan(const plan::LogicalNode& root,
+                                          size_t* checks_run) {
+  Verifier v;
+  v.Visit(root);
+  SortAndDedupe(&v.diags);
+  if (checks_run != nullptr) *checks_run = v.checks;
+  return v.diags;
+}
+
+Status VerifyLogicalPlanStatus(const plan::LogicalNode& root) {
+  const std::vector<Diagnostic> diags = VerifyLogicalPlan(root);
+  if (diags.empty()) return Status::OK();
+  std::vector<std::string> lines;
+  lines.reserve(diags.size());
+  for (const Diagnostic& d : diags) lines.push_back(FormatDiagnostic(d));
+  return Status::Internal("logical plan verification failed: " +
+                          Join(lines, "; "));
+}
+
+}  // namespace bornsql::lint

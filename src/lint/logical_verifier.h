@@ -1,0 +1,40 @@
+// Logical-plan invariant verifier: the rewrite-rule counterpart of the
+// physical plan verifier (lint/plan_verifier.h).
+//
+// The optimizer (engine/optimizer.h) runs it after every rule application
+// that rewrote the plan, so a rule bug is caught at the rewrite that
+// introduced it instead of surfacing as a bind failure (or a wrong answer)
+// at lowering time. Codes continue the BSV range:
+//
+//   BSV007  expression references a column name that does not exist in the
+//           node's input schema (ambiguous references are tolerated: a
+//           predicate may legitimately sit above its eventual bind point)
+//   BSV008  node schema inconsistent with its children (width contracts:
+//           pass-through, join concat, project/aggregate/window arity)
+//   BSV009  positional reference out of range (project pass-through or
+//           sort-key ordinal past the child's width)
+//   BSV010  CteRef with a missing binding or an unbuilt/mismatched body
+#ifndef BORNSQL_LINT_LOGICAL_VERIFIER_H_
+#define BORNSQL_LINT_LOGICAL_VERIFIER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "lint/diagnostic.h"
+#include "plan/logical_plan.h"
+
+namespace bornsql::lint {
+
+// Walks the logical tree rooted at `root` (descending into each referenced
+// CTE body once) and returns every violation. `checks_run`, when non-null,
+// receives the number of individual checks performed.
+std::vector<Diagnostic> VerifyLogicalPlan(const plan::LogicalNode& root,
+                                          size_t* checks_run = nullptr);
+
+// OK when the plan is clean, Internal with the violations joined into the
+// message otherwise (the optimizer prefixes the offending rule's name).
+Status VerifyLogicalPlanStatus(const plan::LogicalNode& root);
+
+}  // namespace bornsql::lint
+
+#endif  // BORNSQL_LINT_LOGICAL_VERIFIER_H_

@@ -1,0 +1,32 @@
+#include "obs/optimizer_stats.h"
+
+namespace bornsql::obs {
+
+void OptimizerStatsRegistry::Record(const std::string& rule,
+                                    uint64_t rewrites) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OptimizerRuleStats& stats = rules_[rule];
+  ++stats.invocations;
+  if (rewrites > 0) ++stats.fired;
+  stats.rewrites += rewrites;
+}
+
+OptimizerRuleStats OptimizerStatsRegistry::rule_stats(
+    const std::string& rule) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rules_.find(rule);
+  return it != rules_.end() ? it->second : OptimizerRuleStats{};
+}
+
+std::map<std::string, OptimizerRuleStats> OptimizerStatsRegistry::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rules_;
+}
+
+void OptimizerStatsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+}
+
+}  // namespace bornsql::obs

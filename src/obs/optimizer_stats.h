@@ -1,0 +1,44 @@
+// Per-rule optimizer counters behind the born_stat_optimizer system view.
+//
+// Every optimizer rule invocation records whether the rule fired (rewrote
+// at least one node) and how many nodes it rewrote, keyed by the rule's
+// name. The registry is mutex-guarded like obs::MetricsRegistry so the
+// concurrency tests can hammer one Database from many threads.
+#ifndef BORNSQL_OBS_OPTIMIZER_STATS_H_
+#define BORNSQL_OBS_OPTIMIZER_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace bornsql::obs {
+
+struct OptimizerRuleStats {
+  uint64_t invocations = 0;  // times the rule ran over a plan
+  uint64_t fired = 0;        // invocations that rewrote >= 1 node
+  uint64_t rewrites = 0;     // total nodes rewritten
+};
+
+class OptimizerStatsRegistry {
+ public:
+  OptimizerStatsRegistry() = default;
+  OptimizerStatsRegistry(const OptimizerStatsRegistry&) = delete;
+  OptimizerStatsRegistry& operator=(const OptimizerStatsRegistry&) = delete;
+
+  // Records one invocation of `rule` that rewrote `rewrites` nodes.
+  void Record(const std::string& rule, uint64_t rewrites);
+
+  OptimizerRuleStats rule_stats(const std::string& rule) const;
+  // Ordered copy (rule name -> stats) for the system view.
+  std::map<std::string, OptimizerRuleStats> Snapshot() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, OptimizerRuleStats> rules_;
+};
+
+}  // namespace bornsql::obs
+
+#endif  // BORNSQL_OBS_OPTIMIZER_STATS_H_

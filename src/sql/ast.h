@@ -231,7 +231,7 @@ struct SetStmt {
 
 enum class StatementKind {
   kSelect,
-  kExplain,  // EXPLAIN [ANALYZE|VERIFY|LINT] <stmt>: uses `explained` + flags
+  kExplain,  // EXPLAIN [ANALYZE|VERIFY|LINT|LOGICAL] <stmt>: `explained` + flags
   kCreateTable,
   kDropTable,
   kCreateIndex,
@@ -260,6 +260,7 @@ struct Statement {
   bool explain_analyze = false;
   bool explain_verify = false;
   bool explain_lint = false;
+  bool explain_logical = false;
 };
 
 }  // namespace bornsql::sql

@@ -93,8 +93,8 @@ class Parser {
     return SourceLoc{t.offset, t.line, t.column};
   }
 
-  // VERIFY/LINT are deliberately not keywords (they stay usable as table or
-  // column names); EXPLAIN matches them as bare identifiers instead.
+  // VERIFY/LINT/LOGICAL are deliberately not keywords (they stay usable as
+  // table or column names); EXPLAIN matches them as bare identifiers instead.
   bool MatchIdent(std::string_view word) {
     if (!Check(TokenType::kIdentifier) ||
         !EqualsIgnoreCase(Peek().text, word)) {
@@ -128,6 +128,8 @@ class Parser {
         st.explain_verify = true;
       } else if (MatchIdent("LINT")) {
         st.explain_lint = true;
+      } else if (MatchIdent("LOGICAL")) {
+        st.explain_logical = true;
       }
       if (CheckKeyword("EXPLAIN")) return Error("cannot EXPLAIN an EXPLAIN");
       BORNSQL_ASSIGN_OR_RETURN(Statement inner, StatementRule());

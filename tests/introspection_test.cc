@@ -82,6 +82,7 @@ TEST(SystemViewSchemaTest, SlowLogGolden) {
 TEST(SystemViewSchemaTest, ViewNamesAndSelectStarAgree) {
   EXPECT_EQ(SystemViews::ViewNames(),
             (std::vector<std::string>{"born_slow_log", "born_stat_operators",
+                                      "born_stat_optimizer",
                                       "born_stat_statements",
                                       "born_stat_tables"}));
   // SELECT * resolves the same columns the static schema declares.
@@ -305,17 +306,24 @@ TEST(TraceTest, StatementsRecordPhaseSpans) {
   EXPECT_EQ(trace.statement, "SELECT a FROM t1 WHERE a = ?");
   EXPECT_EQ(trace.rows, 1u);
   EXPECT_FALSE(trace.error);
-  std::vector<std::string> names;
+  std::vector<std::string> phases;
+  size_t optimizer_spans = 0;
   for (const obs::TraceSpan& span : trace.spans) {
-    names.push_back(span.name);
+    if (std::string_view(span.category) == "optimizer") {
+      ++optimizer_spans;
+    } else {
+      phases.push_back(span.name);
+    }
     // Interval containment: every span lies inside its statement, which is
     // what gives chrome://tracing its nesting on a single track.
     EXPECT_GE(span.start_ns, trace.start_ns) << span.name;
     EXPECT_LE(span.start_ns + span.dur_ns, trace.start_ns + trace.dur_ns)
         << span.name;
   }
-  EXPECT_EQ(names, (std::vector<std::string>{"lex", "parse", "bind+plan",
-                                             "execute"}));
+  EXPECT_EQ(phases, (std::vector<std::string>{"lex", "parse", "bind+plan",
+                                              "execute"}));
+  // The optimizer contributes one span per active rule.
+  EXPECT_GE(optimizer_spans, 1u);
 }
 
 TEST(TraceTest, InstrumentedRunsAddOperatorSpans) {

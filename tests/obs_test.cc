@@ -416,7 +416,9 @@ TEST(TraceRecorderTest, ConcurrentHammer) {
         recorder.Record(std::move(trace));
         if (i % 64 == 0) {
           auto snapshot = recorder.Snapshot();
-          EXPECT_LE(snapshot.size(), recorder.capacity());
+          // Bound by the largest capacity ever set, not recorder.capacity():
+          // thread 0 may shrink the ring between Snapshot() and the read.
+          EXPECT_LE(snapshot.size(), 64u);
           for (const obs::StatementTrace& st : snapshot) {
             EXPECT_GT(st.id, 0u);
           }

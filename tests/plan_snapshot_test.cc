@@ -1,0 +1,205 @@
+// Golden plan snapshots: EXPLAIN LOGICAL + EXPLAIN for every statement the
+// BornSQL driver generates, across the 3 join strategies x 2 CTE modes.
+// Goldens live in tests/goldens/plans_<config>.txt; regenerate them with
+//
+//   BORNSQL_UPDATE_GOLDENS=1 ./tests/plan_snapshot_test
+//
+// after an intentional planner/optimizer change, and review the diff like
+// any other code change. The suite also cross-checks that the driver's
+// statements return identical results under all six configurations.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "born/born_sql.h"
+#include "engine/database.h"
+#include "tests/test_util.h"
+
+#ifndef BORNSQL_GOLDEN_DIR
+#define BORNSQL_GOLDEN_DIR "tests/goldens"
+#endif
+
+namespace bornsql {
+namespace {
+
+using engine::Database;
+using engine::EngineConfig;
+using engine::JoinStrategy;
+using engine::QueryResult;
+using bornsql::testing::MustQuery;
+using bornsql::testing::RowStrings;
+
+constexpr const char* kAllItems = "SELECT n FROM items";
+
+struct Config {
+  JoinStrategy join;
+  bool materialize;
+  const char* name;
+};
+
+const Config kConfigs[] = {
+    {JoinStrategy::kHash, true, "hash_materialized"},
+    {JoinStrategy::kHash, false, "hash_inlined"},
+    {JoinStrategy::kSortMerge, true, "sortmerge_materialized"},
+    {JoinStrategy::kSortMerge, false, "sortmerge_inlined"},
+    {JoinStrategy::kNestedLoop, true, "nestedloop_materialized"},
+    {JoinStrategy::kNestedLoop, false, "nestedloop_inlined"},
+};
+
+void LoadFixture(Database* db) {
+  BORNSQL_ASSERT_OK(db->ExecuteScript(
+      "CREATE TABLE items (n INTEGER PRIMARY KEY, k INTEGER);"
+      "CREATE TABLE item_feature (n INTEGER, j TEXT, w REAL);"
+      "INSERT INTO items VALUES (1, 0), (2, 1), (3, 0), (4, 1), "
+      "(5, 0), (6, 1);"
+      "INSERT INTO item_feature VALUES "
+      "(1,'a',1.0),(1,'b',1.0),(2,'c',1.0),(2,'d',1.0),"
+      "(3,'a',1.0),(3,'e',1.0),(4,'c',1.0),(4,'f',1.0),"
+      "(5,'b',1.0),(5,'e',1.0),(6,'d',1.0),(6,'f',1.0)"));
+}
+
+born::SqlSource Source() {
+  born::SqlSource source;
+  source.x_parts = {"SELECT n, j, w FROM item_feature"};
+  source.y = "SELECT n, k, 1.0 AS w FROM items";
+  return source;
+}
+
+// Every SQL statement the driver generates, by stable snapshot name. The
+// classifier is fitted and deployed first so every referenced table exists.
+std::vector<std::pair<std::string, std::string>> DriverStatements(
+    born::BornSqlClassifier* clf) {
+  return {
+      {"fit", clf->BuildFitSql(kAllItems, /*unlearn=*/false)},
+      {"unlearn", clf->BuildFitSql(kAllItems, /*unlearn=*/true)},
+      {"deploy", clf->BuildDeploySql()},
+      {"predict", clf->BuildPredictSql(kAllItems)},
+      {"predict_proba", clf->BuildPredictProbaSql(kAllItems)},
+      {"explain_global", clf->BuildExplainGlobalSql(/*limit=*/10)},
+      {"explain_local", clf->BuildExplainLocalSql(kAllItems, /*limit=*/10)},
+  };
+}
+
+std::string Snapshot(Database& db, born::BornSqlClassifier* clf) {
+  std::string out;
+  for (const auto& [name, sql] : DriverStatements(clf)) {
+    out += "== " + name + " ==\n";
+    out += "-- EXPLAIN LOGICAL --\n";
+    for (const Row& row : MustQuery(db, "EXPLAIN LOGICAL " + sql).rows) {
+      out += row[0].AsText() + "\n";
+    }
+    out += "-- EXPLAIN --\n";
+    for (const Row& row : MustQuery(db, "EXPLAIN " + sql).rows) {
+      out += row[0].AsText() + "\n";
+    }
+  }
+  return out;
+}
+
+std::string GoldenPath(const std::string& config) {
+  return std::string(BORNSQL_GOLDEN_DIR) + "/plans_" + config + ".txt";
+}
+
+bool UpdateGoldens() {
+  const char* env = std::getenv("BORNSQL_UPDATE_GOLDENS");
+  return env != nullptr && std::string(env) == "1";
+}
+
+// Line number of the first difference, for a readable failure message.
+std::string FirstDiff(const std::string& expected, const std::string& got) {
+  std::istringstream e(expected);
+  std::istringstream g(got);
+  std::string el;
+  std::string gl;
+  size_t line = 0;
+  while (true) {
+    ++line;
+    const bool he = static_cast<bool>(std::getline(e, el));
+    const bool hg = static_cast<bool>(std::getline(g, gl));
+    if (!he && !hg) return "identical";
+    if (el != gl || he != hg) {
+      return "line " + std::to_string(line) + ":\n  golden: " +
+             (he ? el : "<eof>") + "\n  actual: " + (hg ? gl : "<eof>");
+    }
+  }
+}
+
+class PlanSnapshotTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(PlanSnapshotTest, DriverPlansMatchGolden) {
+  const Config& config = GetParam();
+  EngineConfig engine_config;
+  engine_config.join_strategy = config.join;
+  engine_config.materialize_ctes = config.materialize;
+  Database db(engine_config);
+  LoadFixture(&db);
+  born::BornSqlClassifier clf(&db, "m", Source());
+  BORNSQL_ASSERT_OK(clf.Fit(kAllItems));
+  BORNSQL_ASSERT_OK(clf.Deploy());
+
+  const std::string actual = Snapshot(db, &clf);
+  const std::string path = GoldenPath(config.name);
+  if (UpdateGoldens()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << path
+      << " — run with BORNSQL_UPDATE_GOLDENS=1 to create it";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string expected = buffer.str();
+  EXPECT_EQ(expected, actual)
+      << "plan snapshot drifted for config " << config.name
+      << " — first difference at " << FirstDiff(expected, actual)
+      << "\nIf the change is intentional, regenerate with "
+         "BORNSQL_UPDATE_GOLDENS=1 and commit the diff.";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, PlanSnapshotTest,
+                         ::testing::ValuesIn(kConfigs),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+// ---------------------------------------------------------------------------
+// Result equivalence: the plans differ per config, the answers must not.
+
+TEST(PlanSnapshotEquivalenceTest, DriverResultsIdenticalAcrossAllConfigs) {
+  std::vector<std::string> reference_predict;
+  std::vector<std::string> reference_proba;
+  for (const Config& config : kConfigs) {
+    EngineConfig engine_config;
+    engine_config.join_strategy = config.join;
+    engine_config.materialize_ctes = config.materialize;
+    Database db(engine_config);
+    LoadFixture(&db);
+    born::BornSqlClassifier clf(&db, "m", Source());
+    BORNSQL_ASSERT_OK(clf.Fit(kAllItems));
+    BORNSQL_ASSERT_OK(clf.Deploy());
+    const auto predict =
+        RowStrings(MustQuery(db, clf.BuildPredictSql(kAllItems)));
+    const auto proba =
+        RowStrings(MustQuery(db, clf.BuildPredictProbaSql(kAllItems)));
+    if (reference_predict.empty()) {
+      reference_predict = predict;
+      reference_proba = proba;
+      ASSERT_FALSE(reference_predict.empty());
+      continue;
+    }
+    EXPECT_EQ(predict, reference_predict) << config.name;
+    EXPECT_EQ(proba, reference_proba) << config.name;
+  }
+}
+
+}  // namespace
+}  // namespace bornsql

@@ -97,14 +97,18 @@ bool DotCommand(Database& db, const std::string& line, bool* timer) {
     std::printf(
         ".tables | .schema <t> | .import <csv> <t> | .export <file> <sql;> "
         "| .timing on|off | .metrics [reset] | .trace <file> | .lint <sql;> "
-        "| .quit\n"
+        "| .plan <sql;> | .quit\n"
         "EXPLAIN ANALYZE <stmt;> runs a statement and annotates the plan "
         "with per-operator stats\n"
         "EXPLAIN LINT <stmt;> / EXPLAIN VERIFY <stmt;> run the static "
         "linter / plan-invariant verifier\n"
+        "EXPLAIN LOGICAL <stmt;> (or .plan <sql;>) shows the logical plan "
+        "before and after the optimizer rules\n"
+        "SET born.opt.<rule> = 0|1 toggles one optimizer rule; "
+        "born_stat_optimizer lists per-rule counters\n"
         "system views: born_stat_statements, born_stat_operators, "
-        "born_stat_tables, born_slow_log (SET born.slow_query_ms = N to "
-        "arm the slow log)\n");
+        "born_stat_optimizer, born_stat_tables, born_slow_log "
+        "(SET born.slow_query_ms = N to arm the slow log)\n");
   } else if (cmd == ".tables") {
     for (const std::string& name : db.catalog().TableNames()) {
       std::printf("%s\n", name.c_str());
@@ -147,6 +151,31 @@ bool DotCommand(Database& db, const std::string& line, bool* timer) {
   } else if (cmd == ".trace" && parts.size() >= 2) {
     auto st = db.ExportTrace(parts[1]);
     std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+  } else if (cmd == ".plan" && parts.size() >= 2) {
+    // Logical plan before rules, after rules, then the physical plan: the
+    // full pipeline for one statement, one line per plan node.
+    std::string sql;
+    for (size_t i = 1; i < parts.size(); ++i) {
+      if (i > 1) sql += ' ';
+      sql += parts[i];
+    }
+    auto logical = db.Execute("EXPLAIN LOGICAL " + sql);
+    if (!logical.ok()) {
+      std::printf("error: %s\n", logical.status().ToString().c_str());
+      return true;
+    }
+    for (const auto& row : logical->rows) {
+      std::printf("%s\n", row[0].AsText().c_str());
+    }
+    auto physical = db.Execute("EXPLAIN " + sql);
+    if (!physical.ok()) {
+      std::printf("error: %s\n", physical.status().ToString().c_str());
+      return true;
+    }
+    std::printf("physical plan:\n");
+    for (const auto& row : physical->rows) {
+      std::printf("  %s\n", row[0].AsText().c_str());
+    }
   } else if (cmd == ".lint" && parts.size() >= 2) {
     std::string sql;
     for (size_t i = 1; i < parts.size(); ++i) {

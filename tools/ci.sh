@@ -2,13 +2,16 @@
 # CI entry point. Legs, in order:
 #   1   default build + full test suite
 #   1b  trace export smoke (Chrome trace JSON shape)
+#   1c  plan snapshots: golden logical+physical plans for every driver
+#       statement across the 3 join strategies x 2 CTE modes
+#   1d  Debug build (plan + logical verifiers on) + full test suite
 #   2   Debug + ASan/UBSan build + full test suite
 #   3   Debug + TSan build, concurrency hammer tests (registry/trace/stats)
 #   4   clang-tidy over the files changed by the latest commit (skipped
 #       with a notice when clang-tidy is not installed)
 #
 #   tools/ci.sh            # all legs
-#   tools/ci.sh --fast     # leg 1 + 1b only
+#   tools/ci.sh --fast     # leg 1 + 1b + 1c only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -42,7 +45,20 @@ assert "statement" in cats, cats
 print(f"trace ok: {len(events)} events, categories {sorted(cats)}")
 EOF
 
+echo "=== leg 1c: plan snapshots ==="
+# Golden logical + physical plans for every BornSQL driver statement under
+# all six join-strategy x CTE-mode configurations. Drift means the planner
+# or an optimizer rule changed behaviour: review it, then regenerate with
+#   BORNSQL_UPDATE_GOLDENS=1 build/tests/plan_snapshot_test
+build/tests/plan_snapshot_test
+
 if [[ "${1:-}" != "--fast" ]]; then
+  echo "=== leg 1d: Debug + plan verifier ==="
+  # Debug defaults EngineConfig::verify_plans on, so every statement in the
+  # suite runs the physical plan-invariant verifier before execution and the
+  # logical verifier after each optimizer rule that rewrote the plan.
+  run_leg build-dbg -DCMAKE_BUILD_TYPE=Debug
+
   echo "=== leg 2: Debug + ASan/UBSan ==="
   # halt_on_error so ctest actually fails on a UBSan report.
   export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
