@@ -2,11 +2,17 @@
 // 16-18) and undeployed inference (Eqs. 8-10, listing 27) at fig3-scale
 // with every optimizer rule enabled, with each rule individually disabled,
 // and with all rules disabled, and reports the before/after numbers. Also
-// dumps the per-rule born_stat_optimizer counters for the all-on run.
+// dumps the per-rule born_stat_optimizer counters for the verified run.
 //
 // Writes BENCH_optimizer.json (override with --obs-json=<path>):
 //   {"configs": [{"name", "fit_ms", "predict_ms"}...],
-//    "rules":   [{"rule", "invocations", "fired", "rewrites"}...]}
+//    "rules":   [{"rule", "invocations", "fired", "rewrites", "validated",
+//                 "violations"}...]}
+//
+// The all_rules_on_verified config measures translation-validation
+// overhead (EngineConfig::verify_rewrites): identical rules, but every
+// rewrite is checked against BSV011-BSV016; rule counters are dumped from
+// this run so validated/violations reflect an armed validator.
 //
 // Expected shape: every ablated config returns identical predictions
 // (correctness is checked, not assumed), and all-rules-on is no slower
@@ -47,6 +53,13 @@ int main(int argc, char** argv) {
   };
   std::vector<Variant> variants;
   variants.push_back({"all_rules_on", engine::EngineConfig{}});
+  {
+    // Translation-validation overhead: same rules, but every rewrite is
+    // semantically checked (clone + before/after summaries per rule).
+    engine::EngineConfig config;
+    config.verify_rewrites = true;
+    variants.push_back({"all_rules_on_verified", config});
+  }
   for (const std::string& rule : engine::OptimizerRuleNames()) {
     engine::EngineConfig config;
     if (bool* flag = engine::OptimizerRuleFlag(&config.rules, rule)) {
@@ -128,16 +141,20 @@ int main(int argc, char** argv) {
                    variant.name.c_str());
     }
 
-    if (variant.name == "all_rules_on") {
+    if (variant.name == "all_rules_on_verified") {
+      // Collected from the verified variant so the validated/violations
+      // counters reflect an armed translation validator.
       std::string rules_json;
       for (const auto& [rule, stats] : db.optimizer_stats().Snapshot()) {
         if (!rules_json.empty()) rules_json += ", ";
         rules_json += StrFormat(
             "{\"rule\": \"%s\", \"invocations\": %llu, \"fired\": %llu, "
-            "\"rewrites\": %llu}",
+            "\"rewrites\": %llu, \"validated\": %llu, \"violations\": %llu}",
             rule.c_str(), static_cast<unsigned long long>(stats.invocations),
             static_cast<unsigned long long>(stats.fired),
-            static_cast<unsigned long long>(stats.rewrites));
+            static_cast<unsigned long long>(stats.rewrites),
+            static_cast<unsigned long long>(stats.validated),
+            static_cast<unsigned long long>(stats.violations));
       }
       rule_counters_json = "[" + rules_json + "]";
     }

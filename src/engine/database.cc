@@ -325,7 +325,19 @@ Result<QueryResult> Database::RunSet(const sql::SetStmt& stmt) {
     const std::string rule = stmt.name.substr(kOptPrefix.size());
     bool* flag = OptimizerRuleFlag(&config_.rules, rule);
     if (flag == nullptr) {
-      return Status::InvalidArgument("unknown optimizer rule '" + rule + "'");
+      if (rule == "cte_inline") {
+        return Status::InvalidArgument(
+            "optimizer rule 'cte_inline' has no born.opt flag: it is driven "
+            "by the CTE mode (EngineConfig::materialize_ctes)");
+      }
+      std::vector<std::string> valid;
+      for (const std::string& name : OptimizerRuleNames()) {
+        if (OptimizerRuleFlag(&config_.rules, name) != nullptr) {
+          valid.push_back(name);
+        }
+      }
+      return Status::InvalidArgument("unknown optimizer rule '" + rule +
+                                     "'; valid rules: " + Join(valid, ", "));
     }
     BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kInt));
     *flag = v.AsInt() != 0;
@@ -349,6 +361,9 @@ Result<QueryResult> Database::RunSet(const sql::SetStmt& stmt) {
   } else if (stmt.name == "born.verify_plans") {
     BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kInt));
     config_.verify_plans = v.AsInt() != 0;
+  } else if (stmt.name == "born.verify_rewrites") {
+    BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kInt));
+    config_.verify_rewrites = v.AsInt() != 0;
   } else {
     return Status::InvalidArgument("unknown setting '" + stmt.name + "'");
   }
@@ -679,8 +694,18 @@ Result<QueryResult> Database::RunExplainVerify(const sql::Statement& stmt) {
     return out;
   }
   Planner planner = MakePlanner();
-  BORNSQL_ASSIGN_OR_RETURN(exec::OperatorPtr plan,
-                           planner.PlanSelect(*select));
+  // Plan with translation validation armed and collecting (violations are
+  // reported here rather than failing the statement), regardless of the
+  // session's verify_rewrites setting: EXPLAIN VERIFY exists to show the
+  // evidence.
+  RewriteValidationLog vlog;
+  planner.set_validation_log(&vlog);
+  const bool saved_verify_rewrites = config_.verify_rewrites;
+  config_.verify_rewrites = true;
+  Result<exec::OperatorPtr> planned = planner.PlanSelect(*select);
+  config_.verify_rewrites = saved_verify_rewrites;
+  if (!planned.ok()) return planned.status();
+  exec::OperatorPtr plan = std::move(*planned);
   size_t checks = 0;
   const std::vector<lint::Diagnostic> diags = lint::VerifyPlan(*plan, &checks);
   if (diags.empty()) {
@@ -688,6 +713,16 @@ Result<QueryResult> Database::RunExplainVerify(const sql::Statement& stmt) {
         StrFormat("ok: %zu invariant checks, 0 violations", checks))});
   } else {
     for (const lint::Diagnostic& d : diags) {
+      out.rows.push_back({Value::Text(lint::FormatDiagnostic(d))});
+    }
+  }
+  if (vlog.diags.empty()) {
+    out.rows.push_back({Value::Text(StrFormat(
+        "ok: %zu rule applications translation-validated (%zu checks), "
+        "0 violations",
+        vlog.applications, vlog.checks))});
+  } else {
+    for (const lint::Diagnostic& d : vlog.diags) {
       out.rows.push_back({Value::Text(lint::FormatDiagnostic(d))});
     }
   }

@@ -74,6 +74,16 @@ struct EngineConfig {
 #else
   bool verify_plans = false;
 #endif
+  // Run the translation validator (lint/translation_validator.h) after
+  // every optimizer rule application, comparing the before/after logical
+  // trees semantically (BSV011-016); violations fail the statement with
+  // Internal naming the rule. Default on in debug builds, off in release.
+  // SET born.verify_rewrites = 0/1 overrides.
+#ifndef NDEBUG
+  bool verify_rewrites = true;
+#else
+  bool verify_rewrites = false;
+#endif
 };
 
 // Resolves system-view names (born_stat_statements & friends) during

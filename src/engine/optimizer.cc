@@ -5,8 +5,26 @@
 
 #include "engine/binder.h"
 #include "lint/logical_verifier.h"
+#include "lint/translation_validator.h"
 
 namespace bornsql::engine {
+namespace {
+
+// Test-only fault injection; see SetOptimizerSabotageForTesting.
+std::function<void(const std::string&, plan::LogicalNode*)>&
+SabotageHook() {
+  static std::function<void(const std::string&, plan::LogicalNode*)> hook;
+  return hook;
+}
+
+}  // namespace
+
+void SetOptimizerSabotageForTesting(
+    std::function<void(const std::string& rule, plan::LogicalNode* root)>
+        hook) {
+  SabotageHook() = std::move(hook);
+}
+
 namespace {
 
 using plan::LogicalJoinKind;
@@ -157,6 +175,15 @@ size_t PushdownSite(LogicalPtr* fslot) {
   std::vector<LogicalPtr*> leaf_slots;
   leaf_slots.push_back(&joins[0]->children[0]);
   for (LogicalNode* j : joins) leaf_slots.push_back(&j->children[1]);
+  // Leaf i (i >= 1) is the right child of joins[i-1]. When that join is a
+  // LEFT join the leaf is null-supplying: a WHERE conjunct filtered there
+  // would be undone by the join's null-extension, so it must stay above the
+  // join (leaf 0 is on the preserved side of every join in the spine).
+  std::vector<bool> leaf_null_supplying(leaf_slots.size(), false);
+  for (size_t i = 1; i < leaf_slots.size(); ++i) {
+    leaf_null_supplying[i] =
+        joins[i - 1]->join_kind == LogicalJoinKind::kLeft;
+  }
   // Node pointers stay valid across the slot rewrites below; capture the
   // schemas up front.
   std::vector<const Schema*> leaf_schema;
@@ -193,7 +220,7 @@ size_t PushdownSite(LogicalPtr* fslot) {
       bind_count = 1;
       bind_ref = 0;
     }
-    if (bind_count == 1) {
+    if (bind_count == 1 && !leaf_null_supplying[bind_ref]) {
       get_leaf_filter(bind_ref)->conjuncts.push_back(std::move(c));
       ++moved;
     }
@@ -666,6 +693,11 @@ Status Optimizer::Run(plan::LogicalNode* root) {
   auto run_rule = [&](const char* name, bool active,
                       const std::function<size_t()>& fn) -> Status {
     if (!active) return Status::OK();
+    // Snapshot the tree before the rule so the translation validator can
+    // compare against it (CteBindings are shared by the clone, which is
+    // exactly what the cte_inline body check needs).
+    plan::LogicalPtr before;
+    if (config_->verify_rewrites) before = plan::CloneLogical(*root);
     const uint64_t t0 = recorder_ ? recorder_->NowNs() : 0;
     const size_t rewrites = fn();
     if (stats_) stats_->Record(name, rewrites);
@@ -677,14 +709,38 @@ Status Optimizer::Run(plan::LogicalNode* root) {
       span.dur_ns = recorder_->NowNs() - t0;
       trace_->spans.push_back(std::move(span));
     }
-    if (rewrites > 0) {
+    const bool sabotaged = static_cast<bool>(SabotageHook());
+    if (sabotaged) SabotageHook()(name, root);
+    if (rewrites > 0 || sabotaged) {
       plan::RecomputeSchemas(root);
-      if (config_->verify_plans) {
+      if (rewrites > 0 && config_->verify_plans) {
         Status s = lint::VerifyLogicalPlanStatus(*root);
         if (!s.ok()) {
           return Status::Internal("after optimizer rule '" + std::string(name) +
                                   "': " + s.message());
         }
+      }
+    }
+    if (before != nullptr) {
+      size_t checks = 0;
+      std::vector<lint::Diagnostic> diags =
+          lint::ValidateRewrite(name, *before, *root, rewrites, &checks);
+      if (stats_) stats_->RecordValidation(name, diags.size());
+      if (validation_log_ != nullptr) {
+        ++validation_log_->applications;
+        validation_log_->checks += checks;
+        validation_log_->diags.insert(validation_log_->diags.end(),
+                                      diags.begin(), diags.end());
+      } else if (!diags.empty()) {
+        std::vector<std::string> lines;
+        lines.reserve(diags.size());
+        for (const lint::Diagnostic& d : diags) {
+          lines.push_back(lint::FormatDiagnostic(d));
+        }
+        std::string joined = lines[0];
+        for (size_t i = 1; i < lines.size(); ++i) joined += "; " + lines[i];
+        return Status::Internal("translation validation failed after rule '" +
+                                std::string(name) + "': " + joined);
       }
     }
     return Status::OK();

@@ -25,14 +25,19 @@
 // trace span per rule. When EngineConfig::verify_plans is set, the logical
 // verifier (lint/logical_verifier.h) runs after every rule that rewrote
 // the plan, so a rule bug fails with Internal naming the offending rule.
+// When EngineConfig::verify_rewrites is set, the translation validator
+// (lint/translation_validator.h) additionally compares the before/after
+// trees of every rule application semantically (BSV011-016).
 #ifndef BORNSQL_ENGINE_OPTIMIZER_H_
 #define BORNSQL_ENGINE_OPTIMIZER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "engine/engine_config.h"
+#include "lint/diagnostic.h"
 #include "obs/optimizer_stats.h"
 #include "obs/trace.h"
 #include "plan/logical_plan.h"
@@ -47,6 +52,24 @@ const std::vector<std::string>& OptimizerRuleNames();
 // or nullptr for unknown names. cte_inline has no flag here: it is driven
 // by EngineConfig::materialize_ctes, the paper's CTE-mode axis.
 bool* OptimizerRuleFlag(OptimizerRules* rules, const std::string& rule);
+
+// Collected translation-validation evidence for one planning pass.
+// Normally a violation fails the statement with Internal; when a log is
+// attached (EXPLAIN VERIFY), violations are collected here instead and the
+// pass continues, so every rule's verdict is reported at once.
+struct RewriteValidationLog {
+  size_t applications = 0;  // rule applications validated
+  size_t checks = 0;        // individual equivalence checks run
+  std::vector<lint::Diagnostic> diags;
+};
+
+// Test-only fault injection: `hook(rule, root)` runs after rule `rule`'s
+// rewrite function and before validation, so tests can sabotage the tree
+// and pin the BSV011-016 messages. Pass nullptr to clear. Not thread-safe;
+// tests install and clear it around single-threaded statements.
+void SetOptimizerSabotageForTesting(
+    std::function<void(const std::string& rule, plan::LogicalNode* root)>
+        hook);
 
 class Optimizer {
  public:
@@ -65,11 +88,19 @@ class Optimizer {
   // references).
   Status Run(plan::LogicalPlan* plan);
 
+  // Attaches a collection sink for translation-validation results. With a
+  // log attached, BSV011-016 violations are appended to it instead of
+  // failing the statement (EXPLAIN VERIFY's reporting mode).
+  void set_validation_log(RewriteValidationLog* log) {
+    validation_log_ = log;
+  }
+
  private:
   const EngineConfig* config_;
   obs::OptimizerStatsRegistry* stats_;
   const obs::TraceRecorder* recorder_;
   obs::StatementTrace* trace_;
+  RewriteValidationLog* validation_log_ = nullptr;
 };
 
 }  // namespace bornsql::engine

@@ -15,12 +15,14 @@ LogicalBuildHooks Planner::MakeHooks(bool optimize) {
   if (optimize) {
     hooks.optimize = [this](plan::LogicalNode* root) {
       Optimizer opt(config_, opt_stats_, recorder_, trace_);
+      opt.set_validation_log(validation_log_);
       return opt.Run(root);
     };
   }
   hooks.execute =
       [this](plan::LogicalPtr root) -> Result<exec::MaterializedResult> {
     Optimizer opt(config_, opt_stats_, recorder_, trace_);
+    opt.set_validation_log(validation_log_);
     BORNSQL_RETURN_IF_ERROR(opt.Run(root.get()));
     Lowering lowering(config_, system_views_);
     BORNSQL_ASSIGN_OR_RETURN(OperatorPtr op, lowering.Lower(*root));
@@ -50,6 +52,7 @@ Result<plan::LogicalPlan> Planner::BuildLogical(const sql::SelectStmt& stmt,
 
 Status Planner::OptimizeLogical(plan::LogicalPlan* plan) {
   Optimizer opt(config_, opt_stats_, recorder_, trace_);
+  opt.set_validation_log(validation_log_);
   return opt.Run(plan);
 }
 

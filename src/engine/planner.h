@@ -30,6 +30,8 @@
 
 namespace bornsql::engine {
 
+struct RewriteValidationLog;  // engine/optimizer.h
+
 class Planner {
  public:
   // `opt_stats` feeds born_stat_optimizer; `recorder` + `trace` add one
@@ -72,6 +74,12 @@ class Planner {
   // correctly but reproduces the unoptimized execution).
   Result<exec::OperatorPtr> LowerLogical(const plan::LogicalPlan& plan);
 
+  // Collects translation-validation results (BSV011-016) into `log`
+  // instead of failing the statement; see Optimizer::set_validation_log.
+  void set_validation_log(RewriteValidationLog* log) {
+    validation_log_ = log;
+  }
+
  private:
   // Hook bundle for a LogicalBuilder. `optimize` controls whether CTE
   // bodies get the rule pipeline; the execute hook always runs full
@@ -84,6 +92,7 @@ class Planner {
   obs::OptimizerStatsRegistry* opt_stats_;  // may be null
   const obs::TraceRecorder* recorder_;      // may be null
   obs::StatementTrace* trace_;              // may be null
+  RewriteValidationLog* validation_log_ = nullptr;  // may be null
 };
 
 }  // namespace bornsql::engine

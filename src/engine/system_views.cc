@@ -72,7 +72,9 @@ const Schema& OptimizerSchema() {
       kStatOptimizer, {{"rule", ValueType::kText},
                        {"invocations", ValueType::kInt},
                        {"fired", ValueType::kInt},
-                       {"rewrites", ValueType::kInt}}));
+                       {"rewrites", ValueType::kInt},
+                       {"validated", ValueType::kInt},
+                       {"violations", ValueType::kInt}}));
   return *schema;
 }
 
@@ -137,7 +139,8 @@ std::vector<Row> OptimizerRows(const Database& db) {
       stats = it->second;
     }
     rows.push_back({Value::Text(rule), Uint(stats.invocations),
-                    Uint(stats.fired), Uint(stats.rewrites)});
+                    Uint(stats.fired), Uint(stats.rewrites),
+                    Uint(stats.validated), Uint(stats.violations)});
   }
   return rows;
 }

@@ -135,10 +135,12 @@ class Linter {
     diags_.push_back(std::move(d));
   }
 
-  void LintSelect(const SelectStmt& s) {
+  // `nested` marks a derived table or CTE body, where an ORDER BY without
+  // LIMIT cannot affect the outer query's result (BSL008).
+  void LintSelect(const SelectStmt& s, bool nested = false) {
     for (size_t i = 0; i < s.ctes.size(); ++i) {
       CheckUnusedCte(s, i);
-      LintSelect(*s.ctes[i].select);
+      LintSelect(*s.ctes[i].select, /*nested=*/true);
     }
     for (const SelectCore& core : s.cores) LintCore(core);
     // BSL006: LIMIT picks rows from an unspecified order.
@@ -146,6 +148,14 @@ class Linter {
       Add("BSL006", Severity::kWarning,
           "LIMIT without ORDER BY returns an arbitrary subset of the rows",
           s.limit->loc);
+    }
+    // BSL008: a subquery's row order is not observable unless LIMIT trims
+    // by it, so the sort is pure wasted work.
+    if (nested && !s.order_by.empty() && s.limit == nullptr) {
+      Add("BSL008", Severity::kWarning,
+          "ORDER BY in a derived table or CTE without LIMIT has no effect "
+          "and wastes a sort",
+          s.order_by[0].expr->loc);
     }
   }
 
@@ -165,7 +175,7 @@ class Linter {
         SplitConjuncts(*ref.join_condition, &on);
         for (const Expr* c : on) CheckCoercion(*c, scope);
       }
-      if (ref.subquery != nullptr) LintSelect(*ref.subquery);
+      if (ref.subquery != nullptr) LintSelect(*ref.subquery, /*nested=*/true);
     }
     // Lint subqueries reachable from this core's expressions.
     auto lint_sub = [this](const Expr& e) {

@@ -16,6 +16,9 @@
 //                    table's unique key (fails at execution time)
 //   BSL006  warning  LIMIT without ORDER BY (nondeterministic row choice)
 //   BSL007  warning  UPDATE or DELETE without a WHERE clause
+//   BSL008  warning  ORDER BY in a derived table or CTE without LIMIT: a
+//                    subquery's row order is not observable, so the sort is
+//                    wasted work
 //
 // Severities follow one principle: errors are statements that cannot
 // execute correctly; warnings are legal SQL that is usually a mistake.

@@ -1,0 +1,311 @@
+#include "lint/translation_validator.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/strings.h"
+#include "engine/binder.h"
+#include "plan/plan_fingerprint.h"
+
+namespace bornsql::lint {
+namespace {
+
+using plan::JoinSignature;
+using plan::LogicalJoinKind;
+using plan::LogicalKind;
+using plan::LogicalNode;
+using plan::PredicateFingerprint;
+using plan::SemanticSummary;
+
+// Fingerprint folding delegates to the engine's constant evaluator -- the
+// same one the constant_folding rule uses -- so anything the rule folds,
+// the fingerprints fold identically on both sides of the comparison.
+plan::FingerprintOptions MakeOptions() {
+  plan::FingerprintOptions opts;
+  opts.fold = [](const sql::Expr& e, Value* out) {
+    Result<Value> v = engine::EvalConstExpr(e);
+    if (!v.ok()) return false;
+    *out = std::move(*v);
+    return true;
+  };
+  return opts;
+}
+
+// Long fingerprints stay readable in diagnostics; goldens pin the prefix.
+std::string Clip(const std::string& s) {
+  constexpr size_t kMax = 160;
+  if (s.size() <= kMax) return s;
+  return s.substr(0, kMax) + "...";
+}
+
+struct Validator {
+  const std::string& rule;
+  std::vector<Diagnostic> diags;
+  size_t checks = 0;
+
+  void Report(const char* code, std::string message,
+              const sql::SourceLoc& loc) {
+    Diagnostic d;
+    d.code = code;
+    d.severity = Severity::kError;
+    d.message = "rule '" + rule + "': " + std::move(message);
+    d.loc = loc;
+    diags.push_back(std::move(d));
+  }
+
+  // --- BSV011: root output contract -------------------------------------
+  void CheckOutput(const SemanticSummary& b, const SemanticSummary& a,
+                   const LogicalNode& after) {
+    ++checks;
+    if (b.output_columns.size() != a.output_columns.size()) {
+      Report("BSV011",
+             StrFormat("output width changed from %zu to %zu",
+                       b.output_columns.size(), a.output_columns.size()),
+             after.loc);
+      return;
+    }
+    for (size_t i = 0; i < b.output_columns.size(); ++i) {
+      if (b.output_columns[i] != a.output_columns[i]) {
+        Report("BSV011",
+               StrFormat("output ordinal %zu changed: %s -> %s", i,
+                         Clip(b.output_columns[i]).c_str(),
+                         Clip(a.output_columns[i]).c_str()),
+               after.loc);
+        return;  // one ordinal is enough to damn the rewrite
+      }
+    }
+  }
+
+  // --- BSV012: predicate multiset ----------------------------------------
+  void CheckPredicates(const SemanticSummary& b, const SemanticSummary& a,
+                       const LogicalNode& after) {
+    ++checks;
+    std::map<std::string, long> delta;  // >0 dropped, <0 invented
+    std::map<std::string, bool> truthy;
+    for (const PredicateFingerprint& p : b.predicates) {
+      ++delta[p.fp];
+      truthy[p.fp] = p.truthy_literal;
+    }
+    for (const PredicateFingerprint& p : a.predicates) --delta[p.fp];
+    for (const auto& [fp, d] : delta) {
+      if (d > 0) {
+        // constant_folding's one legal drop: a conjunct that is (or folds
+        // to) a truthy literal accepts every row.
+        if (rule == "constant_folding" && truthy[fp]) continue;
+        Report("BSV012",
+               StrFormat("predicate dropped (%ldx): %s", d, Clip(fp).c_str()),
+               after.loc);
+      } else if (d < 0) {
+        Report("BSV012",
+               StrFormat("predicate invented (%ldx): %s", -d,
+                         Clip(fp).c_str()),
+               after.loc);
+      }
+    }
+  }
+
+  // --- BSV013: relational skeleton ---------------------------------------
+  void CheckSkeleton(const SemanticSummary& b, const SemanticSummary& a,
+                     const LogicalNode& after) {
+    ++checks;
+    if (b.relations != a.relations) {
+      Report("BSV013",
+             "base relation multiset changed: [" + Join(b.relations, ",") +
+                 "] -> [" + Join(a.relations, ",") + "]",
+             after.loc);
+    }
+    ++checks;
+    for (const auto& [kind, n] : b.node_census) {
+      auto it = a.node_census.find(kind);
+      const size_t an = it == a.node_census.end() ? 0 : it->second;
+      if (an != n) {
+        Report("BSV013",
+               StrFormat("%s node count changed from %zu to %zu",
+                         kind.c_str(), n, an),
+               after.loc);
+      }
+    }
+    for (const auto& [kind, n] : a.node_census) {
+      if (n != 0 && b.node_census.find(kind) == b.node_census.end()) {
+        Report("BSV013",
+               StrFormat("%s node count changed from 0 to %zu", kind.c_str(),
+                         n),
+               after.loc);
+      }
+    }
+    ++checks;
+    if (b.node_signatures != a.node_signatures) {
+      const size_t n =
+          std::min(b.node_signatures.size(), a.node_signatures.size());
+      for (size_t i = 0; i < n; ++i) {
+        if (b.node_signatures[i] != a.node_signatures[i]) {
+          Report("BSV013",
+                 "node signature changed: " + Clip(b.node_signatures[i]) +
+                     " -> " + Clip(a.node_signatures[i]),
+                 after.loc);
+          return;
+        }
+      }
+      Report("BSV013",
+             StrFormat("node signature count changed from %zu to %zu",
+                       b.node_signatures.size(), a.node_signatures.size()),
+             after.loc);
+    }
+  }
+
+  // --- BSV014: cte_inline substitution ------------------------------------
+  // Parallel walk of the reference tree against the inlined tree: every
+  // CteRef must have become a Relabel over a structurally identical clone
+  // of the binding's body; nothing else may change shape.
+  void CheckInline(const LogicalNode& b, const LogicalNode& a) {
+    ++checks;
+    if (b.kind == LogicalKind::kCteRef && a.kind == LogicalKind::kRelabel) {
+      if (!EqualsIgnoreCase(b.qualifier, a.qualifier)) {
+        Report("BSV014",
+               "inlined reference changed qualifier '" + b.qualifier +
+                   "' to '" + a.qualifier + "'",
+               a.loc);
+        return;
+      }
+      if (b.cte == nullptr || b.cte->plan == nullptr ||
+          a.children.size() != 1) {
+        Report("BSV014", "inlined a reference without a built binding",
+               a.loc);
+        return;
+      }
+      const std::string body =
+          Join(plan::RenderLogicalTree(*b.cte->plan), "\n");
+      const std::string spliced =
+          Join(plan::RenderLogicalTree(*a.children[0]), "\n");
+      if (body != spliced) {
+        Report("BSV014",
+               "inlined body is not the binding's body for '" + b.qualifier +
+                   "'",
+               a.loc);
+      }
+      return;
+    }
+    if (b.kind != a.kind || b.children.size() != a.children.size()) {
+      Report("BSV014", "unexpected tree shape change during inlining", a.loc);
+      return;
+    }
+    for (size_t i = 0; i < b.children.size(); ++i) {
+      CheckInline(*b.children[i], *a.children[i]);
+    }
+  }
+
+  // --- BSV015: join contracts ---------------------------------------------
+  void CheckJoins(const SemanticSummary& b, const SemanticSummary& a,
+                  const LogicalNode& after) {
+    if (b.joins.size() != a.joins.size()) {
+      // The census already reported the count change (BSV013); pairwise
+      // contracts are meaningless without alignment.
+      return;
+    }
+    for (size_t i = 0; i < b.joins.size(); ++i) {
+      ++checks;
+      const JoinSignature& jb = b.joins[i];
+      const JoinSignature& ja = a.joins[i];
+      if (rule != "equi_join_extraction") {
+        if (jb.Render() != ja.Render()) {
+          Report("BSV015",
+                 "join contract changed: " + Clip(jb.Render()) + " -> " +
+                     Clip(ja.Render()),
+                 after.loc);
+        }
+        continue;
+      }
+      // equi_join_extraction's side conditions: the only legal kind change
+      // is cross -> inner; keys may only grow; the combined key+ON content
+      // must be conserved (a promoted ON conjunct becomes a key with the
+      // same fingerprint); new keys must resolve in their child scopes.
+      const bool kind_ok =
+          ja.kind == jb.kind || (jb.kind == LogicalJoinKind::kCross &&
+                                 ja.kind == LogicalJoinKind::kInner);
+      if (!kind_ok) {
+        Report("BSV015",
+               "illegal join kind change: " + Clip(jb.Render()) + " -> " +
+                   Clip(ja.Render()),
+               after.loc);
+        continue;
+      }
+      std::vector<std::string> content_b = jb.key_fps;
+      content_b.insert(content_b.end(), jb.on_fps.begin(), jb.on_fps.end());
+      std::vector<std::string> content_a = ja.key_fps;
+      content_a.insert(content_a.end(), ja.on_fps.begin(), ja.on_fps.end());
+      std::sort(content_b.begin(), content_b.end());
+      std::sort(content_a.begin(), content_a.end());
+      // Keys extracted from a Filter arrive from outside the join, so the
+      // after content may grow -- but never shrink: every before key/ON
+      // term must survive.
+      if (!std::includes(content_a.begin(), content_a.end(),
+                         content_b.begin(), content_b.end())) {
+        Report("BSV015",
+               "join key/ON content lost: " + Clip(jb.Render()) + " -> " +
+                   Clip(ja.Render()),
+               after.loc);
+        continue;
+      }
+      if (ja.key_fps.size() > jb.key_fps.size() && !ja.keys_resolved) {
+        Report("BSV015",
+               "extracted join key does not resolve in its child scope: " +
+                   Clip(ja.Render()),
+               after.loc);
+      }
+    }
+  }
+
+  // --- BSV016: rewrite accounting ------------------------------------------
+  void CheckAccounting(const LogicalNode& before, const LogicalNode& after,
+                       size_t reported_rewrites) {
+    ++checks;
+    if (reported_rewrites > 0) return;
+    const std::string rb = Join(plan::RenderLogicalTree(before), "\n");
+    const std::string ra = Join(plan::RenderLogicalTree(after), "\n");
+    if (rb != ra) {
+      Report("BSV016",
+             "plan changed but the rule reported zero rewrites", after.loc);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Diagnostic> ValidateRewrite(const std::string& rule,
+                                        const plan::LogicalNode& before,
+                                        const plan::LogicalNode& after,
+                                        size_t reported_rewrites,
+                                        size_t* checks_run) {
+  const plan::FingerprintOptions opts = MakeOptions();
+  const SemanticSummary b = SummarizeLogicalPlan(before, opts);
+  const SemanticSummary a = SummarizeLogicalPlan(after, opts);
+
+  Validator v{rule, {}, 0};
+  v.CheckOutput(b, a, after);
+  v.CheckPredicates(b, a, after);
+  v.CheckSkeleton(b, a, after);
+  if (rule == "cte_inline") v.CheckInline(before, after);
+  v.CheckJoins(b, a, after);
+  v.CheckAccounting(before, after, reported_rewrites);
+
+  SortAndDedupe(&v.diags);
+  if (checks_run != nullptr) *checks_run = v.checks;
+  return v.diags;
+}
+
+Status ValidateRewriteStatus(const std::string& rule,
+                             const plan::LogicalNode& before,
+                             const plan::LogicalNode& after,
+                             size_t reported_rewrites) {
+  std::vector<Diagnostic> diags =
+      ValidateRewrite(rule, before, after, reported_rewrites);
+  if (diags.empty()) return Status::OK();
+  std::vector<std::string> lines;
+  lines.reserve(diags.size());
+  for (const Diagnostic& d : diags) lines.push_back(FormatDiagnostic(d));
+  return Status::Internal("translation validation failed: " +
+                          Join(lines, "; "));
+}
+
+}  // namespace bornsql::lint

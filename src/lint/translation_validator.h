@@ -1,0 +1,64 @@
+// Translation validation for optimizer rewrite rules: after each rule
+// application the optimizer (engine/optimizer.h) hands the before/after
+// logical trees here, and the validator proves -- or refutes -- that the
+// rewrite preserved the plan's semantics.
+//
+// Both trees are reduced to plan::SemanticSummary (plan/plan_fingerprint.h):
+// column provenance per output ordinal, a location-independent predicate
+// multiset, base-relation and plan-shaping-node censuses, and per-join
+// contracts. Equal summaries mean the rewrite only moved work around;
+// differences are legal only where the named rule's side conditions allow
+// them (constant_folding may drop truthy literal conjuncts,
+// equi_join_extraction may promote cross to inner while converting
+// predicates into keys, cte_inline must splice in a structurally identical
+// body). Codes continue the BSV range:
+//
+//   BSV011  root output contract changed (width, name, or the provenance of
+//           an output ordinal)
+//   BSV012  predicate multiset not preserved (a conjunct/key/ON term was
+//           dropped, invented, or semantically altered)
+//   BSV013  relational skeleton changed (base-relation multiset, node
+//           census, or a sort/aggregate/window/limit signature)
+//   BSV014  cte_inline substitution mismatch (inlined body is not the
+//           referenced binding's body, or an unexpected shape change)
+//   BSV015  join contract violated (illegal kind change, key/ON content
+//           loss, or an unresolved extracted key)
+//   BSV016  rewrite accounting: the plan changed but the rule reported
+//           zero rewrites (stats and rule gating would both lie)
+//
+// Gated by `SET born.verify_rewrites` (on by default in Debug, like
+// verify_plans); violations are recorded per rule in born_stat_optimizer
+// and rendered by EXPLAIN VERIFY.
+#ifndef BORNSQL_LINT_TRANSLATION_VALIDATOR_H_
+#define BORNSQL_LINT_TRANSLATION_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lint/diagnostic.h"
+#include "plan/logical_plan.h"
+
+namespace bornsql::lint {
+
+// Compares `before` (the tree as it was when the rule started) against
+// `after` (the tree the rule produced) under `rule`'s side conditions.
+// `reported_rewrites` is the rule's own rewrite count, checked against the
+// observed plan delta (BSV016). `checks_run`, when non-null, receives the
+// number of individual equivalence checks performed.
+std::vector<Diagnostic> ValidateRewrite(const std::string& rule,
+                                        const plan::LogicalNode& before,
+                                        const plan::LogicalNode& after,
+                                        size_t reported_rewrites,
+                                        size_t* checks_run = nullptr);
+
+// OK when the rewrite validates; Internal with the violations joined into
+// the message otherwise.
+Status ValidateRewriteStatus(const std::string& rule,
+                             const plan::LogicalNode& before,
+                             const plan::LogicalNode& after,
+                             size_t reported_rewrites);
+
+}  // namespace bornsql::lint
+
+#endif  // BORNSQL_LINT_TRANSLATION_VALIDATOR_H_

@@ -11,6 +11,14 @@ void OptimizerStatsRegistry::Record(const std::string& rule,
   stats.rewrites += rewrites;
 }
 
+void OptimizerStatsRegistry::RecordValidation(const std::string& rule,
+                                              uint64_t violations) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OptimizerRuleStats& stats = rules_[rule];
+  ++stats.validated;
+  stats.violations += violations;
+}
+
 OptimizerRuleStats OptimizerStatsRegistry::rule_stats(
     const std::string& rule) const {
   std::lock_guard<std::mutex> lock(mu_);

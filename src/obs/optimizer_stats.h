@@ -18,6 +18,8 @@ struct OptimizerRuleStats {
   uint64_t invocations = 0;  // times the rule ran over a plan
   uint64_t fired = 0;        // invocations that rewrote >= 1 node
   uint64_t rewrites = 0;     // total nodes rewritten
+  uint64_t validated = 0;    // applications translation-validated
+  uint64_t violations = 0;   // BSV011-016 diagnostics raised
 };
 
 class OptimizerStatsRegistry {
@@ -28,6 +30,10 @@ class OptimizerStatsRegistry {
 
   // Records one invocation of `rule` that rewrote `rewrites` nodes.
   void Record(const std::string& rule, uint64_t rewrites);
+
+  // Records one translation-validated application of `rule` that raised
+  // `violations` BSV011-016 diagnostics.
+  void RecordValidation(const std::string& rule, uint64_t violations);
 
   OptimizerRuleStats rule_stats(const std::string& rule) const;
   // Ordered copy (rule name -> stats) for the system view.

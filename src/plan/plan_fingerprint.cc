@@ -1,0 +1,474 @@
+#include "plan/plan_fingerprint.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace bornsql::plan {
+
+namespace {
+
+// Canonical, type-tagged value text so int 2 and text '2' never collide and
+// doubles round-trip exactly.
+std::string CanonValue(const Value& v) {
+  if (v.is_null()) return "null";
+  if (v.is_int()) return "i" + std::to_string(v.AsInt());
+  if (v.is_double()) return StrFormat("d%.17g", v.AsDouble());
+  return "t'" + v.ToString() + "'";
+}
+
+// A subtree with any of these kinds can never fold to a constant (column
+// refs need rows; subquery kinds carry their own scopes).
+bool IsPureExpr(const sql::Expr& e) {
+  switch (e.kind) {
+    case sql::ExprKind::kColumnRef:
+    case sql::ExprKind::kStar:
+    case sql::ExprKind::kWindow:
+    case sql::ExprKind::kScalarSubquery:
+    case sql::ExprKind::kInSubquery:
+    case sql::ExprKind::kExists:
+      return false;
+    default:
+      break;
+  }
+  if (e.left && !IsPureExpr(*e.left)) return false;
+  if (e.right && !IsPureExpr(*e.right)) return false;
+  for (const sql::ExprPtr& a : e.args) {
+    if (!IsPureExpr(*a)) return false;
+  }
+  for (const auto& [w, t] : e.when_clauses) {
+    if (!IsPureExpr(*w) || !IsPureExpr(*t)) return false;
+  }
+  if (e.else_clause && !IsPureExpr(*e.else_clause)) return false;
+  return true;
+}
+
+const char* BinaryOpTag(sql::BinaryOp op) {
+  switch (op) {
+    case sql::BinaryOp::kAdd: return "add";
+    case sql::BinaryOp::kSub: return "sub";
+    case sql::BinaryOp::kMul: return "mul";
+    case sql::BinaryOp::kDiv: return "div";
+    case sql::BinaryOp::kMod: return "mod";
+    case sql::BinaryOp::kEq: return "eq";
+    case sql::BinaryOp::kNotEq: return "ne";
+    case sql::BinaryOp::kLt: return "lt";
+    case sql::BinaryOp::kLtEq: return "le";
+    case sql::BinaryOp::kGt: return "gt";
+    case sql::BinaryOp::kGtEq: return "ge";
+    case sql::BinaryOp::kAnd: return "and";
+    case sql::BinaryOp::kOr: return "or";
+    case sql::BinaryOp::kConcat: return "concat";
+    case sql::BinaryOp::kLike: return "like";
+  }
+  return "op";
+}
+
+// Symmetric operators render with sorted operands so `a = b` and `b = a`
+// (and extracted key pairs, whichever side they came from) agree.
+bool IsSymmetricOp(sql::BinaryOp op) {
+  switch (op) {
+    case sql::BinaryOp::kEq:
+    case sql::BinaryOp::kNotEq:
+    case sql::BinaryOp::kAnd:
+    case sql::BinaryOp::kOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// First textual match, tolerant where Schema::Resolve errors: ambiguity
+// resolves to the leftmost candidate (predicate pushdown sends
+// side-resolvable ambiguous names left) and a miss degrades to a marker.
+const std::string* FirstMatchProv(const Schema& scope,
+                                  const std::vector<std::string>& prov,
+                                  const std::string& qualifier,
+                                  const std::string& name) {
+  const size_t n = std::min(scope.size(), prov.size());
+  for (size_t i = 0; i < n; ++i) {
+    const Column& c = scope.column(i);
+    if (!EqualsIgnoreCase(c.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(c.qualifier, qualifier)) {
+      continue;
+    }
+    return &prov[i];
+  }
+  return nullptr;
+}
+
+void SplitConjunctsConst(const sql::Expr& e,
+                         std::vector<const sql::Expr*>* out) {
+  if (e.kind == sql::ExprKind::kBinary &&
+      e.binary_op == sql::BinaryOp::kAnd) {
+    SplitConjunctsConst(*e.left, out);
+    SplitConjunctsConst(*e.right, out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+struct FpContext {
+  const Schema* scope;
+  const std::vector<std::string>* prov;
+  const FingerprintOptions* opts;
+};
+
+std::string Fp(const sql::Expr& e, const FpContext& ctx);
+
+std::string FpList(const std::vector<sql::ExprPtr>& exprs,
+                   const FpContext& ctx, bool sorted) {
+  std::vector<std::string> fps;
+  fps.reserve(exprs.size());
+  for (const sql::ExprPtr& x : exprs) fps.push_back(Fp(*x, ctx));
+  if (sorted) std::sort(fps.begin(), fps.end());
+  return Join(fps, ",");
+}
+
+std::string Fp(const sql::Expr& e, const FpContext& ctx) {
+  if (e.kind == sql::ExprKind::kLiteral) return "lit:" + CanonValue(e.literal);
+  if (ctx.opts->fold && IsPureExpr(e)) {
+    Value v;
+    if (ctx.opts->fold(e, &v)) return "lit:" + CanonValue(v);
+  }
+  switch (e.kind) {
+    case sql::ExprKind::kLiteral:
+      break;  // handled above
+    case sql::ExprKind::kColumnRef: {
+      const std::string* p =
+          FirstMatchProv(*ctx.scope, *ctx.prov, e.qualifier, e.column);
+      if (p != nullptr) return *p;
+      const std::string name =
+          e.qualifier.empty() ? e.column : e.qualifier + "." + e.column;
+      return "unres:" + AsciiToLower(name);
+    }
+    case sql::ExprKind::kUnary: {
+      const char* tag = e.unary_op == sql::UnaryOp::kNegate ? "neg"
+                        : e.unary_op == sql::UnaryOp::kNot  ? "not"
+                                                            : "plus";
+      return std::string(tag) + "(" + Fp(*e.left, ctx) + ")";
+    }
+    case sql::ExprKind::kBinary: {
+      std::string l = Fp(*e.left, ctx);
+      std::string r = Fp(*e.right, ctx);
+      if (IsSymmetricOp(e.binary_op) && r < l) std::swap(l, r);
+      return std::string(BinaryOpTag(e.binary_op)) + "(" + l + "," + r + ")";
+    }
+    case sql::ExprKind::kFunctionCall:
+      return AsciiToLower(e.func_name) + "(" + FpList(e.args, ctx, false) +
+             ")";
+    case sql::ExprKind::kWindow: {
+      std::string out = "win:" + AsciiToLower(e.func_name) + "(" +
+                        FpList(e.args, ctx, false) + ")";
+      if (!e.partition_by.empty()) {
+        out += "/part(" + FpList(e.partition_by, ctx, true) + ")";
+      }
+      if (!e.window_order_by.empty()) {
+        std::vector<std::string> keys;
+        for (const auto& [oe, desc] : e.window_order_by) {
+          keys.push_back(Fp(*oe, ctx) + (desc ? " desc" : ""));
+        }
+        out += "/ord(" + Join(keys, ",") + ")";
+      }
+      return out;
+    }
+    case sql::ExprKind::kStar:
+      return "star";
+    case sql::ExprKind::kCase: {
+      std::vector<std::string> arms;
+      for (const auto& [w, t] : e.when_clauses) {
+        arms.push_back(Fp(*w, ctx) + "->" + Fp(*t, ctx));
+      }
+      std::string out = "case(" + Join(arms, ";");
+      if (e.else_clause) out += ";else->" + Fp(*e.else_clause, ctx);
+      return out + ")";
+    }
+    case sql::ExprKind::kIsNull:
+      return std::string(e.negated ? "isnotnull(" : "isnull(") +
+             Fp(*e.left, ctx) + ")";
+    case sql::ExprKind::kInList:
+      // IN-list membership is order-independent; sort the candidates.
+      return std::string(e.negated ? "notin(" : "in(") + Fp(*e.left, ctx) +
+             ";[" + FpList(e.args, ctx, true) + "])";
+    case sql::ExprKind::kScalarSubquery:
+      return "subquery";
+    case sql::ExprKind::kInSubquery:
+      return std::string(e.negated ? "notin(" : "in(") + Fp(*e.left, ctx) +
+             ";subquery)";
+    case sql::ExprKind::kExists:
+      return e.negated ? "notexists" : "exists";
+    case sql::ExprKind::kInSet: {
+      std::vector<std::string> vals;
+      vals.reserve(e.set_values.size());
+      for (const Value& v : e.set_values) vals.push_back(CanonValue(v));
+      std::sort(vals.begin(), vals.end());
+      return std::string(e.negated ? "notin(" : "in(") + Fp(*e.left, ctx) +
+             ";[" + Join(vals, ",") + "])";
+    }
+  }
+  return "expr?";
+}
+
+// True when the conjunct is (or folds to) a truthy numeric literal -- the
+// one predicate shape constant_folding may drop from a Filter.
+bool IsTruthyLiteralPred(const sql::Expr& e, const FingerprintOptions& opts) {
+  const Value* v = nullptr;
+  Value folded;
+  if (e.kind == sql::ExprKind::kLiteral) {
+    v = &e.literal;
+  } else if (opts.fold && IsPureExpr(e) && opts.fold(e, &folded)) {
+    v = &folded;
+  }
+  return v != nullptr && !v->is_null() && v->is_numeric() && v->Truthy();
+}
+
+// Pads or truncates a provenance vector to the node's schema width; a
+// mismatch here is a width bug the logical verifier (BSV008) reports, so
+// the fingerprints only need to stay deterministic.
+std::vector<std::string> FitWidth(std::vector<std::string> prov, size_t n) {
+  while (prov.size() < n) {
+    prov.push_back("width-mismatch:" + std::to_string(prov.size()));
+  }
+  prov.resize(n);
+  return prov;
+}
+
+struct Summarizer {
+  const FingerprintOptions& opts;
+  SemanticSummary* sum;  // null => provenance only
+
+  void AddPredicate(std::string fp, bool truthy) {
+    if (sum != nullptr) sum->predicates.push_back({std::move(fp), truthy});
+  }
+
+  std::vector<std::string> Walk(const LogicalNode& n, size_t depth) {
+    if (depth > opts.max_depth) {
+      return FitWidth({}, n.schema.size());
+    }
+    switch (n.kind) {
+      case LogicalKind::kScan: {
+        if (sum != nullptr) {
+          sum->relations.push_back(
+              std::string(n.is_system_view ? "view:" : "table:") +
+              AsciiToLower(n.table_name));
+        }
+        std::vector<std::string> prov;
+        prov.reserve(n.schema.size());
+        for (const Column& c : n.schema.columns()) {
+          prov.push_back("base:" + AsciiToLower(c.qualifier) + "." +
+                         AsciiToLower(n.table_name) + "." +
+                         AsciiToLower(c.name));
+        }
+        return prov;
+      }
+      case LogicalKind::kSingleRow:
+        if (sum != nullptr) sum->relations.push_back("singlerow");
+        return FitWidth({}, n.schema.size());
+      case LogicalKind::kCteRef: {
+        if (n.cte == nullptr || n.cte->plan == nullptr) {
+          if (sum != nullptr) sum->relations.push_back("cte:unbuilt");
+          return FitWidth({}, n.schema.size());
+        }
+        // Expand the body at every reference: a plan holding two CteRefs
+        // summarizes the body twice, matching its fully inlined form.
+        return FitWidth(Walk(*n.cte->plan, depth + 1), n.schema.size());
+      }
+      case LogicalKind::kRelabel:
+        return FitWidth(Walk(*n.children[0], depth), n.schema.size());
+      case LogicalKind::kFilter: {
+        std::vector<std::string> prov = Walk(*n.children[0], depth);
+        const FpContext ctx{&n.children[0]->schema, &prov, &opts};
+        for (const sql::ExprPtr& c : n.conjuncts) {
+          AddPredicate(Fp(*c, ctx), IsTruthyLiteralPred(*c, opts));
+        }
+        return FitWidth(std::move(prov), n.schema.size());
+      }
+      case LogicalKind::kProject: {
+        std::vector<std::string> cprov = Walk(*n.children[0], depth);
+        const FpContext ctx{&n.children[0]->schema, &cprov, &opts};
+        std::vector<std::string> prov;
+        prov.reserve(n.items.size());
+        for (const ProjectItem& item : n.items) {
+          if (item.expr != nullptr) {
+            prov.push_back("expr:" + Fp(*item.expr, ctx));
+          } else if (item.ordinal < cprov.size()) {
+            prov.push_back(cprov[item.ordinal]);
+          } else {
+            prov.push_back("badordinal:" + std::to_string(item.ordinal));
+          }
+        }
+        return FitWidth(std::move(prov), n.schema.size());
+      }
+      case LogicalKind::kJoin: {
+        std::vector<std::string> lprov = Walk(*n.children[0], depth);
+        std::vector<std::string> rprov = Walk(*n.children[1], depth);
+        const FpContext lctx{&n.children[0]->schema, &lprov, &opts};
+        const FpContext rctx{&n.children[1]->schema, &rprov, &opts};
+        if (sum != nullptr) {
+          ++sum->node_census["Join"];
+          JoinSignature sig;
+          sig.kind = n.join_kind;
+          for (const JoinKeyPair& k : n.keys) {
+            std::string l = Fp(*k.left, lctx);
+            std::string r = Fp(*k.right, rctx);
+            if (l.find("unres:") != std::string::npos ||
+                r.find("unres:") != std::string::npos) {
+              sig.keys_resolved = false;
+            }
+            if (r < l) std::swap(l, r);
+            std::string pair = "eq(" + l + "," + r + ")";
+            AddPredicate(pair, false);
+            sig.key_fps.push_back(std::move(pair));
+          }
+          std::sort(sig.key_fps.begin(), sig.key_fps.end());
+          if (n.on_condition != nullptr) {
+            std::vector<std::string> joined = lprov;
+            joined.insert(joined.end(), rprov.begin(), rprov.end());
+            const FpContext jctx{&n.schema, &joined, &opts};
+            std::vector<const sql::Expr*> on;
+            SplitConjunctsConst(*n.on_condition, &on);
+            for (const sql::Expr* c : on) {
+              std::string fp = Fp(*c, jctx);
+              AddPredicate(fp, false);
+              sig.on_fps.push_back(std::move(fp));
+            }
+            std::sort(sig.on_fps.begin(), sig.on_fps.end());
+          }
+          sum->joins.push_back(std::move(sig));
+        }
+        lprov.insert(lprov.end(), rprov.begin(), rprov.end());
+        return FitWidth(std::move(lprov), n.schema.size());
+      }
+      case LogicalKind::kAggregate: {
+        std::vector<std::string> cprov = Walk(*n.children[0], depth);
+        const FpContext ctx{&n.children[0]->schema, &cprov, &opts};
+        std::vector<std::string> groups;
+        std::vector<std::string> calls;
+        for (const sql::ExprPtr& g : n.group_exprs) {
+          groups.push_back(Fp(*g, ctx));
+        }
+        for (const sql::ExprPtr& a : n.agg_calls) {
+          calls.push_back(Fp(*a, ctx));
+        }
+        if (sum != nullptr) {
+          ++sum->node_census["Aggregate"];
+          sum->node_signatures.push_back("agg(groups:[" + Join(groups, ",") +
+                                         "];calls:[" + Join(calls, ",") +
+                                         "])");
+        }
+        std::vector<std::string> prov;
+        prov.reserve(groups.size() + calls.size());
+        for (std::string& g : groups) prov.push_back("group:" + g);
+        for (std::string& a : calls) prov.push_back("agg:" + a);
+        return FitWidth(std::move(prov), n.schema.size());
+      }
+      case LogicalKind::kWindow: {
+        std::vector<std::string> prov = Walk(*n.children[0], depth);
+        const FpContext ctx{&n.children[0]->schema, &prov, &opts};
+        std::vector<std::string> fps;
+        for (const WindowItem& w : n.windows) {
+          fps.push_back(Fp(*w.call, ctx));
+        }
+        if (sum != nullptr) {
+          ++sum->node_census["Window"];
+          sum->node_signatures.push_back("window([" + Join(fps, ",") + "])");
+        }
+        for (std::string& f : fps) prov.push_back("win:" + f);
+        return FitWidth(std::move(prov), n.schema.size());
+      }
+      case LogicalKind::kSort: {
+        std::vector<std::string> prov = Walk(*n.children[0], depth);
+        const FpContext ctx{&n.children[0]->schema, &prov, &opts};
+        std::vector<std::string> keys;
+        for (const SortKeySpec& k : n.sort_keys) {
+          std::string key =
+              k.expr != nullptr
+                  ? Fp(*k.expr, ctx)
+                  : (k.ordinal < prov.size()
+                         ? prov[k.ordinal]
+                         : "badordinal:" + std::to_string(k.ordinal));
+          if (k.desc) key += " desc";
+          keys.push_back(std::move(key));
+        }
+        if (sum != nullptr) {
+          ++sum->node_census["Sort"];
+          sum->node_signatures.push_back("sort(" + Join(keys, ",") + ")");
+        }
+        return FitWidth(std::move(prov), n.schema.size());
+      }
+      case LogicalKind::kLimit:
+        if (sum != nullptr) {
+          ++sum->node_census["Limit"];
+          sum->node_signatures.push_back(
+              StrFormat("limit(%lld,%lld)", static_cast<long long>(n.limit),
+                        static_cast<long long>(n.offset)));
+        }
+        return FitWidth(Walk(*n.children[0], depth), n.schema.size());
+      case LogicalKind::kDistinct:
+        if (sum != nullptr) ++sum->node_census["Distinct"];
+        return FitWidth(Walk(*n.children[0], depth), n.schema.size());
+      case LogicalKind::kUnion: {
+        std::vector<std::vector<std::string>> parts;
+        parts.reserve(n.children.size());
+        for (const LogicalPtr& c : n.children) {
+          parts.push_back(FitWidth(Walk(*c, depth), n.schema.size()));
+        }
+        if (sum != nullptr) ++sum->node_census["Union"];
+        std::vector<std::string> prov;
+        prov.reserve(n.schema.size());
+        for (size_t i = 0; i < n.schema.size(); ++i) {
+          std::vector<std::string> branch;
+          branch.reserve(parts.size());
+          for (const std::vector<std::string>& p : parts) {
+            branch.push_back(p[i]);
+          }
+          prov.push_back("union(" + Join(branch, "|") + ")");
+        }
+        return prov;
+      }
+    }
+    return FitWidth({}, n.schema.size());
+  }
+};
+
+}  // namespace
+
+std::string ExprFingerprint(const sql::Expr& e, const Schema& scope,
+                            const std::vector<std::string>& scope_prov,
+                            const FingerprintOptions& opts) {
+  const FpContext ctx{&scope, &scope_prov, &opts};
+  return Fp(e, ctx);
+}
+
+std::vector<std::string> ColumnProvenance(const LogicalNode& node,
+                                          const FingerprintOptions& opts) {
+  Summarizer s{opts, nullptr};
+  return s.Walk(node, 0);
+}
+
+std::string JoinSignature::Render() const {
+  const char* kind_name = kind == LogicalJoinKind::kInner   ? "inner"
+                          : kind == LogicalJoinKind::kLeft  ? "left"
+                                                            : "cross";
+  return StrFormat("join(%s;keys:[%s];on:[%s])", kind_name,
+                   Join(key_fps, ",").c_str(), Join(on_fps, ",").c_str());
+}
+
+SemanticSummary SummarizeLogicalPlan(const LogicalNode& root,
+                                     const FingerprintOptions& opts) {
+  SemanticSummary sum;
+  Summarizer s{opts, &sum};
+  const std::vector<std::string> prov = s.Walk(root, 0);
+  for (size_t i = 0; i < root.schema.size(); ++i) {
+    sum.output_columns.push_back(AsciiToLower(root.schema.column(i).name) +
+                                 "=" + prov[i]);
+  }
+  std::sort(sum.predicates.begin(), sum.predicates.end(),
+            [](const PredicateFingerprint& a, const PredicateFingerprint& b) {
+              return a.fp < b.fp;
+            });
+  std::sort(sum.relations.begin(), sum.relations.end());
+  return sum;
+}
+
+}  // namespace bornsql::plan

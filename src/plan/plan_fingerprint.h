@@ -1,0 +1,113 @@
+// Semantic fingerprints over the logical IR: the normalization layer under
+// the translation validator (lint/translation_validator.h).
+//
+// A rewrite rule is semantics-preserving when the plan's *meaning* survives
+// even though its *shape* changed. This file reduces a LogicalNode tree to
+// a location-independent summary of that meaning:
+//
+//   - column provenance: each output ordinal traced through Projects,
+//     Relabels, Joins and CTE bodies back to a base-table column
+//     ("base:<qualifier>.<table>.<column>") or a normalized expression
+//     fingerprint ("expr:<fp>")
+//   - expression fingerprints: canonical text with column references
+//     replaced by their provenance (so a predicate fingerprints identically
+//     above and below the join it was pushed through), constant
+//     subexpressions folded via the injected ConstFolder (so `1 + 1` and
+//     `2` agree), and symmetric operators (=, <>, AND, OR) rendered with
+//     sorted operands (so `a = b` and `b = a` agree)
+//   - a whole-tree SemanticSummary: root output signature, predicate
+//     multiset, base-relation multiset, plan-shaping node census, per-node
+//     semantic signatures (sorts/aggregates/windows/limits) and join
+//     signatures, with CTE bodies expanded at every reference (so
+//     cte_inline compares clone against body, reference for reference)
+//
+// Constant folding is a callback rather than a direct dependency because
+// the evaluator lives above the IR (engine/binder.h); the validator injects
+// engine::EvalConstExpr so fingerprint folding agrees with what the
+// constant_folding rule actually does.
+#ifndef BORNSQL_PLAN_PLAN_FINGERPRINT_H_
+#define BORNSQL_PLAN_PLAN_FINGERPRINT_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "plan/logical_plan.h"
+#include "sql/ast.h"
+#include "types/schema.h"
+
+namespace bornsql::plan {
+
+// Attempts constant evaluation of `e` (which contains no column
+// references); returns true and fills `*out` on success. May fold more than
+// the constant_folding rule does -- that is harmless because fingerprints
+// are only ever compared with other fingerprints -- but must never fold
+// less, or folded plans would fingerprint differently from their sources.
+using ConstFolder = std::function<bool(const sql::Expr& e, Value* out)>;
+
+struct FingerprintOptions {
+  ConstFolder fold;        // null => no folding
+  size_t max_depth = 64;   // CTE-expansion recursion guard
+};
+
+// Normalized fingerprint of `e` against a scope: `scope` supplies name
+// resolution (first textual match, mirroring the engine's leftmost bias for
+// side-resolvable names) and `scope_prov` the provenance string of each
+// scope column. Unresolvable references degrade to a stable
+// "unres:<name>" marker instead of erroring: a predicate may legitimately
+// sit above its eventual bind point, and before/after must still agree.
+std::string ExprFingerprint(const sql::Expr& e, const Schema& scope,
+                            const std::vector<std::string>& scope_prov,
+                            const FingerprintOptions& opts);
+
+// Provenance string per output ordinal of `node` (CTE bodies expanded).
+std::vector<std::string> ColumnProvenance(const LogicalNode& node,
+                                          const FingerprintOptions& opts);
+
+// One Filter conjunct / join key / ON conjunct, fingerprinted. The
+// truthy-literal flag marks predicates the constant_folding rule is allowed
+// to drop (non-zero numeric literals accept every row).
+struct PredicateFingerprint {
+  std::string fp;
+  bool truthy_literal = false;
+};
+
+// One Join node's semantic contract, in expanded DFS order.
+struct JoinSignature {
+  LogicalJoinKind kind = LogicalJoinKind::kCross;
+  std::vector<std::string> key_fps;  // per-pair "eq(..)" fps, sorted
+  std::vector<std::string> on_fps;   // ON conjunct fps, sorted
+  bool keys_resolved = true;  // every key side resolved in its child scope
+  std::string Render() const;
+};
+
+// Location-independent summary of a logical plan's semantics. CTE bodies
+// are expanded at every reference, so a plan with two references to one
+// binding summarizes the body twice -- exactly matching its inlined form.
+struct SemanticSummary {
+  // Root output contract: "<name>=<provenance>" per output ordinal.
+  std::vector<std::string> output_columns;
+  // Every predicate in the tree (sorted multiset).
+  std::vector<PredicateFingerprint> predicates;
+  // Base relations: "table:<name>" / "view:<name>" / "singlerow" (sorted
+  // multiset).
+  std::vector<std::string> relations;
+  // Count of plan-shaping nodes by kind (Join/Aggregate/Window/Sort/
+  // Limit/Distinct/Union). Filters, Projects, Relabels and leaves are
+  // excluded: rules add and remove those freely.
+  std::map<std::string, size_t> node_census;
+  // Semantic signatures of Sort/Aggregate/Window/Limit nodes in expanded
+  // DFS order (rules may move Filters around them but must not change what
+  // they compute).
+  std::vector<std::string> node_signatures;
+  // Join contracts in expanded DFS order.
+  std::vector<JoinSignature> joins;
+};
+
+SemanticSummary SummarizeLogicalPlan(const LogicalNode& root,
+                                     const FingerprintOptions& opts);
+
+}  // namespace bornsql::plan
+
+#endif  // BORNSQL_PLAN_PLAN_FINGERPRINT_H_

@@ -188,6 +188,41 @@ TEST(LintTest, Bsl007SilentWithWhere) {
 }
 
 // ---------------------------------------------------------------------------
+// BSL008: ORDER BY in a derived table or CTE without LIMIT.
+
+TEST(LintTest, Bsl008TriggersOnSortedDerivedTable) {
+  auto diags =
+      MustLint("SELECT x FROM (SELECT a AS x FROM t ORDER BY a) d");
+  ASSERT_TRUE(HasCode(diags, "BSL008"));
+  for (const Diagnostic& d : diags) {
+    if (d.code != "BSL008") continue;
+    EXPECT_EQ(d.severity, Severity::kWarning);
+    EXPECT_EQ(d.message,
+              "ORDER BY in a derived table or CTE without LIMIT has no "
+              "effect and wastes a sort");
+  }
+}
+
+TEST(LintTest, Bsl008TriggersOnSortedCte) {
+  EXPECT_TRUE(HasCode(
+      MustLint("WITH w AS (SELECT a FROM t ORDER BY a) SELECT a FROM w"),
+      "BSL008"));
+}
+
+TEST(LintTest, Bsl008SilentWithLimitOrAtTopLevel) {
+  // LIMIT makes the subquery's sort meaningful (top-N).
+  EXPECT_FALSE(HasCode(
+      MustLint("SELECT x FROM (SELECT a AS x FROM t ORDER BY a LIMIT 3) d"),
+      "BSL008"));
+  EXPECT_FALSE(HasCode(
+      MustLint(
+          "WITH w AS (SELECT a FROM t ORDER BY a LIMIT 3) SELECT a FROM w"),
+      "BSL008"));
+  // A top-level ORDER BY is the query's own output order.
+  EXPECT_FALSE(HasCode(MustLint("SELECT a FROM t ORDER BY a"), "BSL008"));
+}
+
+// ---------------------------------------------------------------------------
 // Diagnostic plumbing: ordering, dedupe, rendering.
 
 TEST(LintTest, DiagnosticsAreOrderedBySourcePosition) {

@@ -344,8 +344,8 @@ TEST(OptimizerStatsViewTest, SchemaGolden) {
     lines.push_back(col.name + " " + ValueTypeName(col.type));
   }
   const std::vector<std::string> expected = {
-      "rule TEXT", "invocations INTEGER", "fired INTEGER",
-      "rewrites INTEGER"};
+      "rule TEXT",      "invocations INTEGER", "fired INTEGER",
+      "rewrites INTEGER", "validated INTEGER", "violations INTEGER"};
   EXPECT_EQ(lines, expected);
 }
 
@@ -403,6 +403,27 @@ TEST(OptimizerFlagsTest, UnknownRuleNameIsAnError) {
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(Contains(result.status().ToString(),
                        "unknown optimizer rule 'no_such_rule'"))
+      << result.status().ToString();
+}
+
+TEST(OptimizerFlagsTest, UnknownRuleNameListsTheValidRules) {
+  Database db;
+  auto result = db.Execute("SET born.opt.predicate_pushdwon = 1");  // typo
+  ASSERT_FALSE(result.ok());
+  const std::string message = result.status().ToString();
+  EXPECT_TRUE(Contains(
+      message,
+      "valid rules: derived_table_pullup, constant_folding, "
+      "predicate_pushdown, equi_join_extraction, filter_reorder, "
+      "projection_pruning"))
+      << message;
+}
+
+TEST(OptimizerFlagsTest, CteInlineHasNoFlagAndSaysWhy) {
+  Database db;
+  auto result = db.Execute("SET born.opt.cte_inline = 1");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(Contains(result.status().ToString(), "materialize_ctes"))
       << result.status().ToString();
 }
 

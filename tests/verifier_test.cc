@@ -132,10 +132,15 @@ TEST_F(VerifierEngineTest, ExplainVerifyReportsChecksAndZeroViolations) {
                      "EXPLAIN VERIFY SELECT i.n, count(f.j) FROM items i, "
                      "item_feature f WHERE i.n = f.n GROUP BY i.n");
   ASSERT_EQ(r.column_names, (std::vector<std::string>{"verify"}));
-  ASSERT_EQ(r.rows.size(), 1u);
+  // One row per verifier: physical plan invariants, then the optimizer
+  // translation validator.
+  ASSERT_EQ(r.rows.size(), 2u);
   const std::string& line = r.rows[0][0].AsText();
   EXPECT_EQ(line.find("ok: "), 0u) << line;
   EXPECT_NE(line.find("0 violations"), std::string::npos) << line;
+  const std::string& vline = r.rows[1][0].AsText();
+  EXPECT_EQ(vline.find("ok: "), 0u) << vline;
+  EXPECT_NE(vline.find("translation-validated"), std::string::npos) << vline;
 }
 
 TEST_F(VerifierEngineTest, ExplainVerifyOnStatementWithoutAPlan) {
@@ -234,9 +239,11 @@ TEST_F(VerifierEngineTest, GeneratedSqlSurvivesExplainVerifyAndLint) {
   for (const std::string& sql :
        {clf.BuildPredictSql(kAllItems), clf.BuildPredictProbaSql(kAllItems)}) {
     auto verify = MustQuery(db_, "EXPLAIN VERIFY " + sql);
-    ASSERT_EQ(verify.rows.size(), 1u) << sql;
-    EXPECT_EQ(verify.rows[0][0].AsText().find("ok: "), 0u)
-        << verify.rows[0][0].AsText();
+    // Plan-invariant row plus the translation-validator row.
+    ASSERT_EQ(verify.rows.size(), 2u) << sql;
+    for (const auto& row : verify.rows) {
+      EXPECT_EQ(row[0].AsText().find("ok: "), 0u) << row[0].AsText();
+    }
 
     auto diags = LintSql(sql, &db_.catalog());
     BORNSQL_ASSERT_OK(diags.status());

@@ -5,10 +5,14 @@
 #   1c  plan snapshots: golden logical+physical plans for every driver
 #       statement across the 3 join strategies x 2 CTE modes
 #   1d  Debug build (plan + logical verifiers on) + full test suite
-#   2   Debug + ASan/UBSan build + full test suite
+#   1e  differential fuzz smoke: 1,000 seeded queries across all 27
+#       configurations (3 join strategies x 9 optimizer settings), plan
+#       and translation verifiers armed
+#   2   Debug + ASan/UBSan build + full test suite + fuzz smoke
 #   3   Debug + TSan build, concurrency hammer tests (registry/trace/stats)
-#   4   clang-tidy over the files changed by the latest commit (skipped
-#       with a notice when clang-tidy is not installed)
+#   4   clang-tidy over the files changed by the latest commit plus the
+#       optimizer/planner core (skipped with a notice when clang-tidy is
+#       not installed)
 #
 #   tools/ci.sh            # all legs
 #   tools/ci.sh --fast     # leg 1 + 1b + 1c only
@@ -59,11 +63,24 @@ if [[ "${1:-}" != "--fast" ]]; then
   # logical verifier after each optimizer rule that rewrote the plan.
   run_leg build-dbg -DCMAKE_BUILD_TYPE=Debug
 
+  echo "=== leg 1e: differential fuzz smoke ==="
+  # 1,000 seeded grammar queries, each executed under every configuration
+  # on the correctness axes (3 join strategies x {all rules on, all off,
+  # each rule off, inlined CTEs}) with the plan and translation verifiers
+  # forced on. Any result divergence or verifier violation fails the leg
+  # and prints a shrunk counterexample plus its --seed/--repro one-liner.
+  # Runs from the leg-1 build: the fuzzer arms the verifiers itself, so an
+  # optimized build loses no checking, only wall-clock.
+  build/tools/fuzz/bornsql_fuzzer --seed=20260806 --queries=1000
+
   echo "=== leg 2: Debug + ASan/UBSan ==="
   # halt_on_error so ctest actually fails on a UBSan report.
   export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
   run_leg build-san -DCMAKE_BUILD_TYPE=Debug \
     -DBORNSQL_SANITIZE=address,undefined
+  # Fuzz smoke under ASan/UBSan: fewer queries (sanitized execution is
+  # several times slower), same fixed seed so failures reproduce exactly.
+  build-san/tools/fuzz/bornsql_fuzzer --seed=20260806 --queries=100
 
   echo "=== leg 3: Debug + TSan (concurrency hammers) ==="
   # The engine itself is single-threaded by contract; what must be
@@ -76,17 +93,21 @@ if [[ "${1:-}" != "--fast" ]]; then
   cmake --build build-tsan -j "$(nproc)"
   ctest --test-dir build-tsan --output-on-failure -R 'Concurrent'
 
-  echo "=== leg 4: clang-tidy over changed files ==="
+  echo "=== leg 4: clang-tidy over changed files + optimizer core ==="
   # New warnings in the files a commit touches fail the leg; pre-existing
-  # warnings elsewhere in the tree do not block unrelated changes.
+  # warnings elsewhere in the tree do not block unrelated changes. The
+  # optimizer/planner core is always swept: plan rewrites are where a
+  # subtle bug costs the most, so those files stay tidy-clean regardless
+  # of what the commit touched.
+  core="src/engine/logical_builder.cc src/engine/optimizer.cc \
+    src/engine/lowering.cc src/plan/logical_plan.cc \
+    src/plan/plan_fingerprint.cc src/lint/translation_validator.cc"
   changed=$(git diff --name-only --diff-filter=d HEAD~1 -- \
-    'src/*.cc' 'src/**/*.cc' 'tools/*.cc' 2>/dev/null || true)
-  if [[ -n "$changed" ]]; then
-    # shellcheck disable=SC2086
-    tools/run_clang_tidy.sh build $changed
-  else
-    echo "clang-tidy: no C++ sources changed by the latest commit"
-  fi
+    'src/*.cc' 'src/**/*.cc' 'tools/*.cc' 'tools/**/*.cc' 2>/dev/null || true)
+  # shellcheck disable=SC2086
+  sweep=$(printf '%s\n' $changed $core | sort -u)
+  # shellcheck disable=SC2086
+  tools/run_clang_tidy.sh build $sweep
 fi
 
 echo "ci: all legs passed"

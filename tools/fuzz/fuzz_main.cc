@@ -1,0 +1,93 @@
+// Differential fuzzer CLI.
+//
+//   bornsql_fuzzer [--seed=N] [--queries=N] [--verbose]
+//   bornsql_fuzzer --seed=N --repro=I     # re-run one query by index
+//
+// Exit status: 0 when every query agrees across all configurations,
+// 1 on divergence (the shrunk query and both result previews are printed,
+// along with the one-liner to reproduce it), 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "tools/fuzz/fuzzer.h"
+
+namespace {
+
+bool ParseUint64(const char* arg, const char* prefix, uint64_t* out) {
+  const size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) return false;
+  char* end = nullptr;
+  *out = std::strtoull(arg + n, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using bornsql::fuzz::DifferentialRunner;
+  using bornsql::fuzz::QuerySpec;
+
+  bornsql::fuzz::RunOptions opts;
+  uint64_t repro_index = 0;
+  bool repro = false;
+  for (int i = 1; i < argc; ++i) {
+    uint64_t v = 0;
+    if (ParseUint64(argv[i], "--seed=", &v)) {
+      opts.seed = v;
+    } else if (ParseUint64(argv[i], "--queries=", &v)) {
+      opts.queries = static_cast<size_t>(v);
+    } else if (ParseUint64(argv[i], "--repro=", &v)) {
+      repro_index = v;
+      repro = true;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      opts.verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed=N] [--queries=N] [--verbose] "
+                   "[--repro=I]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  if (repro) {
+    bornsql::Rng rng(bornsql::fuzz::DeriveSeed(opts.seed, repro_index));
+    const QuerySpec spec = bornsql::fuzz::GenerateQuery(rng);
+    std::printf("seed %llu, query %llu:\n%s\n",
+                static_cast<unsigned long long>(opts.seed),
+                static_cast<unsigned long long>(repro_index),
+                bornsql::fuzz::RenderQuery(spec).c_str());
+    DifferentialRunner runner;
+    std::string detail;
+    if (runner.Check(spec, &detail)) {
+      std::printf("ok: all %zu configurations agree\n", runner.config_count());
+      return 0;
+    }
+    const QuerySpec shrunk = bornsql::fuzz::Shrink(
+        spec, [&runner](const QuerySpec& q) { return !runner.Check(q, nullptr); });
+    std::string shrunk_detail;
+    runner.Check(shrunk, &shrunk_detail);
+    std::printf("DIVERGENCE\nshrunk query:\n%s\n%s\n",
+                bornsql::fuzz::RenderQuery(shrunk).c_str(),
+                (shrunk_detail.empty() ? detail : shrunk_detail).c_str());
+    return 1;
+  }
+
+  const bornsql::fuzz::RunReport report = bornsql::fuzz::RunDifferential(opts);
+  if (!report.diverged) {
+    std::printf("ok: %zu queries, no divergence (seed %llu)\n",
+                report.executed, static_cast<unsigned long long>(opts.seed));
+    return 0;
+  }
+  std::printf(
+      "DIVERGENCE at query %llu (seed %llu)\nshrunk query:\n%s\n%s\n"
+      "reproduce with: bornsql_fuzzer --seed=%llu --repro=%llu\n",
+      static_cast<unsigned long long>(report.divergent_index),
+      static_cast<unsigned long long>(opts.seed),
+      report.divergent_query.c_str(), report.detail.c_str(),
+      static_cast<unsigned long long>(opts.seed),
+      static_cast<unsigned long long>(report.divergent_index));
+  return 1;
+}
