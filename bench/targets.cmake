@@ -22,6 +22,10 @@ bornsql_bench(bench_sec52_runtimes)
 bornsql_bench(bench_table5_metrics)
 bornsql_bench(bench_sec53_text_accuracy)
 
+# Serving-layer bench: concurrent sessions + plan cache.
+bornsql_bench(bench_serving)
+target_link_libraries(bench_serving PRIVATE bornsql_serve)
+
 function(bornsql_microbench name)
   bornsql_bench(${name})
   target_link_libraries(${name} PRIVATE benchmark::benchmark)

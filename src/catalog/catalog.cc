@@ -1,6 +1,7 @@
 #include "catalog/catalog.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/strings.h"
 
@@ -11,6 +12,7 @@ std::string Catalog::Key(const std::string& name) {
 }
 
 bool Catalog::Exists(const std::string& name) const {
+  std::shared_lock lock(mutex_);
   return tables_.count(Key(name)) > 0;
 }
 
@@ -18,6 +20,7 @@ Result<storage::Table*> Catalog::CreateTable(const std::string& name,
                                              Schema schema,
                                              std::vector<size_t> key_columns,
                                              bool if_not_exists) {
+  std::unique_lock lock(mutex_);
   std::string key = Key(name);
   auto it = tables_.find(key);
   if (it != tables_.end()) {
@@ -28,20 +31,24 @@ Result<storage::Table*> Catalog::CreateTable(const std::string& name,
                                                 std::move(key_columns));
   storage::Table* ptr = table.get();
   tables_.emplace(std::move(key), std::move(table));
+  BumpVersion();
   return ptr;
 }
 
 Status Catalog::DropTable(const std::string& name, bool if_exists) {
+  std::unique_lock lock(mutex_);
   auto it = tables_.find(Key(name));
   if (it == tables_.end()) {
     if (if_exists) return Status::OK();
     return Status::NotFound("table '" + name + "' does not exist");
   }
   tables_.erase(it);
+  BumpVersion();
   return Status::OK();
 }
 
 Result<storage::Table*> Catalog::GetTable(const std::string& name) {
+  std::shared_lock lock(mutex_);
   auto it = tables_.find(Key(name));
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
@@ -50,6 +57,7 @@ Result<storage::Table*> Catalog::GetTable(const std::string& name) {
 }
 
 Result<const storage::Table*> Catalog::GetTable(const std::string& name) const {
+  std::shared_lock lock(mutex_);
   auto it = tables_.find(Key(name));
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
@@ -58,6 +66,7 @@ Result<const storage::Table*> Catalog::GetTable(const std::string& name) const {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [key, table] : tables_) names.push_back(table->name());
@@ -66,6 +75,7 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 size_t Catalog::EstimateBytes() const {
+  std::shared_lock lock(mutex_);
   size_t total = 0;
   for (const auto& [key, table] : tables_) {
     for (const Row& row : table->rows()) {

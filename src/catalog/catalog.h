@@ -1,8 +1,17 @@
 // Catalog: case-insensitive table namespace of the database.
+//
+// The namespace map is guarded by a shared_mutex so serving sessions that
+// share one catalog can resolve tables concurrently (readers) while DDL
+// (writers) stays exclusive. Row data inside a Table is NOT synchronized
+// here: concurrent sessions must keep DML to session-private tables or
+// coordinate externally (see serve/session.h for the serving contract).
 #ifndef BORNSQL_CATALOG_CATALOG_H_
 #define BORNSQL_CATALOG_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,10 +47,20 @@ class Catalog {
   // Approximate resident bytes across all tables (values + strings).
   size_t EstimateBytes() const;
 
+  // Monotonic schema version, bumped by every DDL change (CREATE/DROP
+  // TABLE here; CREATE INDEX callers bump explicitly). Cached plans embed
+  // the version in their key, so any DDL invalidates them wholesale.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
  private:
   static std::string Key(const std::string& name);
 
+  mutable std::shared_mutex mutex_;
   std::unordered_map<std::string, std::unique_ptr<storage::Table>> tables_;
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace bornsql::catalog

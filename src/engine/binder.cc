@@ -149,6 +149,13 @@ Result<BoundExprPtr> BindExprImpl(const sql::Expr& e, const Schema& schema) {
       return Status::BindError(
           "subqueries are only supported where the planner can fold them "
           "(uncorrelated, in SELECT/UPDATE/DELETE expressions)");
+    case sql::ExprKind::kParameter:
+      // Parameters bind like literals (no schema dependency) so optimizer
+      // rules treat parameterized predicates exactly like constant ones;
+      // evaluation before substitution is an error (exec/evaluator.cc).
+      out->kind = BoundKind::kParameter;
+      out->column_index = e.param_index;
+      return out;
     case sql::ExprKind::kInSet: {
       out->kind = BoundKind::kInSet;
       out->negated = e.negated;
@@ -273,6 +280,8 @@ bool ExprEquals(const sql::Expr& a, const sql::Expr& b) {
       // Subquery nodes are folded before any rewrite that relies on
       // structural equality; never treat two of them as interchangeable.
       return false;
+    case sql::ExprKind::kParameter:
+      return a.param_index == b.param_index;
   }
   return false;
 }

@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "engine/binder.h"
 #include "engine/optimizer.h"
+#include "engine/parameters.h"
 #include "engine/sql_text.h"
 #include "exec/operators.h"
 #include "lint/linter.h"
@@ -165,6 +166,91 @@ Result<QueryResult> Database::ExecuteStatement(const sql::Statement& stmt) {
   return ExecuteTracked(stmt, &ctx);
 }
 
+Result<QueryResult> Database::ExecuteParsed(const sql::Statement& stmt,
+                                            std::string key) {
+  StatementContext ctx;
+  BeginStatement(&ctx);
+  ctx.key = std::move(key);
+  return ExecuteTracked(stmt, &ctx);
+}
+
+Result<plan::LogicalPlan> Database::BuildOptimizedPlan(
+    const sql::SelectStmt& stmt) {
+  Planner planner = MakePlanner();
+  BORNSQL_ASSIGN_OR_RETURN(plan::LogicalPlan plan,
+                           planner.BuildLogical(stmt));
+  BORNSQL_RETURN_IF_ERROR(planner.OptimizeLogical(&plan));
+  return plan;
+}
+
+Result<QueryResult> Database::ExecuteCachedPlan(
+    const plan::LogicalPlan& cached, const std::vector<Value>& args,
+    std::string key) {
+  StatementContext ctx;
+  BeginStatement(&ctx);
+  ctx.key = std::move(key);
+  WallTimer timer;
+
+  obs::StatementTrace* saved_trace = active_trace_;
+  active_trace_ = ctx.tracing ? &ctx.trace : nullptr;
+  Result<QueryResult> result = RunCachedSelect(cached, args, &ctx);
+  active_trace_ = saved_trace;
+
+  const double elapsed_seconds = timer.ElapsedSeconds();
+  metrics_->IncrementCounter(obs::kQueriesExecuted);
+  if (!result.ok()) metrics_->IncrementCounter(obs::kQueriesFailed);
+  metrics_->RecordLatency(obs::kStatementLatencyUs, elapsed_seconds);
+  const uint64_t rows = result.ok() ? result->rows.size() : 0;
+  if (stmt_stats_->Record(ctx.key, elapsed_seconds * 1e3, rows,
+                          !result.ok())) {
+    metrics_->IncrementCounter(obs::kStatementStatsEvictions);
+  }
+
+  if (ctx.tracing) {
+    ctx.trace.statement = ctx.key;
+    ctx.trace.dur_ns = trace_.NowNs() - ctx.trace.start_ns;
+    ctx.trace.rows = rows;
+    ctx.trace.error = !result.ok();
+    trace_.Record(std::move(ctx.trace));
+  }
+  return result;
+}
+
+Result<QueryResult> Database::RunCachedSelect(const plan::LogicalPlan& cached,
+                                              const std::vector<Value>& args,
+                                              StatementContext* ctx) {
+  const uint64_t subst_start = ctx->tracing ? trace_.NowNs() : 0;
+  plan::LogicalPlan plan = plan::ClonePlanDeep(cached);
+  BORNSQL_RETURN_IF_ERROR(SubstituteParamsInPlan(&plan, args));
+  AddPhaseSpan(ctx, "substitute", subst_start);
+
+  const uint64_t lower_start = ctx->tracing ? trace_.NowNs() : 0;
+  Planner planner = MakePlanner();
+  BORNSQL_ASSIGN_OR_RETURN(exec::OperatorPtr op, planner.LowerLogical(plan));
+  if (config_.verify_plans) {
+    BORNSQL_RETURN_IF_ERROR(lint::VerifyPlanStatus(*op));
+  }
+  AddPhaseSpan(ctx, "lower", lower_start);
+
+  const bool instrument = config_.collect_exec_stats;
+  if (instrument) op->EnableStats(true);
+  const uint64_t exec_start = ctx->tracing ? trace_.NowNs() : 0;
+  BORNSQL_ASSIGN_OR_RETURN(exec::MaterializedResult result, exec::Drain(*op));
+  AddPhaseSpan(ctx, "execute", exec_start);
+  if (instrument) {
+    std::unordered_set<const exec::Operator*> seen;
+    AccumulatePlanMetrics(metrics_, *op, &seen);
+    if (ctx->tracing) {
+      std::unordered_set<const exec::Operator*> span_seen;
+      AppendOperatorSpans(trace_, *op, &ctx->trace, &span_seen);
+    }
+  }
+  QueryResult out;
+  out.column_names = result.schema.ColumnNames();
+  out.rows = std::move(result.rows);
+  return out;
+}
+
 Result<ProfiledQuery> Database::ExecuteProfiled(std::string_view sql) {
   StatementContext ctx;
   BeginStatement(&ctx);
@@ -222,7 +308,9 @@ Result<QueryResult> Database::ExecuteTracked(const sql::Statement& stmt,
       result.ok() ? std::max<uint64_t>(result->rows.size(),
                                        result->rows_affected)
                   : 0;
-  stmt_stats_.Record(ctx->key, elapsed_ms, rows, !result.ok());
+  if (stmt_stats_->Record(ctx->key, elapsed_ms, rows, !result.ok())) {
+    metrics_->IncrementCounter(obs::kStatementStatsEvictions);
+  }
 
   if (slow_armed && result.ok() && elapsed_ms >= slow_query_ms_) {
     obs::SlowQueryEntry entry;
@@ -296,12 +384,33 @@ Result<QueryResult> Database::DispatchStatement(const sql::Statement& stmt) {
       return RunDelete(*stmt.del);
     case sql::StatementKind::kSet:
       return RunSet(*stmt.set);
+    case sql::StatementKind::kPrepare:
+    case sql::StatementKind::kExecute:
+    case sql::StatementKind::kDeallocate:
+      // Prepared-statement state is per session, not per database.
+      return Status::InvalidArgument(
+          "PREPARE/EXECUTE/DEALLOCATE require a serving session "
+          "(serve::Session)");
   }
   return Status::Internal("bad statement kind");
 }
 
+bool Database::ComposedViews::IsSystemView(const std::string& name) const {
+  return (db_->extra_views_ != nullptr &&
+          db_->extra_views_->IsSystemView(name)) ||
+         db_->system_views_.IsSystemView(name);
+}
+
+exec::OperatorPtr Database::ComposedViews::MakeViewScan(
+    const std::string& name, const std::string& qualifier) const {
+  if (db_->extra_views_ != nullptr && db_->extra_views_->IsSystemView(name)) {
+    return db_->extra_views_->MakeViewScan(name, qualifier);
+  }
+  return db_->system_views_.MakeViewScan(name, qualifier);
+}
+
 Planner Database::MakePlanner() {
-  return Planner(&catalog_, &config_, &system_views_, &opt_stats_, &trace_,
+  return Planner(catalog_, &config_, &composed_views_, &opt_stats_, &trace_,
                  active_trace_);
 }
 
@@ -315,6 +424,13 @@ std::string Database::IndexJoinNote() const {
       "(index joins require join_strategy = hash)",
       config_.join_strategy == JoinStrategy::kSortMerge ? "sort-merge"
                                                         : "nested-loop");
+}
+
+std::vector<std::string> KnownSettingNames() {
+  return {"born.collect_exec_stats", "born.plan_cache",
+          "born.plan_cache_capacity", "born.slow_query_ms", "born.trace",
+          "born.trace_capacity", "born.verify_plans",
+          "born.verify_rewrites"};
 }
 
 Result<QueryResult> Database::RunSet(const sql::SetStmt& stmt) {
@@ -364,8 +480,19 @@ Result<QueryResult> Database::RunSet(const sql::SetStmt& stmt) {
   } else if (stmt.name == "born.verify_rewrites") {
     BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kInt));
     config_.verify_rewrites = v.AsInt() != 0;
+  } else if (stmt.name == "born.plan_cache" ||
+             stmt.name == "born.plan_cache_capacity") {
+    // Recognized so the diagnostic is accurate: these settings exist, but
+    // they configure the serving layer's cache, which intercepts SET
+    // before it reaches a bare database.
+    return Status::InvalidArgument("setting '" + stmt.name +
+                                   "' requires a serving session "
+                                   "(serve::Session)");
   } else {
-    return Status::InvalidArgument("unknown setting '" + stmt.name + "'");
+    return Status::InvalidArgument(
+        "unknown setting '" + stmt.name + "'; valid settings: " +
+        Join(KnownSettingNames(), ", ") +
+        ", and optimizer rule flags born.opt.<rule>");
   }
   return QueryResult{};
 }
@@ -427,7 +554,7 @@ Result<obs::PlanStatsNode> Database::DescribePlan(const sql::Statement& stmt) {
     }
     case sql::StatementKind::kInsert: {
       const sql::InsertStmt& ins = *stmt.insert;
-      BORNSQL_RETURN_IF_ERROR(catalog_.GetTable(ins.table).status());
+      BORNSQL_RETURN_IF_ERROR(catalog_->GetTable(ins.table).status());
       obs::PlanStatsNode root;
       root.name = InsertNodeName(ins);
       if (ins.select != nullptr) {
@@ -449,7 +576,7 @@ Result<obs::PlanStatsNode> Database::DescribePlan(const sql::Statement& stmt) {
       const sql::Expr* where =
           is_update ? stmt.update->where.get() : stmt.del->where.get();
       BORNSQL_ASSIGN_OR_RETURN(storage::Table * table,
-                               catalog_.GetTable(table_name));
+                               catalog_->GetTable(table_name));
       obs::PlanStatsNode root;
       root.name = is_update
                       ? StrFormat("Update(%s, %zu set clauses)",
@@ -490,7 +617,7 @@ Result<obs::PlanStatsNode> Database::DescribePlan(const sql::Statement& stmt) {
     }
     case sql::StatementKind::kCreateIndex: {
       const sql::CreateIndexStmt& ci = *stmt.create_index;
-      BORNSQL_RETURN_IF_ERROR(catalog_.GetTable(ci.table).status());
+      BORNSQL_RETURN_IF_ERROR(catalog_->GetTable(ci.table).status());
       obs::PlanStatsNode root;
       root.name = StrFormat("Create%sIndex(%s ON %s)",
                             ci.unique ? "Unique" : "", ci.name.c_str(),
@@ -504,6 +631,12 @@ Result<obs::PlanStatsNode> Database::DescribePlan(const sql::Statement& stmt) {
     }
     case sql::StatementKind::kExplain:
       break;  // parser rejects nested EXPLAIN
+    case sql::StatementKind::kPrepare:
+    case sql::StatementKind::kExecute:
+    case sql::StatementKind::kDeallocate:
+      return Status::InvalidArgument(
+          "EXPLAIN of PREPARE/EXECUTE/DEALLOCATE requires a serving "
+          "session (serve::Session)");
   }
   return Status::Internal("bad statement kind in EXPLAIN");
 }
@@ -547,7 +680,7 @@ Result<ProfiledQuery> Database::ProfileStatement(const sql::Statement& stmt) {
       const std::string& table_name = stmt.kind == sql::StatementKind::kUpdate
                                           ? stmt.update->table
                                           : stmt.del->table;
-      if (auto table = catalog_.GetTable(table_name); table.ok()) {
+      if (auto table = catalog_->GetTable(table_name); table.ok()) {
         examined = (*table)->row_count();
       }
       BORNSQL_ASSIGN_OR_RETURN(out.result,
@@ -592,6 +725,12 @@ Result<ProfiledQuery> Database::ProfileStatement(const sql::Statement& stmt) {
     }
     case sql::StatementKind::kExplain:
       break;
+    case sql::StatementKind::kPrepare:
+    case sql::StatementKind::kExecute:
+    case sql::StatementKind::kDeallocate:
+      return Status::InvalidArgument(
+          "PREPARE/EXECUTE/DEALLOCATE require a serving session "
+          "(serve::Session)");
   }
   return Status::Internal("bad statement kind in EXPLAIN ANALYZE");
 }
@@ -731,7 +870,7 @@ Result<QueryResult> Database::RunExplainVerify(const sql::Statement& stmt) {
 
 Result<QueryResult> Database::RunExplainLint(const sql::Statement& stmt) {
   const std::vector<lint::Diagnostic> diags =
-      lint::LintStatement(stmt, &catalog_);
+      lint::LintStatement(stmt, catalog_);
   QueryResult out;
   out.column_names = {"lint"};
   if (diags.empty()) {
@@ -753,13 +892,13 @@ Result<QueryResult> Database::RunCreateTable(const sql::CreateTableStmt& stmt,
     for (const std::string& name : data.column_names) {
       schema.Add(Column{stmt.table, name, ValueType::kNull});
     }
-    if (stmt.if_not_exists && catalog_.Exists(stmt.table)) {
+    if (stmt.if_not_exists && catalog_->Exists(stmt.table)) {
       QueryResult out;
       return out;
     }
     BORNSQL_ASSIGN_OR_RETURN(
         storage::Table * table,
-        catalog_.CreateTable(stmt.table, std::move(schema), {}, false));
+        catalog_->CreateTable(stmt.table, std::move(schema), {}, false));
     for (Row& row : data.rows) table->AppendUnchecked(std::move(row));
     QueryResult out;
     out.rows_affected = table->row_count();
@@ -782,21 +921,21 @@ Result<QueryResult> Database::RunCreateTable(const sql::CreateTableStmt& stmt,
     key_columns.push_back(idx);
   }
   BORNSQL_RETURN_IF_ERROR(catalog_
-                              .CreateTable(stmt.table, std::move(schema),
-                                           std::move(key_columns),
-                                           stmt.if_not_exists)
+                              ->CreateTable(stmt.table, std::move(schema),
+                                            std::move(key_columns),
+                                            stmt.if_not_exists)
                               .status());
   return QueryResult{};
 }
 
 Result<QueryResult> Database::RunDropTable(const sql::DropTableStmt& stmt) {
-  BORNSQL_RETURN_IF_ERROR(catalog_.DropTable(stmt.table, stmt.if_exists));
+  BORNSQL_RETURN_IF_ERROR(catalog_->DropTable(stmt.table, stmt.if_exists));
   return QueryResult{};
 }
 
 Result<QueryResult> Database::RunCreateIndex(const sql::CreateIndexStmt& stmt) {
   BORNSQL_ASSIGN_OR_RETURN(storage::Table * table,
-                           catalog_.GetTable(stmt.table));
+                           catalog_->GetTable(stmt.table));
   std::vector<size_t> cols;
   for (const std::string& name : stmt.columns) {
     size_t idx = table->schema().FindUnqualified(name);
@@ -811,6 +950,9 @@ Result<QueryResult> Database::RunCreateIndex(const sql::CreateIndexStmt& stmt) {
   } else {
     table->AddSecondaryIndex(std::move(cols));
   }
+  // DDL: a new index can change join strategy choices, so cached plans
+  // built against the old version must never be reused.
+  catalog_->BumpVersion();
   return QueryResult{};
 }
 
@@ -828,7 +970,7 @@ Status Database::CoerceRow(const storage::Table& table, Row* row) const {
 Result<QueryResult> Database::RunInsert(const sql::InsertStmt& stmt,
                                         obs::PlanStatsNode* profile) {
   BORNSQL_ASSIGN_OR_RETURN(storage::Table * table,
-                           catalog_.GetTable(stmt.table));
+                           catalog_->GetTable(stmt.table));
   const Schema& schema = table->schema();
 
   // Map provided column names to positions (default: table order).
@@ -968,7 +1110,7 @@ Result<QueryResult> Database::RunInsert(const sql::InsertStmt& stmt,
 
 Result<QueryResult> Database::RunUpdate(const sql::UpdateStmt& stmt) {
   BORNSQL_ASSIGN_OR_RETURN(storage::Table * table,
-                           catalog_.GetTable(stmt.table));
+                           catalog_->GetTable(stmt.table));
   Schema schema = table->schema().WithQualifier(stmt.table);
   Planner planner = MakePlanner();
 
@@ -1018,7 +1160,7 @@ Result<QueryResult> Database::RunUpdate(const sql::UpdateStmt& stmt) {
 
 Result<QueryResult> Database::RunDelete(const sql::DeleteStmt& stmt) {
   BORNSQL_ASSIGN_OR_RETURN(storage::Table * table,
-                           catalog_.GetTable(stmt.table));
+                           catalog_->GetTable(stmt.table));
   Schema schema = table->schema().WithQualifier(stmt.table);
 
   std::vector<bool> flags(table->rows().size(), false);

@@ -13,6 +13,7 @@
 #ifndef BORNSQL_ENGINE_DATABASE_H_
 #define BORNSQL_ENGINE_DATABASE_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,10 +27,17 @@
 #include "obs/plan_stats.h"
 #include "obs/statement_stats.h"
 #include "obs/trace.h"
+#include "plan/logical_plan.h"
 #include "sql/ast.h"
 #include "types/value.h"
 
 namespace bornsql::engine {
+
+// Names of every SET-able engine setting (excluding the per-rule
+// born.opt.<rule> flags), for the unknown-setting diagnostic. The serving
+// layer's session settings (born.plan_cache*) are included: they are
+// recognized everywhere, valid only through a serve::Session.
+std::vector<std::string> KnownSettingNames();
 
 struct QueryResult {
   std::vector<std::string> column_names;
@@ -51,8 +59,19 @@ struct ProfiledQuery {
 
 class Database {
  public:
-  Database() = default;
-  explicit Database(EngineConfig config) : config_(config) {}
+  Database() : Database(EngineConfig{}) {}
+  explicit Database(EngineConfig config) : Database(config, nullptr) {}
+  // Serving constructor: when `shared_catalog` is non-null the database
+  // uses it instead of owning one, so several session databases can run
+  // over one table namespace (serve/server.h). The shared catalog must
+  // outlive the database.
+  Database(EngineConfig config, catalog::Catalog* shared_catalog)
+      : owned_catalog_(shared_catalog != nullptr
+                           ? nullptr
+                           : std::make_unique<catalog::Catalog>()),
+        catalog_(shared_catalog != nullptr ? shared_catalog
+                                           : owned_catalog_.get()),
+        config_(config) {}
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -72,9 +91,31 @@ class Database {
   // is this plus text rendering.
   Result<ProfiledQuery> ExecuteProfiled(std::string_view sql);
 
-  catalog::Catalog& catalog() { return catalog_; }
-  const catalog::Catalog& catalog() const { return catalog_; }
+  catalog::Catalog& catalog() { return *catalog_; }
+  const catalog::Catalog& catalog() const { return *catalog_; }
   EngineConfig& config() { return config_; }
+  const EngineConfig& config() const { return config_; }
+
+  // ---- serving hooks (serve/session.h) ----
+
+  // Executes an already-parsed statement under a caller-chosen statement-
+  // stats key (sessions prefix keys for per-session attribution).
+  Result<QueryResult> ExecuteParsed(const sql::Statement& stmt,
+                                    std::string key);
+
+  // Builds and rule-optimizes the logical plan of a SELECT without lowering
+  // or executing it — the artifact the serving plan cache stores. The plan
+  // may contain kParameter placeholders; they survive optimization because
+  // the binder treats them like literals.
+  Result<plan::LogicalPlan> BuildOptimizedPlan(const sql::SelectStmt& stmt);
+
+  // EXECUTE hot path on a cache hit: deep-clones `cached`, substitutes
+  // `args` for its placeholders, lowers and runs it. The statement trace
+  // records only substitute / lower / execute phase spans — lex, parse and
+  // bind+plan are exactly what the hit skipped.
+  Result<QueryResult> ExecuteCachedPlan(const plan::LogicalPlan& cached,
+                                        const std::vector<Value>& args,
+                                        std::string key);
 
   // The metrics sink (process-wide registry by default). Every statement
   // records a latency sample and bumps queries_executed; instrumented runs
@@ -83,11 +124,23 @@ class Database {
   obs::MetricsRegistry& metrics() const { return *metrics_; }
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
-  // Per-normalized-statement aggregates (born_stat_statements).
+  // Per-normalized-statement aggregates (born_stat_statements). Session
+  // databases share their server's registry via set_statement_stats.
   const obs::StatementStatsRegistry& statement_stats() const {
-    return stmt_stats_;
+    return *stmt_stats_;
   }
-  obs::StatementStatsRegistry& statement_stats() { return stmt_stats_; }
+  obs::StatementStatsRegistry& statement_stats() { return *stmt_stats_; }
+  void set_statement_stats(obs::StatementStatsRegistry* stats) {
+    stmt_stats_ = stats;
+  }
+
+  // Layers additional system views over the built-in born_stat_* set (the
+  // serving layer registers born_stat_prepared / born_stat_sessions /
+  // born_stat_plan_cache). The provider is consulted first and must
+  // outlive the database.
+  void set_extra_system_views(const SystemCatalog* views) {
+    extra_views_ = views;
+  }
 
   // Per-optimizer-rule counters (born_stat_optimizer): invocations, fired
   // (invocations that rewrote >= 1 node) and total rewrites per rule.
@@ -165,6 +218,11 @@ class Database {
   // born.trace_capacity, born.collect_exec_stats, born.verify_plans, and
   // per-rule optimizer flags born.opt.<rule>).
   Result<QueryResult> RunSet(const sql::SetStmt& stmt);
+  // Clone + substitute + lower + execute for ExecuteCachedPlan, recording
+  // the phase spans the hit path actually runs.
+  Result<QueryResult> RunCachedSelect(const plan::LogicalPlan& cached,
+                                      const std::vector<Value>& args,
+                                      StatementContext* ctx);
 
   // Builds a Planner wired to this database's optimizer stats and (when a
   // statement trace is active) the trace recorder.
@@ -183,14 +241,34 @@ class Database {
   // Coerces `row` cell-wise to the table's declared column types.
   Status CoerceRow(const storage::Table& table, Row* row) const;
 
-  catalog::Catalog catalog_;
+  // SystemCatalog facade handed to planners: consults extra_views_ (when
+  // set) before the built-in born_stat_* provider.
+  class ComposedViews : public SystemCatalog {
+   public:
+    explicit ComposedViews(const Database* db) : db_(db) {}
+    bool IsSystemView(const std::string& name) const override;
+    exec::OperatorPtr MakeViewScan(const std::string& name,
+                                   const std::string& qualifier)
+        const override;
+
+   private:
+    const Database* db_;
+  };
+
+  // Declared before catalog_ so the delegating constructor can point
+  // catalog_ at it. Null when the catalog is shared (serving sessions).
+  std::unique_ptr<catalog::Catalog> owned_catalog_;
+  catalog::Catalog* catalog_;
   EngineConfig config_;
   obs::MetricsRegistry* metrics_ = &obs::MetricsRegistry::Global();
-  obs::StatementStatsRegistry stmt_stats_;
+  obs::StatementStatsRegistry owned_stmt_stats_;
+  obs::StatementStatsRegistry* stmt_stats_ = &owned_stmt_stats_;
   obs::OptimizerStatsRegistry opt_stats_;
   obs::SlowQueryLog slow_log_;
   obs::TraceRecorder trace_;
   SystemViews system_views_{this};
+  const SystemCatalog* extra_views_ = nullptr;
+  ComposedViews composed_views_{this};
   bool trace_enabled_ = true;
   double slow_query_ms_ = -1.0;  // < 0 => slow-query log disarmed
   // Trace of the statement currently executing; RunSelect appends its

@@ -16,6 +16,12 @@ std::string TokenSpelling(const sql::Token& t) {
     case sql::TokenType::kDoubleLiteral:
     case sql::TokenType::kStringLiteral:
       return "?";
+    case sql::TokenType::kParameter:
+      // Keep the spelled form: "$1 AND $1" and "? AND ?" bind differently,
+      // so they must not share a normalized key. A bare '?' keeps '?',
+      // which also lets auto-parameterized ad-hoc text share cache entries
+      // with the equivalent PREPAREd statement.
+      return t.text;
     case sql::TokenType::kLParen: return "(";
     case sql::TokenType::kRParen: return ")";
     case sql::TokenType::kComma: return ",";
@@ -109,6 +115,15 @@ std::string FallbackStatementKey(const sql::Statement& stmt) {
       return StrFormat("<prepared DELETE FROM %s>", stmt.del->table.c_str());
     case sql::StatementKind::kSet:
       return StrFormat("<prepared SET %s>", stmt.set->name.c_str());
+    case sql::StatementKind::kPrepare:
+      return StrFormat("<prepared PREPARE %s>", stmt.prepare->name.c_str());
+    case sql::StatementKind::kExecute:
+      return StrFormat("<prepared EXECUTE %s>", stmt.execute->name.c_str());
+    case sql::StatementKind::kDeallocate:
+      return stmt.deallocate->name.empty()
+                 ? "<prepared DEALLOCATE ALL>"
+                 : StrFormat("<prepared DEALLOCATE %s>",
+                             stmt.deallocate->name.c_str());
   }
   return "<prepared statement>";
 }

@@ -382,7 +382,9 @@ bool LikeMatch(const std::string& text, const std::string& pattern) {
 }
 
 bool IsConstExpr(const BoundExpr& e) {
-  if (e.kind == BoundKind::kColumn) return false;
+  if (e.kind == BoundKind::kColumn || e.kind == BoundKind::kParameter) {
+    return false;
+  }
   for (const auto& c : e.children) {
     if (!IsConstExpr(*c)) return false;
   }
@@ -393,6 +395,9 @@ Result<Value> Eval(const BoundExpr& e, const Row& row) {
   switch (e.kind) {
     case BoundKind::kLiteral:
       return e.literal;
+    case BoundKind::kParameter:
+      return Status::Internal(StrFormat(
+          "parameter $%zu evaluated without substitution", e.column_index));
     case BoundKind::kColumn:
       if (e.column_index >= row.size()) {
         return Status::Internal(

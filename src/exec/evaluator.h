@@ -28,6 +28,7 @@ enum class BoundKind {
   kIsNull,
   kInList,
   kInSet,   // subject IN <hashed constant set> (folded IN-subqueries)
+  kParameter,  // placeholder; must be substituted before evaluation
 };
 
 struct ValueHash {

@@ -26,6 +26,12 @@ inline constexpr char kQueriesFailed[] = "queries_failed";
 inline constexpr char kRowsScanned[] = "rows_scanned";
 inline constexpr char kJoinProbes[] = "join_probes";
 inline constexpr char kStatementLatencyUs[] = "statement_latency_us";
+inline constexpr char kStatementStatsEvictions[] =
+    "statement_stats_evictions";
+// Serving-layer plan cache (serve/plan_cache.h).
+inline constexpr char kPlanCacheHits[] = "plan_cache_hits";
+inline constexpr char kPlanCacheMisses[] = "plan_cache_misses";
+inline constexpr char kPlanCacheEvictions[] = "plan_cache_evictions";
 
 // Latency histogram with fixed microsecond bucket bounds (plus an overflow
 // bucket), cheap enough to record on every statement.

@@ -4,30 +4,47 @@
 
 namespace bornsql::obs {
 
-void StatementStatsRegistry::Record(std::string_view key, double elapsed_ms,
+bool StatementStatsRegistry::Record(std::string_view key, double elapsed_ms,
                                     uint64_t rows, bool error) {
   std::lock_guard<std::mutex> lock(mu_);
+  bool evicted = false;
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     if (entries_.size() >= kMaxEntries) {
-      it = entries_.emplace(kOverflowKey, StatementStats{}).first;
-    } else {
-      it = entries_.emplace(std::string(key), StatementStats{}).first;
+      // Evict the least-recently-recorded entry. A linear scan over at
+      // most kMaxEntries entries, and only on the insert-while-full path.
+      auto victim = entries_.begin();
+      for (auto cand = entries_.begin(); cand != entries_.end(); ++cand) {
+        if (cand->second.last_used < victim->second.last_used) victim = cand;
+      }
+      entries_.erase(victim);
+      ++evictions_;
+      evicted = true;
     }
+    it = entries_.emplace(std::string(key), Entry{}).first;
   }
-  StatementStats& stats = it->second;
+  it->second.last_used = ++clock_;
+  StatementStats& stats = it->second.stats;
   if (stats.calls == 0 || elapsed_ms < stats.min_ms) stats.min_ms = elapsed_ms;
   if (elapsed_ms > stats.max_ms) stats.max_ms = elapsed_ms;
   ++stats.calls;
   stats.rows += rows;
   if (error) ++stats.errors;
   stats.total_ms += elapsed_ms;
+  return evicted;
 }
 
 std::map<std::string, StatementStats, std::less<>>
 StatementStatsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return entries_;
+  std::map<std::string, StatementStats, std::less<>> out;
+  for (const auto& [key, entry] : entries_) out.emplace(key, entry.stats);
+  return out;
+}
+
+uint64_t StatementStatsRegistry::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
 }
 
 void StatementStatsRegistry::Reset() {

@@ -4,9 +4,12 @@
 // folded into one entry per *normalized* statement text (literals replaced
 // by '?' — normalization itself lives in the engine layer, which owns the
 // lexer; this registry just keys on whatever string it is handed). The
-// registry is bounded: once kMaxEntries distinct keys exist, further new
-// keys collapse into a single "<other>" overflow entry so a workload of
-// unique statements cannot grow memory without bound.
+// registry is bounded: once kMaxEntries distinct keys exist, admitting a
+// new key evicts the least-recently-recorded entry (and its accumulated
+// stats), so a workload of unique statements cannot grow memory without
+// bound and hot statements keep their history. Evictions are counted
+// (evictions(); exported as the statement_stats_evictions metric) so an
+// operator can tell when the window is too small for the workload.
 //
 // SlowQueryLog keeps the most recent statements whose wall time crossed the
 // configured threshold, together with their stats-annotated plan text. Both
@@ -39,21 +42,31 @@ struct StatementStats {
 class StatementStatsRegistry {
  public:
   static constexpr size_t kMaxEntries = 512;
-  // Key charged with executions once kMaxEntries distinct keys exist.
-  static constexpr char kOverflowKey[] = "<other>";
 
-  void Record(std::string_view key, double elapsed_ms, uint64_t rows,
+  // Returns true when admitting `key` evicted the least-recently-recorded
+  // entry (callers surface this as a metrics counter).
+  bool Record(std::string_view key, double elapsed_ms, uint64_t rows,
               bool error);
 
   // Consistent copy, sorted by key (map order).
   std::map<std::string, StatementStats, std::less<>> Snapshot() const;
 
+  // Lifetime count of entries evicted to stay within kMaxEntries.
+  uint64_t evictions() const;
+
   void Reset();
   size_t size() const;
 
  private:
+  struct Entry {
+    StatementStats stats;
+    uint64_t last_used = 0;  // recency stamp from clock_
+  };
+
   mutable std::mutex mu_;
-  std::map<std::string, StatementStats, std::less<>> entries_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  uint64_t clock_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 struct SlowQueryEntry {

@@ -162,6 +162,13 @@ LogicalPtr MakeLogical(LogicalKind kind);
 // at the same materialize-once cell).
 LogicalPtr CloneLogical(const LogicalNode& node);
 
+// Deep copy for plan caching: unlike CloneLogical, CteBindings are cloned
+// too (fresh body plan, no lowered cell), so re-lowering the copy cannot
+// mutate the cached original or share materialized CTE state with another
+// execution. Scan nodes keep their borrowed Table pointers; cache keys
+// embed the catalog version so a clone is never taken after DDL staled it.
+LogicalPlan ClonePlanDeep(const LogicalPlan& plan);
+
 // Recomputes `schema` bottom-up from the children for every node whose
 // schema is derived (joins, filters, projects, ...). Leaf schemas (Scan,
 // CteRef, SingleRow) are trusted as stored. Called after rules that narrow

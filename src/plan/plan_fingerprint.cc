@@ -27,6 +27,7 @@ bool IsPureExpr(const sql::Expr& e) {
     case sql::ExprKind::kScalarSubquery:
     case sql::ExprKind::kInSubquery:
     case sql::ExprKind::kExists:
+    case sql::ExprKind::kParameter:  // value unknown until EXECUTE
       return false;
     default:
       break;
@@ -205,6 +206,8 @@ std::string Fp(const sql::Expr& e, const FpContext& ctx) {
       return std::string(e.negated ? "notin(" : "in(") + Fp(*e.left, ctx) +
              ";[" + Join(vals, ",") + "])";
     }
+    case sql::ExprKind::kParameter:
+      return "param:" + std::to_string(e.param_index);
   }
   return "expr?";
 }

@@ -1,0 +1,98 @@
+#include "serve/plan_cache.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+namespace bornsql::serve {
+
+PlanCache::PlanCache(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+size_t PlanCache::PerShardCapacity() const {
+  return (capacity_.load() + kNumShards - 1) / kNumShards;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  it->second.first->hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second.first;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const CachedPlan> plan) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    it->second.first = std::move(plan);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.second);
+    return;
+  }
+  shard.lru.push_front(key);
+  shard.entries.emplace(key, std::make_pair(std::move(plan),
+                                            shard.lru.begin()));
+  const size_t cap = PerShardCapacity();
+  while (shard.entries.size() > cap) {
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void PlanCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+    shard.lru.clear();
+  }
+}
+
+void PlanCache::set_capacity(size_t capacity) {
+  capacity_.store(std::max<size_t>(capacity, 1));
+  const size_t cap = PerShardCapacity();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    while (shard.entries.size() > cap) {
+      shard.entries.erase(shard.lru.back());
+      shard.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t PlanCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+std::vector<PlanCache::EntryInfo> PlanCache::Snapshot() const {
+  std::vector<EntryInfo> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.entries) {
+      const CachedPlan& plan = *entry.first;
+      out.push_back({plan.statement, plan.num_params, plan.catalog_version,
+                     plan.hits.load(std::memory_order_relaxed)});
+    }
+  }
+  return out;
+}
+
+}  // namespace bornsql::serve

@@ -1,0 +1,111 @@
+// serve::Server: shared state behind a set of concurrent sessions.
+//
+// One Server owns the catalog (tables + indexes), the plan cache, the
+// statement-stats registry and a metrics registry; Connect() hands out
+// Sessions whose engine databases point at that shared state. Sessions may
+// run on separate threads: the catalog takes a shared_mutex internally,
+// the plan cache is sharded + locked, and both registries are
+// mutex-guarded, so concurrent predict traffic needs no external locking.
+//
+// The server also layers three serving system views over the engine's
+// born_stat_* set (visible from any session):
+//
+//   born_stat_prepared   — every session's prepared statements
+//   born_stat_sessions   — per-session statement / cache-hit counters
+//   born_stat_plan_cache — one summary row: entries, capacity, hits,
+//                          misses, evictions, hit_rate
+#ifndef BORNSQL_SERVE_SERVER_H_
+#define BORNSQL_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "engine/engine_config.h"
+#include "engine/planner.h"
+#include "obs/metrics.h"
+#include "obs/statement_stats.h"
+#include "serve/plan_cache.h"
+#include "serve/session.h"
+
+namespace bornsql::serve {
+
+struct ServerConfig {
+  engine::EngineConfig engine;  // initial config copied into each session
+  size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = ServerConfig{});
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  // Opens a session. The session must not outlive the server.
+  std::unique_ptr<Session> Connect();
+
+  // Runs a DDL/DML bootstrap script through a throwaway session (loading
+  // tables before serving traffic).
+  Status Bootstrap(std::string_view script);
+
+  catalog::Catalog& catalog() { return catalog_; }
+  PlanCache& plan_cache() { return plan_cache_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::StatementStatsRegistry& statement_stats() { return stmt_stats_; }
+
+  size_t session_count() const;
+
+  struct SessionInfo {
+    uint64_t id = 0;
+    uint64_t statements = 0;
+    size_t prepared = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+  };
+  // Rows for born_stat_sessions / the shell's .sessions, sorted by id.
+  std::vector<SessionInfo> SessionsSnapshot() const;
+  // Rows for born_stat_prepared across all live sessions.
+  std::vector<PreparedInfo> PreparedSnapshot() const;
+
+ private:
+  friend class Session;
+
+  // SystemCatalog provider for the three serving views; each session
+  // database registers it via set_extra_system_views.
+  class ServingViews : public engine::SystemCatalog {
+   public:
+    explicit ServingViews(const Server* server) : server_(server) {}
+    bool IsSystemView(const std::string& name) const override;
+    exec::OperatorPtr MakeViewScan(const std::string& name,
+                                   const std::string& qualifier)
+        const override;
+
+   private:
+    const Server* server_;
+  };
+
+  void Unregister(uint64_t id);
+
+  ServerConfig config_;
+  catalog::Catalog catalog_;
+  obs::MetricsRegistry metrics_;
+  obs::StatementStatsRegistry stmt_stats_;
+  PlanCache plan_cache_;
+  ServingViews views_{this};
+
+  mutable std::mutex mu_;  // guards sessions_ / next_session_id_
+  std::map<uint64_t, Session*> sessions_;
+  uint64_t next_session_id_ = 1;
+};
+
+}  // namespace bornsql::serve
+
+#endif  // BORNSQL_SERVE_SERVER_H_

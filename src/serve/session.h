@@ -1,0 +1,168 @@
+// Serving sessions: per-client execution contexts over a shared catalog.
+//
+// A Session is what one client of the serving layer talks to. Sessions
+// created by the same serve::Server share the table namespace (one
+// catalog::Catalog), the statement-stats registry, the metrics registry
+// and the keyed plan cache, but each session owns its engine config — SET
+// born.opt.* / born.join_strategy-style settings apply per client — plus
+// its private prepared-statement namespace and statement trace.
+//
+// The session layer implements the three statements the core engine
+// rejects:
+//
+//   PREPARE p AS SELECT docid FROM scores WHERE label = $1;
+//   EXECUTE p('spam');
+//   DEALLOCATE p;           -- or DEALLOCATE ALL
+//
+// and routes EXECUTE of a cacheable SELECT through the plan cache: on a
+// hit the statement skips lex / parse / bind / optimize entirely — the
+// cached optimized logical plan is deep-cloned, EXECUTE arguments replace
+// its placeholders, and the clone is lowered and run (the trace shows only
+// substitute / lower / execute spans). Ad-hoc SELECTs are
+// auto-parameterized (literals become placeholders) so repeated predict
+// queries that differ only in constants share one cache entry — including
+// with an equivalent PREPAREd statement.
+#ifndef BORNSQL_SERVE_SESSION_H_
+#define BORNSQL_SERVE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "engine/engine_config.h"
+#include "engine/parameters.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace bornsql::serve {
+
+class Server;
+
+// Deterministic spelling of every config axis a cached plan's shape
+// depends on (join strategy, CTE mode, index joins, each optimizer rule
+// flag). Part of the cache key, so SET born.opt.* in one session can never
+// serve another session a plan optimized under different rules.
+std::string ConfigFingerprint(const engine::EngineConfig& config);
+
+// Snapshot row of one prepared statement (born_stat_prepared).
+struct PreparedInfo {
+  uint64_t session_id = 0;
+  std::string name;
+  std::string statement;  // normalized body text
+  size_t num_params = 0;
+  uint64_t calls = 0;
+  bool cacheable = false;
+};
+
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  uint64_t id() const { return id_; }
+
+  // Parses and executes one statement, handling PREPARE / EXECUTE /
+  // DEALLOCATE and the session-level settings here and delegating
+  // everything else to the session's engine database.
+  Result<engine::QueryResult> Execute(std::string_view sql);
+
+  // ';'-separated script, discarding SELECT results; stops at the first
+  // error.
+  Status ExecuteScript(std::string_view sql);
+
+  // The session's engine database (shared catalog, private config/trace).
+  // Exposed for the shell's EXPLAIN-style passthroughs and for tests.
+  engine::Database& database() { return db_; }
+
+  // Counters for born_stat_sessions / .sessions.
+  uint64_t statements_executed() const {
+    return statements_.load(std::memory_order_relaxed);
+  }
+  uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  size_t prepared_count() const;
+  bool plan_cache_enabled() const {
+    return plan_cache_enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Rows for born_stat_prepared, this session's slice.
+  std::vector<PreparedInfo> PreparedSnapshot() const;
+
+ private:
+  friend class Server;
+
+  // One PREPAREd statement. Immutable after creation (re-PREPARE installs
+  // a new entry; in-flight EXECUTEs keep their shared_ptr) except the
+  // atomic counters.
+  struct Prepared {
+    std::string name;        // as written, for messages and the view
+    std::string normalized;  // normalized body tokens, for keys and stats
+    std::unique_ptr<sql::Statement> stmt;
+    std::vector<engine::ParameterSlot> slots;
+    bool cacheable = false;  // SELECT without expression subqueries
+    std::atomic<uint64_t> calls{0};
+    // Set when BuildOptimizedPlan refused the body (e.g. a parameter in
+    // LIMIT, which the builder must const-evaluate); later EXECUTEs go
+    // straight to the bind-into-clone fallback instead of re-failing.
+    std::atomic<bool> cache_failed{false};
+  };
+
+  Session(Server* server, uint64_t id, engine::EngineConfig config);
+
+  Result<engine::QueryResult> RunPrepare(std::string_view sql,
+                                         const std::vector<sql::Token>& tokens,
+                                         sql::Statement stmt);
+  Result<engine::QueryResult> RunExecute(const sql::ExecuteStmt& stmt);
+  Result<engine::QueryResult> RunDeallocate(const sql::DeallocateStmt& stmt);
+  // Intercepts born.plan_cache / born.plan_cache_capacity; other settings
+  // fall through to the engine.
+  Result<engine::QueryResult> RunSet(const sql::Statement& stmt,
+                                     const std::vector<sql::Token>& tokens);
+  // Ad-hoc SELECT: auto-parameterize literals and run through the cache.
+  Result<engine::QueryResult> RunSelect(sql::Statement stmt,
+                                        const std::vector<sql::Token>& tokens);
+  // Shared cache-or-build-or-fallback tail for EXECUTE and ad-hoc SELECTs.
+  // `fallback` must run the statement through the ordinary engine path
+  // with the arguments bound back into the AST; it is invoked when the
+  // plan builder refuses the parameterized statement.
+  Result<engine::QueryResult> RunThroughCache(
+      const sql::Statement& stmt, const std::string& normalized,
+      const std::vector<Value>& args, const std::string& stats_key,
+      std::atomic<bool>* cache_failed,
+      const std::function<Result<engine::QueryResult>()>& fallback);
+
+  std::string CacheKey(const std::string& normalized,
+                       const std::string& kept_literals) const;
+  // Statement-stats key carrying the session id ("s3: SELECT ?"), so
+  // born_stat_statements attributes serving traffic per session.
+  std::string StatsKey(const std::string& normalized) const;
+
+  Server* const server_;
+  const uint64_t id_;
+  engine::Database db_;
+
+  mutable std::mutex mu_;  // guards prepared_ (snapshots race with EXECUTE)
+  std::map<std::string, std::shared_ptr<Prepared>, std::less<>> prepared_;
+
+  std::atomic<bool> plan_cache_enabled_{true};
+  std::atomic<uint64_t> statements_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+};
+
+}  // namespace bornsql::serve
+
+#endif  // BORNSQL_SERVE_SESSION_H_

@@ -45,6 +45,7 @@ enum class ExprKind {
   kInSubquery,      // expr [NOT] IN (SELECT ...)
   kExists,          // [NOT] EXISTS (SELECT ...)
   kInSet,           // planner-internal: expr [NOT] IN <materialized values>
+  kParameter,       // ? or $n placeholder; only valid inside PREPAREd text
 };
 
 enum class UnaryOp { kNegate, kNot, kPlus };
@@ -97,6 +98,11 @@ struct Expr {
 
   // kInSet: values materialized from an IN subquery.
   std::vector<Value> set_values;
+
+  // kParameter: 1-based ordinal. `$n` carries n from the lexer; bare `?`
+  // placeholders arrive as 0 and are assigned ordinals in source order by
+  // engine::AssignParameterOrdinals before binding.
+  size_t param_index = 0;
 };
 
 // Convenience constructors (used by tests and programmatic query builders).
@@ -164,6 +170,12 @@ struct SelectStmt {
 std::unique_ptr<SelectStmt> CloneSelect(const SelectStmt& s);
 SelectCore CloneCore(const SelectCore& core);
 
+struct Statement;
+// Deep copy of a DML/query statement (kSelect/kInsert/kUpdate/kDelete only;
+// other kinds are not prepared and return nullptr). Used by the serving
+// layer to keep an owned parameterized AST alive alongside a cached plan.
+std::unique_ptr<Statement> CloneStatement(const Statement& s);
+
 // ---- Statements ----------------------------------------------------------
 
 struct ColumnDef {
@@ -229,6 +241,33 @@ struct SetStmt {
   ExprPtr value;
 };
 
+struct Statement;
+
+// PREPARE <name> AS <stmt>: names a parameterized statement for later
+// EXECUTE. The body may contain kParameter placeholders; only SELECT /
+// INSERT / UPDATE / DELETE bodies are accepted (the parser enforces this).
+struct PrepareStmt {
+  SourceLoc loc;
+  std::string name;
+  std::unique_ptr<Statement> body;
+  SourceLoc body_loc;    // first token of the body, for slicing source text
+  std::string body_sql;  // original body text, filled by the serving layer
+};
+
+// EXECUTE <name>(arg, ...): runs a prepared statement with constant
+// arguments bound to its placeholders in ordinal order.
+struct ExecuteStmt {
+  SourceLoc loc;
+  std::string name;
+  std::vector<ExprPtr> args;  // constant expressions, evaluated at execute
+};
+
+// DEALLOCATE <name> | DEALLOCATE ALL.
+struct DeallocateStmt {
+  SourceLoc loc;
+  std::string name;  // empty => ALL
+};
+
 enum class StatementKind {
   kSelect,
   kExplain,  // EXPLAIN [ANALYZE|VERIFY|LINT|LOGICAL] <stmt>: `explained` + flags
@@ -239,6 +278,9 @@ enum class StatementKind {
   kUpdate,
   kDelete,
   kSet,
+  kPrepare,
+  kExecute,
+  kDeallocate,
 };
 
 struct Statement {
@@ -251,6 +293,9 @@ struct Statement {
   std::unique_ptr<UpdateStmt> update;
   std::unique_ptr<DeleteStmt> del;
   std::unique_ptr<SetStmt> set;
+  std::unique_ptr<PrepareStmt> prepare;
+  std::unique_ptr<ExecuteStmt> execute;
+  std::unique_ptr<DeallocateStmt> deallocate;
 
   // kExplain: the wrapped statement (any kind except kExplain itself) and
   // which mode was requested: ANALYZE (execute + per-operator stats),

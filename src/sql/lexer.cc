@@ -308,6 +308,42 @@ Result<std::vector<Token>> Lex(std::string_view src) {
               "unexpected character '|' at %s", here(at).c_str()));
         }
         break;
+      case '?': {
+        // Unnumbered parameter placeholder; ordinals are assigned by the
+        // PREPARE path in source order (engine/parameters.cc).
+        Token tok = make(TokenType::kParameter, at);
+        tok.text = "?";
+        tok.int_value = 0;
+        out.push_back(std::move(tok));
+        ++i;
+        break;
+      }
+      case '$': {
+        // Numbered parameter placeholder $1, $2, ...
+        size_t j = i + 1;
+        while (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+        if (j == i + 1) {
+          return Status::ParseError(StrFormat(
+              "expected digits after '$' at %s", here(at).c_str()));
+        }
+        std::string spelling(src.substr(i, j - i));
+        int64_t ordinal = 0;
+        auto [ptr, ec] = std::from_chars(spelling.data() + 1,
+                                         spelling.data() + spelling.size(),
+                                         ordinal);
+        (void)ptr;
+        if (ec != std::errc() || ordinal < 1) {
+          return Status::ParseError(StrFormat(
+              "invalid parameter number '%s' at %s", spelling.c_str(),
+              here(at).c_str()));
+        }
+        Token tok = make(TokenType::kParameter, at);
+        tok.text = std::move(spelling);
+        tok.int_value = ordinal;
+        out.push_back(std::move(tok));
+        i = j;
+        break;
+      }
       default:
         return Status::ParseError(StrFormat("unexpected character '%c' at %s",
                                             c, here(at).c_str()));
@@ -325,6 +361,7 @@ const char* TokenTypeName(TokenType t) {
     case TokenType::kIntLiteral: return "integer literal";
     case TokenType::kDoubleLiteral: return "double literal";
     case TokenType::kStringLiteral: return "string literal";
+    case TokenType::kParameter: return "parameter placeholder";
     case TokenType::kLParen: return "'('";
     case TokenType::kRParen: return "')'";
     case TokenType::kComma: return "','";

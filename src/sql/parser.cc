@@ -95,11 +95,12 @@ class Parser {
 
   // VERIFY/LINT/LOGICAL are deliberately not keywords (they stay usable as
   // table or column names); EXPLAIN matches them as bare identifiers instead.
+  bool CheckIdent(std::string_view word, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kIdentifier && EqualsIgnoreCase(t.text, word);
+  }
   bool MatchIdent(std::string_view word) {
-    if (!Check(TokenType::kIdentifier) ||
-        !EqualsIgnoreCase(Peek().text, word)) {
-      return false;
-    }
+    if (!CheckIdent(word)) return false;
     Advance();
     return true;
   }
@@ -142,7 +143,80 @@ class Parser {
     if (CheckKeyword("UPDATE")) return UpdateStatement();
     if (CheckKeyword("DELETE")) return DeleteStatement();
     if (CheckKeyword("SET")) return SetStatement();
+    // PREPARE / EXECUTE / DEALLOCATE are contextual (not keywords, so they
+    // stay usable as table or column names); no other statement starts with
+    // a bare identifier, so the word position disambiguates.
+    if (CheckIdent("PREPARE")) return PrepareStatement();
+    if (CheckIdent("EXECUTE")) return ExecuteStatement();
+    if (CheckIdent("DEALLOCATE")) return DeallocateStatement();
     return Error("expected a statement");
+  }
+
+  // PREPARE <name> AS <select|insert|update|delete>
+  Result<Statement> PrepareStatement() {
+    SourceLoc loc = Loc();
+    Advance();  // PREPARE
+    auto stmt = std::make_unique<PrepareStmt>();
+    stmt->loc = loc;
+    BORNSQL_ASSIGN_OR_RETURN(stmt->name, Identifier("prepared statement name"));
+    BORNSQL_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    stmt->body_loc = Loc();
+    BORNSQL_ASSIGN_OR_RETURN(Statement body, StatementRule());
+    switch (body.kind) {
+      case StatementKind::kSelect:
+      case StatementKind::kInsert:
+      case StatementKind::kUpdate:
+      case StatementKind::kDelete:
+        break;
+      default:
+        return Error(
+            "PREPARE body must be SELECT, INSERT, UPDATE or DELETE");
+    }
+    stmt->body = std::make_unique<Statement>(std::move(body));
+    Statement st;
+    st.kind = StatementKind::kPrepare;
+    st.prepare = std::move(stmt);
+    return st;
+  }
+
+  // EXECUTE <name> [ ( expr, ... ) ]
+  Result<Statement> ExecuteStatement() {
+    SourceLoc loc = Loc();
+    Advance();  // EXECUTE
+    auto stmt = std::make_unique<ExecuteStmt>();
+    stmt->loc = loc;
+    BORNSQL_ASSIGN_OR_RETURN(stmt->name, Identifier("prepared statement name"));
+    if (Match(TokenType::kLParen)) {
+      if (!Match(TokenType::kRParen)) {
+        do {
+          BORNSQL_ASSIGN_OR_RETURN(ExprPtr arg, Expression());
+          stmt->args.push_back(std::move(arg));
+        } while (Match(TokenType::kComma));
+        BORNSQL_RETURN_IF_ERROR(Expect(TokenType::kRParen));
+      }
+    }
+    Statement st;
+    st.kind = StatementKind::kExecute;
+    st.execute = std::move(stmt);
+    return st;
+  }
+
+  // DEALLOCATE <name> | DEALLOCATE ALL
+  Result<Statement> DeallocateStatement() {
+    SourceLoc loc = Loc();
+    Advance();  // DEALLOCATE
+    auto stmt = std::make_unique<DeallocateStmt>();
+    stmt->loc = loc;
+    if (MatchKeyword("ALL")) {
+      stmt->name.clear();
+    } else {
+      BORNSQL_ASSIGN_OR_RETURN(stmt->name,
+                               Identifier("prepared statement name"));
+    }
+    Statement st;
+    st.kind = StatementKind::kDeallocate;
+    st.deallocate = std::move(stmt);
+    return st;
   }
 
   // SET <name>[.<name>...] = <expr>
@@ -751,6 +825,13 @@ class Parser {
       case TokenType::kStringLiteral:
         Advance();
         return with_loc(MakeLiteral(Value::Text(t.text)));
+      case TokenType::kParameter: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kParameter;
+        e->param_index = static_cast<size_t>(t.int_value);  // 0 for bare '?'
+        return with_loc(std::move(e));
+      }
       case TokenType::kLParen: {
         Advance();
         if (CheckKeyword("SELECT") || CheckKeyword("WITH")) {

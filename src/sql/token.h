@@ -13,6 +13,7 @@ enum class TokenType {
   kIntLiteral,     // 42
   kDoubleLiteral,  // 1.5, 1e6
   kStringLiteral,  // 'abc' (text holds unescaped body)
+  kParameter,      // ? (int_value 0) or $n (int_value n); PREPAREd SQL only
   // Punctuation / operators.
   kLParen,
   kRParen,

@@ -6,6 +6,7 @@
 #ifndef BORNSQL_STORAGE_TABLE_H_
 #define BORNSQL_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -19,12 +20,14 @@ namespace bornsql::storage {
 
 // Lifetime usage counters per table, surfaced by the born_stat_tables
 // system view. Mutation methods maintain them; scans are recorded by the
-// executor's SeqScan via RecordScan().
+// executor's SeqScan via RecordScan(). Atomic because serving sessions
+// scan shared tables concurrently (rows themselves stay read-only under
+// concurrency; see serve/session.h).
 struct TableUsage {
-  uint64_t scans = 0;
-  uint64_t inserts = 0;
-  uint64_t updates = 0;
-  uint64_t deletes = 0;
+  std::atomic<uint64_t> scans{0};
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> updates{0};
+  std::atomic<uint64_t> deletes{0};
 };
 
 class Table {

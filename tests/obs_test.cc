@@ -469,5 +469,30 @@ TEST(StatementStatsRegistryTest, ConcurrentHammer) {
   }
 }
 
+TEST(StatementStatsTest, EvictsLeastRecentlyRecordedAtCapacity) {
+  obs::StatementStatsRegistry registry;
+  for (size_t i = 0; i < obs::StatementStatsRegistry::kMaxEntries; ++i) {
+    EXPECT_FALSE(registry.Record("q" + std::to_string(i), 1.0, 1, false));
+  }
+  EXPECT_EQ(registry.size(), obs::StatementStatsRegistry::kMaxEntries);
+  EXPECT_EQ(registry.evictions(), 0u);
+
+  // Touch q0 so it is no longer the least recently recorded, then admit a
+  // new key: q1 (the oldest untouched entry) must be the victim.
+  registry.Record("q0", 1.0, 1, false);
+  EXPECT_TRUE(registry.Record("fresh", 1.0, 1, false));
+  EXPECT_EQ(registry.size(), obs::StatementStatsRegistry::kMaxEntries);
+  EXPECT_EQ(registry.evictions(), 1u);
+
+  auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.count("q0"), 1u);
+  EXPECT_EQ(snapshot.count("q1"), 0u);
+  EXPECT_EQ(snapshot.count("fresh"), 1u);
+  // The evicted key's stats restart from zero if it returns.
+  registry.Record("q1", 1.0, 7, false);
+  EXPECT_EQ(registry.Snapshot().at("q1").calls, 1u);
+  EXPECT_EQ(registry.evictions(), 2u);
+}
+
 }  // namespace
 }  // namespace bornsql

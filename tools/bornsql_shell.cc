@@ -1,7 +1,10 @@
-// bornsql_shell: an interactive SQL shell over the BornSQL engine.
+// bornsql_shell: an interactive SQL shell over the BornSQL serving layer.
 //
 //   build/tools/bornsql_shell            # interactive REPL
 //   build/tools/bornsql_shell < script   # batch mode
+//
+// The shell runs as one serve::Session, so PREPARE / EXECUTE / DEALLOCATE
+// work and repeated SELECTs hit the plan cache (.cache shows it).
 //
 // Statements end with ';'. Dot commands:
 //   .tables                list tables
@@ -12,13 +15,17 @@
 //   .metrics [reset]       dump the engine metrics registry as JSON / reset it
 //   .trace <file>          export the statement trace as Chrome trace JSON
 //   .lint <sql;>           run the static SQL linter over a statement/script
+//   .sessions              list serving sessions (this shell: one)
+//   .cache                 plan cache stats + entries
 //   .help                  this text
 //   .quit                  exit
 //
 // EXPLAIN <stmt> prints the plan; EXPLAIN ANALYZE <stmt> executes it and
 // annotates every operator with actual rows and wall time.
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/strings.h"
@@ -26,6 +33,8 @@
 #include "engine/csv.h"
 #include "engine/database.h"
 #include "lint/linter.h"
+#include "serve/server.h"
+#include "serve/session.h"
 
 namespace {
 
@@ -34,6 +43,8 @@ using bornsql::StrFormat;
 using bornsql::Value;
 using bornsql::engine::Database;
 using bornsql::engine::QueryResult;
+using bornsql::serve::Server;
+using bornsql::serve::Session;
 
 void PrintResult(const QueryResult& result) {
   if (result.column_names.empty()) {
@@ -89,7 +100,9 @@ void PrintResult(const QueryResult& result) {
 }
 
 // Handles a dot command; returns false on .quit.
-bool DotCommand(Database& db, const std::string& line, bool* timer) {
+bool DotCommand(Server& server, Session& session, const std::string& line,
+                bool* timer) {
+  Database& db = session.database();
   auto parts = bornsql::Split(line, ' ');
   const std::string& cmd = parts[0];
   if (cmd == ".quit" || cmd == ".exit") return false;
@@ -97,7 +110,9 @@ bool DotCommand(Database& db, const std::string& line, bool* timer) {
     std::printf(
         ".tables | .schema <t> | .import <csv> <t> | .export <file> <sql;> "
         "| .timing on|off | .metrics [reset] | .trace <file> | .lint <sql;> "
-        "| .plan <sql;> | .quit\n"
+        "| .plan <sql;> | .sessions | .cache | .quit\n"
+        "PREPARE p AS <stmt;> / EXECUTE p(args);  parameterized statements "
+        "('?' or '$n' placeholders); DEALLOCATE p | ALL drops them\n"
         "EXPLAIN ANALYZE <stmt;> runs a statement and annotates the plan "
         "with per-operator stats\n"
         "EXPLAIN LINT <stmt;> / EXPLAIN VERIFY <stmt;> run the static "
@@ -106,9 +121,38 @@ bool DotCommand(Database& db, const std::string& line, bool* timer) {
         "before and after the optimizer rules\n"
         "SET born.opt.<rule> = 0|1 toggles one optimizer rule; "
         "born_stat_optimizer lists per-rule counters\n"
+        "SET born.plan_cache = 0|1 / born.plan_cache_capacity = N configure "
+        "the serving plan cache\n"
         "system views: born_stat_statements, born_stat_operators, "
-        "born_stat_optimizer, born_stat_tables, born_slow_log "
+        "born_stat_optimizer, born_stat_tables, born_slow_log, "
+        "born_stat_prepared, born_stat_sessions, born_stat_plan_cache "
         "(SET born.slow_query_ms = N to arm the slow log)\n");
+  } else if (cmd == ".sessions") {
+    std::printf("%-10s %-12s %-10s %-12s %-12s\n", "session", "statements",
+                "prepared", "cache_hits", "cache_misses");
+    for (const auto& s : server.SessionsSnapshot()) {
+      std::printf("%-10llu %-12llu %-10zu %-12llu %-12llu\n",
+                  static_cast<unsigned long long>(s.id),
+                  static_cast<unsigned long long>(s.statements), s.prepared,
+                  static_cast<unsigned long long>(s.cache_hits),
+                  static_cast<unsigned long long>(s.cache_misses));
+    }
+  } else if (cmd == ".cache") {
+    const bornsql::serve::PlanCache& cache = server.plan_cache();
+    const uint64_t lookups = cache.hits() + cache.misses();
+    std::printf(
+        "plan cache: %zu/%zu entries, %llu hits, %llu misses, %llu "
+        "evictions, hit rate %.1f%%\n",
+        cache.size(), cache.capacity(),
+        static_cast<unsigned long long>(cache.hits()),
+        static_cast<unsigned long long>(cache.misses()),
+        static_cast<unsigned long long>(cache.evictions()),
+        lookups == 0 ? 0.0 : 100.0 * cache.hits() / lookups);
+    for (const auto& entry : cache.Snapshot()) {
+      std::printf("  [%llu hits, %zu params] %s\n",
+                  static_cast<unsigned long long>(entry.hits),
+                  entry.num_params, entry.statement.c_str());
+    }
   } else if (cmd == ".tables") {
     for (const std::string& name : db.catalog().TableNames()) {
       std::printf("%s\n", name.c_str());
@@ -201,7 +245,8 @@ bool DotCommand(Database& db, const std::string& line, bool* timer) {
 }  // namespace
 
 int main() {
-  Database db;
+  Server server;
+  std::unique_ptr<Session> session = server.Connect();
   bool timer = false;
   const bool interactive = isatty(fileno(stdin));
   if (interactive) {
@@ -218,7 +263,7 @@ int main() {
     if (!std::getline(std::cin, line)) break;
     std::string_view trimmed = bornsql::StripWhitespace(line);
     if (buffer.empty() && !trimmed.empty() && trimmed[0] == '.') {
-      if (!DotCommand(db, std::string(trimmed), &timer)) break;
+      if (!DotCommand(server, *session, std::string(trimmed), &timer)) break;
       continue;
     }
     buffer += line;
@@ -226,7 +271,7 @@ int main() {
     // Execute once the statement terminator arrives.
     if (trimmed.empty() || trimmed.back() != ';') continue;
     bornsql::WallTimer wall;
-    auto result = db.Execute(buffer);
+    auto result = session->Execute(buffer);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
     } else {

@@ -6,10 +6,14 @@
 #       statement across the 3 join strategies x 2 CTE modes
 #   1d  Debug build (plan + logical verifiers on) + full test suite
 #   1e  differential fuzz smoke: 1,000 seeded queries across all 27
-#       configurations (3 join strategies x 9 optimizer settings), plan
-#       and translation verifiers armed
+#       configurations (3 join strategies x 9 optimizer settings) plus a
+#       cached-vs-uncached serving lane, plan and translation verifiers
+#       armed
+#   1f  serving bench smoke: concurrent sessions through the keyed plan
+#       cache, hit rate > 0 and cached results equal to uncached
 #   2   Debug + ASan/UBSan build + full test suite + fuzz smoke
-#   3   Debug + TSan build, concurrency hammer tests (registry/trace/stats)
+#   3   Debug + TSan build, concurrency hammer tests (registry/trace/stats
+#       sinks + the multi-session serving hammer)
 #   4   clang-tidy over the files changed by the latest commit plus the
 #       optimizer/planner core (skipped with a notice when clang-tidy is
 #       not installed)
@@ -70,8 +74,27 @@ if [[ "${1:-}" != "--fast" ]]; then
   # forced on. Any result divergence or verifier violation fails the leg
   # and prints a shrunk counterexample plus its --seed/--repro one-liner.
   # Runs from the leg-1 build: the fuzzer arms the verifiers itself, so an
-  # optimized build loses no checking, only wall-clock.
+  # optimized build loses no checking, only wall-clock. Each query also
+  # replays twice through a serving session, so the second run is served
+  # from the plan cache and compared against the uncached baseline.
   build/tools/fuzz/bornsql_fuzzer --seed=20260806 --queries=1000
+
+  echo "=== leg 1f: serving bench smoke ==="
+  # Concurrent sessions replaying the prepared predict query. After the
+  # per-session PREPARE miss, every EXECUTE must be served from the keyed
+  # plan cache, and cached results must match a cache-disabled session's.
+  build/bench/bench_serving --scale=0.2 --threads=1,2 \
+    --json=build/ci_serving.json >/dev/null
+  python3 - build/ci_serving.json <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["cached_equals_uncached"] is True, report
+for point in report["sweep"]:
+    assert point["hit_rate"] > 0, point
+print("serving ok: " + ", ".join(
+    "%dt hit_rate=%.1f%%" % (p["threads"], 100 * p["hit_rate"])
+    for p in report["sweep"]))
+EOF
 
   echo "=== leg 2: Debug + ASan/UBSan ==="
   # halt_on_error so ctest actually fails on a UBSan report.
@@ -85,9 +108,11 @@ if [[ "${1:-}" != "--fast" ]]; then
   echo "=== leg 3: Debug + TSan (concurrency hammers) ==="
   # The engine itself is single-threaded by contract; what must be
   # thread-safe are the observability sinks (MetricsRegistry, TraceRecorder,
-  # StatementStatsRegistry). Run their multithreaded hammer tests under
-  # TSan rather than the whole suite: the single-threaded tests cannot race
-  # and TSan slows them ~10x for no signal.
+  # StatementStatsRegistry) and the serving layer (concurrent sessions over
+  # one Server: shared catalog, plan cache, PREPARE/EXECUTE vs DDL vs SET --
+  # the ConcurrentSessionsHammer test). Run the multithreaded hammer tests
+  # under TSan rather than the whole suite: the single-threaded tests cannot
+  # race and TSan slows them ~10x for no signal.
   export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DBORNSQL_SANITIZE=thread
   cmake --build build-tsan -j "$(nproc)"

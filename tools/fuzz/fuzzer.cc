@@ -626,6 +626,16 @@ DifferentialRunner::DifferentialRunner() : configs_(AllConfigs()) {
     }
     dbs_.push_back(std::move(db));
   }
+  serve::ServerConfig serving;
+  serving.engine = configs_[0].config;
+  server_ = std::make_unique<serve::Server>(std::move(serving));
+  session_ = server_->Connect();
+  Status s = LoadFixture(&session_->database());
+  if (!s.ok()) {
+    std::fprintf(stderr, "fuzz fixture load failed under serving/cached: %s\n",
+                 s.ToString().c_str());
+    std::abort();
+  }
 }
 
 bool DifferentialRunner::Check(const QuerySpec& spec, std::string* detail) {
@@ -657,6 +667,34 @@ bool DifferentialRunner::Check(const QuerySpec& spec, std::string* detail) {
         *detail = "result divergence between " + configs_[0].name + " and " +
                   configs_[i].name + "\n--- " + configs_[0].name + "\n" +
                   Preview(baseline_rows) + "--- " + configs_[i].name + "\n" +
+                  Preview(rows);
+      }
+      return false;
+    }
+  }
+  // Serving lane: run the query twice through the session. The first run
+  // misses the plan cache and inserts (auto-parameterized), the second is
+  // served from it; both must agree with the baseline.
+  const char* lanes[] = {"serving/uncached", "serving/cached"};
+  for (const char* lane : lanes) {
+    Result<engine::QueryResult> result = session_->Execute(sql);
+    if (result.ok() != baseline_ok) {
+      if (detail != nullptr) {
+        *detail = "status divergence: " + configs_[0].name +
+                  (baseline_ok ? " succeeded" : " failed") + " but " + lane +
+                  (result.ok()
+                       ? " succeeded"
+                       : " failed: " + result.status().ToString());
+      }
+      return false;
+    }
+    if (!baseline_ok) continue;
+    const std::string rows = CanonicalRows(*result);
+    if (rows != baseline_rows) {
+      if (detail != nullptr) {
+        *detail = "result divergence between " + configs_[0].name + " and " +
+                  lane + "\n--- " + configs_[0].name + "\n" +
+                  Preview(baseline_rows) + "--- " + lane + "\n" +
                   Preview(rows);
       }
       return false;

@@ -17,6 +17,12 @@
 // strategy disagreements). On divergence the harness greedily shrinks the
 // query to a minimal still-diverging form.
 //
+// On top of the engine matrix, a serving lane replays each query through a
+// serve::Session twice under the baseline configuration: the first run
+// populates the keyed plan cache (auto-parameterized), the second is served
+// from it. Both must agree with the baseline, so every fuzz query also
+// exercises cached-vs-uncached equivalence.
+//
 // The grammar deliberately stays inside deterministic SQL: SUM/AVG only
 // over INTEGER columns (int64 accumulation is exact and order-independent;
 // double accumulation is not), no window functions, no LIMIT (row choice
@@ -38,6 +44,8 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "engine/database.h"
+#include "serve/server.h"
+#include "serve/session.h"
 
 namespace bornsql::fuzz {
 
@@ -105,6 +113,10 @@ class DifferentialRunner {
  private:
   std::vector<FuzzConfig> configs_;
   std::vector<std::unique_ptr<engine::Database>> dbs_;
+  // Serving lane: one session under the baseline configuration whose plan
+  // cache serves the second run of every query.
+  std::unique_ptr<serve::Server> server_;
+  std::unique_ptr<serve::Session> session_;
 };
 
 // Greedy query shrinking: repeatedly drops conjuncts, ORDER BY, DISTINCT,
