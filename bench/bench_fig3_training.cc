@@ -12,6 +12,7 @@
 #include "common/timer.h"
 #include "data/scopus.h"
 #include "engine/database.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/plan_stats.h"
 
@@ -164,6 +165,50 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "could not write %s\n", path.c_str());
       return 1;
+    }
+    // Memory high-water marks: the profiled training query's own tracker
+    // and the process root (which also covers table storage).
+    const uint64_t query_peak = db.last_query_peak_bytes();
+    const uint64_t process_peak = obs::MemoryTracker::Process().peak();
+    std::printf("peak memory: query %llu bytes, process %llu bytes\n",
+                static_cast<unsigned long long>(query_peak),
+                static_cast<unsigned long long>(process_peak));
+    std::string bench_json =
+        "{\"bench\": \"fig3_training\", \"items\": [";
+    for (int t = 0; t < kSteps; ++t) {
+      if (t > 0) bench_json += ", ";
+      bench_json += StrFormat("%.0f", items[t]);
+    }
+    bench_json += "], \"fit_seconds\": {";
+    for (size_t v = 0; v < variants.size(); ++v) {
+      if (v > 0) bench_json += ", ";
+      bench_json += StrFormat("\"%s\": [", variants[v].name);
+      for (int t = 0; t < kSteps; ++t) {
+        if (t > 0) bench_json += ", ";
+        bench_json += StrFormat("%.4f", fit_times[v][t]);
+      }
+      bench_json += "]";
+    }
+    bench_json += StrFormat(
+        "}, \"query_peak_bytes\": %llu, \"process_peak_bytes\": %llu, "
+        "\"peak_memory_bytes\": %llu}\n",
+        static_cast<unsigned long long>(query_peak),
+        static_cast<unsigned long long>(process_peak),
+        static_cast<unsigned long long>(process_peak));
+    if (bench::WriteTextFile("BENCH_fig3_training.json", bench_json)) {
+      std::printf("wrote BENCH_fig3_training.json\n");
+    } else {
+      std::fprintf(stderr, "could not write BENCH_fig3_training.json\n");
+      return 1;
+    }
+    if (!args.metrics_prom.empty()) {
+      if (bench::WriteTextFile(args.metrics_prom, metrics.ToPrometheus())) {
+        std::printf("wrote %s\n", args.metrics_prom.c_str());
+      } else {
+        std::fprintf(stderr, "could not write %s\n",
+                     args.metrics_prom.c_str());
+        return 1;
+      }
     }
     if (!args.trace_json.empty()) {
       if (auto st = db.ExportTrace(args.trace_json); st.ok()) {

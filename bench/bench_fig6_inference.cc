@@ -15,6 +15,7 @@
 #include "common/timer.h"
 #include "data/scopus.h"
 #include "engine/database.h"
+#include "obs/memory.h"
 
 int main(int argc, char** argv) {
   using namespace bornsql;
@@ -128,6 +129,41 @@ int main(int argc, char** argv) {
   bench::ShapeCheck(per_item_ms < 10.0,
                     "amortized deployed inference is on the order of "
                     "milliseconds per item");
+
+  // Memory high-water marks: the batch predict's final query tracker and
+  // the process root (covering model tables too).
+  const uint64_t query_peak = db.last_query_peak_bytes();
+  const uint64_t process_peak = obs::MemoryTracker::Process().peak();
+  std::printf("peak memory: query %llu bytes, process %llu bytes\n",
+              static_cast<unsigned long long>(query_peak),
+              static_cast<unsigned long long>(process_peak));
+  std::string bench_json = "{\"bench\": \"fig6_inference\", \"features\": [";
+  for (size_t i = 0; i < model_features.size(); ++i) {
+    if (i > 0) bench_json += ", ";
+    bench_json += StrFormat("%.0f", model_features[i]);
+  }
+  bench_json += "], \"undeployed_seconds\": [";
+  for (size_t i = 0; i < undeployed_s.size(); ++i) {
+    if (i > 0) bench_json += ", ";
+    bench_json += StrFormat("%.4f", undeployed_s[i]);
+  }
+  bench_json += "], \"deployed_seconds\": [";
+  for (size_t i = 0; i < deployed_s.size(); ++i) {
+    if (i > 0) bench_json += ", ";
+    bench_json += StrFormat("%.4f", deployed_s[i]);
+  }
+  bench_json += StrFormat(
+      "], \"per_item_ms\": %.4f, \"query_peak_bytes\": %llu, "
+      "\"process_peak_bytes\": %llu, \"peak_memory_bytes\": %llu}\n",
+      per_item_ms, static_cast<unsigned long long>(query_peak),
+      static_cast<unsigned long long>(process_peak),
+      static_cast<unsigned long long>(process_peak));
+  if (bench::WriteTextFile("BENCH_fig6_inference.json", bench_json)) {
+    std::printf("wrote BENCH_fig6_inference.json\n");
+  } else {
+    std::fprintf(stderr, "could not write BENCH_fig6_inference.json\n");
+    return 1;
+  }
 
   if (!args.trace_json.empty()) {
     if (auto st = db.ExportTrace(args.trace_json); st.ok()) {

@@ -9,6 +9,7 @@
 //
 //   build/bench/bench_serving [--scale=S] [--threads=1,2,4]
 //                             [--json=BENCH_serving.json]
+//                             [--metrics-prom=FILE]  # Prometheus text
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -21,6 +22,7 @@
 #include "bench/bench_util.h"
 #include "common/strings.h"
 #include "common/timer.h"
+#include "obs/memory.h"
 #include "serve/server.h"
 #include "serve/session.h"
 
@@ -68,15 +70,21 @@ struct SweepPoint {
   double hit_rate = 0.0;
   uint64_t hits = 0;
   uint64_t misses = 0;
+  uint64_t session_peak_bytes = 0;  // max per-session tracker high water
+  uint64_t process_peak_bytes = 0;  // process-root high water (cumulative)
 };
 
-SweepPoint RunSweep(int threads, size_t docs, size_t ops_per_thread) {
+// `prom_out`, if non-null, receives the server's Prometheus text before the
+// server is torn down (the registry dies with it).
+SweepPoint RunSweep(int threads, size_t docs, size_t ops_per_thread,
+                    std::string* prom_out) {
   Server server;
   if (auto st = server.Bootstrap(FixtureScript(docs)); !st.ok()) {
     std::fprintf(stderr, "bootstrap failed: %s\n", st.ToString().c_str());
     std::exit(1);
   }
   std::atomic<int> failures{0};
+  std::atomic<uint64_t> max_session_peak{0};
   std::vector<std::vector<double>> latencies(
       static_cast<size_t>(threads));
   std::vector<std::thread> workers;
@@ -99,6 +107,11 @@ SweepPoint RunSweep(int threads, size_t docs, size_t ops_per_thread) {
             session->Execute(StrFormat("EXECUTE predict(%zu)", docid));
         mine.push_back(op.ElapsedSeconds() * 1e6);
         if (!result.ok() || result->rows.size() != 2) failures.fetch_add(1);
+      }
+      const uint64_t peak = session->memory().peak();
+      uint64_t prev = max_session_peak.load(std::memory_order_relaxed);
+      while (peak > prev && !max_session_peak.compare_exchange_weak(
+                                prev, peak, std::memory_order_relaxed)) {
       }
     });
   }
@@ -123,6 +136,9 @@ SweepPoint RunSweep(int threads, size_t docs, size_t ops_per_thread) {
                        ? 0.0
                        : static_cast<double>(point.hits) /
                              static_cast<double>(lookups);
+  point.session_peak_bytes = max_session_peak.load();
+  point.process_peak_bytes = bornsql::obs::MemoryTracker::Process().peak();
+  if (prom_out != nullptr) *prom_out = server.metrics().ToPrometheus();
   if (failures.load() != 0) {
     std::fprintf(stderr, "%d statements failed\n", failures.load());
     std::exit(1);
@@ -187,15 +203,18 @@ int main(int argc, char** argv) {
       "serving", "concurrent predict traffic through sessions + plan cache");
   std::printf("%zu docs x 2 classes, %zu EXECUTEs per session\n\n", docs,
               ops_per_thread);
-  std::printf("%8s %12s %12s %12s %10s\n", "threads", "qps", "p50_us",
-              "p99_us", "hit_rate");
+  std::printf("%8s %12s %12s %12s %10s %12s\n", "threads", "qps", "p50_us",
+              "p99_us", "hit_rate", "peak_bytes");
 
   std::vector<SweepPoint> sweep;
+  std::string prom_text;
   for (int threads : thread_counts) {
-    SweepPoint point = RunSweep(threads, docs, ops_per_thread);
-    std::printf("%8d %12.0f %12.1f %12.1f %9.1f%%\n", point.threads,
-                point.qps, point.p50_us, point.p99_us,
-                100.0 * point.hit_rate);
+    SweepPoint point = RunSweep(threads, docs, ops_per_thread,
+                                args.metrics_prom.empty() ? nullptr
+                                                          : &prom_text);
+    std::printf("%8d %12.0f %12.1f %12.1f %9.1f%% %12llu\n", point.threads,
+                point.qps, point.p50_us, point.p99_us, 100.0 * point.hit_rate,
+                static_cast<unsigned long long>(point.session_peak_bytes));
     sweep.push_back(point);
   }
   std::printf("\n");
@@ -218,17 +237,30 @@ int main(int argc, char** argv) {
     json += StrFormat(
         "{\"threads\": %d, \"qps\": %.1f, \"p50_us\": %.1f, "
         "\"p99_us\": %.1f, \"hit_rate\": %.4f, \"hits\": %llu, "
-        "\"misses\": %llu}",
+        "\"misses\": %llu, \"session_peak_bytes\": %llu, "
+        "\"process_peak_bytes\": %llu}",
         p.threads, p.qps, p.p50_us, p.p99_us, p.hit_rate,
         static_cast<unsigned long long>(p.hits),
-        static_cast<unsigned long long>(p.misses));
+        static_cast<unsigned long long>(p.misses),
+        static_cast<unsigned long long>(p.session_peak_bytes),
+        static_cast<unsigned long long>(p.process_peak_bytes));
   }
-  json += StrFormat("], \"cached_equals_uncached\": %s}\n",
-                    equal ? "true" : "false");
+  json += StrFormat(
+      "], \"cached_equals_uncached\": %s, \"peak_memory_bytes\": %llu}\n",
+      equal ? "true" : "false",
+      static_cast<unsigned long long>(
+          bornsql::obs::MemoryTracker::Process().peak()));
   if (!bornsql::bench::WriteTextFile(json_path, json)) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;
   }
   std::printf("wrote %s\n", json_path.c_str());
+  if (!args.metrics_prom.empty()) {
+    if (!bornsql::bench::WriteTextFile(args.metrics_prom, prom_text)) {
+      std::fprintf(stderr, "failed to write %s\n", args.metrics_prom.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args.metrics_prom.c_str());
+  }
   return 0;
 }

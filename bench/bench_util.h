@@ -27,6 +27,9 @@ struct Args {
   // Where to write a Chrome trace_event JSON of the bench's statements
   // (loadable by chrome://tracing). Empty disables trace export.
   std::string trace_json;
+  // Where to write the metrics registry in Prometheus text exposition
+  // format after the bench finishes. Empty disables the export.
+  std::string metrics_prom;
 };
 
 inline Args ParseArgs(int argc, char** argv) {
@@ -39,6 +42,8 @@ inline Args ParseArgs(int argc, char** argv) {
       args.obs_json = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
       args.trace_json = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--metrics-prom=", 15) == 0) {
+      args.metrics_prom = argv[i] + 15;
     }
   }
   return args;

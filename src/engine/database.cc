@@ -220,6 +220,10 @@ Result<QueryResult> Database::RunCachedSelect(const plan::LogicalPlan& cached,
                                               const std::vector<Value>& args,
                                               StatementContext* ctx) {
   const uint64_t subst_start = ctx->tracing ? trace_.NowNs() : 0;
+  // Declared before the operator tree so operators release their memory
+  // reservations before the tracker dies.
+  obs::MemoryTracker query_mem("query", "query", mem_parent_);
+  if (query_mem_limit_ > 0) query_mem.set_limit(query_mem_limit_);
   plan::LogicalPlan plan = plan::ClonePlanDeep(cached);
   BORNSQL_RETURN_IF_ERROR(SubstituteParamsInPlan(&plan, args));
   AddPhaseSpan(ctx, "substitute", subst_start);
@@ -232,11 +236,27 @@ Result<QueryResult> Database::RunCachedSelect(const plan::LogicalPlan& cached,
   }
   AddPhaseSpan(ctx, "lower", lower_start);
 
+  op->SetMemoryTracker(&query_mem);
   const bool instrument = config_.collect_exec_stats;
   if (instrument) op->EnableStats(true);
   const uint64_t exec_start = ctx->tracing ? trace_.NowNs() : 0;
-  BORNSQL_ASSIGN_OR_RETURN(exec::MaterializedResult result, exec::Drain(*op));
+  Result<exec::MaterializedResult> drained = exec::Drain(*op);
   AddPhaseSpan(ctx, "execute", exec_start);
+  if (drained.ok()) {
+    // The materialized result buffer is query memory too: charging it
+    // gives streaming point lookups a truthful nonzero peak and puts the
+    // rows a statement returns under the same limits as its
+    // intermediate state. Released by query_mem's destructor.
+    uint64_t result_bytes = 0;
+    for (const Row& row : drained->rows) {
+      result_bytes += obs::ApproxRowBytes(row);
+    }
+    Status charged = query_mem.TryReserve(result_bytes, "result buffer");
+    if (!charged.ok()) drained = std::move(charged);
+  }
+  last_query_peak_bytes_ = query_mem.peak();
+  if (!drained.ok()) return drained.status();
+  exec::MaterializedResult result = std::move(*drained);
   if (instrument) {
     std::unordered_set<const exec::Operator*> seen;
     AccumulatePlanMetrics(metrics_, *op, &seen);
@@ -427,10 +447,10 @@ std::string Database::IndexJoinNote() const {
 }
 
 std::vector<std::string> KnownSettingNames() {
-  return {"born.collect_exec_stats", "born.plan_cache",
-          "born.plan_cache_capacity", "born.slow_query_ms", "born.trace",
-          "born.trace_capacity", "born.verify_plans",
-          "born.verify_rewrites"};
+  return {"born.collect_exec_stats", "born.memory_limit", "born.plan_cache",
+          "born.plan_cache_capacity", "born.session_memory_limit",
+          "born.slow_query_ms", "born.trace", "born.trace_capacity",
+          "born.verify_plans", "born.verify_rewrites"};
 }
 
 Result<QueryResult> Database::RunSet(const sql::SetStmt& stmt) {
@@ -480,11 +500,19 @@ Result<QueryResult> Database::RunSet(const sql::SetStmt& stmt) {
   } else if (stmt.name == "born.verify_rewrites") {
     BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kInt));
     config_.verify_rewrites = v.AsInt() != 0;
+  } else if (stmt.name == "born.memory_limit") {
+    BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kInt));
+    if (v.AsInt() < 0) {
+      return Status::InvalidArgument(
+          "born.memory_limit must be >= 0 bytes (0 = unlimited)");
+    }
+    query_mem_limit_ = static_cast<uint64_t>(v.AsInt());
   } else if (stmt.name == "born.plan_cache" ||
-             stmt.name == "born.plan_cache_capacity") {
+             stmt.name == "born.plan_cache_capacity" ||
+             stmt.name == "born.session_memory_limit") {
     // Recognized so the diagnostic is accurate: these settings exist, but
-    // they configure the serving layer's cache, which intercepts SET
-    // before it reaches a bare database.
+    // they configure the serving layer (cache / session tracker), which
+    // intercepts SET before it reaches a bare database.
     return Status::InvalidArgument("setting '" + stmt.name +
                                    "' requires a serving session "
                                    "(serve::Session)");
@@ -500,6 +528,10 @@ Result<QueryResult> Database::RunSet(const sql::SetStmt& stmt) {
 Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
                                         obs::PlanStatsNode* profile) {
   obs::StatementTrace* trace = active_trace_;
+  // The query's memory budget. Declared before the plan so the operators'
+  // destructors (which release their reservations) run before it dies.
+  obs::MemoryTracker query_mem("query", "query", mem_parent_);
+  if (query_mem_limit_ > 0) query_mem.set_limit(query_mem_limit_);
   // Binding interleaves with planning in this engine (the planner calls the
   // binder per expression), so the trace gets one merged bind+plan span.
   const uint64_t plan_start = trace != nullptr ? trace_.NowNs() : 0;
@@ -516,11 +548,11 @@ Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
     span.dur_ns = trace_.NowNs() - plan_start;
     trace->spans.push_back(std::move(span));
   }
+  plan->SetMemoryTracker(&query_mem);
   const bool instrument = profile != nullptr || config_.collect_exec_stats;
   if (instrument) plan->EnableStats(true);
   const uint64_t exec_start = trace != nullptr ? trace_.NowNs() : 0;
-  BORNSQL_ASSIGN_OR_RETURN(exec::MaterializedResult result,
-                           exec::Drain(*plan));
+  Result<exec::MaterializedResult> drained = exec::Drain(*plan);
   if (trace != nullptr) {
     obs::TraceSpan span;
     span.name = "execute";
@@ -529,6 +561,23 @@ Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
     span.dur_ns = trace_.NowNs() - exec_start;
     trace->spans.push_back(std::move(span));
   }
+  if (drained.ok()) {
+    // The materialized result buffer is query memory too: charging it
+    // gives streaming point lookups a truthful nonzero peak and puts the
+    // rows a statement returns under the same limits as its
+    // intermediate state. Released by query_mem's destructor.
+    uint64_t result_bytes = 0;
+    for (const Row& row : drained->rows) {
+      result_bytes += obs::ApproxRowBytes(row);
+    }
+    Status charged = query_mem.TryReserve(result_bytes, "result buffer");
+    if (!charged.ok()) drained = std::move(charged);
+  }
+  // Recorded on failure too: an over-limit query's peak is exactly what
+  // the caller wants to see.
+  last_query_peak_bytes_ = query_mem.peak();
+  if (!drained.ok()) return drained.status();
+  exec::MaterializedResult result = std::move(*drained);
   if (instrument) {
     std::unordered_set<const exec::Operator*> seen;
     AccumulatePlanMetrics(metrics_, *plan, &seen);

@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "engine/planner.h"
 #include "engine/system_views.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/optimizer_stats.h"
 #include "obs/plan_stats.h"
@@ -116,6 +117,20 @@ class Database {
   Result<QueryResult> ExecuteCachedPlan(const plan::LogicalPlan& cached,
                                         const std::vector<Value>& args,
                                         std::string key);
+
+  // Parent of the per-query MemoryTrackers this database creates: the
+  // process root by default, a session tracker under serving (so session
+  // bytes and born.session_memory_limit apply). Must outlive the database.
+  void set_memory_parent(obs::MemoryTracker* parent) { mem_parent_ = parent; }
+  obs::MemoryTracker* memory_parent() const { return mem_parent_; }
+
+  // Byte budget applied to each query's MemoryTracker (SET
+  // born.memory_limit; 0 = unlimited).
+  uint64_t query_memory_limit() const { return query_mem_limit_; }
+  void set_query_memory_limit(uint64_t bytes) { query_mem_limit_ = bytes; }
+
+  // Peak bytes reserved by the most recent SELECT-bearing statement.
+  uint64_t last_query_peak_bytes() const { return last_query_peak_bytes_; }
 
   // The metrics sink (process-wide registry by default). Every statement
   // records a latency sample and bumps queries_executed; instrumented runs
@@ -261,6 +276,9 @@ class Database {
   catalog::Catalog* catalog_;
   EngineConfig config_;
   obs::MetricsRegistry* metrics_ = &obs::MetricsRegistry::Global();
+  obs::MemoryTracker* mem_parent_ = &obs::MemoryTracker::Process();
+  uint64_t query_mem_limit_ = 0;  // 0 = unlimited
+  uint64_t last_query_peak_bytes_ = 0;
   obs::StatementStatsRegistry owned_stmt_stats_;
   obs::StatementStatsRegistry* stmt_stats_ = &owned_stmt_stats_;
   obs::OptimizerStatsRegistry opt_stats_;

@@ -68,8 +68,15 @@ class CteGateOp : public Operator {
           std::move(drained).value());
     }
     pos_ = 0;
+    // Re-Open releases the prior charge first. The shared buffer is charged
+    // once per gate scanning it — a deliberate overcount for shared
+    // results, so each consumer's budget sees the rows it reads.
+    ReleaseMemory();
+    for (const Row& row : cell_->result->rows) {
+      BORNSQL_RETURN_IF_ERROR(ChargeMemory(obs::ApproxRowBytes(row)));
+    }
     RecordPeakEntries(cell_->result->rows.size());
-    return Status::OK();
+    return FlushMemory();
   }
   Result<bool> NextImpl(Row* out) override {
     if (pos_ >= cell_->result->rows.size()) return false;

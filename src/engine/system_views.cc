@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "engine/database.h"
 #include "engine/optimizer.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/statement_stats.h"
 
@@ -18,6 +19,7 @@ constexpr char kStatStatements[] = "born_stat_statements";
 constexpr char kStatOperators[] = "born_stat_operators";
 constexpr char kStatTables[] = "born_stat_tables";
 constexpr char kStatOptimizer[] = "born_stat_optimizer";
+constexpr char kStatMemory[] = "born_stat_memory";
 constexpr char kSlowLog[] = "born_slow_log";
 
 Schema MakeSchema(const char* view,
@@ -51,7 +53,19 @@ const Schema& OperatorsSchema() {
                        {"next_calls", ValueType::kInt},
                        {"rows", ValueType::kInt},
                        {"wall_ms", ValueType::kDouble},
-                       {"peak_entries", ValueType::kInt}}));
+                       {"peak_entries", ValueType::kInt},
+                       {"peak_mem", ValueType::kInt}}));
+  return *schema;
+}
+
+const Schema& MemorySchema() {
+  static const Schema* schema = new Schema(MakeSchema(
+      kStatMemory, {{"tracker", ValueType::kText},
+                    {"level", ValueType::kText},
+                    {"current_bytes", ValueType::kInt},
+                    {"peak_bytes", ValueType::kInt},
+                    {"limit_bytes", ValueType::kInt},
+                    {"denials", ValueType::kInt}}));
   return *schema;
 }
 
@@ -109,7 +123,8 @@ std::vector<Row> OperatorsRows(const Database& db) {
                     Uint(agg.stats.open_calls), Uint(agg.stats.next_calls),
                     Uint(agg.stats.rows_emitted),
                     Value::Double(agg.stats.wall_millis()),
-                    Uint(agg.stats.peak_entries)});
+                    Uint(agg.stats.peak_entries),
+                    Uint(agg.stats.peak_mem_bytes)});
   }
   return rows;
 }
@@ -145,6 +160,20 @@ std::vector<Row> OptimizerRows(const Database& db) {
   return rows;
 }
 
+std::vector<Row> MemoryRows(const Database& db) {
+  // Snapshot taken at the scan's Open(), i.e. before this query's own
+  // tracker has flushed anything — plain introspection reads current=0 at
+  // the query level.
+  std::vector<Row> rows;
+  const obs::MemoryTracker* root = db.metrics().memory_root();
+  for (const obs::MemoryTracker::SnapshotRow& r : root->SnapshotTree()) {
+    rows.push_back({Value::Text(r.label), Value::Text(r.level),
+                    Uint(r.current_bytes), Uint(r.peak_bytes),
+                    Uint(r.limit_bytes), Uint(r.denials)});
+  }
+  return rows;
+}
+
 std::vector<Row> SlowLogRows(const Database& db) {
   std::vector<Row> rows;
   for (const obs::SlowQueryEntry& e : db.slow_log().Snapshot()) {
@@ -160,8 +189,8 @@ std::vector<Row> SlowLogRows(const Database& db) {
 
 const std::vector<std::string>& SystemViews::ViewNames() {
   static const std::vector<std::string>* names = new std::vector<std::string>{
-      kSlowLog, kStatOperators, kStatOptimizer, kStatStatements,
-      kStatTables};
+      kSlowLog, kStatMemory, kStatOperators, kStatOptimizer,
+      kStatStatements, kStatTables};
   return *names;
 }
 
@@ -171,6 +200,7 @@ const Schema* SystemViews::ViewSchema(const std::string& name) {
   if (lower == kStatOperators) return &OperatorsSchema();
   if (lower == kStatTables) return &TablesSchema();
   if (lower == kStatOptimizer) return &OptimizerSchema();
+  if (lower == kStatMemory) return &MemorySchema();
   if (lower == kSlowLog) return &SlowLogSchema();
   return nullptr;
 }
@@ -199,6 +229,8 @@ exec::OperatorPtr SystemViews::MakeViewScan(const std::string& name,
       result.rows = TablesRows(*db);
     } else if (lower == kStatOptimizer) {
       result.rows = OptimizerRows(*db);
+    } else if (lower == kStatMemory) {
+      result.rows = MemoryRows(*db);
     } else {
       result.rows = SlowLogRows(*db);
     }

@@ -43,6 +43,11 @@ Row ConcatRows(const Row& a, const Row& b) {
 
 Row NullRow(size_t n) { return Row(n); }
 
+// Bookkeeping overhead charged per hash-table entry (bucket slot, chaining,
+// index vector) and per aggregate state, on top of ApproxRowBytes.
+constexpr uint64_t kHashEntryOverhead = 64;
+constexpr uint64_t kAggStateBytes = 32;
+
 }  // namespace
 
 void Operator::EnableStats(bool on) {
@@ -51,6 +56,31 @@ void Operator::EnableStats(bool on) {
   for (Operator* child : children()) {
     if (child != nullptr) child->EnableStats(on);
   }
+}
+
+void Operator::SetMemoryTracker(obs::MemoryTracker* tracker) {
+  if (mem_ != tracker) ReleaseMemory();
+  mem_ = tracker;
+  for (Operator* child : children()) {
+    if (child != nullptr) child->SetMemoryTracker(tracker);
+  }
+}
+
+Status Operator::FlushMemory() {
+  const uint64_t pending = mem_pending_;
+  // Zero before reserving: on denial the tracker has not been charged, so
+  // the pending bytes must not survive into a later release.
+  mem_pending_ = 0;
+  if (pending == 0 || mem_ == nullptr) return Status::OK();
+  BORNSQL_RETURN_IF_ERROR(mem_->TryReserve(pending, DebugString()));
+  mem_reserved_ += pending;
+  return Status::OK();
+}
+
+void Operator::ReleaseMemory() {
+  mem_pending_ = 0;
+  if (mem_ != nullptr && mem_reserved_ > 0) mem_->Release(mem_reserved_);
+  mem_reserved_ = 0;
 }
 
 Result<MaterializedResult> Drain(Operator& op) {
@@ -120,6 +150,7 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
 Status HashJoinOp::OpenImpl() {
   build_rows_.clear();
   build_index_.clear();
+  ReleaseMemory();
   have_left_ = false;
   matches_ = nullptr;
   match_pos_ = 0;
@@ -133,11 +164,14 @@ Status HashJoinOp::OpenImpl() {
     auto key = EvalKey(right_keys_, row);
     if (!key.ok()) return key.status();
     if (KeyHasNull(*key)) continue;  // NULL keys never join
+    BORNSQL_RETURN_IF_ERROR(ChargeMemory(
+        obs::ApproxRowBytes(row) + obs::ApproxRowBytes(*key) +
+        kHashEntryOverhead));
     build_index_[*key].push_back(build_rows_.size());
     build_rows_.push_back(std::move(row));
   }
   RecordPeakEntries(build_rows_.size());
-  return Status::OK();
+  return FlushMemory();
 }
 
 Result<bool> HashJoinOp::NextImpl(Row* out) {
@@ -187,10 +221,11 @@ SortMergeJoinOp::SortMergeJoinOp(OperatorPtr left, OperatorPtr right,
 Status SortMergeJoinOp::OpenImpl() {
   lrows_.clear();
   rrows_.clear();
+  ReleaseMemory();
   li_ = rgroup_begin_ = rgroup_end_ = rj_ = 0;
   in_group_ = false;
-  auto load = [](Operator& op, const std::vector<BoundExprPtr>& keys,
-                 std::vector<std::pair<Row, Row>>* dst) -> Status {
+  auto load = [this](Operator& op, const std::vector<BoundExprPtr>& keys,
+                     std::vector<std::pair<Row, Row>>* dst) -> Status {
     BORNSQL_RETURN_IF_ERROR(op.Open());
     Row row;
     while (true) {
@@ -199,6 +234,8 @@ Status SortMergeJoinOp::OpenImpl() {
       if (!*more) break;
       auto key = EvalKey(keys, row);
       if (!key.ok()) return key.status();
+      BORNSQL_RETURN_IF_ERROR(ChargeMemory(obs::ApproxRowBytes(row) +
+                                           obs::ApproxRowBytes(*key)));
       dst->emplace_back(std::move(*key), std::move(row));
     }
     std::stable_sort(dst->begin(), dst->end(),
@@ -210,7 +247,7 @@ Status SortMergeJoinOp::OpenImpl() {
   BORNSQL_RETURN_IF_ERROR(load(*left_, left_keys_, &lrows_));
   BORNSQL_RETURN_IF_ERROR(load(*right_, right_keys_, &rrows_));
   RecordPeakEntries(lrows_.size() + rrows_.size());
-  return Status::OK();
+  return FlushMemory();
 }
 
 Result<bool> SortMergeJoinOp::NextImpl(Row* out) {
@@ -280,6 +317,7 @@ NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
 
 Status NestedLoopJoinOp::OpenImpl() {
   right_rows_.clear();
+  ReleaseMemory();
   have_left_ = false;
   right_pos_ = 0;
   BORNSQL_RETURN_IF_ERROR(left_->Open());
@@ -289,10 +327,11 @@ Status NestedLoopJoinOp::OpenImpl() {
     auto more = right_->Next(&row);
     if (!more.ok()) return more.status();
     if (!*more) break;
+    BORNSQL_RETURN_IF_ERROR(ChargeMemory(obs::ApproxRowBytes(row)));
     right_rows_.push_back(std::move(row));
   }
   RecordPeakEntries(right_rows_.size());
-  return Status::OK();
+  return FlushMemory();
 }
 
 Result<bool> NestedLoopJoinOp::NextImpl(Row* out) {
@@ -376,6 +415,7 @@ HashAggOp::HashAggOp(OperatorPtr child, std::vector<BoundExprPtr> group_exprs,
 
 Status HashAggOp::OpenImpl() {
   results_.clear();
+  ReleaseMemory();
   pos_ = 0;
 
   struct KeyHash {
@@ -391,7 +431,10 @@ Status HashAggOp::OpenImpl() {
   std::vector<Row> group_keys;
   std::vector<std::vector<AggState>> states;
 
-  auto new_group = [&](const Row& key) {
+  auto new_group = [&](const Row& key) -> Result<size_t> {
+    BORNSQL_RETURN_IF_ERROR(ChargeMemory(
+        obs::ApproxRowBytes(key) + aggs_.size() * kAggStateBytes +
+        kHashEntryOverhead));
     group_keys.push_back(key);
     std::vector<AggState> st;
     st.reserve(aggs_.size());
@@ -408,13 +451,19 @@ Status HashAggOp::OpenImpl() {
     if (!*more) break;
     size_t g;
     if (group_exprs_.empty()) {
-      if (states.empty()) new_group(Row{});
+      if (states.empty()) {
+        BORNSQL_RETURN_IF_ERROR(new_group(Row{}).status());
+      }
       g = 0;
     } else {
       auto key = EvalKey(group_exprs_, row);
       if (!key.ok()) return key.status();
       auto [it, inserted] = group_index.emplace(*key, states.size());
-      g = inserted ? new_group(*key) : it->second;
+      if (inserted) {
+        BORNSQL_ASSIGN_OR_RETURN(g, new_group(*key));
+      } else {
+        g = it->second;
+      }
     }
     for (size_t i = 0; i < aggs_.size(); ++i) {
       if (aggs_[i].arg == nullptr) {
@@ -427,7 +476,9 @@ Status HashAggOp::OpenImpl() {
     }
   }
   // Global aggregate over empty input still yields one row.
-  if (group_exprs_.empty() && states.empty()) new_group(Row{});
+  if (group_exprs_.empty() && states.empty()) {
+    BORNSQL_RETURN_IF_ERROR(new_group(Row{}).status());
+  }
   RecordPeakEntries(states.size());
 
   results_.reserve(states.size());
@@ -436,7 +487,7 @@ Status HashAggOp::OpenImpl() {
     for (const AggState& st : states[g]) out.push_back(st.Finalize());
     results_.push_back(std::move(out));
   }
-  return Status::OK();
+  return FlushMemory();
 }
 
 Result<bool> HashAggOp::NextImpl(Row* out) {
@@ -449,6 +500,7 @@ Result<bool> HashAggOp::NextImpl(Row* out) {
 
 Status SortOp::OpenImpl() {
   rows_.clear();
+  ReleaseMemory();
   pos_ = 0;
   BORNSQL_RETURN_IF_ERROR(child_->Open());
   // Precompute key rows alongside data rows for a cheap comparator.
@@ -465,6 +517,8 @@ Status SortOp::OpenImpl() {
       if (!v.ok()) return v.status();
       key.push_back(std::move(*v));
     }
+    BORNSQL_RETURN_IF_ERROR(ChargeMemory(obs::ApproxRowBytes(row) +
+                                         obs::ApproxRowBytes(key)));
     keyed.emplace_back(std::move(key), std::move(row));
   }
   std::stable_sort(keyed.begin(), keyed.end(),
@@ -478,7 +532,7 @@ Status SortOp::OpenImpl() {
   rows_.reserve(keyed.size());
   for (auto& [key, data] : keyed) rows_.push_back(std::move(data));
   RecordPeakEntries(rows_.size());
-  return Status::OK();
+  return FlushMemory();
 }
 
 Result<bool> SortOp::NextImpl(Row* out) {
@@ -542,15 +596,23 @@ Result<bool> UnionAllOp::NextImpl(Row* out) {
 
 Status DistinctOp::OpenImpl() {
   seen_.clear();
+  ReleaseMemory();
   return child_->Open();
 }
 
 Result<bool> DistinctOp::NextImpl(Row* out) {
   while (true) {
     BORNSQL_ASSIGN_OR_RETURN(bool more, child_->Next(out));
-    if (!more) return false;
+    if (!more) {
+      // Streaming operator: flush the sub-chunk remainder at exhaustion so
+      // the distinct set is visible to the tracker (and its limit).
+      BORNSQL_RETURN_IF_ERROR(FlushMemory());
+      return false;
+    }
     auto [it, inserted] = seen_.emplace(*out, true);
     if (inserted) {
+      BORNSQL_RETURN_IF_ERROR(ChargeMemory(obs::ApproxRowBytes(*out) +
+                                           kHashEntryOverhead));
       RecordPeakEntries(seen_.size());
       return true;
     }
@@ -569,6 +631,7 @@ WindowOp::WindowOp(OperatorPtr child, std::vector<WindowSpec> specs)
 
 Status WindowOp::OpenImpl() {
   rows_.clear();
+  ReleaseMemory();
   pos_ = 0;
   BORNSQL_RETURN_IF_ERROR(child_->Open());
   std::vector<Row> input;
@@ -577,6 +640,8 @@ Status WindowOp::OpenImpl() {
     auto more = child_->Next(&row);
     if (!more.ok()) return more.status();
     if (!*more) break;
+    BORNSQL_RETURN_IF_ERROR(ChargeMemory(
+        obs::ApproxRowBytes(row) + specs_.size() * sizeof(Value)));
     input.push_back(std::move(row));
   }
 
@@ -650,7 +715,7 @@ Status WindowOp::OpenImpl() {
     rows_.push_back(std::move(out));
   }
   RecordPeakEntries(rows_.size());
-  return Status::OK();
+  return FlushMemory();
 }
 
 Result<bool> WindowOp::NextImpl(Row* out) {

@@ -18,6 +18,7 @@
 #include "common/strings.h"
 #include "exec/aggregates.h"
 #include "exec/evaluator.h"
+#include "obs/memory.h"
 #include "obs/stats.h"
 #include "storage/table.h"
 #include "types/schema.h"
@@ -53,7 +54,7 @@ struct ExprBinding {
 // execution) each call is counted and timed into an obs::OperatorStats.
 class Operator {
  public:
-  virtual ~Operator() = default;
+  virtual ~Operator() { ReleaseMemory(); }
   virtual const Schema& schema() const = 0;
 
   // One-line plan description for EXPLAIN.
@@ -88,6 +89,11 @@ class Operator {
   // Enabling resets any previously collected counters.
   void EnableStats(bool on);
 
+  // Points this operator and its whole subtree at the query's
+  // MemoryTracker; materializing operators charge their buffered state
+  // against it. nullptr detaches (releasing any live charge first).
+  void SetMemoryTracker(obs::MemoryTracker* tracker);
+
   bool stats_enabled() const { return stats_enabled_; }
   const obs::OperatorStats& stats() const { return stats_; }
 
@@ -103,9 +109,33 @@ class Operator {
     }
   }
 
+  // Accounts `bytes` of newly materialized state. Charges accumulate
+  // locally and flush to the tracker in ~64 KiB chunks, so the per-row
+  // cost is one addition; a limit breach surfaces as ResourceExhausted
+  // from the flush. Call FlushMemory() when materialization completes so
+  // sub-chunk state still reaches the tracker (and its limit).
+  Status ChargeMemory(uint64_t bytes) {
+    mem_pending_ += bytes;
+    if (stats_enabled_) {
+      const uint64_t total = mem_reserved_ + mem_pending_;
+      if (total > stats_.peak_mem_bytes) stats_.peak_mem_bytes = total;
+    }
+    if (mem_pending_ >= kMemChunkBytes) return FlushMemory();
+    return Status::OK();
+  }
+  Status FlushMemory();
+  // Returns this operator's whole reservation to the tracker. Safe to
+  // call repeatedly; also runs from the base destructor.
+  void ReleaseMemory();
+
  private:
+  static constexpr uint64_t kMemChunkBytes = 64 * 1024;
+
   bool stats_enabled_ = false;
   obs::OperatorStats stats_;
+  obs::MemoryTracker* mem_ = nullptr;
+  uint64_t mem_reserved_ = 0;  // flushed to mem_
+  uint64_t mem_pending_ = 0;   // accumulated locally, not yet flushed
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -171,8 +201,14 @@ class MaterializedScanOp : public Operator {
  protected:
   Status OpenImpl() override {
     pos_ = 0;
+    // Re-Open releases the prior charge first; the shared CTE buffer is
+    // charged per scan, a deliberate overcount for shared results.
+    ReleaseMemory();
+    for (const Row& row : data_->rows) {
+      BORNSQL_RETURN_IF_ERROR(ChargeMemory(obs::ApproxRowBytes(row)));
+    }
     RecordPeakEntries(data_->rows.size());
-    return Status::OK();
+    return FlushMemory();
   }
   Result<bool> NextImpl(Row* out) override;
 
@@ -201,10 +237,14 @@ class SystemViewScanOp : public Operator {
 
  protected:
   Status OpenImpl() override {
+    ReleaseMemory();
     BORNSQL_ASSIGN_OR_RETURN(data_, generator_());
     pos_ = 0;
+    for (const Row& row : data_.rows) {
+      BORNSQL_RETURN_IF_ERROR(ChargeMemory(obs::ApproxRowBytes(row)));
+    }
     RecordPeakEntries(data_.rows.size());
-    return Status::OK();
+    return FlushMemory();
   }
   Result<bool> NextImpl(Row* out) override {
     if (pos_ >= data_.rows.size()) return false;

@@ -1,0 +1,155 @@
+#include "obs/memory.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace bornsql::obs {
+
+MemoryTracker::MemoryTracker(std::string label, std::string level,
+                             MemoryTracker* parent)
+    : label_(std::move(label)), level_(std::move(level)), parent_(parent) {
+  if (parent_ != nullptr) {
+    std::lock_guard<std::mutex> lock(parent_->children_mu_);
+    parent_->children_.push_back(this);
+  }
+}
+
+MemoryTracker::~MemoryTracker() {
+  // Unregister before touching the counters so a concurrent SnapshotTree
+  // on an ancestor can never walk into a half-destroyed node.
+  if (parent_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(parent_->children_mu_);
+      auto& siblings = parent_->children_;
+      siblings.erase(std::remove(siblings.begin(), siblings.end(), this),
+                     siblings.end());
+    }
+    // Anything still charged here (a query aborted mid-operator, an
+    // operator torn down before its release) drains from the ancestors
+    // so the process gauge returns to truth.
+    const uint64_t residual = current_.load(std::memory_order_relaxed);
+    if (residual > 0) parent_->Release(residual);
+  }
+}
+
+MemoryTracker& MemoryTracker::Process() {
+  static MemoryTracker* const process =
+      new MemoryTracker("process", "process", nullptr);
+  return *process;
+}
+
+bool MemoryTracker::AddLocal(uint64_t bytes, bool checked) {
+  if (checked) {
+    const uint64_t limit = limit_.load(std::memory_order_relaxed);
+    if (limit > 0) {
+      // CAS loop so two racing reservations cannot both slip under the
+      // limit; the unchecked path below stays a single fetch_add.
+      uint64_t cur = current_.load(std::memory_order_relaxed);
+      do {
+        if (cur + bytes > limit) {
+          denials_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
+      } while (!current_.compare_exchange_weak(cur, cur + bytes,
+                                               std::memory_order_relaxed));
+      uint64_t peak = peak_.load(std::memory_order_relaxed);
+      while (cur + bytes > peak &&
+             !peak_.compare_exchange_weak(peak, cur + bytes,
+                                          std::memory_order_relaxed)) {
+      }
+      return true;
+    }
+  }
+  const uint64_t now =
+      current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void MemoryTracker::SubLocal(uint64_t bytes) {
+  // Saturating subtract: a stray double-release clamps to zero instead of
+  // wrapping the gauge to 2^64.
+  uint64_t cur = current_.load(std::memory_order_relaxed);
+  uint64_t next;
+  do {
+    next = cur >= bytes ? cur - bytes : 0;
+  } while (
+      !current_.compare_exchange_weak(cur, next, std::memory_order_relaxed));
+}
+
+Status MemoryTracker::TryReserve(uint64_t bytes, std::string_view context) {
+  if (bytes == 0) return Status::OK();
+  for (MemoryTracker* node = this; node != nullptr; node = node->parent_) {
+    if (!node->AddLocal(bytes, /*checked=*/true)) {
+      // Unwind the levels already charged so no partial accounting
+      // survives the failure.
+      for (MemoryTracker* undo = this; undo != node; undo = undo->parent_) {
+        undo->SubLocal(bytes);
+      }
+      return Status::ResourceExhausted(StrFormat(
+          "memory limit exceeded reserving %llu bytes in %.*s: %s tracker "
+          "'%s' at %llu of %llu byte limit",
+          static_cast<unsigned long long>(bytes),
+          static_cast<int>(context.size()), context.data(),
+          node->level_.c_str(), node->label_.c_str(),
+          static_cast<unsigned long long>(node->current()),
+          static_cast<unsigned long long>(node->limit())));
+    }
+  }
+  return Status::OK();
+}
+
+void MemoryTracker::Reserve(uint64_t bytes) {
+  if (bytes == 0) return;
+  for (MemoryTracker* node = this; node != nullptr; node = node->parent_) {
+    node->AddLocal(bytes, /*checked=*/false);
+  }
+}
+
+void MemoryTracker::Release(uint64_t bytes) {
+  if (bytes == 0) return;
+  for (MemoryTracker* node = this; node != nullptr; node = node->parent_) {
+    node->SubLocal(bytes);
+  }
+}
+
+void MemoryTracker::SnapshotInto(int depth,
+                                 std::vector<SnapshotRow>* out) const {
+  SnapshotRow row;
+  row.label = label_;
+  row.level = level_;
+  row.depth = depth;
+  row.current_bytes = current();
+  row.peak_bytes = peak();
+  row.limit_bytes = limit();
+  row.denials = denials();
+  out->push_back(std::move(row));
+  std::lock_guard<std::mutex> lock(children_mu_);
+  for (const MemoryTracker* child : children_) {
+    child->SnapshotInto(depth + 1, out);
+  }
+}
+
+std::vector<MemoryTracker::SnapshotRow> MemoryTracker::SnapshotTree() const {
+  std::vector<SnapshotRow> rows;
+  SnapshotInto(0, &rows);
+  return rows;
+}
+
+uint64_t ApproxValueBytes(const Value& v) {
+  uint64_t bytes = sizeof(Value);
+  if (v.type() == ValueType::kText) bytes += v.AsText().size();
+  return bytes;
+}
+
+uint64_t ApproxRowBytes(const Row& row) {
+  uint64_t bytes = sizeof(Row);
+  for (const Value& v : row) bytes += ApproxValueBytes(v);
+  return bytes;
+}
+
+}  // namespace bornsql::obs

@@ -3,8 +3,41 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "obs/memory.h"
 
 namespace bornsql::obs {
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Our names are already
+// snake_case; anything else becomes '_'.
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+// Label values need \\, \" and \n escaped per the exposition format.
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
 
 void LatencyHistogram::Record(double seconds) {
   double us = seconds * 1e6;
@@ -56,7 +89,7 @@ std::string LatencyHistogram::ToJson() const {
                        static_cast<unsigned long long>(kBucketBoundsUs[i]),
                        static_cast<unsigned long long>(buckets_[i]));
     } else {
-      out += StrFormat("{\"le_us\": \"inf\", \"count\": %llu}",
+      out += StrFormat("{\"le_us\": \"+Inf\", \"count\": %llu}",
                        static_cast<unsigned long long>(buckets_[i]));
     }
   }
@@ -83,6 +116,38 @@ uint64_t MetricsRegistry::counter(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+std::map<std::string, double, std::less<>> MetricsRegistry::GaugesSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_;
+}
+
+MemoryTracker* MetricsRegistry::memory_root() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_root_ != nullptr ? memory_root_ : &MemoryTracker::Process();
+}
+
+void MetricsRegistry::set_memory_root(MemoryTracker* root) {
+  std::lock_guard<std::mutex> lock(mu_);
+  memory_root_ = root;
 }
 
 void MetricsRegistry::RecordLatency(std::string_view name, double seconds) {
@@ -140,6 +205,13 @@ std::string MetricsRegistry::ToJson() const {
     out += StrFormat("\"%s\": %llu", name.c_str(),
                      static_cast<unsigned long long>(value));
   }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    out += StrFormat("\"%s\": %g", name.c_str(), value);
+  }
   out += "}, \"histograms\": {";
   first = true;
   for (const auto& [name, histogram] : histograms_) {
@@ -167,9 +239,97 @@ std::string MetricsRegistry::ToJson() const {
   return out;
 }
 
+std::string MetricsRegistry::ToPrometheus() const {
+  std::map<std::string, uint64_t, std::less<>> counters;
+  std::map<std::string, double, std::less<>> gauges;
+  std::map<std::string, LatencyHistogram, std::less<>> histograms;
+  MemoryTracker* root = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters = counters_;
+    gauges = gauges_;
+    histograms = histograms_;
+    root = memory_root_;
+  }
+  if (root == nullptr) root = &MemoryTracker::Process();
+
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string family = "bornsql_" + SanitizeMetricName(name) +
+                               "_total";
+    out += StrFormat("# TYPE %s counter\n", family.c_str());
+    out += StrFormat("%s %llu\n", family.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string family = "bornsql_" + SanitizeMetricName(name);
+    out += StrFormat("# TYPE %s gauge\n", family.c_str());
+    out += StrFormat("%s %g\n", family.c_str(), value);
+  }
+  for (const auto& [name, histogram] : histograms) {
+    const std::string family = "bornsql_" + SanitizeMetricName(name);
+    out += StrFormat("# TYPE %s histogram\n", family.c_str());
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < LatencyHistogram::kBucketBoundsUs.size(); ++i) {
+      cumulative += histogram.bucket(i);
+      out += StrFormat(
+          "%s_bucket{le=\"%llu\"} %llu\n", family.c_str(),
+          static_cast<unsigned long long>(
+              LatencyHistogram::kBucketBoundsUs[i]),
+          static_cast<unsigned long long>(cumulative));
+    }
+    cumulative += histogram.bucket(LatencyHistogram::kNumBuckets - 1);
+    out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", family.c_str(),
+                     static_cast<unsigned long long>(cumulative));
+    out += StrFormat("%s_sum %.6f\n", family.c_str(), histogram.sum_us());
+    out += StrFormat("%s_count %llu\n", family.c_str(),
+                     static_cast<unsigned long long>(histogram.count()));
+  }
+
+  // The memory tree, one series per (tracker label, level). Concurrent
+  // query trackers all carry the same label so rows are aggregated per
+  // key: bytes and denials sum, peak and limit take the max — this keeps
+  // label sets unique, which the exposition format requires.
+  struct MemAgg {
+    uint64_t current = 0;
+    uint64_t peak = 0;
+    uint64_t limit = 0;
+    uint64_t denials = 0;
+  };
+  std::map<std::pair<std::string, std::string>, MemAgg> mem;
+  for (const MemoryTracker::SnapshotRow& row : root->SnapshotTree()) {
+    MemAgg& agg = mem[{row.label, row.level}];
+    agg.current += row.current_bytes;
+    agg.denials += row.denials;
+    if (row.peak_bytes > agg.peak) agg.peak = row.peak_bytes;
+    if (row.limit_bytes > agg.limit) agg.limit = row.limit_bytes;
+  }
+  struct MemFamily {
+    const char* name;
+    uint64_t MemAgg::* field;
+  };
+  const MemFamily mem_families[] = {
+      {"bornsql_memory_current_bytes", &MemAgg::current},
+      {"bornsql_memory_peak_bytes", &MemAgg::peak},
+      {"bornsql_memory_limit_bytes", &MemAgg::limit},
+      {"bornsql_memory_denials", &MemAgg::denials},
+  };
+  for (const MemFamily& family : mem_families) {
+    out += StrFormat("# TYPE %s gauge\n", family.name);
+    for (const auto& [key, agg] : mem) {
+      out += StrFormat("%s{tracker=\"%s\",level=\"%s\"} %llu\n", family.name,
+                       EscapeLabelValue(key.first).c_str(),
+                       EscapeLabelValue(key.second).c_str(),
+                       static_cast<unsigned long long>(agg.*family.field));
+    }
+  }
+  return out;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
+  gauges_.clear();
   histograms_.clear();
   operators_.clear();
 }

@@ -20,6 +20,8 @@
 
 namespace bornsql::obs {
 
+class MemoryTracker;  // obs/memory.h; forward-declared to avoid a cycle
+
 // Well-known metric names (callers may also mint their own).
 inline constexpr char kQueriesExecuted[] = "queries_executed";
 inline constexpr char kQueriesFailed[] = "queries_failed";
@@ -34,12 +36,13 @@ inline constexpr char kPlanCacheMisses[] = "plan_cache_misses";
 inline constexpr char kPlanCacheEvictions[] = "plan_cache_evictions";
 
 // Latency histogram with fixed microsecond bucket bounds (plus an overflow
-// bucket), cheap enough to record on every statement.
+// bucket), cheap enough to record on every statement. The 1µs/5µs buckets
+// exist for plan-cache-hit EXECUTEs, which finish under 10µs.
 class LatencyHistogram {
  public:
-  static constexpr std::array<uint64_t, 12> kBucketBoundsUs = {
-      10,     50,     100,     500,     1000,    5000,
-      10000,  50000,  100000,  500000,  1000000, 5000000};
+  static constexpr std::array<uint64_t, 14> kBucketBoundsUs = {
+      1,      5,      10,      50,      100,     500,    1000,
+      5000,   10000,  50000,   100000,  500000,  1000000, 5000000};
   static constexpr size_t kNumBuckets = kBucketBoundsUs.size() + 1;
 
   void Record(double seconds);
@@ -79,6 +82,17 @@ class MetricsRegistry {
   void IncrementCounter(std::string_view name, uint64_t delta = 1);
   uint64_t counter(std::string_view name) const;
 
+  // Gauges: last-write-wins instantaneous values (bytes in use, pool
+  // sizes). Doubles so ratios and byte counts share one namespace.
+  void SetGauge(std::string_view name, double value);
+  double gauge(std::string_view name) const;
+  std::map<std::string, double, std::less<>> GaugesSnapshot() const;
+
+  // The memory-tracker root exported by born_stat_memory and
+  // ToPrometheus(); defaults to MemoryTracker::Process().
+  MemoryTracker* memory_root() const;
+  void set_memory_root(MemoryTracker* root);
+
   void RecordLatency(std::string_view name, double seconds);
   // Snapshot of a histogram (zero-value if never recorded).
   LatencyHistogram histogram(std::string_view name) const;
@@ -94,17 +108,26 @@ class MetricsRegistry {
   std::map<std::string, OperatorAggregate, std::less<>> OperatorsSnapshot()
       const;
 
-  // {"counters": {...}, "histograms": {...}, "operators": {...}} — schema
-  // documented in DESIGN.md §Observability.
+  // {"counters": {...}, "gauges": {...}, "histograms": {...},
+  // "operators": {...}} — schema documented in DESIGN.md §Observability.
   std::string ToJson() const;
+
+  // Prometheus text exposition format (one `# TYPE` line per family;
+  // counters exported as `<name>_total`, histograms with cumulative
+  // `_bucket{le=...}` series ending at `+Inf` plus `_sum`/`_count`, and
+  // the memory-tracker tree as `bornsql_memory_*` gauges labeled by
+  // tracker level). Every family carries the `bornsql_` prefix.
+  std::string ToPrometheus() const;
 
   void Reset();
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, LatencyHistogram, std::less<>> histograms_;
   std::map<std::string, OperatorAggregate, std::less<>> operators_;
+  MemoryTracker* memory_root_ = nullptr;  // nullptr => Process() root
 };
 
 }  // namespace bornsql::obs

@@ -19,6 +19,10 @@ void RenderInto(const PlanStatsNode& node, int depth, bool with_stats,
       line += StrFormat(" peak=%llu", static_cast<unsigned long long>(
                                           node.stats.peak_entries));
     }
+    if (node.stats.peak_mem_bytes > 0) {
+      line += StrFormat(" mem=%llu", static_cast<unsigned long long>(
+                                         node.stats.peak_mem_bytes));
+    }
     line += ")";
   }
   out->push_back(std::move(line));
@@ -32,12 +36,14 @@ void JsonInto(const PlanStatsNode& node, std::string* out) {
   if (node.has_stats) {
     *out += StrFormat(
         ", \"open_calls\": %llu, \"next_calls\": %llu, \"rows\": %llu, "
-        "\"wall_ms\": %.3f, \"peak_entries\": %llu",
+        "\"wall_ms\": %.3f, \"peak_entries\": %llu, "
+        "\"peak_mem_bytes\": %llu",
         static_cast<unsigned long long>(node.stats.open_calls),
         static_cast<unsigned long long>(node.stats.next_calls),
         static_cast<unsigned long long>(node.stats.rows_emitted),
         node.stats.wall_millis(),
-        static_cast<unsigned long long>(node.stats.peak_entries));
+        static_cast<unsigned long long>(node.stats.peak_entries),
+        static_cast<unsigned long long>(node.stats.peak_mem_bytes));
   }
   if (!node.children.empty()) {
     *out += ", \"children\": [";

@@ -24,6 +24,9 @@ struct OperatorStats {
   // Peak size of materialized state: hash-table entries (join build,
   // aggregate groups, distinct set) or buffered rows (sort, window).
   uint64_t peak_entries = 0;
+  // Peak bytes this operator had reserved against its query's
+  // MemoryTracker (approximate: ApproxRowBytes plus per-entry overhead).
+  uint64_t peak_mem_bytes = 0;
   // Lifetime span of this operator instance on the steady clock (ns since
   // its epoch): start of the first Open()/Next() and end of the last one.
   // Zero when never called. This is what trace export uses for operator
@@ -40,6 +43,9 @@ struct OperatorStats {
     rows_emitted += other.rows_emitted;
     wall_nanos += other.wall_nanos;
     if (other.peak_entries > peak_entries) peak_entries = other.peak_entries;
+    if (other.peak_mem_bytes > peak_mem_bytes) {
+      peak_mem_bytes = other.peak_mem_bytes;
+    }
     if (other.first_ns != 0 &&
         (first_ns == 0 || other.first_ns < first_ns)) {
       first_ns = other.first_ns;

@@ -6,8 +6,65 @@
 
 namespace bornsql::serve {
 
+namespace {
+
+// Fixed stand-ins for structures the estimator does not walk: expression
+// trees hang off most payload vectors, and schema columns carry two
+// qualified-name strings.
+constexpr uint64_t kNodeOverhead = 64;    // heap/allocator slack per node
+constexpr uint64_t kExprBytes = 96;       // one payload expression tree
+constexpr uint64_t kSchemaColumnBytes = 48;
+
+uint64_t ApproxNodeBytes(const plan::LogicalNode& node) {
+  uint64_t bytes = sizeof(plan::LogicalNode) + kNodeOverhead;
+  bytes += node.table_name.size() + node.qualifier.size();
+  bytes += node.schema.size() * kSchemaColumnBytes;
+  bytes += kExprBytes *
+           (node.conjuncts.size() + node.items.size() + node.keys.size() +
+            node.group_exprs.size() + node.agg_calls.size() +
+            node.windows.size() + node.sort_keys.size() +
+            (node.on_condition != nullptr ? 1 : 0));
+  for (const plan::LogicalPtr& child : node.children) {
+    if (child != nullptr) bytes += ApproxNodeBytes(*child);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+uint64_t ApproxCachedPlanBytes(const CachedPlan& plan) {
+  uint64_t bytes = sizeof(CachedPlan) + plan.statement.size();
+  if (plan.plan.root != nullptr) bytes += ApproxNodeBytes(*plan.plan.root);
+  // plan.ctes lists each binding once; CteRef nodes have no children into
+  // the body, so body plans are counted exactly here.
+  for (const std::shared_ptr<plan::CteBinding>& cte : plan.plan.ctes) {
+    if (cte == nullptr) continue;
+    bytes += sizeof(plan::CteBinding) + cte->name.size();
+    if (cte->plan != nullptr) bytes += ApproxNodeBytes(*cte->plan);
+  }
+  return bytes;
+}
+
+obs::MemoryTracker& PlanCache::CacheTracker() {
+  static obs::MemoryTracker* const tracker = new obs::MemoryTracker(
+      "plan_cache", "cache", &obs::MemoryTracker::Process());
+  return *tracker;
+}
+
 PlanCache::PlanCache(size_t capacity)
     : capacity_(std::max<size_t>(capacity, 1)) {}
+
+PlanCache::~PlanCache() { Clear(); }
+
+void PlanCache::ChargeEntry(const CachedPlan& plan) {
+  bytes_.fetch_add(plan.approx_bytes, std::memory_order_relaxed);
+  CacheTracker().Reserve(plan.approx_bytes);
+}
+
+void PlanCache::ReleaseEntry(const CachedPlan& plan) {
+  bytes_.fetch_sub(plan.approx_bytes, std::memory_order_relaxed);
+  CacheTracker().Release(plan.approx_bytes);
+}
 
 PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
   return shards_[std::hash<std::string>{}(key) % kNumShards];
@@ -37,16 +94,21 @@ void PlanCache::Insert(const std::string& key,
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(key);
   if (it != shard.entries.end()) {
+    ReleaseEntry(*it->second.first);
+    ChargeEntry(*plan);
     it->second.first = std::move(plan);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.second);
     return;
   }
+  ChargeEntry(*plan);
   shard.lru.push_front(key);
   shard.entries.emplace(key, std::make_pair(std::move(plan),
                                             shard.lru.begin()));
   const size_t cap = PerShardCapacity();
   while (shard.entries.size() > cap) {
-    shard.entries.erase(shard.lru.back());
+    auto victim = shard.entries.find(shard.lru.back());
+    ReleaseEntry(*victim->second.first);
+    shard.entries.erase(victim);
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -55,6 +117,9 @@ void PlanCache::Insert(const std::string& key,
 void PlanCache::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.entries) {
+      ReleaseEntry(*entry.first);
+    }
     shard.entries.clear();
     shard.lru.clear();
   }
@@ -66,7 +131,9 @@ void PlanCache::set_capacity(size_t capacity) {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     while (shard.entries.size() > cap) {
-      shard.entries.erase(shard.lru.back());
+      auto victim = shard.entries.find(shard.lru.back());
+      ReleaseEntry(*victim->second.first);
+      shard.entries.erase(victim);
       shard.lru.pop_back();
       evictions_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -89,6 +156,7 @@ std::vector<PlanCache::EntryInfo> PlanCache::Snapshot() const {
     for (const auto& [key, entry] : shard.entries) {
       const CachedPlan& plan = *entry.first;
       out.push_back({plan.statement, plan.num_params, plan.catalog_version,
+                     plan.approx_bytes,
                      plan.hits.load(std::memory_order_relaxed)});
     }
   }

@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/memory.h"
 #include "plan/logical_plan.h"
 
 namespace bornsql::serve {
@@ -44,8 +45,18 @@ struct CachedPlan {
   std::string statement;   // normalized text, for introspection
   size_t num_params = 0;
   uint64_t catalog_version = 0;
+  // Estimated heap footprint of this entry (ApproxCachedPlanBytes); set by
+  // the builder before Insert. The cache charges exactly this amount to the
+  // "plan_cache" MemoryTracker while the entry lives, so insert/replace/
+  // evict/clear stay balanced even though plans are never re-measured.
+  uint64_t approx_bytes = 0;
   mutable std::atomic<uint64_t> hits{0};
 };
+
+// Estimated heap bytes of a cached entry: the logical-plan tree (including
+// per-CTE body plans), the normalized statement text, and fixed per-node
+// overheads standing in for expression trees we do not walk.
+uint64_t ApproxCachedPlanBytes(const CachedPlan& plan);
 
 class PlanCache {
  public:
@@ -54,6 +65,11 @@ class PlanCache {
   explicit PlanCache(size_t capacity = kDefaultCapacity);
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
+  ~PlanCache();  // releases every live entry's memory charge
+
+  // The shared "plan_cache" MemoryTracker (child of the process root) every
+  // cache's entry bytes are charged against. Leaked, like the root.
+  static obs::MemoryTracker& CacheTracker();
 
   // Returns the entry for `key` (bumping its recency and hit counters), or
   // null on a miss.
@@ -77,12 +93,15 @@ class PlanCache {
   uint64_t hits() const { return hits_.load(); }
   uint64_t misses() const { return misses_.load(); }
   uint64_t evictions() const { return evictions_.load(); }
+  // Sum of approx_bytes over live entries (mirrors the CacheTracker charge).
+  uint64_t total_bytes() const { return bytes_.load(); }
 
   // Point-in-time per-entry view rows (key order unspecified).
   struct EntryInfo {
     std::string statement;
     size_t num_params = 0;
     uint64_t catalog_version = 0;
+    uint64_t approx_bytes = 0;
     uint64_t hits = 0;
   };
   std::vector<EntryInfo> Snapshot() const;
@@ -103,12 +122,16 @@ class PlanCache {
 
   Shard& ShardFor(const std::string& key);
   size_t PerShardCapacity() const;
+  // Balance bytes_ and the CacheTracker charge as entries come and go.
+  void ChargeEntry(const CachedPlan& plan);
+  void ReleaseEntry(const CachedPlan& plan);
 
   std::array<Shard, kNumShards> shards_;
   std::atomic<size_t> capacity_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> bytes_{0};
 };
 
 }  // namespace bornsql::serve

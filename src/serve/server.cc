@@ -44,7 +44,9 @@ const Schema& SessionsSchema() {
                       {"statements", ValueType::kInt},
                       {"prepared", ValueType::kInt},
                       {"cache_hits", ValueType::kInt},
-                      {"cache_misses", ValueType::kInt}}));
+                      {"cache_misses", ValueType::kInt},
+                      {"current_bytes", ValueType::kInt},
+                      {"peak_bytes", ValueType::kInt}}));
   return *schema;
 }
 
@@ -55,6 +57,7 @@ const Schema& PlanCacheSchema() {
                        {"hits", ValueType::kInt},
                        {"misses", ValueType::kInt},
                        {"evictions", ValueType::kInt},
+                       {"approx_bytes", ValueType::kInt},
                        {"hit_rate", ValueType::kDouble}}));
   return *schema;
 }
@@ -82,7 +85,8 @@ std::vector<Row> SessionsRows(const Server& server) {
   std::vector<Row> rows;
   for (const Server::SessionInfo& s : server.SessionsSnapshot()) {
     rows.push_back({Uint(s.id), Uint(s.statements), Uint(s.prepared),
-                    Uint(s.cache_hits), Uint(s.cache_misses)});
+                    Uint(s.cache_hits), Uint(s.cache_misses),
+                    Uint(s.current_bytes), Uint(s.peak_bytes)});
   }
   return rows;
 }
@@ -93,7 +97,7 @@ std::vector<Row> PlanCacheRows(const Server& server) {
   const uint64_t misses = cache.misses();
   const uint64_t lookups = hits + misses;
   return {{Uint(cache.size()), Uint(cache.capacity()), Uint(hits),
-           Uint(misses), Uint(cache.evictions()),
+           Uint(misses), Uint(cache.evictions()), Uint(cache.total_bytes()),
            Value::Double(lookups == 0
                              ? 0.0
                              : static_cast<double>(hits) / lookups)}};
@@ -167,7 +171,8 @@ std::vector<Server::SessionInfo> Server::SessionsSnapshot() const {
   for (const auto& [id, session] : sessions_) {
     out.push_back({id, session->statements_executed(),
                    session->prepared_count(), session->cache_hits(),
-                   session->cache_misses()});
+                   session->cache_misses(), session->memory().current(),
+                   session->memory().peak()});
   }
   return out;
 }

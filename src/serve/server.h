@@ -11,9 +11,10 @@
 // born_stat_* set (visible from any session):
 //
 //   born_stat_prepared   — every session's prepared statements
-//   born_stat_sessions   — per-session statement / cache-hit counters
+//   born_stat_sessions   — per-session statement / cache-hit / memory
+//                          counters
 //   born_stat_plan_cache — one summary row: entries, capacity, hits,
-//                          misses, evictions, hit_rate
+//                          misses, evictions, approx_bytes, hit_rate
 #ifndef BORNSQL_SERVE_SERVER_H_
 #define BORNSQL_SERVE_SERVER_H_
 
@@ -69,6 +70,8 @@ class Server {
     size_t prepared = 0;
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;
+    uint64_t current_bytes = 0;  // session MemoryTracker, live charge
+    uint64_t peak_bytes = 0;     // session MemoryTracker, high-water mark
   };
   // Rows for born_stat_sessions / the shell's .sessions, sorted by id.
   std::vector<SessionInfo> SessionsSnapshot() const;

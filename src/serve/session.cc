@@ -58,10 +58,15 @@ std::string ConfigFingerprint(const engine::EngineConfig& config) {
 }
 
 Session::Session(Server* server, uint64_t id, engine::EngineConfig config)
-    : server_(server), id_(id), db_(config, &server->catalog_) {
+    : server_(server),
+      id_(id),
+      mem_(StrFormat("session %llu", static_cast<unsigned long long>(id)),
+           "session", &obs::MemoryTracker::Process()),
+      db_(config, &server->catalog_) {
   db_.set_metrics(&server->metrics_);
   db_.set_statement_stats(&server->stmt_stats_);
   db_.set_extra_system_views(&server->views_);
+  db_.set_memory_parent(&mem_);
 }
 
 Session::~Session() { server_->Unregister(id_); }
@@ -258,6 +263,16 @@ Result<QueryResult> Session::RunSet(const sql::Statement& stmt,
     server_->plan_cache().set_capacity(static_cast<size_t>(v.AsInt()));
     return QueryResult{};
   }
+  if (set.name == "born.session_memory_limit") {
+    BORNSQL_ASSIGN_OR_RETURN(Value value, engine::EvalConstExpr(*set.value));
+    BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kInt));
+    if (v.AsInt() < 0) {
+      return Status::InvalidArgument(
+          "born.session_memory_limit must be >= 0 bytes (0 = unlimited)");
+    }
+    mem_.set_limit(static_cast<uint64_t>(v.AsInt()));
+    return QueryResult{};
+  }
   // Engine settings (born.opt.*, born.trace, ...) apply to this session's
   // database only. Cached plans need no invalidation: the config
   // fingerprint in the cache key changes with the config.
@@ -315,6 +330,7 @@ Result<QueryResult> Session::RunThroughCache(
     entry->statement = normalized;
     entry->num_params = args.size();
     entry->catalog_version = db_.catalog().version();
+    entry->approx_bytes = ApproxCachedPlanBytes(*entry);
     const uint64_t before = cache.evictions();
     cache.Insert(key, entry);
     if (const uint64_t evicted = cache.evictions() - before; evicted > 0) {

@@ -39,6 +39,7 @@
 #include "engine/database.h"
 #include "engine/engine_config.h"
 #include "engine/parameters.h"
+#include "obs/memory.h"
 #include "sql/ast.h"
 #include "sql/token.h"
 
@@ -82,6 +83,12 @@ class Session {
   // The session's engine database (shared catalog, private config/trace).
   // Exposed for the shell's EXPLAIN-style passthroughs and for tests.
   engine::Database& database() { return db_; }
+
+  // The session-level memory tracker (child of the process root; parent of
+  // every query tracker this session's database creates). SET
+  // born.session_memory_limit caps it; born_stat_sessions reads it.
+  obs::MemoryTracker& memory() { return mem_; }
+  const obs::MemoryTracker& memory() const { return mem_; }
 
   // Counters for born_stat_sessions / .sessions.
   uint64_t statements_executed() const {
@@ -127,8 +134,8 @@ class Session {
                                          sql::Statement stmt);
   Result<engine::QueryResult> RunExecute(const sql::ExecuteStmt& stmt);
   Result<engine::QueryResult> RunDeallocate(const sql::DeallocateStmt& stmt);
-  // Intercepts born.plan_cache / born.plan_cache_capacity; other settings
-  // fall through to the engine.
+  // Intercepts born.plan_cache / born.plan_cache_capacity /
+  // born.session_memory_limit; other settings fall through to the engine.
   Result<engine::QueryResult> RunSet(const sql::Statement& stmt,
                                      const std::vector<sql::Token>& tokens);
   // Ad-hoc SELECT: auto-parameterize literals and run through the cache.
@@ -152,6 +159,9 @@ class Session {
 
   Server* const server_;
   const uint64_t id_;
+  // Declared before db_ so per-query trackers parented here are gone (the
+  // database is destroyed first) before the session tracker dies.
+  obs::MemoryTracker mem_;
   engine::Database db_;
 
   mutable std::mutex mu_;  // guards prepared_ (snapshots race with EXECUTE)

@@ -10,6 +10,16 @@ Table::Table(std::string name, Schema schema, std::vector<size_t> key_columns)
       schema_(std::move(schema)),
       key_columns_(std::move(key_columns)) {}
 
+Table::~Table() {
+  if (bytes_ > 0) StorageTracker().Release(bytes_);
+}
+
+obs::MemoryTracker& Table::StorageTracker() {
+  static obs::MemoryTracker* const tracker = new obs::MemoryTracker(
+      "storage", "storage", &obs::MemoryTracker::Process());
+  return *tracker;
+}
+
 Status Table::SetUniqueKey(std::vector<size_t> key_columns) {
   if (!key_columns_.empty()) {
     return Status::AlreadyExists("table '" + name_ +
@@ -102,6 +112,9 @@ Status Table::Insert(Row row) {
     }
   }
   AddToSecondaryIndexes(row, rows_.size());
+  const uint64_t row_bytes = obs::ApproxRowBytes(row);
+  bytes_ += row_bytes;
+  StorageTracker().Reserve(row_bytes);
   rows_.push_back(std::move(row));
   ++usage_.inserts;
   return Status::OK();
@@ -113,6 +126,9 @@ void Table::AppendUnchecked(Row row) {
     index_.emplace(ExtractKey(row), rows_.size());
   }
   AddToSecondaryIndexes(row, rows_.size());
+  const uint64_t row_bytes = obs::ApproxRowBytes(row);
+  bytes_ += row_bytes;
+  StorageTracker().Reserve(row_bytes);
   rows_.push_back(std::move(row));
   ++usage_.inserts;
 }
@@ -147,6 +163,15 @@ Status Table::UpdateRow(size_t idx, Row row) {
       si.map.emplace(std::move(new_key), idx);
     }
   }
+  const uint64_t old_bytes = obs::ApproxRowBytes(rows_[idx]);
+  const uint64_t new_bytes = obs::ApproxRowBytes(row);
+  if (new_bytes >= old_bytes) {
+    bytes_ += new_bytes - old_bytes;
+    StorageTracker().Reserve(new_bytes - old_bytes);
+  } else {
+    bytes_ -= old_bytes - new_bytes;
+    StorageTracker().Release(old_bytes - new_bytes);
+  }
   rows_[idx] = std::move(row);
   ++usage_.updates;
   return Status::OK();
@@ -157,13 +182,17 @@ size_t Table::DeleteRows(const std::vector<bool>& flags) {
   std::vector<Row> kept;
   kept.reserve(rows_.size());
   size_t removed = 0;
+  uint64_t removed_bytes = 0;
   for (size_t i = 0; i < rows_.size(); ++i) {
     if (flags[i]) {
       ++removed;
+      removed_bytes += obs::ApproxRowBytes(rows_[i]);
     } else {
       kept.push_back(std::move(rows_[i]));
     }
   }
+  bytes_ -= removed_bytes;
+  StorageTracker().Release(removed_bytes);
   rows_ = std::move(kept);
   RebuildIndex();
   usage_.deletes += removed;
@@ -171,6 +200,8 @@ size_t Table::DeleteRows(const std::vector<bool>& flags) {
 }
 
 void Table::Clear() {
+  StorageTracker().Release(bytes_);
+  bytes_ = 0;
   rows_.clear();
   index_.clear();
   for (SecondaryIndex& si : secondary_) si.map.clear();

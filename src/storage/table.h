@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/memory.h"
 #include "types/schema.h"
 #include "types/value.h"
 
@@ -35,6 +36,17 @@ class Table {
   // `key_columns` lists the column indexes forming the unique key; empty
   // means no uniqueness constraint.
   Table(std::string name, Schema schema, std::vector<size_t> key_columns);
+  ~Table();
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  // The shared "storage" MemoryTracker (child of the process root) that
+  // every table's row bytes are charged against. Leaked, like the root.
+  static obs::MemoryTracker& StorageTracker();
+
+  // Approximate bytes of this table's row data (ApproxRowBytes summed over
+  // the live rows; index structures are not counted).
+  uint64_t approx_bytes() const { return bytes_; }
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -129,6 +141,7 @@ class Table {
   Schema schema_;
   std::vector<size_t> key_columns_;
   std::vector<Row> rows_;
+  uint64_t bytes_ = 0;  // mirrors rows_ in StorageTracker()
   std::unordered_map<Row, size_t, KeyHash, KeyEq> index_;
   std::vector<SecondaryIndex> secondary_;
   mutable TableUsage usage_;

@@ -57,9 +57,17 @@ TEST(SystemViewSchemaTest, StatOperatorsGolden) {
   std::vector<std::string> expected = {
       "operator TEXT",   "instances INTEGER", "open_calls INTEGER",
       "next_calls INTEGER", "rows INTEGER",   "wall_ms REAL",
-      "peak_entries INTEGER",
+      "peak_entries INTEGER", "peak_mem INTEGER",
   };
   EXPECT_EQ(SchemaLines("born_stat_operators"), expected);
+}
+
+TEST(SystemViewSchemaTest, StatMemoryGolden) {
+  std::vector<std::string> expected = {
+      "tracker TEXT",        "level TEXT",         "current_bytes INTEGER",
+      "peak_bytes INTEGER",  "limit_bytes INTEGER", "denials INTEGER",
+  };
+  EXPECT_EQ(SchemaLines("born_stat_memory"), expected);
 }
 
 TEST(SystemViewSchemaTest, StatTablesGolden) {
@@ -81,7 +89,8 @@ TEST(SystemViewSchemaTest, SlowLogGolden) {
 
 TEST(SystemViewSchemaTest, ViewNamesAndSelectStarAgree) {
   EXPECT_EQ(SystemViews::ViewNames(),
-            (std::vector<std::string>{"born_slow_log", "born_stat_operators",
+            (std::vector<std::string>{"born_slow_log", "born_stat_memory",
+                                      "born_stat_operators",
                                       "born_stat_optimizer",
                                       "born_stat_statements",
                                       "born_stat_tables"}));

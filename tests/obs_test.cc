@@ -25,17 +25,22 @@ using engine::JoinStrategy;
 using engine::QueryResult;
 using bornsql::testing::MustQuery;
 
-// EXPLAIN [ANALYZE] output as lines with the volatile wall times masked:
-// "time=0.123ms" -> "time=Xms". Everything else (rows, next, peak, shape)
-// is deterministic for a fixed dataset.
+// EXPLAIN [ANALYZE] output as lines with the volatile wall times and byte
+// counts masked: "time=0.123ms" -> "time=Xms", "mem=1234" -> "mem=X"
+// (ApproxRowBytes depends on sizeof(Value), which varies by platform).
+// Everything else (rows, next, peak, shape) is deterministic for a fixed
+// dataset.
 std::vector<std::string> MaskedPlanLines(Database& db,
                                          const std::string& sql) {
   QueryResult result = MustQuery(db, sql);
   EXPECT_EQ(result.column_names, std::vector<std::string>{"plan"});
   static const std::regex kTime("time=[0-9.]+ms");
+  static const std::regex kMem("mem=[0-9]+");
   std::vector<std::string> out;
   for (const Row& row : result.rows) {
-    out.push_back(std::regex_replace(row[0].AsText(), kTime, "time=Xms"));
+    std::string line =
+        std::regex_replace(row[0].AsText(), kTime, "time=Xms");
+    out.push_back(std::regex_replace(line, kMem, "mem=X"));
   }
   return out;
 }
@@ -71,7 +76,8 @@ TEST(ExplainGoldenTest, AnalyzeSelectWithHashJoin) {
   // HashJoin builds on the right input (3 rows) and emits 2 matches.
   std::vector<std::string> expected = {
       "Project(2 columns)  (actual rows=2 next=3 time=Xms)",
-      "  HashJoin(inner, 1 keys)  (actual rows=2 next=3 time=Xms peak=3)",
+      "  HashJoin(inner, 1 keys)  "
+      "(actual rows=2 next=3 time=Xms peak=3 mem=X)",
       "    SeqScan(t1, 4 rows)  (actual rows=4 next=5 time=Xms)",
       "    SeqScan(t2, 3 rows)  (actual rows=3 next=4 time=Xms)",
   };
@@ -89,7 +95,7 @@ TEST(ExplainGoldenTest, AnalyzeSelectWithSortMergeJoin) {
   std::vector<std::string> expected = {
       "Project(2 columns)  (actual rows=2 next=3 time=Xms)",
       "  SortMergeJoin(inner, 1 keys)  "
-      "(actual rows=2 next=3 time=Xms peak=7)",
+      "(actual rows=2 next=3 time=Xms peak=7 mem=X)",
       "    SeqScan(t1, 4 rows)  (actual rows=4 next=5 time=Xms)",
       "    SeqScan(t2, 3 rows)  (actual rows=3 next=4 time=Xms)",
   };
@@ -108,7 +114,8 @@ TEST(ExplainGoldenTest, AnalyzeSelectWithNestedLoopJoin) {
   std::vector<std::string> expected = {
       "Project(2 columns)  (actual rows=2 next=3 time=Xms)",
       "  Filter  (actual rows=2 next=3 time=Xms)",
-      "    NestedLoopJoin(cross)  (actual rows=12 next=13 time=Xms peak=3)",
+      "    NestedLoopJoin(cross)  "
+      "(actual rows=12 next=13 time=Xms peak=3 mem=X)",
       "      SeqScan(t1, 4 rows)  (actual rows=4 next=5 time=Xms)",
       "      SeqScan(t2, 3 rows)  (actual rows=3 next=4 time=Xms)",
   };
@@ -242,15 +249,15 @@ TEST(MetricsRegistryTest, HistogramBucketsAndPercentile) {
   metrics.RecordLatency("lat", 20.0);
   obs::LatencyHistogram hist = metrics.histogram("lat");
   EXPECT_EQ(hist.count(), 4u);
-  EXPECT_EQ(hist.bucket(0), 1u);  // <= 10us
-  EXPECT_EQ(hist.bucket(1), 1u);  // <= 50us
+  EXPECT_EQ(hist.bucket(1), 1u);  // <= 5us
+  EXPECT_EQ(hist.bucket(3), 1u);  // <= 50us
   EXPECT_EQ(hist.bucket(obs::LatencyHistogram::kNumBuckets - 1), 1u);
   // p50 over {5us, 30us, 2ms, 20s}: the 2nd sample lands in the 50us bucket.
   EXPECT_DOUBLE_EQ(hist.PercentileUs(0.5), 50.0);
   std::string json = metrics.ToJson();
   EXPECT_NE(json.find("\"lat\""), std::string::npos);
   EXPECT_NE(json.find("\"count\": 4"), std::string::npos);
-  EXPECT_NE(json.find("\"le_us\": \"inf\""), std::string::npos);
+  EXPECT_NE(json.find("\"le_us\": \"+Inf\""), std::string::npos);
 }
 
 TEST(MetricsRegistryTest, OperatorAggregatesMerge) {
@@ -349,17 +356,21 @@ TEST(MetricsRegistryTest, HistogramBoundariesAreDeterministic) {
   // bucket (<= bound), and values above the last finite bound must land in
   // the overflow bucket — independent of floating-point representation.
   obs::MetricsRegistry metrics;
-  metrics.RecordLatency("edge", 10e-6);    // exactly 10us -> bucket 0
-  metrics.RecordLatency("edge", 50e-6);    // exactly 50us -> bucket 1
-  metrics.RecordLatency("edge", 100e-6);   // exactly 100us -> bucket 2
+  metrics.RecordLatency("edge", 1e-6);     // exactly 1us -> bucket 0
+  metrics.RecordLatency("edge", 5e-6);     // exactly 5us -> bucket 1
+  metrics.RecordLatency("edge", 10e-6);    // exactly 10us -> bucket 2
+  metrics.RecordLatency("edge", 50e-6);    // exactly 50us -> bucket 3
+  metrics.RecordLatency("edge", 100e-6);   // exactly 100us -> bucket 4
   metrics.RecordLatency("edge", 1e-3);     // exactly 1ms
   metrics.RecordLatency("edge", 5.0);      // exactly 5s -> last finite bucket
   metrics.RecordLatency("edge", 5.000001);  // just above -> overflow
   obs::LatencyHistogram hist = metrics.histogram("edge");
-  EXPECT_EQ(hist.count(), 6u);
+  EXPECT_EQ(hist.count(), 8u);
   EXPECT_EQ(hist.bucket(0), 1u);
   EXPECT_EQ(hist.bucket(1), 1u);
   EXPECT_EQ(hist.bucket(2), 1u);
+  EXPECT_EQ(hist.bucket(3), 1u);
+  EXPECT_EQ(hist.bucket(4), 1u);
   EXPECT_EQ(hist.bucket(obs::LatencyHistogram::kNumBuckets - 2), 1u);
   EXPECT_EQ(hist.bucket(obs::LatencyHistogram::kNumBuckets - 1), 1u);
 }

@@ -12,7 +12,8 @@
 //   .import <csv> <table>  load a CSV file
 //   .export <file> <sql;>  write a query's result as CSV
 //   .timing on|off         print per-statement wall time (.timer works too)
-//   .metrics [reset]       dump the engine metrics registry as JSON / reset it
+//   .metrics [reset|prom]  dump the metrics registry as JSON / reset it /
+//                          print it in Prometheus text exposition format
 //   .trace <file>          export the statement trace as Chrome trace JSON
 //   .lint <sql;>           run the static SQL linter over a statement/script
 //   .sessions              list serving sessions (this shell: one)
@@ -22,6 +23,9 @@
 //
 // EXPLAIN <stmt> prints the plan; EXPLAIN ANALYZE <stmt> executes it and
 // annotates every operator with actual rows and wall time.
+//
+// Flags: --metrics-prom=FILE writes the metrics registry in Prometheus
+// text exposition format to FILE on exit (for scrape-from-file setups).
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
@@ -109,7 +113,8 @@ bool DotCommand(Server& server, Session& session, const std::string& line,
   if (cmd == ".help") {
     std::printf(
         ".tables | .schema <t> | .import <csv> <t> | .export <file> <sql;> "
-        "| .timing on|off | .metrics [reset] | .trace <file> | .lint <sql;> "
+        "| .timing on|off | .metrics [reset|prom] | .trace <file> "
+        "| .lint <sql;> "
         "| .plan <sql;> | .sessions | .cache | .quit\n"
         "PREPARE p AS <stmt;> / EXECUTE p(args);  parameterized statements "
         "('?' or '$n' placeholders); DEALLOCATE p | ALL drops them\n"
@@ -123,35 +128,44 @@ bool DotCommand(Server& server, Session& session, const std::string& line,
         "born_stat_optimizer lists per-rule counters\n"
         "SET born.plan_cache = 0|1 / born.plan_cache_capacity = N configure "
         "the serving plan cache\n"
+        "SET born.memory_limit = N / born.session_memory_limit = N cap "
+        "per-query / per-session execution memory in bytes (0 = unlimited)\n"
         "system views: born_stat_statements, born_stat_operators, "
-        "born_stat_optimizer, born_stat_tables, born_slow_log, "
-        "born_stat_prepared, born_stat_sessions, born_stat_plan_cache "
-        "(SET born.slow_query_ms = N to arm the slow log)\n");
+        "born_stat_optimizer, born_stat_tables, born_stat_memory, "
+        "born_slow_log, born_stat_prepared, born_stat_sessions, "
+        "born_stat_plan_cache (SET born.slow_query_ms = N to arm the slow "
+        "log)\n");
   } else if (cmd == ".sessions") {
-    std::printf("%-10s %-12s %-10s %-12s %-12s\n", "session", "statements",
-                "prepared", "cache_hits", "cache_misses");
+    std::printf("%-10s %-12s %-10s %-12s %-12s %-14s %-12s\n", "session",
+                "statements", "prepared", "cache_hits", "cache_misses",
+                "current_bytes", "peak_bytes");
     for (const auto& s : server.SessionsSnapshot()) {
-      std::printf("%-10llu %-12llu %-10zu %-12llu %-12llu\n",
+      std::printf("%-10llu %-12llu %-10zu %-12llu %-12llu %-14llu %-12llu\n",
                   static_cast<unsigned long long>(s.id),
                   static_cast<unsigned long long>(s.statements), s.prepared,
                   static_cast<unsigned long long>(s.cache_hits),
-                  static_cast<unsigned long long>(s.cache_misses));
+                  static_cast<unsigned long long>(s.cache_misses),
+                  static_cast<unsigned long long>(s.current_bytes),
+                  static_cast<unsigned long long>(s.peak_bytes));
     }
   } else if (cmd == ".cache") {
     const bornsql::serve::PlanCache& cache = server.plan_cache();
     const uint64_t lookups = cache.hits() + cache.misses();
     std::printf(
         "plan cache: %zu/%zu entries, %llu hits, %llu misses, %llu "
-        "evictions, hit rate %.1f%%\n",
+        "evictions, ~%llu bytes, hit rate %.1f%%\n",
         cache.size(), cache.capacity(),
         static_cast<unsigned long long>(cache.hits()),
         static_cast<unsigned long long>(cache.misses()),
         static_cast<unsigned long long>(cache.evictions()),
+        static_cast<unsigned long long>(cache.total_bytes()),
         lookups == 0 ? 0.0 : 100.0 * cache.hits() / lookups);
     for (const auto& entry : cache.Snapshot()) {
-      std::printf("  [%llu hits, %zu params] %s\n",
+      std::printf("  [%llu hits, %zu params, ~%llu bytes] %s\n",
                   static_cast<unsigned long long>(entry.hits),
-                  entry.num_params, entry.statement.c_str());
+                  entry.num_params,
+                  static_cast<unsigned long long>(entry.approx_bytes),
+                  entry.statement.c_str());
     }
   } else if (cmd == ".tables") {
     for (const std::string& name : db.catalog().TableNames()) {
@@ -189,6 +203,8 @@ bool DotCommand(Server& server, Session& session, const std::string& line,
     if (parts.size() >= 2 && parts[1] == "reset") {
       db.metrics().Reset();
       std::printf("ok\n");
+    } else if (parts.size() >= 2 && parts[1] == "prom") {
+      std::printf("%s", db.metrics().ToPrometheus().c_str());
     } else {
       std::printf("%s\n", db.metrics().ToJson().c_str());
     }
@@ -244,7 +260,18 @@ bool DotCommand(Server& server, Session& session, const std::string& line,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string metrics_prom;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-prom=", 0) == 0) {
+      metrics_prom = arg.substr(15);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (only --metrics-prom=FILE)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
   Server server;
   std::unique_ptr<Session> session = server.Connect();
   bool timer = false;
@@ -279,6 +306,16 @@ int main() {
       if (timer) std::printf("elapsed: %.3fs\n", wall.ElapsedSeconds());
     }
     buffer.clear();
+  }
+  if (!metrics_prom.empty()) {
+    std::FILE* f = std::fopen(metrics_prom.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", metrics_prom.c_str());
+      return 1;
+    }
+    const std::string text = server.metrics().ToPrometheus();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
   }
   return 0;
 }

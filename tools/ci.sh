@@ -10,7 +10,9 @@
 #       cached-vs-uncached serving lane, plan and translation verifiers
 #       armed
 #   1f  serving bench smoke: concurrent sessions through the keyed plan
-#       cache, hit rate > 0 and cached results equal to uncached
+#       cache, hit rate > 0 and cached results equal to uncached; the same
+#       run exports Prometheus text which a format checker validates
+#       (family presence, monotone cumulative buckets, no duplicates)
 #   2   Debug + ASan/UBSan build + full test suite + fuzz smoke
 #   3   Debug + TSan build, concurrency hammer tests (registry/trace/stats
 #       sinks + the multi-session serving hammer)
@@ -84,16 +86,76 @@ if [[ "${1:-}" != "--fast" ]]; then
   # per-session PREPARE miss, every EXECUTE must be served from the keyed
   # plan cache, and cached results must match a cache-disabled session's.
   build/bench/bench_serving --scale=0.2 --threads=1,2 \
-    --json=build/ci_serving.json >/dev/null
+    --json=build/ci_serving.json \
+    --metrics-prom=build/ci_metrics.prom >/dev/null
   python3 - build/ci_serving.json <<'EOF'
 import json, sys
 report = json.load(open(sys.argv[1]))
 assert report["cached_equals_uncached"] is True, report
 for point in report["sweep"]:
     assert point["hit_rate"] > 0, point
+    assert point["session_peak_bytes"] > 0, point
 print("serving ok: " + ", ".join(
     "%dt hit_rate=%.1f%%" % (p["threads"], 100 * p["hit_rate"])
     for p in report["sweep"]))
+EOF
+  # Prometheus text exposition checker: every line parses, every family is
+  # TYPEd exactly once, histogram buckets are cumulative and end at +Inf
+  # with _count equal to the +Inf bucket, and the workload's key families
+  # (plan cache, statement latency, memory gauges) are all present.
+  python3 - build/ci_metrics.prom <<'EOF'
+import re, sys
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "empty Prometheus export"
+types = {}            # family -> counter|gauge|histogram
+samples = {}          # full metric name (no labels) -> [(labels, value)]
+name_re = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*$')
+for line in lines:
+    if not line.strip():
+        continue
+    if line.startswith("# TYPE "):
+        _, _, fam, kind = line.split(None, 3)
+        assert fam not in types, f"duplicate TYPE for {fam}"
+        assert kind in ("counter", "gauge", "histogram"), line
+        types[fam] = kind
+        continue
+    if line.startswith("#"):
+        continue
+    m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$', line)
+    assert m, f"unparseable sample line: {line!r}"
+    name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+    assert name_re.match(name), name
+    float(value)  # must parse
+    samples.setdefault(name, []).append((labels, value))
+for name in samples:
+    fam = re.sub(r'_(bucket|sum|count)$', '', name)
+    assert name in types or fam in types, f"sample {name} has no # TYPE"
+for fam, kind in types.items():
+    if kind != "histogram":
+        continue
+    buckets = samples.get(fam + "_bucket", [])
+    assert buckets, f"histogram {fam} has no buckets"
+    prev, saw_inf = -1, False
+    for labels, value in buckets:
+        le = re.search(r'le="([^"]+)"', labels).group(1)
+        cum = float(value)
+        assert cum >= prev, f"{fam} buckets not cumulative at le={le}"
+        prev = cum
+        saw_inf = saw_inf or le == "+Inf"
+    assert saw_inf, f"histogram {fam} missing le=\"+Inf\""
+    count = float(samples[fam + "_count"][0][1])
+    assert count == prev, f"{fam}_count {count} != +Inf bucket {prev}"
+required = [
+    "bornsql_plan_cache_hits_total",
+    "bornsql_plan_cache_misses_total",
+    "bornsql_statement_latency_us",
+    "bornsql_memory_current_bytes",
+    "bornsql_memory_peak_bytes",
+]
+for fam in required:
+    assert fam in types, f"required family {fam} missing from export"
+print(f"prometheus ok: {len(types)} families, "
+      f"{sum(len(v) for v in samples.values())} samples")
 EOF
 
   echo "=== leg 2: Debug + ASan/UBSan ==="
