@@ -1,7 +1,6 @@
 #include "catalog/catalog.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "common/strings.h"
 
@@ -12,7 +11,7 @@ std::string Catalog::Key(const std::string& name) {
 }
 
 bool Catalog::Exists(const std::string& name) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   return tables_.count(Key(name)) > 0;
 }
 
@@ -20,7 +19,7 @@ Result<storage::Table*> Catalog::CreateTable(const std::string& name,
                                              Schema schema,
                                              std::vector<size_t> key_columns,
                                              bool if_not_exists) {
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(&mutex_);
   std::string key = Key(name);
   auto it = tables_.find(key);
   if (it != tables_.end()) {
@@ -36,7 +35,7 @@ Result<storage::Table*> Catalog::CreateTable(const std::string& name,
 }
 
 Status Catalog::DropTable(const std::string& name, bool if_exists) {
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(&mutex_);
   auto it = tables_.find(Key(name));
   if (it == tables_.end()) {
     if (if_exists) return Status::OK();
@@ -48,7 +47,7 @@ Status Catalog::DropTable(const std::string& name, bool if_exists) {
 }
 
 Result<storage::Table*> Catalog::GetTable(const std::string& name) {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   auto it = tables_.find(Key(name));
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
@@ -57,7 +56,7 @@ Result<storage::Table*> Catalog::GetTable(const std::string& name) {
 }
 
 Result<const storage::Table*> Catalog::GetTable(const std::string& name) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   auto it = tables_.find(Key(name));
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
@@ -66,7 +65,7 @@ Result<const storage::Table*> Catalog::GetTable(const std::string& name) const {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [key, table] : tables_) names.push_back(table->name());
@@ -75,7 +74,7 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 size_t Catalog::EstimateBytes() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(&mutex_);
   size_t total = 0;
   for (const auto& [key, table] : tables_) {
     for (const Row& row : table->rows()) {

@@ -11,12 +11,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_ranks.h"
 #include "common/status.h"
+#include "common/thread_safety.h"
+#include "common/tracked_mutex.h"
 #include "storage/table.h"
 #include "types/schema.h"
 
@@ -58,8 +60,9 @@ class Catalog {
  private:
   static std::string Key(const std::string& name);
 
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<std::string, std::unique_ptr<storage::Table>> tables_;
+  mutable TrackedSharedMutex mutex_{"catalog.tables", lock_rank::kCatalog};
+  std::unordered_map<std::string, std::unique_ptr<storage::Table>> tables_
+      BORN_GUARDED_BY(mutex_);
   std::atomic<uint64_t> version_{0};
 };
 

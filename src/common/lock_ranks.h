@@ -1,0 +1,61 @@
+// The engine's global lock hierarchy, in one place.
+//
+// Every born::TrackedMutex is constructed with a rank from this table. The
+// debug-mode checker (common/tracked_mutex.h) enforces that a thread only
+// acquires locks in *strictly decreasing* rank order — outermost locks have
+// the highest rank — so any two code paths that take the same pair of locks
+// in opposite orders abort at the first inversion instead of deadlocking
+// in production. Locks with equal rank may never be held together, except
+// for ranks explicitly constructed with TrackedMutex::kNestsSameRank
+// (parent-before-child tree walks such as the memory-tracker snapshot,
+// where the structure itself fixes the instance order).
+//
+// The hierarchy, outermost first (see DESIGN.md §13 for the rationale and
+// the how-to-add-a-new-lock checklist):
+//
+//   rank  lock                        holder
+//   700   kServer                     serve::Server session map
+//   600   kSession                    serve::Session prepared statements
+//   500   kCatalog                    catalog::Catalog table namespace
+//   400   kPlanCacheShard             serve::PlanCache per-shard LRU
+//   330   kTrace                      obs::TraceRecorder ring
+//   320   kStatementStats             obs::StatementStatsRegistry
+//   310   kSlowQueryLog               obs::SlowQueryLog ring
+//   300   kOptimizerStats             obs::OptimizerStatsRegistry
+//   290   kMetrics                    obs::MetricsRegistry maps
+//   100   kMemoryTracker              obs::MemoryTracker child lists
+//
+// Edges the ordering must admit (verified by the serving hammers):
+//   server -> session          Server::SessionsSnapshot / PreparedSnapshot
+//   server -> memory-tracker   Server::Connect constructs the session's
+//                              tracker while registering the session
+//   catalog -> memory-tracker  CreateTable charges the storage tracker
+//                              (first call constructs it under the root)
+//   plan-cache -> memory-tracker  Insert/evict charge the cache tracker
+//   memory-tracker -> memory-tracker  SnapshotTree walks parent to child
+//
+// Adding a lock: pick the *lowest* rank consistent with every path that
+// holds your lock while taking another (leaf registries sit between 200
+// and 390; coordination locks above the structures they iterate), add a
+// row here and to the DESIGN.md table, and construct the TrackedMutex with
+// the new constant — tools/check_annotations.py rejects TrackedMutex
+// members whose constructor does not name a lock_rank constant.
+#ifndef BORNSQL_COMMON_LOCK_RANKS_H_
+#define BORNSQL_COMMON_LOCK_RANKS_H_
+
+namespace bornsql::lock_rank {
+
+inline constexpr int kServer = 700;
+inline constexpr int kSession = 600;
+inline constexpr int kCatalog = 500;
+inline constexpr int kPlanCacheShard = 400;
+inline constexpr int kTrace = 330;
+inline constexpr int kStatementStats = 320;
+inline constexpr int kSlowQueryLog = 310;
+inline constexpr int kOptimizerStats = 300;
+inline constexpr int kMetrics = 290;
+inline constexpr int kMemoryTracker = 100;
+
+}  // namespace bornsql::lock_rank
+
+#endif  // BORNSQL_COMMON_LOCK_RANKS_H_

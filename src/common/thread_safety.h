@@ -1,0 +1,82 @@
+// Clang thread-safety-analysis annotation macros (BORN_GUARDED_BY and
+// friends), expanding to nothing on other compilers.
+//
+// The engine's shared structures (the obs registries, the memory-tracker
+// tree, the catalog, the serving layer's server/session/plan-cache) declare
+// their locking contract with these macros so `clang -Wthread-safety`
+// proves at compile time that every guarded member is only touched with
+// its capability held — CI's thread-safety leg builds src/ with
+// -Werror=thread-safety when a clang toolchain is available, and
+// tools/check_annotations.py keeps coverage complete regardless of
+// compiler. The annotations attach to born::TrackedMutex (see
+// common/tracked_mutex.h), whose debug-mode lock-rank checker is the
+// runtime complement of this static contract.
+//
+// Macro names and semantics follow the canonical mutex.h from the clang
+// thread-safety documentation; only the BORN_ prefix is ours.
+#ifndef BORNSQL_COMMON_THREAD_SAFETY_H_
+#define BORNSQL_COMMON_THREAD_SAFETY_H_
+
+#if defined(__clang__)
+#define BORN_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define BORN_THREAD_ANNOTATION_(x)  // no-op on gcc/msvc
+#endif
+
+// On types: this class is a lockable capability ("mutex", "shared_mutex").
+#define BORN_CAPABILITY(x) BORN_THREAD_ANNOTATION_(capability(x))
+// On RAII guard types whose constructor acquires and destructor releases.
+#define BORN_SCOPED_CAPABILITY BORN_THREAD_ANNOTATION_(scoped_lockable)
+
+// On data members: reads/writes require holding the named capability
+// (PT_ variant: the pointee is guarded, the pointer itself is not).
+#define BORN_GUARDED_BY(x) BORN_THREAD_ANNOTATION_(guarded_by(x))
+#define BORN_PT_GUARDED_BY(x) BORN_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// On capability members: static acquisition-order declarations.
+#define BORN_ACQUIRED_BEFORE(...) \
+  BORN_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define BORN_ACQUIRED_AFTER(...) \
+  BORN_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// On functions: caller must hold (exclusively / shared) the capability.
+#define BORN_REQUIRES(...) \
+  BORN_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define BORN_REQUIRES_SHARED(...) \
+  BORN_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// On functions: acquires / releases the capability.
+#define BORN_ACQUIRE(...) \
+  BORN_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define BORN_ACQUIRE_SHARED(...) \
+  BORN_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define BORN_RELEASE(...) \
+  BORN_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define BORN_RELEASE_SHARED(...) \
+  BORN_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define BORN_RELEASE_GENERIC(...) \
+  BORN_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+#define BORN_TRY_ACQUIRE(...) \
+  BORN_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define BORN_TRY_ACQUIRE_SHARED(...) \
+  BORN_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+// On functions: caller must NOT hold the capability (deadlock guard for
+// functions that acquire it themselves).
+#define BORN_EXCLUDES(...) BORN_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// On assertion functions: the analysis assumes the capability is held
+// after the call (TrackedMutex::AssertHeld backs the claim at runtime).
+#define BORN_ASSERT_CAPABILITY(x) BORN_THREAD_ANNOTATION_(assert_capability(x))
+#define BORN_ASSERT_SHARED_CAPABILITY(x) \
+  BORN_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+// On functions returning a reference to a capability.
+#define BORN_RETURN_CAPABILITY(x) BORN_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch; every use needs a comment explaining why the analysis
+// cannot see the invariant (check_annotations.py counts these).
+#define BORN_NO_THREAD_SAFETY_ANALYSIS \
+  BORN_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // BORNSQL_COMMON_THREAD_SAFETY_H_

@@ -1,0 +1,248 @@
+#include "common/tracked_mutex.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/strings.h"
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define BORNSQL_HAVE_BACKTRACE 1
+#endif
+#endif
+#ifndef BORNSQL_HAVE_BACKTRACE
+#define BORNSQL_HAVE_BACKTRACE 0
+#endif
+
+namespace bornsql::lock_debug {
+
+// Registry entry behind the opaque LockCounters pointer the header hands
+// each mutex: the declared rank plus a relaxed acquisition counter bumped
+// on every lock() (the per-acquisition hot path never touches the
+// registry mutex).
+struct LockCounters {
+  int rank = 0;
+  bool nests_same_rank = false;
+  std::atomic<uint64_t> acquisitions{0};
+};
+
+namespace {
+
+constexpr int kMaxFrames = 24;
+
+// One lock the current thread holds, with the call stack that acquired it
+// so an inversion report can show both sides of the cycle.
+struct HeldLock {
+  const void* mutex = nullptr;
+  const char* name = nullptr;
+  int rank = 0;
+  bool nests_same_rank = false;
+  void* frames[kMaxFrames] = {};
+  int num_frames = 0;
+};
+
+// Raw std::mutex on purpose: the registry is the checker's own state and
+// must not recurse into the tracking it implements.
+std::mutex& RegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// Leaked so locks owned by leaked singletons (the process memory tracker,
+// the storage/cache trackers) can still register during static init and
+// never observe a destroyed registry at exit.
+std::map<std::string, LockCounters>& Registry() {
+  static auto* registry = new std::map<std::string, LockCounters>();
+  return *registry;
+}
+
+std::vector<HeldLock>& HeldStack() {
+  thread_local std::vector<HeldLock> held;
+  return held;
+}
+
+std::atomic<ViolationHandler> g_handler{nullptr};
+
+int CaptureStack(void** frames) {
+#if BORNSQL_HAVE_BACKTRACE
+  return backtrace(frames, kMaxFrames);
+#else
+  (void)frames;
+  return 0;
+#endif
+}
+
+void AppendStack(std::string* out, void* const* frames, int num_frames) {
+#if BORNSQL_HAVE_BACKTRACE
+  if (num_frames <= 0) {
+    *out += "    <no frames captured>\n";
+    return;
+  }
+  char** symbols = backtrace_symbols(frames, num_frames);
+  for (int i = 0; i < num_frames; ++i) {
+    *out += "    ";
+    *out += symbols != nullptr ? symbols[i] : "<unknown frame>";
+    *out += '\n';
+  }
+  free(symbols);  // NOLINT(cppcoreguidelines-no-malloc): glibc contract
+#else
+  (void)frames;
+  (void)num_frames;
+  *out += "    <stack capture unavailable on this platform>\n";
+#endif
+}
+
+void DefaultHandler(const Violation& violation) {
+  fputs(violation.message.c_str(), stderr);
+  fflush(stderr);
+  abort();
+}
+
+void Report(Violation violation) {
+  ViolationHandler handler = g_handler.load(std::memory_order_acquire);
+  (handler != nullptr ? handler : &DefaultHandler)(violation);
+}
+
+// Builds the two-stack report for a violation at the acquisition of
+// `name` while `held` (may be null) is the conflicting holding.
+std::string TwoStackMessage(const char* what, const char* name, int rank,
+                            const HeldLock* held) {
+  std::string msg = StrFormat("TrackedMutex: %s: acquiring '%s' (rank %d)",
+                              what, name, rank);
+  if (held != nullptr) {
+    msg += StrFormat(" while holding '%s' (rank %d)", held->name, held->rank);
+  }
+  msg +=
+      "\n  lock hierarchy (common/lock_ranks.h): locks must be acquired in "
+      "strictly decreasing rank order\n";
+  if (held != nullptr) {
+    msg += StrFormat("  acquisition stack of held '%s':\n", held->name);
+    AppendStack(&msg, held->frames, held->num_frames);
+  }
+  void* frames[kMaxFrames];
+  const int n = CaptureStack(frames);
+  msg += StrFormat("  current stack acquiring '%s':\n", name);
+  AppendStack(&msg, frames, n);
+  return msg;
+}
+
+}  // namespace
+
+ViolationHandler SetViolationHandler(ViolationHandler handler) {
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+LockCounters* RegisterLock(const char* name, int rank, bool nests_same_rank) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto [it, inserted] = Registry().try_emplace(name);
+  if (inserted) {
+    it->second.rank = rank;
+    it->second.nests_same_rank = nests_same_rank;
+  } else if (it->second.rank != rank) {
+    Violation violation;
+    violation.kind = Violation::Kind::kRankMismatch;
+    violation.acquiring_rank = rank;
+    violation.held_rank = it->second.rank;
+    violation.message = StrFormat(
+        "TrackedMutex: rank mismatch: lock name '%s' registered with rank "
+        "%d but previously declared with rank %d; every instance of a named "
+        "lock must use one lock_rank constant\n",
+        name, rank, it->second.rank);
+    Report(violation);
+  }
+  return &it->second;
+}
+
+std::vector<LockInfo> HierarchySnapshot() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::vector<LockInfo> out;
+  out.reserve(Registry().size());
+  for (const auto& [name, entry] : Registry()) {
+    out.push_back({name, entry.rank, entry.nests_same_rank,
+                   entry.acquisitions.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+void OnAcquire(const void* mutex, const char* name, int rank,
+               bool nests_same_rank, LockCounters* counters) {
+  if (counters != nullptr) {
+    counters->acquisitions.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::vector<HeldLock>& held = HeldStack();
+  const HeldLock* lowest = nullptr;
+  for (const HeldLock& h : held) {
+    if (h.mutex == mutex) {
+      Violation violation;
+      violation.kind = Violation::Kind::kSelfDeadlock;
+      violation.acquiring = mutex;
+      violation.held = h.mutex;
+      violation.acquiring_rank = rank;
+      violation.held_rank = h.rank;
+      violation.message = TwoStackMessage(
+          "recursive acquisition (self-deadlock)", name, rank, &h);
+      Report(violation);
+      break;  // handler returned (test mode): track and carry on
+    }
+    if (lowest == nullptr || h.rank < lowest->rank) lowest = &h;
+  }
+  if (lowest != nullptr &&
+      (rank > lowest->rank ||
+       (rank == lowest->rank &&
+        !(nests_same_rank && lowest->nests_same_rank)))) {
+    Violation violation;
+    violation.kind = Violation::Kind::kRankInversion;
+    violation.acquiring = mutex;
+    violation.held = lowest->mutex;
+    violation.acquiring_rank = rank;
+    violation.held_rank = lowest->rank;
+    violation.message =
+        TwoStackMessage("lock-order inversion", name, rank, lowest);
+    Report(violation);
+  }
+  HeldLock entry;
+  entry.mutex = mutex;
+  entry.name = name;
+  entry.rank = rank;
+  entry.nests_same_rank = nests_same_rank;
+  entry.num_frames = CaptureStack(entry.frames);
+  held.push_back(entry);
+}
+
+void OnRelease(const void* mutex) {
+  std::vector<HeldLock>& held = HeldStack();
+  // Locks release in roughly LIFO order; scan from the back so nested
+  // same-rank holdings (tree walks) unwind correctly.
+  for (size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1].mutex == mutex) {
+      held.erase(held.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+  // Releasing a lock the checker never saw acquired means the tracking
+  // bootstrapped mid-hold (possible only for locks taken before main in
+  // another TU); ignore rather than abort.
+}
+
+bool IsHeldByThisThread(const void* mutex) {
+  for (const HeldLock& h : HeldStack()) {
+    if (h.mutex == mutex) return true;
+  }
+  return false;
+}
+
+void AssertHeldImpl(const void* mutex, const char* name) {
+  if (IsHeldByThisThread(mutex)) return;
+  Violation violation;
+  violation.kind = Violation::Kind::kAssertNotHeld;
+  violation.acquiring = mutex;
+  violation.message = TwoStackMessage("AssertHeld failed: mutex not held by "
+                                      "this thread",
+                                      name, 0, nullptr);
+  Report(violation);
+}
+
+}  // namespace bornsql::lock_debug

@@ -1,0 +1,269 @@
+// born::TrackedMutex / TrackedSharedMutex: the engine's only mutex types.
+//
+// Two enforcement layers ride on every lock:
+//
+//  1. Static: the classes carry BORN_CAPABILITY and the RAII guards
+//     (MutexLock, ReaderMutexLock, WriterMutexLock) carry acquire/release
+//     annotations, so clang's -Wthread-safety analysis proves at compile
+//     time that members declared BORN_GUARDED_BY(mu_) are only touched
+//     with mu_ held (common/thread_safety.h; CI thread-safety leg).
+//
+//  2. Dynamic (debug builds): every mutex is constructed with a name and a
+//     rank from the global hierarchy in common/lock_ranks.h. The checker
+//     keeps a per-thread stack of held locks and aborts — printing the
+//     acquisition stack of *both* locks involved — on:
+//       - a lock-order inversion: acquiring a rank >= the lowest rank
+//         currently held (unless both ends opt into kNestsSameRank for
+//         structure-ordered tree walks such as the memory-tracker
+//         snapshot);
+//       - recursive acquisition of the same instance (guaranteed
+//         self-deadlock for std::mutex, flagged before it hangs);
+//       - AssertHeld() on a mutex the calling thread does not hold.
+//     Release builds compile the wrappers down to the raw std::mutex /
+//     std::shared_mutex operations.
+//
+// The checker is the runtime complement of the static analysis, the same
+// way the plan verifier backs the SQL linter: clang proves guarded members
+// stay under their lock; the rank checker proves the locks themselves are
+// taken in one global order, which no per-translation-unit analysis can
+// see.
+#ifndef BORNSQL_COMMON_TRACKED_MUTEX_H_
+#define BORNSQL_COMMON_TRACKED_MUTEX_H_
+
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_safety.h"
+
+#if !defined(NDEBUG) || defined(BORNSQL_FORCE_LOCK_TRACKING)
+#define BORNSQL_LOCK_TRACKING 1
+#else
+#define BORNSQL_LOCK_TRACKING 0
+#endif
+
+namespace bornsql {
+
+// True when the debug lock-rank checker is compiled in (tests skip the
+// death tests when it is not).
+inline constexpr bool kLockTrackingEnabled = BORNSQL_LOCK_TRACKING != 0;
+
+namespace lock_debug {
+
+// One row of the process-wide hierarchy registry: every distinct lock name
+// ever constructed, its declared rank, and how often it was acquired.
+struct LockInfo {
+  std::string name;
+  int rank = 0;
+  bool nests_same_rank = false;
+  uint64_t acquisitions = 0;
+};
+// Name-sorted copy of the registry (debug builds; empty when tracking is
+// compiled out). Backs the rank-registration tests and DESIGN.md §13's
+// "is the declared hierarchy what actually runs" audit.
+std::vector<LockInfo> HierarchySnapshot();
+
+struct Violation {
+  enum class Kind {
+    kSelfDeadlock,    // relocking an instance this thread already holds
+    kRankInversion,   // acquiring rank >= lowest held rank
+    kAssertNotHeld,   // AssertHeld() without holding the mutex
+    kRankMismatch,    // one name registered under two different ranks
+  };
+  Kind kind = Kind::kRankInversion;
+  std::string message;  // full report, both acquisition stacks included
+  const void* acquiring = nullptr;
+  const void* held = nullptr;
+  int acquiring_rank = 0;
+  int held_rank = 0;
+};
+
+// The default handler writes violation.message to stderr and aborts (so
+// the inversion death tests observe the report). Tests may install a
+// capturing handler; if the handler returns, the acquisition proceeds and
+// is tracked normally. Returns the previous handler.
+using ViolationHandler = void (*)(const Violation&);
+ViolationHandler SetViolationHandler(ViolationHandler handler);
+
+// Internal hooks used by the wrappers below (no-ops unless tracking).
+struct LockCounters;  // registry entry; stable address, atomically bumped
+LockCounters* RegisterLock(const char* name, int rank, bool nests_same_rank);
+void OnAcquire(const void* mutex, const char* name, int rank,
+               bool nests_same_rank, LockCounters* counters);
+void OnRelease(const void* mutex);
+void AssertHeldImpl(const void* mutex, const char* name);
+// True when the calling thread holds `mutex` (always false untracked).
+bool IsHeldByThisThread(const void* mutex);
+
+}  // namespace lock_debug
+
+class BORN_CAPABILITY("mutex") TrackedMutex {
+ public:
+  // Readable opt-in at construction sites:
+  //   TrackedMutex mu_{"memory.children", lock_rank::kMemoryTracker,
+  //                    TrackedMutex::kNestsSameRank};
+  static constexpr bool kNestsSameRank = true;
+
+  // `name` must be a string literal (stored, not copied); `rank` a
+  // constant from common/lock_ranks.h. `nests_same_rank` permits holding
+  // two locks of this rank when the data structure fixes their order
+  // (parent-before-child tree walks).
+  explicit TrackedMutex(const char* name, int rank,
+                        bool nests_same_rank = false)
+      : name_(name), rank_(rank), nests_same_rank_(nests_same_rank) {
+#if BORNSQL_LOCK_TRACKING
+    counters_ = lock_debug::RegisterLock(name, rank, nests_same_rank);
+#endif
+  }
+  TrackedMutex(const TrackedMutex&) = delete;
+  TrackedMutex& operator=(const TrackedMutex&) = delete;
+
+  void lock() BORN_ACQUIRE() {
+#if BORNSQL_LOCK_TRACKING
+    // Checked before blocking so a self-deadlock aborts with a report
+    // instead of hanging in std::mutex::lock.
+    lock_debug::OnAcquire(this, name_, rank_, nests_same_rank_, counters_);
+#endif
+    impl_.lock();
+  }
+
+  void unlock() BORN_RELEASE() {
+    impl_.unlock();
+#if BORNSQL_LOCK_TRACKING
+    lock_debug::OnRelease(this);
+#endif
+  }
+
+  // Runtime check that the calling thread holds this mutex (debug builds;
+  // no-op in release), and a static assertion the analysis trusts.
+  void AssertHeld() const BORN_ASSERT_CAPABILITY(this) {
+#if BORNSQL_LOCK_TRACKING
+    lock_debug::AssertHeldImpl(this, name_);
+#endif
+  }
+
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
+
+ private:
+  std::mutex impl_;
+  const char* const name_;
+  const int rank_;
+  const bool nests_same_rank_;
+#if BORNSQL_LOCK_TRACKING
+  lock_debug::LockCounters* counters_ = nullptr;
+#endif
+};
+
+class BORN_CAPABILITY("shared_mutex") TrackedSharedMutex {
+ public:
+  explicit TrackedSharedMutex(const char* name, int rank)
+      : name_(name), rank_(rank) {
+#if BORNSQL_LOCK_TRACKING
+    counters_ = lock_debug::RegisterLock(name, rank,
+                                         /*nests_same_rank=*/false);
+#endif
+  }
+  TrackedSharedMutex(const TrackedSharedMutex&) = delete;
+  TrackedSharedMutex& operator=(const TrackedSharedMutex&) = delete;
+
+  void lock() BORN_ACQUIRE() {
+#if BORNSQL_LOCK_TRACKING
+    lock_debug::OnAcquire(this, name_, rank_, /*nests_same_rank=*/false,
+                          counters_);
+#endif
+    impl_.lock();
+  }
+  void unlock() BORN_RELEASE() {
+    impl_.unlock();
+#if BORNSQL_LOCK_TRACKING
+    lock_debug::OnRelease(this);
+#endif
+  }
+
+  // Shared (reader) acquisitions enter the same per-thread stack with the
+  // same rank rules: readers can still deadlock writers across locks, and
+  // recursive lock_shared self-deadlocks once a writer queues between the
+  // two acquisitions.
+  void lock_shared() BORN_ACQUIRE_SHARED() {
+#if BORNSQL_LOCK_TRACKING
+    lock_debug::OnAcquire(this, name_, rank_, /*nests_same_rank=*/false,
+                          counters_);
+#endif
+    impl_.lock_shared();
+  }
+  void unlock_shared() BORN_RELEASE_SHARED() {
+    impl_.unlock_shared();
+#if BORNSQL_LOCK_TRACKING
+    lock_debug::OnRelease(this);
+#endif
+  }
+
+  void AssertHeld() const BORN_ASSERT_CAPABILITY(this) {
+#if BORNSQL_LOCK_TRACKING
+    lock_debug::AssertHeldImpl(this, name_);
+#endif
+  }
+
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
+
+ private:
+  std::shared_mutex impl_;
+  const char* const name_;
+  const int rank_;
+#if BORNSQL_LOCK_TRACKING
+  lock_debug::LockCounters* counters_ = nullptr;
+#endif
+};
+
+// RAII guards. These replace std::lock_guard / std::shared_lock /
+// std::unique_lock throughout the engine: clang's analysis does not see
+// through the standard guards, and routing every acquisition through one
+// annotated type is what lets the capability checks compose.
+class BORN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(TrackedMutex* mu) BORN_ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~MutexLock() BORN_RELEASE() { mu_->unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  TrackedMutex* const mu_;
+};
+
+class BORN_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(TrackedSharedMutex* mu) BORN_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->lock_shared();
+  }
+  ~ReaderMutexLock() BORN_RELEASE_GENERIC() { mu_->unlock_shared(); }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  TrackedSharedMutex* const mu_;
+};
+
+class BORN_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(TrackedSharedMutex* mu) BORN_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_->lock();
+  }
+  ~WriterMutexLock() BORN_RELEASE_GENERIC() { mu_->unlock(); }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  TrackedSharedMutex* const mu_;
+};
+
+}  // namespace bornsql
+
+#endif  // BORNSQL_COMMON_TRACKED_MUTEX_H_

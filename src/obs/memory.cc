@@ -10,7 +10,7 @@ MemoryTracker::MemoryTracker(std::string label, std::string level,
                              MemoryTracker* parent)
     : label_(std::move(label)), level_(std::move(level)), parent_(parent) {
   if (parent_ != nullptr) {
-    std::lock_guard<std::mutex> lock(parent_->children_mu_);
+    MutexLock lock(&parent_->children_mu_);
     parent_->children_.push_back(this);
   }
 }
@@ -20,7 +20,7 @@ MemoryTracker::~MemoryTracker() {
   // on an ancestor can never walk into a half-destroyed node.
   if (parent_ != nullptr) {
     {
-      std::lock_guard<std::mutex> lock(parent_->children_mu_);
+      MutexLock lock(&parent_->children_mu_);
       auto& siblings = parent_->children_;
       siblings.erase(std::remove(siblings.begin(), siblings.end(), this),
                      siblings.end());
@@ -39,6 +39,17 @@ MemoryTracker& MemoryTracker::Process() {
   return *process;
 }
 
+void MemoryTracker::UpdatePeak(uint64_t candidate) {
+  // CAS max loop: a plain "if (candidate > peak) store(candidate)" could
+  // overwrite a higher peak a concurrent reservation published between
+  // the load and the store, under-reporting the true high-water mark.
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (candidate > peak &&
+         !peak_.compare_exchange_weak(peak, candidate,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
 bool MemoryTracker::AddLocal(uint64_t bytes, bool checked) {
   if (checked) {
     const uint64_t limit = limit_.load(std::memory_order_relaxed);
@@ -53,20 +64,13 @@ bool MemoryTracker::AddLocal(uint64_t bytes, bool checked) {
         }
       } while (!current_.compare_exchange_weak(cur, cur + bytes,
                                                std::memory_order_relaxed));
-      uint64_t peak = peak_.load(std::memory_order_relaxed);
-      while (cur + bytes > peak &&
-             !peak_.compare_exchange_weak(peak, cur + bytes,
-                                          std::memory_order_relaxed)) {
-      }
+      UpdatePeak(cur + bytes);
       return true;
     }
   }
   const uint64_t now =
       current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
-  uint64_t peak = peak_.load(std::memory_order_relaxed);
-  while (now > peak &&
-         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
-  }
+  UpdatePeak(now);
   return true;
 }
 
@@ -79,6 +83,18 @@ void MemoryTracker::SubLocal(uint64_t bytes) {
     next = cur >= bytes ? cur - bytes : 0;
   } while (
       !current_.compare_exchange_weak(cur, next, std::memory_order_relaxed));
+}
+
+void MemoryTracker::ResetPeak() {
+  peak_.store(current_.load(std::memory_order_relaxed),
+              std::memory_order_seq_cst);
+  // A reservation racing with the store above may have raised current_ and
+  // had its UpdatePeak clobbered by our stale value; re-apply the max so
+  // the recorded peak never ends below the live charge. seq_cst keeps the
+  // re-load from being hoisted above the store (StoreLoad): every reserve
+  // is then either visible to this load or CAS-maxes after our store, so
+  // once no reset is mid-flight, peak >= current always holds.
+  UpdatePeak(current_.load(std::memory_order_seq_cst));
 }
 
 Status MemoryTracker::TryReserve(uint64_t bytes, std::string_view context) {
@@ -128,7 +144,7 @@ void MemoryTracker::SnapshotInto(int depth,
   row.limit_bytes = limit();
   row.denials = denials();
   out->push_back(std::move(row));
-  std::lock_guard<std::mutex> lock(children_mu_);
+  MutexLock lock(&children_mu_);
   for (const MemoryTracker* child : children_) {
     child->SnapshotInto(depth + 1, out);
   }

@@ -24,12 +24,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/lock_ranks.h"
 #include "common/status.h"
+#include "common/thread_safety.h"
+#include "common/tracked_mutex.h"
 #include "types/value.h"
 
 namespace bornsql::obs {
@@ -77,10 +79,12 @@ class MemoryTracker {
     limit_.store(bytes, std::memory_order_relaxed);
   }
 
-  void ResetPeak() {
-    peak_.store(current_.load(std::memory_order_relaxed),
-                std::memory_order_relaxed);
-  }
+  // Resets the high-water mark to the live charge. Safe against concurrent
+  // reserves: a plain load-then-store could clobber a higher peak a racing
+  // reservation published between the two, so after the store the
+  // implementation re-applies the CAS max against the live charge
+  // (recorded peak can never end below a concurrent maximum of current).
+  void ResetPeak();
 
   // One row per live tracker, pre-order from this node (depth 0 = self).
   struct SnapshotRow {
@@ -99,6 +103,9 @@ class MemoryTracker {
   // when a limit would be exceeded. `checked` false skips the limit.
   bool AddLocal(uint64_t bytes, bool checked);
   void SubLocal(uint64_t bytes);
+  // Compare-exchange max: publishes `candidate` as the peak unless a
+  // concurrent reservation already recorded a higher one.
+  void UpdatePeak(uint64_t candidate);
   void SnapshotInto(int depth, std::vector<SnapshotRow>* out) const;
 
   const std::string label_;
@@ -110,8 +117,13 @@ class MemoryTracker {
   std::atomic<uint64_t> limit_{0};
   std::atomic<uint64_t> denials_{0};
 
-  mutable std::mutex children_mu_;
-  std::vector<MemoryTracker*> children_;
+  // kNestsSameRank: SnapshotInto holds a parent's child-list lock while
+  // taking each child's — the tree fixes the instance order, so the rank
+  // checker permits the same-rank nesting for this lock only.
+  mutable TrackedMutex children_mu_{"memory.children",
+                                    lock_rank::kMemoryTracker,
+                                    TrackedMutex::kNestsSameRank};
+  std::vector<MemoryTracker*> children_ BORN_GUARDED_BY(children_mu_);
 };
 
 // Approximate heap footprint of a Value / Row, the unit every accounting

@@ -103,7 +103,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 void MetricsRegistry::IncrementCounter(std::string_view name, uint64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     counters_.emplace(std::string(name), delta);
@@ -113,13 +113,13 @@ void MetricsRegistry::IncrementCounter(std::string_view name, uint64_t delta) {
 }
 
 uint64_t MetricsRegistry::counter(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 void MetricsRegistry::SetGauge(std::string_view name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_.emplace(std::string(name), value);
@@ -129,29 +129,29 @@ void MetricsRegistry::SetGauge(std::string_view name, double value) {
 }
 
 double MetricsRegistry::gauge(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 std::map<std::string, double, std::less<>> MetricsRegistry::GaugesSnapshot()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return gauges_;
 }
 
 MemoryTracker* MetricsRegistry::memory_root() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return memory_root_ != nullptr ? memory_root_ : &MemoryTracker::Process();
 }
 
 void MetricsRegistry::set_memory_root(MemoryTracker* root) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   memory_root_ = root;
 }
 
 void MetricsRegistry::RecordLatency(std::string_view name, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), LatencyHistogram{}).first;
@@ -160,14 +160,14 @@ void MetricsRegistry::RecordLatency(std::string_view name, double seconds) {
 }
 
 LatencyHistogram MetricsRegistry::histogram(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? LatencyHistogram{} : it->second;
 }
 
 void MetricsRegistry::RecordOperator(std::string_view op_type,
                                      const OperatorStats& stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = operators_.find(op_type);
   if (it == operators_.end()) {
     it = operators_.emplace(std::string(op_type), OperatorAggregate{}).first;
@@ -178,25 +178,25 @@ void MetricsRegistry::RecordOperator(std::string_view op_type,
 
 OperatorAggregate MetricsRegistry::operator_aggregate(
     std::string_view op_type) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = operators_.find(op_type);
   return it == operators_.end() ? OperatorAggregate{} : it->second;
 }
 
 std::map<std::string, uint64_t, std::less<>> MetricsRegistry::CountersSnapshot()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return counters_;
 }
 
 std::map<std::string, OperatorAggregate, std::less<>>
 MetricsRegistry::OperatorsSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return operators_;
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = "{\"counters\": {";
   bool first = true;
   for (const auto& [name, value] : counters_) {
@@ -245,7 +245,7 @@ std::string MetricsRegistry::ToPrometheus() const {
   std::map<std::string, LatencyHistogram, std::less<>> histograms;
   MemoryTracker* root = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     counters = counters_;
     gauges = gauges_;
     histograms = histograms_;
@@ -327,7 +327,7 @@ std::string MetricsRegistry::ToPrometheus() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

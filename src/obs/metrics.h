@@ -12,10 +12,12 @@
 #include <array>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "common/lock_ranks.h"
+#include "common/thread_safety.h"
+#include "common/tracked_mutex.h"
 #include "obs/stats.h"
 
 namespace bornsql::obs {
@@ -122,12 +124,15 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, uint64_t, std::less<>> counters_;
-  std::map<std::string, double, std::less<>> gauges_;
-  std::map<std::string, LatencyHistogram, std::less<>> histograms_;
-  std::map<std::string, OperatorAggregate, std::less<>> operators_;
-  MemoryTracker* memory_root_ = nullptr;  // nullptr => Process() root
+  mutable TrackedMutex mu_{"metrics.registry", lock_rank::kMetrics};
+  std::map<std::string, uint64_t, std::less<>> counters_ BORN_GUARDED_BY(mu_);
+  std::map<std::string, double, std::less<>> gauges_ BORN_GUARDED_BY(mu_);
+  std::map<std::string, LatencyHistogram, std::less<>> histograms_
+      BORN_GUARDED_BY(mu_);
+  std::map<std::string, OperatorAggregate, std::less<>> operators_
+      BORN_GUARDED_BY(mu_);
+  // nullptr => Process() root
+  MemoryTracker* memory_root_ BORN_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace bornsql::obs

@@ -4,7 +4,7 @@ namespace bornsql::obs {
 
 void OptimizerStatsRegistry::Record(const std::string& rule,
                                     uint64_t rewrites) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   OptimizerRuleStats& stats = rules_[rule];
   ++stats.invocations;
   if (rewrites > 0) ++stats.fired;
@@ -13,7 +13,7 @@ void OptimizerStatsRegistry::Record(const std::string& rule,
 
 void OptimizerStatsRegistry::RecordValidation(const std::string& rule,
                                               uint64_t violations) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   OptimizerRuleStats& stats = rules_[rule];
   ++stats.validated;
   stats.violations += violations;
@@ -21,19 +21,19 @@ void OptimizerStatsRegistry::RecordValidation(const std::string& rule,
 
 OptimizerRuleStats OptimizerStatsRegistry::rule_stats(
     const std::string& rule) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = rules_.find(rule);
   return it != rules_.end() ? it->second : OptimizerRuleStats{};
 }
 
 std::map<std::string, OptimizerRuleStats> OptimizerStatsRegistry::Snapshot()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return rules_;
 }
 
 void OptimizerStatsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rules_.clear();
 }
 

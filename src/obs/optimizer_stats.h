@@ -9,8 +9,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "common/lock_ranks.h"
+#include "common/thread_safety.h"
+#include "common/tracked_mutex.h"
 
 namespace bornsql::obs {
 
@@ -41,8 +44,8 @@ class OptimizerStatsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, OptimizerRuleStats> rules_;
+  mutable TrackedMutex mu_{"obs.optimizer_stats", lock_rank::kOptimizerStats};
+  std::map<std::string, OptimizerRuleStats> rules_ BORN_GUARDED_BY(mu_);
 };
 
 }  // namespace bornsql::obs

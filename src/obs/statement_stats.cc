@@ -6,7 +6,7 @@ namespace bornsql::obs {
 
 bool StatementStatsRegistry::Record(std::string_view key, double elapsed_ms,
                                     uint64_t rows, bool error) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   bool evicted = false;
   auto it = entries_.find(key);
   if (it == entries_.end()) {
@@ -36,24 +36,24 @@ bool StatementStatsRegistry::Record(std::string_view key, double elapsed_ms,
 
 std::map<std::string, StatementStats, std::less<>>
 StatementStatsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::map<std::string, StatementStats, std::less<>> out;
   for (const auto& [key, entry] : entries_) out.emplace(key, entry.stats);
   return out;
 }
 
 uint64_t StatementStatsRegistry::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return evictions_;
 }
 
 void StatementStatsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.clear();
 }
 
 size_t StatementStatsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 
@@ -61,7 +61,7 @@ SlowQueryLog::SlowQueryLog(size_t capacity)
     : capacity_(std::max<size_t>(capacity, 1)) {}
 
 void SlowQueryLog::Record(SlowQueryEntry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entry.id = next_id_++;
   if (entries_.size() >= capacity_) {
     entries_.erase(entries_.begin(),
@@ -72,17 +72,17 @@ void SlowQueryLog::Record(SlowQueryEntry entry) {
 }
 
 std::vector<SlowQueryEntry> SlowQueryLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_;
 }
 
 void SlowQueryLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.clear();
 }
 
 size_t SlowQueryLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 

@@ -19,10 +19,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/lock_ranks.h"
+#include "common/thread_safety.h"
+#include "common/tracked_mutex.h"
 
 namespace bornsql::obs {
 
@@ -63,10 +66,10 @@ class StatementStatsRegistry {
     uint64_t last_used = 0;  // recency stamp from clock_
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry, std::less<>> entries_;
-  uint64_t clock_ = 0;
-  uint64_t evictions_ = 0;
+  mutable TrackedMutex mu_{"obs.statement_stats", lock_rank::kStatementStats};
+  std::map<std::string, Entry, std::less<>> entries_ BORN_GUARDED_BY(mu_);
+  uint64_t clock_ BORN_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ BORN_GUARDED_BY(mu_) = 0;
 };
 
 struct SlowQueryEntry {
@@ -90,10 +93,11 @@ class SlowQueryLog {
   size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<SlowQueryEntry> entries_;  // chronological, bounded
-  size_t capacity_;
-  uint64_t next_id_ = 1;
+  mutable TrackedMutex mu_{"obs.slow_query_log", lock_rank::kSlowQueryLog};
+  // chronological, bounded
+  std::vector<SlowQueryEntry> entries_ BORN_GUARDED_BY(mu_);
+  const size_t capacity_;  // fixed at construction, read lock-free
+  uint64_t next_id_ BORN_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace bornsql::obs

@@ -18,7 +18,7 @@ uint64_t TraceRecorder::RelativeNs(uint64_t steady_ns) const {
 }
 
 void TraceRecorder::Record(StatementTrace trace) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   trace.id = next_id_++;
   if (ring_.size() >= capacity_) {
     const size_t excess = ring_.size() - capacity_ + 1;
@@ -29,17 +29,17 @@ void TraceRecorder::Record(StatementTrace trace) {
 }
 
 std::vector<StatementTrace> TraceRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ring_;
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ring_.clear();
 }
 
 void TraceRecorder::set_capacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   capacity_ = std::max<size_t>(capacity, 1);
   if (ring_.size() > capacity_) {
     ring_.erase(ring_.begin(),
@@ -49,12 +49,12 @@ void TraceRecorder::set_capacity(size_t capacity) {
 }
 
 size_t TraceRecorder::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return capacity_;
 }
 
 size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return ring_.size();
 }
 

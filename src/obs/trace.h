@@ -16,10 +16,12 @@
 #define BORNSQL_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lock_ranks.h"
+#include "common/thread_safety.h"
+#include "common/tracked_mutex.h"
 #include "obs/stats.h"
 
 namespace bornsql::obs {
@@ -70,11 +72,12 @@ class TraceRecorder {
   size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  uint64_t epoch_ns_;
-  std::vector<StatementTrace> ring_;  // chronological; bounded by capacity_
-  size_t capacity_;
-  uint64_t next_id_ = 1;
+  mutable TrackedMutex mu_{"trace.recorder", lock_rank::kTrace};
+  const uint64_t epoch_ns_;  // set once at construction, read lock-free
+  // chronological; bounded by capacity_
+  std::vector<StatementTrace> ring_ BORN_GUARDED_BY(mu_);
+  size_t capacity_ BORN_GUARDED_BY(mu_);
+  uint64_t next_id_ BORN_GUARDED_BY(mu_) = 1;
 };
 
 // Renders traces as a Chrome trace_event JSON array ("X" complete events,

@@ -76,7 +76,7 @@ size_t PlanCache::PerShardCapacity() const {
 
 std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -91,7 +91,7 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key) {
 void PlanCache::Insert(const std::string& key,
                        std::shared_ptr<const CachedPlan> plan) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.entries.find(key);
   if (it != shard.entries.end()) {
     ReleaseEntry(*it->second.first);
@@ -116,7 +116,7 @@ void PlanCache::Insert(const std::string& key,
 
 void PlanCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (const auto& [key, entry] : shard.entries) {
       ReleaseEntry(*entry.first);
     }
@@ -129,7 +129,7 @@ void PlanCache::set_capacity(size_t capacity) {
   capacity_.store(std::max<size_t>(capacity, 1));
   const size_t cap = PerShardCapacity();
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     while (shard.entries.size() > cap) {
       auto victim = shard.entries.find(shard.lru.back());
       ReleaseEntry(*victim->second.first);
@@ -143,7 +143,7 @@ void PlanCache::set_capacity(size_t capacity) {
 size_t PlanCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     total += shard.entries.size();
   }
   return total;
@@ -152,7 +152,7 @@ size_t PlanCache::size() const {
 std::vector<PlanCache::EntryInfo> PlanCache::Snapshot() const {
   std::vector<EntryInfo> out;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (const auto& [key, entry] : shard.entries) {
       const CachedPlan& plan = *entry.first;
       out.push_back({plan.statement, plan.num_params, plan.catalog_version,

@@ -28,11 +28,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_ranks.h"
+#include "common/thread_safety.h"
+#include "common/tracked_mutex.h"
 #include "obs/memory.h"
 #include "plan/logical_plan.h"
 
@@ -110,14 +112,14 @@ class PlanCache {
   static constexpr size_t kNumShards = 8;
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable TrackedMutex mu{"plan_cache.shard", lock_rank::kPlanCacheShard};
     // Front = most recently used. The map stores the list iterator so a
     // hit is an O(1) splice.
-    std::list<std::string> lru;
+    std::list<std::string> lru BORN_GUARDED_BY(mu);
     std::unordered_map<std::string,
                        std::pair<std::shared_ptr<const CachedPlan>,
                                  std::list<std::string>::iterator>>
-        entries;
+        entries BORN_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& key);

@@ -138,12 +138,15 @@ Server::Server(ServerConfig config)
 
 Server::~Server() {
   // Sessions must not outlive the server; assert the contract in debug
-  // builds rather than dangling in release.
+  // builds rather than dangling in release. Locked so the guarded read
+  // satisfies the static analysis (no session can race the destructor
+  // anyway — outliving sessions are exactly the bug being asserted).
+  MutexLock lock(&mu_);
   assert(sessions_.empty() && "serve::Session outlived its Server");
 }
 
 std::unique_ptr<Session> Server::Connect() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const uint64_t id = next_session_id_++;
   std::unique_ptr<Session> session(new Session(this, id, config_.engine));
   sessions_.emplace(id, session.get());
@@ -155,17 +158,17 @@ Status Server::Bootstrap(std::string_view script) {
 }
 
 void Server::Unregister(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sessions_.erase(id);
 }
 
 size_t Server::session_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return sessions_.size();
 }
 
 std::vector<Server::SessionInfo> Server::SessionsSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<SessionInfo> out;
   out.reserve(sessions_.size());
   for (const auto& [id, session] : sessions_) {
@@ -178,7 +181,7 @@ std::vector<Server::SessionInfo> Server::SessionsSnapshot() const {
 }
 
 std::vector<PreparedInfo> Server::PreparedSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<PreparedInfo> out;
   for (const auto& [id, session] : sessions_) {
     std::vector<PreparedInfo> rows = session->PreparedSnapshot();

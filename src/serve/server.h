@@ -21,12 +21,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/lock_ranks.h"
+#include "common/thread_safety.h"
+#include "common/tracked_mutex.h"
 #include "common/status.h"
 #include "engine/engine_config.h"
 #include "engine/planner.h"
@@ -97,16 +99,16 @@ class Server {
 
   void Unregister(uint64_t id);
 
-  ServerConfig config_;
-  catalog::Catalog catalog_;
-  obs::MetricsRegistry metrics_;
-  obs::StatementStatsRegistry stmt_stats_;
-  PlanCache plan_cache_;
-  ServingViews views_{this};
+  const ServerConfig config_;        // immutable after construction
+  catalog::Catalog catalog_;         // unguarded: internally synchronized
+  obs::MetricsRegistry metrics_;     // unguarded: internally synchronized
+  obs::StatementStatsRegistry stmt_stats_;  // unguarded: internally synced
+  PlanCache plan_cache_;             // unguarded: internally synchronized
+  ServingViews views_{this};         // unguarded: stateless const provider
 
-  mutable std::mutex mu_;  // guards sessions_ / next_session_id_
-  std::map<uint64_t, Session*> sessions_;
-  uint64_t next_session_id_ = 1;
+  mutable TrackedMutex mu_{"serve.server", lock_rank::kServer};
+  std::map<uint64_t, Session*> sessions_ BORN_GUARDED_BY(mu_);
+  uint64_t next_session_id_ BORN_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace bornsql::serve

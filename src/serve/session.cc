@@ -72,12 +72,12 @@ Session::Session(Server* server, uint64_t id, engine::EngineConfig config)
 Session::~Session() { server_->Unregister(id_); }
 
 size_t Session::prepared_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return prepared_.size();
 }
 
 std::vector<PreparedInfo> Session::PreparedSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<PreparedInfo> out;
   out.reserve(prepared_.size());
   for (const auto& [key, p] : prepared_) {
@@ -181,7 +181,7 @@ Result<QueryResult> Session::RunPrepare(
   entry->cacheable = entry->stmt->kind == sql::StatementKind::kSelect &&
                      !engine::ContainsSubqueryExpr(*entry->stmt);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   prepared_[AsciiToLower(prep.name)] = std::move(entry);  // re-PREPARE wins
   return QueryResult{};
 }
@@ -189,7 +189,7 @@ Result<QueryResult> Session::RunPrepare(
 Result<QueryResult> Session::RunExecute(const sql::ExecuteStmt& stmt) {
   std::shared_ptr<Prepared> prep;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = prepared_.find(AsciiToLower(stmt.name));
     if (it == prepared_.end()) {
       return Status::NotFound("prepared statement '" + stmt.name +
@@ -230,7 +230,7 @@ Result<QueryResult> Session::RunExecute(const sql::ExecuteStmt& stmt) {
 }
 
 Result<QueryResult> Session::RunDeallocate(const sql::DeallocateStmt& stmt) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (stmt.name.empty()) {  // DEALLOCATE ALL
     prepared_.clear();
     return QueryResult{};

@@ -30,12 +30,14 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/lock_ranks.h"
 #include "common/status.h"
+#include "common/thread_safety.h"
+#include "common/tracked_mutex.h"
 #include "engine/database.h"
 #include "engine/engine_config.h"
 #include "engine/parameters.h"
@@ -161,11 +163,13 @@ class Session {
   const uint64_t id_;
   // Declared before db_ so per-query trackers parented here are gone (the
   // database is destroyed first) before the session tracker dies.
-  obs::MemoryTracker mem_;
-  engine::Database db_;
+  obs::MemoryTracker mem_;  // unguarded: internally synchronized
+  engine::Database db_;     // unguarded: session-private by contract
 
-  mutable std::mutex mu_;  // guards prepared_ (snapshots race with EXECUTE)
-  std::map<std::string, std::shared_ptr<Prepared>, std::less<>> prepared_;
+  // Guards prepared_ (snapshots race with EXECUTE).
+  mutable TrackedMutex mu_{"serve.session", lock_rank::kSession};
+  std::map<std::string, std::shared_ptr<Prepared>, std::less<>> prepared_
+      BORN_GUARDED_BY(mu_);
 
   std::atomic<bool> plan_cache_enabled_{true};
   std::atomic<uint64_t> statements_{0};

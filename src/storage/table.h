@@ -3,6 +3,15 @@
 // The index is what implements the paper's incremental-learning primitive:
 // INSERT ... ON CONFLICT (j, k) DO UPDATE SET w = w + excluded.w needs an
 // O(1) lookup of the conflicting row (paper §3.2).
+//
+// Concurrency contract (DESIGN.md §13): Table carries no lock of its own.
+// Row data is read-only while shared between serving sessions; mutation is
+// only legal from a single session that privately owns the table, or
+// externally coordinated. The only members touched from concurrent readers
+// are the TableUsage atomics below. When the morsel-parallelism arc adds
+// shared mutation, the lock belongs here with a rank below kCatalog (the
+// catalog's namespace lock is held while tables are created) — see the
+// how-to-add-a-new-lock checklist.
 #ifndef BORNSQL_STORAGE_TABLE_H_
 #define BORNSQL_STORAGE_TABLE_H_
 

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <string>
@@ -171,6 +172,79 @@ TEST(MemoryTrackerConcurrentTest, ConcurrentHammer) {
   snapshotter.join();
   EXPECT_EQ(shared.current(), 0u);
   EXPECT_EQ(root.current(), 0u);
+}
+
+// Regression test for peak tracking under concurrency. Each thread reads
+// current() right after its own reserve — a value the true high-water mark
+// must have reached — so max-over-threads of those observations is a sound
+// lower bound for the peak the tracker must have recorded. A plain
+// load-compare-store peak update loses races and ends below this bound.
+TEST(MemoryTrackerConcurrentTest, ConcurrentPeakIsNeverUnderCounted) {
+  obs::MemoryTracker root("root", "process", nullptr);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+
+  std::vector<uint64_t> observed(kThreads, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&root, &observed, t] {
+      uint64_t high = 0;
+      for (int i = 0; i < kIters; ++i) {
+        const uint64_t bytes = 1 + static_cast<uint64_t>((t + i) % 97);
+        root.Reserve(bytes);
+        // current() here is <= the instantaneous maximum of current over
+        // the whole run, so peak() must end >= it.
+        high = std::max(high, root.current());
+        root.Release(bytes);
+      }
+      observed[t] = high;
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const uint64_t high_water =
+      *std::max_element(observed.begin(), observed.end());
+  EXPECT_GE(root.peak(), high_water);
+  EXPECT_EQ(root.current(), 0u);
+}
+
+// ResetPeak racing reserves must never leave peak below the live charge:
+// the reset re-applies a CAS max against current after its store.
+TEST(MemoryTrackerConcurrentTest, ConcurrentResetPeakKeepsPeakAboveCurrent) {
+  obs::MemoryTracker root("root", "process", nullptr);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::atomic<bool> stop{false};
+
+  std::thread resetter([&] {
+    while (!stop.load(std::memory_order_relaxed)) root.ResetPeak();
+  });
+
+  // Workers accumulate held charges (never releasing mid-run), so current
+  // only grows while the resetter races. A load-then-store reset can
+  // clobber the peak with a stale smaller value and leave it below the
+  // live charge at quiescence; the CAS-max re-apply cannot.
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&root] {
+      for (int i = 0; i < kIters; ++i) {
+        root.Reserve(8);
+        (void)root.peak();  // racing read, for TSan's benefit
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  stop.store(true);
+  resetter.join();
+  const uint64_t held = uint64_t{8} * kThreads * kIters;
+  EXPECT_EQ(root.current(), held);
+  EXPECT_GE(root.peak(), held);
+  root.Release(held);
+  EXPECT_EQ(root.current(), 0u);
+  root.ResetPeak();
+  EXPECT_EQ(root.peak(), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,297 @@
+// Tests for the debug lock-hierarchy checker (common/tracked_mutex.h):
+// rank registration and the hierarchy snapshot, lock-order-inversion and
+// recursive-acquisition detection (as death tests against the default
+// aborting handler, and field-by-field against a capturing handler), the
+// same-rank nesting opt-in used by the memory-tracker tree walk, and
+// AssertHeld. Every test skips in builds that compile the tracking out
+// (release builds wrap raw std::mutex and cannot observe violations).
+//
+// Lock names here are test-local ("test.*"): the registry is process-wide
+// and name->rank bindings are permanent, so each test uses its own names
+// to stay independent of execution order.
+#include "common/tracked_mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/memory.h"
+
+namespace bornsql {
+namespace {
+
+using lock_debug::HierarchySnapshot;
+using lock_debug::LockInfo;
+using lock_debug::SetViolationHandler;
+using lock_debug::Violation;
+
+const LockInfo* FindLock(const std::vector<LockInfo>& rows,
+                         const std::string& name) {
+  for (const LockInfo& row : rows) {
+    if (row.name == name) return &row;
+  }
+  return nullptr;
+}
+
+// Captures violations instead of aborting; the acquisition then proceeds,
+// so tests can inspect the report and still unwind their guards cleanly.
+std::vector<Violation> g_captured;
+void CaptureViolation(const Violation& v) { g_captured.push_back(v); }
+
+class CaptureHandlerScope {
+ public:
+  CaptureHandlerScope() : previous_(SetViolationHandler(&CaptureViolation)) {
+    g_captured.clear();
+  }
+  ~CaptureHandlerScope() { SetViolationHandler(previous_); }
+
+ private:
+  lock_debug::ViolationHandler previous_;
+};
+
+TEST(LockHierarchyTest, RegistrationAppearsInSnapshotWithCounts) {
+  if (!kLockTrackingEnabled) GTEST_SKIP() << "lock tracking compiled out";
+  TrackedMutex a{"test.registration.a", 910};
+  TrackedMutex b{"test.registration.b", 905, TrackedMutex::kNestsSameRank};
+
+  const std::vector<LockInfo> rows = HierarchySnapshot();
+  const LockInfo* info_a = FindLock(rows, "test.registration.a");
+  const LockInfo* info_b = FindLock(rows, "test.registration.b");
+  ASSERT_NE(info_a, nullptr);
+  ASSERT_NE(info_b, nullptr);
+  EXPECT_EQ(info_a->rank, 910);
+  EXPECT_FALSE(info_a->nests_same_rank);
+  EXPECT_EQ(info_b->rank, 905);
+  EXPECT_TRUE(info_b->nests_same_rank);
+
+  const uint64_t before = info_a->acquisitions;
+  {
+    MutexLock lock(&a);
+  }
+  {
+    MutexLock lock(&a);
+  }
+  const std::vector<LockInfo> rows_after = HierarchySnapshot();
+  const LockInfo* after = FindLock(rows_after, "test.registration.a");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->acquisitions, before + 2);
+}
+
+TEST(LockHierarchyTest, SnapshotIsNameSorted) {
+  if (!kLockTrackingEnabled) GTEST_SKIP() << "lock tracking compiled out";
+  TrackedMutex z{"test.sorted.z", 901};
+  TrackedMutex a{"test.sorted.a", 902};
+  std::vector<LockInfo> rows = HierarchySnapshot();
+  ASSERT_GE(rows.size(), 2u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1].name, rows[i].name);
+  }
+}
+
+TEST(LockHierarchyTest, DescendingRankOrderIsAllowed) {
+  if (!kLockTrackingEnabled) GTEST_SKIP() << "lock tracking compiled out";
+  TrackedMutex outer{"test.order.outer", 920};
+  TrackedMutex inner{"test.order.inner", 915};
+  CaptureHandlerScope scope;
+  {
+    MutexLock hold_outer(&outer);
+    MutexLock hold_inner(&inner);
+  }
+  // Re-acquiring in the same order after release is equally fine.
+  {
+    MutexLock hold_outer(&outer);
+    MutexLock hold_inner(&inner);
+  }
+  EXPECT_TRUE(g_captured.empty());
+}
+
+TEST(LockHierarchyDeathTest, RankInversionAborts) {
+  if (!kLockTrackingEnabled) GTEST_SKIP() << "lock tracking compiled out";
+  TrackedMutex high{"test.inversion.high", 930};
+  TrackedMutex low{"test.inversion.low", 925};
+  // A -> B is the declared order (ranks strictly decrease); B -> A from
+  // any thread is the inversion that could deadlock against an A -> B
+  // thread. The report must name both locks.
+  EXPECT_DEATH(
+      {
+        MutexLock hold_low(&low);
+        MutexLock hold_high(&high);
+      },
+      "lock-order inversion.*test\\.inversion\\.high.*"
+      "test\\.inversion\\.low");
+}
+
+TEST(LockHierarchyDeathTest, RecursiveAcquisitionAborts) {
+  if (!kLockTrackingEnabled) GTEST_SKIP() << "lock tracking compiled out";
+  TrackedMutex mu{"test.recursive", 935};
+  // Relocking the same instance self-deadlocks std::mutex; the checker
+  // must refuse before blocking, or the death test would hang instead.
+  EXPECT_DEATH(
+      {
+        MutexLock first(&mu);
+        MutexLock second(&mu);
+      },
+      "self-deadlock.*test\\.recursive");
+}
+
+TEST(LockHierarchyDeathTest, AssertHeldAbortsWhenNotHeld) {
+  if (!kLockTrackingEnabled) GTEST_SKIP() << "lock tracking compiled out";
+  TrackedMutex mu{"test.assert_held", 940};
+  {
+    MutexLock lock(&mu);
+    mu.AssertHeld();  // held: must not abort
+  }
+  EXPECT_DEATH(mu.AssertHeld(), "AssertHeld.*test\\.assert_held");
+}
+
+TEST(LockHierarchyDeathTest, AssertHeldAbortsFromOtherThread) {
+  if (!kLockTrackingEnabled) GTEST_SKIP() << "lock tracking compiled out";
+  TrackedMutex mu{"test.assert_held_other", 941};
+  // Held by this thread is not held by that thread: the per-thread stack
+  // must not leak across threads.
+  EXPECT_DEATH(
+      {
+        MutexLock lock(&mu);
+        std::thread other([&mu] { mu.AssertHeld(); });
+        other.join();
+      },
+      "AssertHeld.*test\\.assert_held_other");
+}
+
+TEST(LockHierarchyTest, InversionReportCarriesBothLocksAndRanks) {
+  if (!kLockTrackingEnabled) GTEST_SKIP() << "lock tracking compiled out";
+  TrackedMutex high{"test.report.high", 950};
+  TrackedMutex low{"test.report.low", 945};
+  CaptureHandlerScope scope;
+  {
+    MutexLock hold_low(&low);
+    MutexLock hold_high(&high);  // inversion: captured, then proceeds
+  }
+  ASSERT_EQ(g_captured.size(), 1u);
+  const Violation& v = g_captured[0];
+  EXPECT_EQ(v.kind, Violation::Kind::kRankInversion);
+  EXPECT_EQ(v.acquiring, &high);
+  EXPECT_EQ(v.held, &low);
+  EXPECT_EQ(v.acquiring_rank, 950);
+  EXPECT_EQ(v.held_rank, 945);
+  // The message is the full human-facing report: both names, both ranks,
+  // and (where backtrace(3) exists) both acquisition stacks.
+  EXPECT_NE(v.message.find("test.report.high"), std::string::npos)
+      << v.message;
+  EXPECT_NE(v.message.find("test.report.low"), std::string::npos)
+      << v.message;
+  EXPECT_NE(v.message.find("950"), std::string::npos) << v.message;
+  EXPECT_NE(v.message.find("945"), std::string::npos) << v.message;
+}
+
+TEST(LockHierarchyTest, EqualRankRequiresNestingOptInOnBothLocks) {
+  if (!kLockTrackingEnabled) GTEST_SKIP() << "lock tracking compiled out";
+  TrackedMutex nest_a{"test.nest.a", 955, TrackedMutex::kNestsSameRank};
+  TrackedMutex nest_b{"test.nest.b", 955, TrackedMutex::kNestsSameRank};
+  TrackedMutex plain{"test.nest.plain", 955};
+  CaptureHandlerScope scope;
+  {
+    // Both ends opt in (the memory-tracker parent->child walk): allowed.
+    MutexLock hold_a(&nest_a);
+    MutexLock hold_b(&nest_b);
+  }
+  EXPECT_TRUE(g_captured.empty());
+  {
+    // Same rank without the flag on the acquired lock: an inversion (two
+    // threads nesting in opposite orders would deadlock).
+    MutexLock hold_a(&nest_a);
+    MutexLock hold_plain(&plain);
+  }
+  ASSERT_EQ(g_captured.size(), 1u);
+  EXPECT_EQ(g_captured[0].kind, Violation::Kind::kRankInversion);
+}
+
+TEST(LockHierarchyTest, AscendingAcquisitionIsReportedEvenWhenDisjoint) {
+  if (!kLockTrackingEnabled) GTEST_SKIP() << "lock tracking compiled out";
+  // The rule is against the *lowest* held rank, not the most recent: with
+  // 965 and 960 held, acquiring 962 violates (a 960-holder may climb to
+  // 962 in another thread).
+  TrackedMutex top{"test.lowest.top", 965};
+  TrackedMutex bottom{"test.lowest.bottom", 960};
+  TrackedMutex middle{"test.lowest.middle", 962};
+  CaptureHandlerScope scope;
+  {
+    MutexLock hold_top(&top);
+    MutexLock hold_bottom(&bottom);
+    MutexLock hold_middle(&middle);
+  }
+  ASSERT_EQ(g_captured.size(), 1u);
+  EXPECT_EQ(g_captured[0].acquiring_rank, 962);
+  EXPECT_EQ(g_captured[0].held_rank, 960);
+}
+
+TEST(LockHierarchyTest, RankMismatchOnReRegistrationIsReported) {
+  if (!kLockTrackingEnabled) GTEST_SKIP() << "lock tracking compiled out";
+  CaptureHandlerScope scope;
+  TrackedMutex first{"test.mismatch", 970};
+  EXPECT_TRUE(g_captured.empty());
+  TrackedMutex second{"test.mismatch", 975};  // same name, new rank
+  ASSERT_EQ(g_captured.size(), 1u);
+  EXPECT_EQ(g_captured[0].kind, Violation::Kind::kRankMismatch);
+  EXPECT_NE(g_captured[0].message.find("test.mismatch"), std::string::npos);
+}
+
+TEST(LockHierarchyTest, SharedMutexFollowsTheSameRankRules) {
+  if (!kLockTrackingEnabled) GTEST_SKIP() << "lock tracking compiled out";
+  TrackedSharedMutex outer{"test.shared.outer", 985};
+  TrackedMutex inner{"test.shared.inner", 980};
+  CaptureHandlerScope scope;
+  {
+    ReaderMutexLock read(&outer);
+    MutexLock hold(&inner);  // descending: fine under a reader too
+  }
+  {
+    WriterMutexLock write(&outer);
+    MutexLock hold(&inner);
+  }
+  EXPECT_TRUE(g_captured.empty());
+  {
+    MutexLock hold(&inner);
+    ReaderMutexLock read(&outer);  // ascending: reported for readers too
+  }
+  ASSERT_EQ(g_captured.size(), 1u);
+  EXPECT_EQ(g_captured[0].kind, Violation::Kind::kRankInversion);
+}
+
+TEST(LockHierarchyTest, ReleaseOutOfOrderIsTracked) {
+  if (!kLockTrackingEnabled) GTEST_SKIP() << "lock tracking compiled out";
+  // Releasing the outer lock before the inner is legal (no deadlock
+  // potential); the held-stack bookkeeping must handle middle removals so
+  // later acquisitions still compare against the true lowest held rank.
+  TrackedMutex a{"test.release.a", 995};
+  TrackedMutex b{"test.release.b", 990};
+  TrackedMutex c{"test.release.c", 992};
+  CaptureHandlerScope scope;
+  a.lock();
+  b.lock();
+  a.unlock();  // out-of-order release: only b (990) remains held
+  c.lock();    // 992 > 990: still an inversion against the survivor
+  ASSERT_EQ(g_captured.size(), 1u);
+  EXPECT_EQ(g_captured[0].held_rank, 990);
+  c.unlock();
+  b.unlock();
+}
+
+TEST(LockHierarchyTest, ProductionHierarchyRanksAreInDocumentedRange) {
+  if (!kLockTrackingEnabled) GTEST_SKIP() << "lock tracking compiled out";
+  // Constructing a MemoryTracker registers the lowest production lock;
+  // whatever else this process registered must use the 0-900 range (the
+  // tests above deliberately sit at 900+) so test ranks can never mask a
+  // production inversion.
+  obs::MemoryTracker anchor("anchor", "test", nullptr);
+  for (const LockInfo& row : HierarchySnapshot()) {
+    if (row.name.rfind("test.", 0) == 0) continue;
+    EXPECT_GT(row.rank, 0) << row.name;
+    EXPECT_LT(row.rank, 900) << row.name;
+  }
+}
+
+}  // namespace
+}  // namespace bornsql

@@ -1,0 +1,322 @@
+#!/usr/bin/env python3
+"""Concurrency-annotation coverage lint (ci.sh leg 5).
+
+Clang's -Wthread-safety only checks what is annotated: a mutex nobody
+declared as a capability, or a shared member nobody tied to its lock, is
+invisible to the analysis. This lint closes that gap structurally, and
+runs even where clang is not installed (it is plain Python over source
+text).
+
+Rules:
+
+  R1  No raw standard-library mutex or lock types in src/ outside
+      src/common/tracked_mutex.* and src/common/thread_safety.h. Every
+      lock must be a born::TrackedMutex / TrackedSharedMutex (held via
+      MutexLock / ReaderMutexLock / WriterMutexLock) so it carries a
+      name, a place in the lock hierarchy (common/lock_ranks.h), and the
+      clang capability attributes.
+
+  R2  In any class that owns a TrackedMutex / TrackedSharedMutex, every
+      data member that is not const, not static, not a std::atomic and
+      not itself a lock must either carry BORN_GUARDED_BY(...) /
+      BORN_PT_GUARDED_BY(...) or an explicit trailing waiver comment:
+
+          engine::Database db_;  // unguarded: session-private by contract
+
+      Waivers are counted and listed so unprotected shared state stays a
+      reviewed, deliberate decision rather than an omission.
+
+  R3  Every TrackedMutex / TrackedSharedMutex construction names its rank
+      through a lock_rank:: constant — no magic-number ranks that silently
+      bypass the documented hierarchy (DESIGN.md section 13).
+
+The parser is a deliberately small heuristic scanner (brace/statement
+tracking with string- and comment-awareness), tuned to the project style:
+one declaration per statement, waiver comments on the declaration's last
+line. It errs toward reporting — a false positive is fixed by annotating
+or waiving, both of which are improvements.
+
+Usage:
+  tools/check_annotations.py [--verbose] [path ...]   # default: src/
+
+Exits non-zero if any rule is violated.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+EXEMPT_FILES = {
+    os.path.join("src", "common", "tracked_mutex.h"),
+    os.path.join("src", "common", "tracked_mutex.cc"),
+    os.path.join("src", "common", "thread_safety.h"),
+}
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|lock_guard|unique_lock|"
+    r"scoped_lock|shared_lock)\b"
+)
+LOCK_TYPE_RE = re.compile(r"\bTracked(?:Shared)?Mutex\b")
+GUARDED_RE = re.compile(r"\bBORN(?:_PT)?_GUARDED_BY\s*\(")
+WAIVER_RE = re.compile(r"//\s*unguarded:\s*(\S.*)")
+CLASS_HEAD_RE = re.compile(r"\b(class|struct)\s+([A-Za-z_]\w*)[^;{()]*$")
+ACCESS_RE = re.compile(r"\b(public|private|protected)\s*:")
+SKIP_MEMBER_RE = re.compile(
+    r"^\s*(using\b|typedef\b|friend\b|static\b|enum\b|template\b|"
+    r"class\b|struct\b|namespace\b|#)"
+)
+
+
+def split_code_comment(line, in_block_comment):
+    """Returns (code, line_comment, in_block_comment) for one source line.
+
+    Strips /* */ content (tracking multi-line state) and splits off a //
+    comment, ignoring comment markers inside string/char literals.
+    """
+    code = []
+    comment = ""
+    i, n = 0, len(line)
+    in_str = None  # quote char when inside a literal
+    while i < n:
+        c = line[i]
+        if in_block_comment:
+            if line.startswith("*/", i):
+                in_block_comment = False
+                i += 2
+            else:
+                i += 1
+            continue
+        if in_str:
+            code.append(c)
+            if c == "\\" and i + 1 < n:
+                code.append(line[i + 1])
+                i += 2
+                continue
+            if c == in_str:
+                in_str = None
+            i += 1
+            continue
+        if c in "\"'":
+            in_str = c
+            code.append(c)
+            i += 1
+            continue
+        if line.startswith("//", i):
+            comment = line[i:]
+            break
+        if line.startswith("/*", i):
+            in_block_comment = True
+            i += 2
+            continue
+        code.append(c)
+        i += 1
+    return "".join(code), comment, in_block_comment
+
+
+class Scope:
+    def __init__(self, kind, name):
+        self.kind = kind  # 'class' | 'other'
+        self.name = name
+        self.members = []  # (statement_text, line_no, trailing_comment)
+        self.has_lock = False
+
+
+class Checker:
+    def __init__(self, verbose=False):
+        self.verbose = verbose
+        self.violations = []  # (file, line, rule, message)
+        self.waivers = []  # (file, line, member, reason)
+        self.guarded_members = 0
+        self.locks = []  # (file, line, statement)
+
+    def report(self, path, line, rule, message):
+        self.violations.append((path, line, rule, message))
+
+    # -- statement classification -------------------------------------------
+
+    def classify_member(self, scope, stmt, line_no, comment, path):
+        text = ACCESS_RE.sub("", stmt).strip()
+        if not text or SKIP_MEMBER_RE.match(text):
+            return
+        if LOCK_TYPE_RE.search(text):
+            scope.has_lock = True
+            self.locks.append((path, line_no, text))
+            if "lock_rank::" not in text:
+                self.report(
+                    path, line_no, "R3",
+                    f"lock declared without a lock_rank:: constant: {text!r}")
+            return
+        guarded = bool(GUARDED_RE.search(text))
+        if "(" in GUARDED_RE.sub("", text):
+            return  # function declaration / deleted ctor / operator
+        if guarded:
+            self.guarded_members += 1
+            scope.members.append((text, line_no, comment, "guarded"))
+            return
+        scope.members.append((text, line_no, comment, "plain"))
+
+    def finish_class(self, scope, path):
+        if not scope.has_lock:
+            return
+        for text, line_no, comment, kind in scope.members:
+            if kind == "guarded":
+                continue
+            if re.search(r"\bstd::atomic\b", text) or re.search(
+                    r"\bconst\b", text):
+                continue
+            waiver = WAIVER_RE.search(comment)
+            if waiver:
+                self.waivers.append(
+                    (path, line_no, text, waiver.group(1).strip()))
+                continue
+            self.report(
+                path, line_no, "R2",
+                f"member of lock-owning {scope.kind} '{scope.name}' has no "
+                f"BORN_GUARDED_BY and no '// unguarded: <reason>' waiver: "
+                f"{text!r}")
+
+    # -- file scan -----------------------------------------------------------
+
+    def check_file(self, path, rel):
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+
+        scopes = []  # stack of Scope; classes collect members
+        buf = ""
+        buf_line = 1
+        inline_braces = 0  # depth of brace-initializer nesting kept in buf
+        in_block_comment = False
+
+        for line_no, raw in enumerate(lines, start=1):
+            code, comment, in_block_comment = split_code_comment(
+                raw, in_block_comment)
+            if code.strip().startswith("#"):
+                continue  # preprocessor lines never contribute to statements
+            i = 0
+            in_str = None
+            while i < len(code):
+                c = code[i]
+                if in_str:
+                    buf += c
+                    if c == "\\" and i + 1 < len(code):
+                        buf += code[i + 1]
+                        i += 2
+                        continue
+                    if c == in_str:
+                        in_str = None
+                    i += 1
+                    continue
+                if c in "\"'":
+                    in_str = c
+                    buf += c
+                elif c == "{":
+                    if inline_braces:
+                        inline_braces += 1
+                        buf += c
+                    else:
+                        head = CLASS_HEAD_RE.search(ACCESS_RE.sub("", buf))
+                        if head and not re.search(r"\benum\s+class\b", buf):
+                            scopes.append(Scope(head.group(1), head.group(2)))
+                            buf, buf_line = "", line_no
+                        elif (re.search(r"[\w>\]=]\s*$", buf)
+                              and not re.search(
+                                  r"\b(namespace|else|do|try|extern|const|"
+                                  r"override|final|noexcept)\s*$", buf)
+                              and "namespace" not in buf):
+                            # brace-initializer of a member: keep in buf so
+                            # R3 can see lock_rank:: arguments
+                            inline_braces = 1
+                            buf += c
+                        else:
+                            scopes.append(Scope("other", ""))
+                            buf, buf_line = "", line_no
+                elif c == "}":
+                    if inline_braces:
+                        inline_braces -= 1
+                        buf += c
+                    elif scopes:
+                        done = scopes.pop()
+                        if done.kind in ("class", "struct"):
+                            self.finish_class(done, rel)
+                        buf, buf_line = "", line_no
+                    else:
+                        buf = ""  # unbalanced (namespace close etc.)
+                elif c == ";" and not inline_braces:
+                    if scopes and scopes[-1].kind in ("class", "struct"):
+                        self.classify_member(scopes[-1], buf, buf_line,
+                                             comment, rel)
+                    buf, buf_line = "", line_no
+                else:
+                    if not buf.strip():
+                        buf_line = line_no
+                    buf += c
+                    if c == ":" and re.fullmatch(
+                            r"\s*(public|private|protected)\s*:", buf):
+                        buf = ""  # access specifier, not part of a statement
+                i += 1
+            buf += " "
+
+        # R1: raw standard-library synchronization anywhere in the file.
+        in_block = False
+        for line_no, raw in enumerate(lines, start=1):
+            code, _, in_block = split_code_comment(raw, in_block)
+            m = RAW_SYNC_RE.search(code)
+            if m:
+                self.report(
+                    rel, line_no, "R1",
+                    f"raw std::{m.group(1)} outside tracked_mutex.*; use "
+                    f"TrackedMutex / MutexLock so the lock is named, ranked "
+                    f"and analyzable")
+
+
+def collect_files(paths):
+    out = []
+    for p in paths:
+        if os.path.isfile(p):
+            out.append(p)
+            continue
+        for root, _, names in os.walk(p):
+            for name in names:
+                if name.endswith((".h", ".cc")):
+                    out.append(os.path.join(root, name))
+    return sorted(out)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", default=None)
+    ap.add_argument("--verbose", action="store_true",
+                    help="list every lock and waiver found")
+    args = ap.parse_args()
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    os.chdir(repo)
+    paths = args.paths or ["src"]
+
+    checker = Checker(verbose=args.verbose)
+    for path in collect_files(paths):
+        rel = os.path.relpath(path, repo) if os.path.isabs(path) else path
+        if rel in EXEMPT_FILES:
+            continue
+        checker.check_file(path, rel)
+
+    if args.verbose:
+        for path, line, text in checker.locks:
+            print(f"lock    {path}:{line}: {text}")
+        for path, line, member, reason in checker.waivers:
+            print(f"waiver  {path}:{line}: {member!r} — {reason}")
+
+    for path, line, rule, message in checker.violations:
+        print(f"{path}:{line}: [{rule}] {message}", file=sys.stderr)
+
+    print(f"check_annotations: {len(checker.locks)} tracked locks, "
+          f"{checker.guarded_members} guarded members, "
+          f"{len(checker.waivers)} waivers, "
+          f"{len(checker.violations)} violations")
+    return 1 if checker.violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

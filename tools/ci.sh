@@ -17,8 +17,12 @@
 #   3   Debug + TSan build, concurrency hammer tests (registry/trace/stats
 #       sinks + the multi-session serving hammer)
 #   4   clang-tidy over the files changed by the latest commit plus the
-#       optimizer/planner core (skipped with a notice when clang-tidy is
-#       not installed)
+#       optimizer/planner core and the concurrent serving/observability
+#       layers (skipped with a notice when clang-tidy is not installed)
+#   5   concurrency static analysis: the annotation-coverage lint
+#       (tools/check_annotations.py — always runs, pure Python), then a
+#       clang build of src/ with -Wthread-safety promoted to errors
+#       (skipped with a notice when clang++ is not installed)
 #
 #   tools/ci.sh            # all legs
 #   tools/ci.sh --fast     # leg 1 + 1b + 1c only
@@ -186,15 +190,37 @@ EOF
   # optimizer/planner core is always swept: plan rewrites are where a
   # subtle bug costs the most, so those files stay tidy-clean regardless
   # of what the commit touched.
+  # src/serve and src/obs are always swept too: they are the layers other
+  # threads actually run through, where the bugprone/concurrency checks
+  # have teeth.
   core="src/engine/logical_builder.cc src/engine/optimizer.cc \
     src/engine/lowering.cc src/plan/logical_plan.cc \
-    src/plan/plan_fingerprint.cc src/lint/translation_validator.cc"
+    src/plan/plan_fingerprint.cc src/lint/translation_validator.cc \
+    $(find src/serve src/obs src/common -name '*.cc' | sort | tr '\n' ' ')"
   changed=$(git diff --name-only --diff-filter=d HEAD~1 -- \
     'src/*.cc' 'src/**/*.cc' 'tools/*.cc' 'tools/**/*.cc' 2>/dev/null || true)
   # shellcheck disable=SC2086
   sweep=$(printf '%s\n' $changed $core | sort -u)
   # shellcheck disable=SC2086
   tools/run_clang_tidy.sh build $sweep
+
+  echo "=== leg 5: concurrency static analysis ==="
+  # Annotation-coverage lint: every lock in src/ is a ranked TrackedMutex,
+  # every member of a lock-owning class is BORN_GUARDED_BY or carries an
+  # explicit reviewed waiver. Pure Python — runs everywhere.
+  python3 tools/check_annotations.py
+  # Clang thread-safety analysis over the annotations: proves guarded
+  # members are only touched with their lock held. gcc has no equivalent,
+  # so this sub-leg skips (with a notice) where clang++ is absent.
+  if command -v clang++ >/dev/null 2>&1; then
+    cmake -B build-tsa -S . -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_COMPILER=clang++ \
+      -DCMAKE_CXX_FLAGS="-Werror=thread-safety -Werror=thread-safety-beta"
+    cmake --build build-tsa -j "$(nproc)" --target bornsql_common \
+      bornsql_obs bornsql_storage bornsql_engine bornsql_serve
+  else
+    echo "leg 5: clang++ not installed; skipping -Wthread-safety build"
+  fi
 fi
 
 echo "ci: all legs passed"
