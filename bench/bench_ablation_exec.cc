@@ -1,71 +1,170 @@
-// Ablation A2: execution-strategy choices called out in DESIGN.md:
-//  * CTE handling: materialize-once vs inline-per-reference;
-//  * weight caching (§2.2.1): inference from the deployed table vs
-//    recomputing the HW chain per query.
-#include <benchmark/benchmark.h>
-
+// Ablation A2: execution model. Runs the paper's training query (listings
+// 16-18) and undeployed inference (Eqs. 8-10, listing 27) at fig3-scale
+// under the vectorized executor at several chunk sizes, including the
+// born.vector_size = 1 scalar-compatibility setting that reproduces the
+// old tuple-at-a-time engine. Every variant executes the same plans over
+// the same data; only the execution granularity changes, so the deltas
+// isolate per-tuple interpretation overhead (virtual Next calls, per-row
+// expression dispatch) from the actual data-flow work.
+//
+// Writes BENCH_exec.json (override with --obs-json=<path>):
+//   {"variants": [{"name", "vector_size", "fit_ms", "predict_ms"}...],
+//    "speedup_vs_tuple": {"fit", "predict"}}
+//
+// Expected shape: identical predictions at every chunk size, and the
+// default chunked configuration at least 2x faster than tuple-at-a-time
+// on the fit or the predict hot path.
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "born/born_sql.h"
+#include "common/strings.h"
+#include "common/timer.h"
 #include "data/scopus.h"
 #include "engine/database.h"
+#include "exec/operators.h"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace bornsql;
+  bench::Args args = bench::ParseArgs(argc, argv);
+  bench::PrintHeader("Ablation A2", "Execution model (chunk size sweep)");
 
-using namespace bornsql;
+  born::SqlSource source;
+  source.x_parts = data::ScopusSynthesizer::XParts();
+  source.y = data::ScopusSynthesizer::YQuery();
+  const std::string q_n = "SELECT id AS n FROM publication";
 
-struct Fixture {
-  std::unique_ptr<engine::Database> db;
-  std::unique_ptr<born::BornSqlClassifier> clf;
+  struct Variant {
+    std::string name;
+    size_t vector_size;
+  };
+  const std::vector<Variant> variants = {
+      {"tuple_at_a_time", 1},
+      {"chunk64", 64},
+      {"chunk2048", exec::Operator::kDefaultVectorSize},
+  };
 
-  Fixture(bool materialize_ctes, size_t pubs, bool deploy) {
+  struct Sample {
+    std::string name;
+    size_t vector_size = 0;
+    double fit_ms = 0.0;
+    double predict_ms = 0.0;
+  };
+  std::vector<Sample> samples;
+  std::vector<std::string> reference_predictions;
+  bool predictions_agree = true;
+
+  data::ScopusOptions options;
+  options.num_publications = bench::Scaled(2000, args.scale);
+  data::ScopusSynthesizer synth(options);
+
+  // One database per variant, loaded up front so every repetition measures
+  // only fit/predict work.
+  std::vector<std::unique_ptr<engine::Database>> dbs;
+  std::vector<std::unique_ptr<born::BornSqlClassifier>> clfs;
+  for (const Variant& variant : variants) {
     engine::EngineConfig config;
-    config.materialize_ctes = materialize_ctes;
-    data::ScopusOptions options;
-    options.num_publications = pubs;
-    data::ScopusSynthesizer synth(options);
-    db = std::make_unique<engine::Database>(config);
-    if (!synth.Load(db.get()).ok()) std::abort();
-    born::SqlSource source;
-    source.x_parts = data::ScopusSynthesizer::XParts();
-    source.y = data::ScopusSynthesizer::YQuery();
-    clf = std::make_unique<born::BornSqlClassifier>(db.get(), "abl", source);
-    if (!clf->Fit("SELECT id AS n FROM publication").ok()) std::abort();
-    if (deploy && !clf->Deploy().ok()) std::abort();
+    config.vector_size = variant.vector_size;
+    dbs.push_back(std::make_unique<engine::Database>(config));
+    if (auto st = synth.Load(dbs.back().get()); !st.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    clfs.push_back(std::make_unique<born::BornSqlClassifier>(
+        dbs.back().get(), "abl", source));
+    samples.push_back({variant.name, variant.vector_size, 0.0, 0.0});
   }
-};
 
-void BM_FitCteMode(benchmark::State& state, bool materialize) {
-  Fixture f(materialize, 2000, false);
-  for (auto _ : state) {
-    born::SqlSource source;
-    source.x_parts = data::ScopusSynthesizer::XParts();
-    source.y = data::ScopusSynthesizer::YQuery();
-    born::BornSqlClassifier scratch(f.db.get(), "scratch", source);
-    auto st = scratch.Fit("SELECT id AS n FROM publication");
-    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  // Repetitions are interleaved across the variants (round-robin, min-of-N)
+  // so that machine-load drift over the run hits every variant alike
+  // instead of biasing whichever config happens to run last. Fit drops and
+  // rebuilds the model each round, so every repetition does the full
+  // training work.
+  constexpr int kReps = 5;
+  for (int r = 0; r < kReps; ++r) {
+    for (size_t v = 0; v < variants.size(); ++v) {
+      born::BornSqlClassifier& clf = *clfs[v];
+      WallTimer fit_timer;
+      if (auto st = clf.Fit(q_n); !st.ok()) {
+        std::fprintf(stderr, "fit failed (%s): %s\n",
+                     variants[v].name.c_str(), st.ToString().c_str());
+        return 1;
+      }
+      const double fit = fit_timer.ElapsedSeconds() * 1e3;
+      if (r == 0 || fit < samples[v].fit_ms) samples[v].fit_ms = fit;
+
+      WallTimer predict_timer;
+      Result<std::vector<born::SqlPrediction>> pred = clf.Predict(q_n);
+      if (!pred.ok()) {
+        std::fprintf(stderr, "predict failed (%s): %s\n",
+                     variants[v].name.c_str(),
+                     pred.status().ToString().c_str());
+        return 1;
+      }
+      const double predict = predict_timer.ElapsedSeconds() * 1e3;
+      if (r == 0 || predict < samples[v].predict_ms) {
+        samples[v].predict_ms = predict;
+      }
+
+      if (r == 0) {
+        std::vector<std::string> predictions;
+        for (const auto& p : *pred) {
+          predictions.push_back(p.n.ToString() + ":" + p.k.ToString());
+        }
+        if (reference_predictions.empty()) {
+          reference_predictions = std::move(predictions);
+        } else if (predictions != reference_predictions) {
+          predictions_agree = false;
+          std::fprintf(stderr, "prediction mismatch under %s\n",
+                       variants[v].name.c_str());
+        }
+      }
+    }
   }
+
+  std::printf("%-18s %12s %12s %12s\n", "config", "vector_size", "fit_ms",
+              "predict_ms");
+  for (const Sample& s : samples) {
+    std::printf("%-18s %12zu %12.1f %12.1f\n", s.name.c_str(), s.vector_size,
+                s.fit_ms, s.predict_ms);
+  }
+
+  const Sample& tuple = samples.front();
+  const Sample& chunked = samples.back();
+  const double fit_speedup =
+      chunked.fit_ms > 0 ? tuple.fit_ms / chunked.fit_ms : 0.0;
+  const double predict_speedup =
+      chunked.predict_ms > 0 ? tuple.predict_ms / chunked.predict_ms : 0.0;
+  std::printf("\nchunked (%zu) vs tuple-at-a-time: fit %.2fx, predict %.2fx\n",
+              chunked.vector_size, fit_speedup, predict_speedup);
+  bench::ShapeCheck(predictions_agree,
+                    "every chunk size returns identical predictions");
+  bench::ShapeCheck(fit_speedup >= 2.0 || predict_speedup >= 2.0,
+                    "chunked execution is >=2x tuple-at-a-time on the fit "
+                    "or predict hot path");
+
+  std::string variants_json;
+  for (const Sample& s : samples) {
+    if (!variants_json.empty()) variants_json += ", ";
+    variants_json += StrFormat(
+        "{\"name\": \"%s\", \"vector_size\": %zu, \"fit_ms\": %.3f, "
+        "\"predict_ms\": %.3f}",
+        s.name.c_str(), s.vector_size, s.fit_ms, s.predict_ms);
+  }
+  const std::string json =
+      "{\"variants\": [" + variants_json + "], " +
+      StrFormat("\"speedup_vs_tuple\": {\"fit\": %.3f, \"predict\": %.3f}}",
+                fit_speedup, predict_speedup);
+  const std::string path =
+      args.obs_json.empty() ? "BENCH_exec.json" : args.obs_json;
+  if (bench::WriteTextFile(path, json)) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  return 0;
 }
-
-// §2.2.1 / Fig. 6: cached weights vs on-the-fly weight chain.
-void BM_InferenceWeightCache(benchmark::State& state, bool cached) {
-  Fixture f(true, 4000, /*deploy=*/cached);
-  for (auto _ : state) {
-    auto pred = f.clf->Predict("SELECT 13 AS n");
-    if (!pred.ok()) state.SkipWithError(pred.status().ToString().c_str());
-    benchmark::DoNotOptimize(pred);
-  }
-}
-
-}  // namespace
-
-BENCHMARK_CAPTURE(BM_FitCteMode, materialized_ctes, true)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_FitCteMode, inlined_ctes, false)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_InferenceWeightCache, cached_weights, true)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_InferenceWeightCache, on_the_fly_weights, false)
-    ->Unit(benchmark::kMillisecond);
-
-BENCHMARK_MAIN();

@@ -32,5 +32,5 @@ function(bornsql_microbench name)
 endfunction()
 
 bornsql_microbench(bench_ablation_join)
-bornsql_microbench(bench_ablation_exec)
+bornsql_bench(bench_ablation_exec)
 bornsql_bench(bench_ablation_optimizer)

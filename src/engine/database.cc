@@ -237,6 +237,7 @@ Result<QueryResult> Database::RunCachedSelect(const plan::LogicalPlan& cached,
   AddPhaseSpan(ctx, "lower", lower_start);
 
   op->SetMemoryTracker(&query_mem);
+  op->SetVectorSize(config_.vector_size);
   const bool instrument = config_.collect_exec_stats;
   if (instrument) op->EnableStats(true);
   const uint64_t exec_start = ctx->tracing ? trace_.NowNs() : 0;
@@ -450,7 +451,7 @@ std::vector<std::string> KnownSettingNames() {
   return {"born.collect_exec_stats", "born.memory_limit", "born.plan_cache",
           "born.plan_cache_capacity", "born.session_memory_limit",
           "born.slow_query_ms", "born.trace", "born.trace_capacity",
-          "born.verify_plans", "born.verify_rewrites"};
+          "born.vector_size", "born.verify_plans", "born.verify_rewrites"};
 }
 
 Result<QueryResult> Database::RunSet(const sql::SetStmt& stmt) {
@@ -494,6 +495,15 @@ Result<QueryResult> Database::RunSet(const sql::SetStmt& stmt) {
   } else if (stmt.name == "born.collect_exec_stats") {
     BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kInt));
     config_.collect_exec_stats = v.AsInt() != 0;
+  } else if (stmt.name == "born.vector_size") {
+    BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kInt));
+    if (v.AsInt() < 1) {
+      return Status::InvalidArgument(
+          "born.vector_size must be >= 1 (1 = tuple-at-a-time execution)");
+    }
+    config_.vector_size =
+        std::min(static_cast<size_t>(v.AsInt()),
+                 exec::Operator::kMaxVectorSize);
   } else if (stmt.name == "born.verify_plans") {
     BORNSQL_ASSIGN_OR_RETURN(Value v, value.CoerceTo(ValueType::kInt));
     config_.verify_plans = v.AsInt() != 0;
@@ -527,6 +537,28 @@ Result<QueryResult> Database::RunSet(const sql::SetStmt& stmt) {
 
 Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
                                         obs::PlanStatsNode* profile) {
+  BORNSQL_ASSIGN_OR_RETURN(exec::MaterializedChunks data,
+                           ExecSelectToChunks(stmt, profile));
+  QueryResult out;
+  out.column_names = data.schema.ColumnNames();
+  out.rows.reserve(data.row_count);
+  const size_t width = data.schema.size();
+  for (exec::DataChunk& chunk : data.chunks) {
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      Row row;
+      row.reserve(width);
+      for (size_t c = 0; c < width; ++c) {
+        row.push_back(std::move(chunk.column(c)[i]));
+      }
+      out.rows.push_back(std::move(row));
+    }
+    chunk.Clear();  // free each chunk's buffers as its rows move out
+  }
+  return out;
+}
+
+Result<exec::MaterializedChunks> Database::ExecSelectToChunks(
+    const sql::SelectStmt& stmt, obs::PlanStatsNode* profile) {
   obs::StatementTrace* trace = active_trace_;
   // The query's memory budget. Declared before the plan so the operators'
   // destructors (which release their reservations) run before it dies.
@@ -549,10 +581,11 @@ Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
     trace->spans.push_back(std::move(span));
   }
   plan->SetMemoryTracker(&query_mem);
+  plan->SetVectorSize(config_.vector_size);
   const bool instrument = profile != nullptr || config_.collect_exec_stats;
   if (instrument) plan->EnableStats(true);
   const uint64_t exec_start = trace != nullptr ? trace_.NowNs() : 0;
-  Result<exec::MaterializedResult> drained = exec::Drain(*plan);
+  Result<exec::MaterializedChunks> drained = exec::DrainChunks(*plan);
   if (trace != nullptr) {
     obs::TraceSpan span;
     span.name = "execute";
@@ -565,10 +598,12 @@ Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
     // The materialized result buffer is query memory too: charging it
     // gives streaming point lookups a truthful nonzero peak and puts the
     // rows a statement returns under the same limits as its
-    // intermediate state. Released by query_mem's destructor.
+    // intermediate state. Released by query_mem's destructor. The charge
+    // is per row and arithmetically identical to ApproxRowBytes over the
+    // materialized rows these chunks stand in for.
     uint64_t result_bytes = 0;
-    for (const Row& row : drained->rows) {
-      result_bytes += obs::ApproxRowBytes(row);
+    for (const exec::DataChunk& chunk : drained->chunks) {
+      result_bytes += chunk.ApproxBytes() + chunk.size() * sizeof(Row);
     }
     Status charged = query_mem.TryReserve(result_bytes, "result buffer");
     if (!charged.ok()) drained = std::move(charged);
@@ -577,7 +612,7 @@ Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
   // the caller wants to see.
   last_query_peak_bytes_ = query_mem.peak();
   if (!drained.ok()) return drained.status();
-  exec::MaterializedResult result = std::move(*drained);
+  exec::MaterializedChunks result = std::move(*drained);
   if (instrument) {
     std::unordered_set<const exec::Operator*> seen;
     AccumulatePlanMetrics(metrics_, *plan, &seen);
@@ -587,10 +622,7 @@ Result<QueryResult> Database::RunSelect(const sql::SelectStmt& stmt,
       AppendOperatorSpans(trace_, *plan, trace, &span_seen);
     }
   }
-  QueryResult out;
-  out.column_names = result.schema.ColumnNames();
-  out.rows = std::move(result.rows);
-  return out;
+  return result;
 }
 
 Result<obs::PlanStatsNode> Database::DescribePlan(const sql::Statement& stmt) {
@@ -1061,19 +1093,28 @@ Result<QueryResult> Database::RunInsert(const sql::InsertStmt& stmt,
       incoming.push_back(std::move(row));
     }
   } else {
-    BORNSQL_ASSIGN_OR_RETURN(QueryResult data,
-                             RunSelect(*stmt.select, profile));
-    for (Row& src : data.rows) {
-      if (src.size() != positions.size()) {
-        return Status::BindError(
-            StrFormat("INSERT expects %zu columns, SELECT produced %zu",
-                      positions.size(), src.size()));
+    // The select's output stays chunked: each inserted row is built exactly
+    // once, remapped into table column order with values moved out of the
+    // buffered columns. (The chunks are fully materialized before any row
+    // is inserted, so a select reading the target table sees its
+    // pre-statement contents.)
+    BORNSQL_ASSIGN_OR_RETURN(exec::MaterializedChunks data,
+                             ExecSelectToChunks(*stmt.select, profile));
+    if (data.row_count > 0 && data.schema.size() != positions.size()) {
+      return Status::BindError(
+          StrFormat("INSERT expects %zu columns, SELECT produced %zu",
+                    positions.size(), data.schema.size()));
+    }
+    incoming.reserve(data.row_count);
+    for (exec::DataChunk& chunk : data.chunks) {
+      for (size_t i = 0; i < chunk.size(); ++i) {
+        Row row(schema.size());
+        for (size_t c = 0; c < positions.size(); ++c) {
+          row[positions[c]] = std::move(chunk.column(c)[i]);
+        }
+        incoming.push_back(std::move(row));
       }
-      Row row(schema.size());
-      for (size_t i = 0; i < src.size(); ++i) {
-        row[positions[i]] = std::move(src[i]);
-      }
-      incoming.push_back(std::move(row));
+      chunk.Clear();
     }
   }
   for (Row& row : incoming) {

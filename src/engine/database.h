@@ -210,6 +210,12 @@ class Database {
   // (inner) SELECT is stored there after execution.
   Result<QueryResult> RunSelect(const sql::SelectStmt& stmt,
                                 obs::PlanStatsNode* profile = nullptr);
+  // The execution core behind RunSelect and INSERT ... SELECT: plans,
+  // executes, and accounts for the statement, returning the result in its
+  // chunked columnar form so consumers build at most one Row per result
+  // row (values moved out of the buffered columns).
+  Result<exec::MaterializedChunks> ExecSelectToChunks(
+      const sql::SelectStmt& stmt, obs::PlanStatsNode* profile);
   // EXPLAIN [ANALYZE] <stmt>: one text row per plan node, indented by depth.
   Result<QueryResult> RunExplain(const sql::Statement& stmt);
   // EXPLAIN VERIFY <stmt>: plans the statement's SELECT (if any) and runs

@@ -49,6 +49,12 @@ struct OptimizerRules {
 
 struct EngineConfig {
   JoinStrategy join_strategy = JoinStrategy::kHash;
+  // Target chunk cardinality for the vectorized executor (SET
+  // born.vector_size, clamped to [1, Operator::kMaxVectorSize]). 1 is the
+  // scalar-compatibility escape hatch: chunk-of-one execution,
+  // observationally the old tuple-at-a-time engine. Not part of the plan
+  // cache fingerprint — it changes execution granularity, never the plan.
+  size_t vector_size = exec::Operator::kDefaultVectorSize;
   // Materialize each CTE once per query (true) or inline it at every
   // reference (false). Inlining is the optimizer's cte_inline rule.
   bool materialize_ctes = true;

@@ -34,7 +34,9 @@ class RelabelOp : public Operator {
 
  protected:
   Status OpenImpl() override { return child_->Open(); }
-  Result<bool> NextImpl(Row* out) override { return child_->Next(out); }
+  Result<bool> NextImpl(exec::DataChunk* out) override {
+    return child_->Next(out);
+  }
 
  private:
   OperatorPtr child_;
@@ -53,7 +55,7 @@ class CteGateOp : public Operator {
     return StrFormat("CteScan(%s%s)",
                      schema_.size() > 0 ? schema_.column(0).qualifier.c_str()
                                         : "",
-                     cell_->result != nullptr ? ", materialized" : "");
+                     cell_->data != nullptr ? ", materialized" : "");
   }
   std::vector<Operator*> children() const override {
     return {cell_->plan.get()};
@@ -61,33 +63,46 @@ class CteGateOp : public Operator {
 
  protected:
   Status OpenImpl() override {
-    if (cell_->result == nullptr) {
-      auto drained = exec::Drain(*cell_->plan);
-      if (!drained.ok()) return drained.status();
-      cell_->result = std::make_shared<exec::MaterializedResult>(
-          std::move(drained).value());
+    if (cell_->data == nullptr) {
+      // First gate: steal the CTE plan's output chunks wholesale. No
+      // per-row (or even per-value) work happens on the drain side; the
+      // buffered chunks are re-emitted as slices by every gate.
+      BORNSQL_ASSIGN_OR_RETURN(exec::MaterializedChunks data,
+                               exec::DrainChunks(*cell_->plan));
+      uint64_t bytes = 0;
+      for (const exec::DataChunk& c : data.chunks) {
+        bytes += c.ApproxBytes() + c.size() * sizeof(Row);
+      }
+      cell_->data =
+          std::make_shared<exec::MaterializedChunks>(std::move(data));
+      cell_->data_bytes = bytes;
     }
     pos_ = 0;
     // Re-Open releases the prior charge first. The shared buffer is charged
     // once per gate scanning it — a deliberate overcount for shared
-    // results, so each consumer's budget sees the rows it reads.
+    // results, so each consumer's budget sees the rows it reads. The charge
+    // is the cached per-row sum, arithmetically identical to ApproxRowBytes
+    // over the materialized rows this buffer replaces.
     ReleaseMemory();
-    for (const Row& row : cell_->result->rows) {
-      BORNSQL_RETURN_IF_ERROR(ChargeMemory(obs::ApproxRowBytes(row)));
-    }
-    RecordPeakEntries(cell_->result->rows.size());
+    BORNSQL_RETURN_IF_ERROR(ChargeMemory(cell_->data_bytes));
+    RecordPeakEntries(cell_->data->row_count);
     return FlushMemory();
   }
-  Result<bool> NextImpl(Row* out) override {
-    if (pos_ >= cell_->result->rows.size()) return false;
-    *out = cell_->result->rows[pos_++];
+  Result<bool> NextImpl(exec::DataChunk* out) override {
+    const std::vector<exec::DataChunk>& chunks = cell_->data->chunks;
+    out->Reset(schema_.size());
+    if (pos_ >= chunks.size()) return false;
+    // Serve one buffered chunk per pull. Chunks are ≤ the vector size of
+    // the engine that produced them, which is this gate's vector size too.
+    out->AppendRange(chunks[pos_], 0, chunks[pos_].size());
+    ++pos_;
     return true;
   }
 
  private:
   std::shared_ptr<plan::LoweredCte> cell_;
   Schema schema_;
-  size_t pos_ = 0;
+  size_t pos_ = 0;  // index of the next buffered chunk to emit
 };
 
 // If every key is a bare column of the (bare-scan) table and the column set

@@ -22,11 +22,21 @@ namespace bornsql::plan {
 
 // Physical state shared by every gate of one CTE binding (declared opaque
 // in plan/logical_plan.h; the IR layer stays independent of exec). The
-// first gate to Open() drains `plan` into `result`; later gates -- in the
-// same statement or in a plan-time subquery of it -- reuse the rows.
+// first gate to Open() drains `plan` into `data`; later gates -- in the
+// same statement or in a plan-time subquery of it -- reuse the buffer.
+// The buffer keeps the body's output chunks in columnar form, so every
+// scan serves chunks with contiguous column copies instead of
+// re-materializing rows.
 struct LoweredCte {
   exec::OperatorPtr plan;
-  std::shared_ptr<exec::MaterializedResult> result;
+  // The body's output chunks verbatim: the first gate to Open() steals them
+  // wholesale from the plan (no per-value work), and every gate re-emits
+  // them as slices.
+  std::shared_ptr<exec::MaterializedChunks> data;
+  // Total charge for scanning `data`, computed once when the buffer is
+  // filled: per row, sizeof(Row) plus the row's ApproxValueBytes. Every
+  // gate charges this sum instead of re-walking the buffer per Open.
+  uint64_t data_bytes = 0;
 };
 
 }  // namespace bornsql::plan

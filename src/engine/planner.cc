@@ -26,6 +26,7 @@ LogicalBuildHooks Planner::MakeHooks(bool optimize) {
     BORNSQL_RETURN_IF_ERROR(opt.Run(root.get()));
     Lowering lowering(config_, system_views_);
     BORNSQL_ASSIGN_OR_RETURN(OperatorPtr op, lowering.Lower(*root));
+    op->SetVectorSize(config_->vector_size);
     return exec::Drain(*op);
   };
   return hooks;

@@ -130,21 +130,9 @@ Result<Value> EvalComparison(BoundBinaryOp op, const Value& a,
   }
 }
 
-Result<Value> EvalCall(const BoundExpr& e, const Row& row) {
-  // COALESCE short-circuits before evaluating all args.
-  if (e.func == ScalarFunc::kCoalesce) {
-    for (const auto& arg : e.children) {
-      BORNSQL_ASSIGN_OR_RETURN(Value v, Eval(*arg, row));
-      if (!v.is_null()) return v;
-    }
-    return Value::Null();
-  }
-  std::vector<Value> args;
-  args.reserve(e.children.size());
-  for (const auto& arg : e.children) {
-    BORNSQL_ASSIGN_OR_RETURN(Value v, Eval(*arg, row));
-    args.push_back(std::move(v));
-  }
+// Applies a non-COALESCE scalar function to already-evaluated arguments.
+// Shared by the row-wise and columnar evaluators.
+Result<Value> ApplyCall(const BoundExpr& e, const std::vector<Value>& args) {
   auto null_in = [&](size_t upto) {
     for (size_t i = 0; i < upto && i < args.size(); ++i) {
       if (args[i].is_null()) return true;
@@ -330,6 +318,76 @@ Result<Value> EvalCall(const BoundExpr& e, const Row& row) {
   return Status::Internal("bad scalar function");
 }
 
+Result<Value> EvalCall(const BoundExpr& e, const Row& row) {
+  // COALESCE short-circuits before evaluating all args.
+  if (e.func == ScalarFunc::kCoalesce) {
+    for (const auto& arg : e.children) {
+      BORNSQL_ASSIGN_OR_RETURN(Value v, Eval(*arg, row));
+      if (!v.is_null()) return v;
+    }
+    return Value::Null();
+  }
+  std::vector<Value> args;
+  args.reserve(e.children.size());
+  for (const auto& arg : e.children) {
+    BORNSQL_ASSIGN_OR_RETURN(Value v, Eval(*arg, row));
+    args.push_back(std::move(v));
+  }
+  return ApplyCall(e, args);
+}
+
+// Non-logical binary operators over already-evaluated operands. Shared by
+// the row-wise and columnar evaluators; AND/OR stay with the callers (their
+// laziness is what distinguishes the two paths).
+Result<Value> EvalBinaryKernel(BoundBinaryOp op, const Value& a,
+                               const Value& b) {
+  switch (op) {
+    case BoundBinaryOp::kAdd:
+    case BoundBinaryOp::kSub:
+    case BoundBinaryOp::kMul:
+    case BoundBinaryOp::kDiv:
+    case BoundBinaryOp::kMod:
+      return EvalArith(op, a, b);
+    case BoundBinaryOp::kEq:
+    case BoundBinaryOp::kNotEq:
+    case BoundBinaryOp::kLt:
+    case BoundBinaryOp::kLtEq:
+    case BoundBinaryOp::kGt:
+    case BoundBinaryOp::kGtEq:
+      return EvalComparison(op, a, b);
+    case BoundBinaryOp::kConcat: {
+      if (a.is_null() || b.is_null()) return Value::Null();
+      BORNSQL_ASSIGN_OR_RETURN(Value ta, a.CoerceTo(ValueType::kText));
+      BORNSQL_ASSIGN_OR_RETURN(Value tb, b.CoerceTo(ValueType::kText));
+      return Value::Text(ta.AsText() + tb.AsText());
+    }
+    case BoundBinaryOp::kLike: {
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (!a.is_text() || !b.is_text()) {
+        return TypeError("LIKE", a.is_text() ? b : a);
+      }
+      return Value::Bool(LikeMatch(a.AsText(), b.AsText()));
+    }
+    default:
+      return Status::Internal("bad binary op");
+  }
+}
+
+// Three-valued AND/OR over already-evaluated operands.
+Value And3(const Value& a, const Value& b) {
+  if (!a.is_null() && !a.Truthy()) return Value::Bool(false);
+  if (!b.is_null() && !b.Truthy()) return Value::Bool(false);
+  if (a.is_null() || b.is_null()) return Value::Null();
+  return Value::Bool(true);
+}
+
+Value Or3(const Value& a, const Value& b) {
+  if (!a.is_null() && a.Truthy()) return Value::Bool(true);
+  if (!b.is_null() && b.Truthy()) return Value::Bool(true);
+  if (a.is_null() || b.is_null()) return Value::Null();
+  return Value::Bool(false);
+}
+
 }  // namespace
 
 Result<ScalarFunc> LookupScalarFunc(const std::string& name, size_t arity) {
@@ -429,36 +487,7 @@ Result<Value> Eval(const BoundExpr& e, const Row& row) {
       }
       BORNSQL_ASSIGN_OR_RETURN(Value a, Eval(*e.children[0], row));
       BORNSQL_ASSIGN_OR_RETURN(Value b, Eval(*e.children[1], row));
-      switch (e.binary_op) {
-        case BoundBinaryOp::kAdd:
-        case BoundBinaryOp::kSub:
-        case BoundBinaryOp::kMul:
-        case BoundBinaryOp::kDiv:
-        case BoundBinaryOp::kMod:
-          return EvalArith(e.binary_op, a, b);
-        case BoundBinaryOp::kEq:
-        case BoundBinaryOp::kNotEq:
-        case BoundBinaryOp::kLt:
-        case BoundBinaryOp::kLtEq:
-        case BoundBinaryOp::kGt:
-        case BoundBinaryOp::kGtEq:
-          return EvalComparison(e.binary_op, a, b);
-        case BoundBinaryOp::kConcat: {
-          if (a.is_null() || b.is_null()) return Value::Null();
-          BORNSQL_ASSIGN_OR_RETURN(Value ta, a.CoerceTo(ValueType::kText));
-          BORNSQL_ASSIGN_OR_RETURN(Value tb, b.CoerceTo(ValueType::kText));
-          return Value::Text(ta.AsText() + tb.AsText());
-        }
-        case BoundBinaryOp::kLike: {
-          if (a.is_null() || b.is_null()) return Value::Null();
-          if (!a.is_text() || !b.is_text()) {
-            return TypeError("LIKE", a.is_text() ? b : a);
-          }
-          return Value::Bool(LikeMatch(a.AsText(), b.AsText()));
-        }
-        default:
-          return Status::Internal("bad binary op");
-      }
+      return EvalBinaryKernel(e.binary_op, a, b);
     }
     case BoundKind::kCall:
       return EvalCall(e, row);
@@ -503,6 +532,212 @@ Result<Value> Eval(const BoundExpr& e, const Row& row) {
     }
   }
   return Status::Internal("bad expression kind");
+}
+
+Status EvalChunk(const BoundExpr& e, const DataChunk& chunk,
+                 std::vector<Value>* out) {
+  const size_t n = chunk.size();
+  out->clear();
+  switch (e.kind) {
+    case BoundKind::kLiteral:
+      out->assign(n, e.literal);
+      return Status::OK();
+    case BoundKind::kParameter:
+      return Status::Internal(StrFormat(
+          "parameter $%zu evaluated without substitution", e.column_index));
+    case BoundKind::kColumn:
+      if (e.column_index >= chunk.column_count()) {
+        return Status::Internal(
+            StrFormat("column index %zu out of range (chunk has %zu columns)",
+                      e.column_index, chunk.column_count()));
+      }
+      *out = chunk.column(e.column_index);
+      return Status::OK();
+    case BoundKind::kUnary: {
+      std::vector<Value> v;
+      BORNSQL_RETURN_IF_ERROR(EvalChunk(*e.children[0], chunk, &v));
+      out->reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        BORNSQL_ASSIGN_OR_RETURN(Value r, EvalUnary(e.unary_op, v[i]));
+        out->push_back(std::move(r));
+      }
+      return Status::OK();
+    }
+    case BoundKind::kBinary: {
+      std::vector<Value> a;
+      std::vector<Value> b;
+      BORNSQL_RETURN_IF_ERROR(EvalChunk(*e.children[0], chunk, &a));
+      BORNSQL_RETURN_IF_ERROR(EvalChunk(*e.children[1], chunk, &b));
+      out->reserve(n);
+      if (e.binary_op == BoundBinaryOp::kAnd) {
+        for (size_t i = 0; i < n; ++i) out->push_back(And3(a[i], b[i]));
+        return Status::OK();
+      }
+      if (e.binary_op == BoundBinaryOp::kOr) {
+        for (size_t i = 0; i < n; ++i) out->push_back(Or3(a[i], b[i]));
+        return Status::OK();
+      }
+      for (size_t i = 0; i < n; ++i) {
+        BORNSQL_ASSIGN_OR_RETURN(Value r,
+                                 EvalBinaryKernel(e.binary_op, a[i], b[i]));
+        out->push_back(std::move(r));
+      }
+      return Status::OK();
+    }
+    case BoundKind::kCall: {
+      const size_t k = e.children.size();
+      std::vector<std::vector<Value>> argcols(k);
+      for (size_t j = 0; j < k; ++j) {
+        BORNSQL_RETURN_IF_ERROR(EvalChunk(*e.children[j], chunk, &argcols[j]));
+      }
+      out->reserve(n);
+      if (e.func == ScalarFunc::kCoalesce) {
+        for (size_t i = 0; i < n; ++i) {
+          Value v = Value::Null();
+          for (size_t j = 0; j < k; ++j) {
+            if (!argcols[j][i].is_null()) {
+              v = argcols[j][i];
+              break;
+            }
+          }
+          out->push_back(std::move(v));
+        }
+        return Status::OK();
+      }
+      std::vector<Value> args(k);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < k; ++j) args[j] = argcols[j][i];
+        BORNSQL_ASSIGN_OR_RETURN(Value r, ApplyCall(e, args));
+        out->push_back(std::move(r));
+      }
+      return Status::OK();
+    }
+    case BoundKind::kCase: {
+      const size_t n_pairs = (e.children.size() - (e.has_else ? 1 : 0)) / 2;
+      std::vector<std::vector<Value>> conds(n_pairs);
+      std::vector<std::vector<Value>> branches(n_pairs);
+      for (size_t p = 0; p < n_pairs; ++p) {
+        BORNSQL_RETURN_IF_ERROR(
+            EvalChunk(*e.children[2 * p], chunk, &conds[p]));
+        BORNSQL_RETURN_IF_ERROR(
+            EvalChunk(*e.children[2 * p + 1], chunk, &branches[p]));
+      }
+      std::vector<Value> else_col;
+      if (e.has_else) {
+        BORNSQL_RETURN_IF_ERROR(
+            EvalChunk(*e.children.back(), chunk, &else_col));
+      }
+      out->reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        Value v = e.has_else ? else_col[i] : Value::Null();
+        for (size_t p = 0; p < n_pairs; ++p) {
+          const Value& c = conds[p][i];
+          if (!c.is_null() && c.Truthy()) {
+            v = branches[p][i];
+            break;
+          }
+        }
+        out->push_back(std::move(v));
+      }
+      return Status::OK();
+    }
+    case BoundKind::kIsNull: {
+      std::vector<Value> v;
+      BORNSQL_RETURN_IF_ERROR(EvalChunk(*e.children[0], chunk, &v));
+      out->reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        out->push_back(
+            Value::Bool(e.negated ? !v[i].is_null() : v[i].is_null()));
+      }
+      return Status::OK();
+    }
+    case BoundKind::kInSet: {
+      std::vector<Value> v;
+      BORNSQL_RETURN_IF_ERROR(EvalChunk(*e.children[0], chunk, &v));
+      out->reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (v[i].is_null()) {
+          out->push_back(Value::Null());
+        } else if (e.in_set->values.count(v[i]) > 0) {
+          out->push_back(Value::Bool(!e.negated));
+        } else if (e.in_set->has_null) {
+          out->push_back(Value::Null());
+        } else {
+          out->push_back(Value::Bool(e.negated));
+        }
+      }
+      return Status::OK();
+    }
+    case BoundKind::kInList: {
+      std::vector<std::vector<Value>> cols(e.children.size());
+      for (size_t j = 0; j < e.children.size(); ++j) {
+        BORNSQL_RETURN_IF_ERROR(EvalChunk(*e.children[j], chunk, &cols[j]));
+      }
+      out->reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        const Value& v = cols[0][i];
+        if (v.is_null()) {
+          out->push_back(Value::Null());
+          continue;
+        }
+        bool saw_null = false;
+        bool hit = false;
+        for (size_t j = 1; j < cols.size(); ++j) {
+          const Value& item = cols[j][i];
+          if (item.is_null()) {
+            saw_null = true;
+            continue;
+          }
+          if (Value::Compare(v, item) == 0) {
+            hit = true;
+            break;
+          }
+        }
+        if (hit) {
+          out->push_back(Value::Bool(!e.negated));
+        } else if (saw_null) {
+          out->push_back(Value::Null());
+        } else {
+          out->push_back(Value::Bool(e.negated));
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+Status EvalChunkChecked(const BoundExpr& e, const DataChunk& chunk,
+                        std::vector<Value>* out) {
+  Status s = EvalChunk(e, chunk, out);
+  if (s.ok()) return s;
+  // The vectorized pass errored. That error may come from a subexpression
+  // row-wise evaluation would never reach (a guarded CASE branch, a
+  // short-circuited AND/OR side, a COALESCE tail), so re-evaluate row by
+  // row: rows whose error is real re-raise it, masked ones succeed.
+  out->clear();
+  out->reserve(chunk.size());
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    const Row row = chunk.MaterializeRow(i);
+    BORNSQL_ASSIGN_OR_RETURN(Value v, Eval(e, row));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+Result<const std::vector<Value>*> EvalChunkRef(const BoundExpr& e,
+                                               const DataChunk& chunk,
+                                               std::vector<Value>* scratch) {
+  if (e.kind == BoundKind::kColumn) {
+    if (e.column_index >= chunk.column_count()) {
+      return Status::Internal(
+          StrFormat("column index %zu out of range (chunk has %zu columns)",
+                    e.column_index, chunk.column_count()));
+    }
+    return &chunk.column(e.column_index);
+  }
+  BORNSQL_RETURN_IF_ERROR(EvalChunkChecked(e, chunk, scratch));
+  return scratch;
 }
 
 }  // namespace bornsql::exec

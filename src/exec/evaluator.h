@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/chunk.h"
 #include "types/value.h"
 
 namespace bornsql::exec {
@@ -109,6 +110,33 @@ BoundExprPtr BoundColumn(size_t index);
 // Evaluates `expr` against `row`. Errors only on genuinely malformed input
 // (e.g. arithmetic on text); NULLs propagate as values.
 Result<Value> Eval(const BoundExpr& expr, const Row& row);
+
+// Columnar evaluation: computes `expr` for every row of `chunk`, writing
+// exactly chunk.size() values into *out (cleared first). Column references
+// index into the chunk's columns. Results are identical to row-wise Eval()
+// with one exception: subexpressions that row-wise evaluation lazily skips
+// (AND/OR right-hand sides, untaken CASE branches, COALESCE tails) are
+// evaluated eagerly here, so an error in a skipped branch surfaces instead
+// of being masked. Use EvalChunkChecked for exact row-wise semantics.
+Status EvalChunk(const BoundExpr& expr, const DataChunk& chunk,
+                 std::vector<Value>* out);
+
+// EvalChunk with the row-wise error contract restored: on any vectorized
+// error the chunk is re-evaluated row by row with Eval(), so errors that
+// tuple-at-a-time execution would short-circuit past do not surface, and
+// genuinely failing rows report the same error either way. This is what
+// operators call; the chunked engine must be observationally equivalent to
+// born.vector_size=1 (the differential fuzzer's vector1 lane enforces it).
+Status EvalChunkChecked(const BoundExpr& expr, const DataChunk& chunk,
+                        std::vector<Value>* out);
+
+// EvalChunkChecked without the output copy for bare column references: a
+// kColumn expression returns a pointer to the chunk's own column; anything
+// else evaluates into *scratch and returns scratch. The pointer is valid
+// only while both `chunk` and `scratch` live and are not mutated.
+Result<const std::vector<Value>*> EvalChunkRef(const BoundExpr& expr,
+                                               const DataChunk& chunk,
+                                               std::vector<Value>* scratch);
 
 // SQL LIKE with % and _ wildcards (case-sensitive, no ESCAPE clause).
 bool LikeMatch(const std::string& text, const std::string& pattern);

@@ -6,7 +6,8 @@
 namespace bornsql::exec {
 namespace {
 
-// Evaluates `exprs` over `row` into a key row.
+// Evaluates `exprs` over `row` into a key row (row-wise path, used where
+// the algorithm is inherently per-row, e.g. window partition keys).
 Result<Row> EvalKey(const std::vector<BoundExprPtr>& exprs, const Row& row) {
   Row key;
   key.reserve(exprs.size());
@@ -15,6 +16,56 @@ Result<Row> EvalKey(const std::vector<BoundExprPtr>& exprs, const Row& row) {
     key.push_back(std::move(v));
   }
   return key;
+}
+
+// Evaluates `exprs` over a whole chunk: cols[k][i] = exprs[k] on row i.
+Status EvalKeyColumns(const std::vector<BoundExprPtr>& exprs,
+                      const DataChunk& chunk,
+                      std::vector<std::vector<Value>>* cols) {
+  cols->resize(exprs.size());
+  for (size_t k = 0; k < exprs.size(); ++k) {
+    BORNSQL_RETURN_IF_ERROR(EvalChunkChecked(*exprs[k], chunk, &(*cols)[k]));
+  }
+  return Status::OK();
+}
+
+// By-reference variant: bare column keys alias the chunk's own columns
+// (no value copies per chunk); computed keys evaluate into the scratch
+// vectors. The refs are valid until `chunk` or `scratch` changes.
+Status EvalKeyColumns(const std::vector<BoundExprPtr>& exprs,
+                      const DataChunk& chunk,
+                      std::vector<std::vector<Value>>* scratch,
+                      KeyColumnRefs* cols) {
+  scratch->resize(exprs.size());
+  cols->resize(exprs.size());
+  for (size_t k = 0; k < exprs.size(); ++k) {
+    BORNSQL_ASSIGN_OR_RETURN(
+        (*cols)[k], EvalChunkRef(*exprs[k], chunk, &(*scratch)[k]));
+  }
+  return Status::OK();
+}
+
+// Assembles the key row for chunk row `i` from columnar key vectors.
+Row KeyAt(const std::vector<std::vector<Value>>& cols, size_t i) {
+  Row key;
+  key.reserve(cols.size());
+  for (const auto& c : cols) key.push_back(c[i]);
+  return key;
+}
+
+Row KeyAt(const KeyColumnRefs& cols, size_t i) {
+  Row key;
+  key.reserve(cols.size());
+  for (const auto* c : cols) key.push_back((*c)[i]);
+  return key;
+}
+
+// NULL check on columnar key vectors without materializing the key row.
+bool KeyColsHaveNull(const KeyColumnRefs& cols, size_t i) {
+  for (const auto* c : cols) {
+    if ((*c)[i].is_null()) return true;
+  }
+  return false;
 }
 
 bool KeyHasNull(const Row& key) {
@@ -50,6 +101,58 @@ constexpr uint64_t kAggStateBytes = 32;
 
 }  // namespace
 
+// FNV-1a over the key parts, matching HashRow() over the materialized Row
+// bit for bit (a view and its Row must land in the same bucket).
+size_t RowKeyHash::operator()(const ColsKeyView& v) const {
+  size_t h = 1469598103934665603ULL;
+  for (const auto* c : *v.cols) {
+    h ^= (*c)[v.row].Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+size_t RowKeyHash::operator()(const ChunkKeyView& v) const {
+  size_t h = 1469598103934665603ULL;
+  for (size_t c = 0; c < v.chunk->column_count(); ++c) {
+    h ^= v.chunk->column(c)[v.row].Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool RowKeyEq::operator()(const Row& a, const Row& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (Value::Compare(a[i], b[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool RowKeyEq::operator()(const Row& a, const ColsKeyView& b) const {
+  if (a.size() != b.cols->size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (Value::Compare(a[i], (*(*b.cols)[i])[b.row]) != 0) return false;
+  }
+  return true;
+}
+
+bool RowKeyEq::operator()(const ColsKeyView& a, const Row& b) const {
+  return (*this)(b, a);
+}
+
+bool RowKeyEq::operator()(const Row& a, const ChunkKeyView& b) const {
+  if (a.size() != b.chunk->column_count()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (Value::Compare(a[i], b.chunk->column(i)[b.row]) != 0) return false;
+  }
+  return true;
+}
+
+bool RowKeyEq::operator()(const ChunkKeyView& a, const Row& b) const {
+  return (*this)(b, a);
+}
+
 void Operator::EnableStats(bool on) {
   stats_enabled_ = on;
   if (on) stats_.Reset();
@@ -63,6 +166,13 @@ void Operator::SetMemoryTracker(obs::MemoryTracker* tracker) {
   mem_ = tracker;
   for (Operator* child : children()) {
     if (child != nullptr) child->SetMemoryTracker(tracker);
+  }
+}
+
+void Operator::SetVectorSize(size_t n) {
+  vector_size_ = std::min(std::max<size_t>(n, 1), kMaxVectorSize);
+  for (Operator* child : children()) {
+    if (child != nullptr) child->SetVectorSize(vector_size_);
   }
 }
 
@@ -87,47 +197,108 @@ Result<MaterializedResult> Drain(Operator& op) {
   MaterializedResult out;
   out.schema = op.schema();
   BORNSQL_RETURN_IF_ERROR(op.Open());
-  Row row;
+  DataChunk chunk;
   while (true) {
-    BORNSQL_ASSIGN_OR_RETURN(bool more, op.Next(&row));
+    BORNSQL_ASSIGN_OR_RETURN(bool more, op.Next(&chunk));
     if (!more) break;
-    out.rows.push_back(row);
+    assert(!chunk.empty());  // operators never emit empty chunks
+    chunk.AppendRowsTo(&out.rows);
   }
   return out;
 }
 
-Result<bool> SeqScanOp::NextImpl(Row* out) {
-  const auto& rows = table_->rows();
-  if (pos_ >= rows.size()) return false;
-  *out = rows[pos_++];
-  return true;
-}
-
-Result<bool> MaterializedScanOp::NextImpl(Row* out) {
-  if (pos_ >= data_->rows.size()) return false;
-  *out = data_->rows[pos_++];
-  return true;
-}
-
-Result<bool> FilterOp::NextImpl(Row* out) {
+Result<MaterializedChunks> DrainChunks(Operator& op) {
+  MaterializedChunks out;
+  out.schema = op.schema();
+  BORNSQL_RETURN_IF_ERROR(op.Open());
   while (true) {
-    BORNSQL_ASSIGN_OR_RETURN(bool more, child_->Next(out));
-    if (!more) return false;
-    BORNSQL_ASSIGN_OR_RETURN(Value v, Eval(*predicate_, *out));
-    if (!v.is_null() && v.Truthy()) return true;
+    DataChunk chunk;
+    BORNSQL_ASSIGN_OR_RETURN(bool more, op.Next(&chunk));
+    if (!more) break;
+    assert(!chunk.empty());  // operators never emit empty chunks
+    out.row_count += chunk.size();
+    out.chunks.push_back(std::move(chunk));
+  }
+  return out;
+}
+
+bool EmitRowRange(const std::vector<Row>& rows, size_t* pos, size_t width,
+                  size_t vector_size, DataChunk* out) {
+  out->Reset(width);
+  if (*pos >= rows.size()) return false;
+  const size_t n = std::min(vector_size, rows.size() - *pos);
+  for (size_t c = 0; c < width; ++c) {
+    auto& col = out->column(c);
+    col.reserve(n);
+    for (size_t i = 0; i < n; ++i) col.push_back(rows[*pos + i][c]);
+  }
+  out->SetCardinality(n);
+  *pos += n;
+  return true;
+}
+
+Result<bool> SeqScanOp::NextImpl(DataChunk* out) {
+  const size_t width = schema_.size();
+  out->Reset(width);
+  const size_t total = table_->row_count();
+  if (pos_ >= total) return false;
+  const size_t n = std::min(vector_size(), total - pos_);
+  for (size_t c = 0; c < width; ++c) {
+    table_->CopyColumnSlice(c, pos_, n, &out->column(c));
+  }
+  out->SetCardinality(n);
+  pos_ += n;
+  return true;
+}
+
+Result<bool> FilterOp::NextImpl(DataChunk* out) {
+  while (true) {
+    BORNSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&input_));
+    if (!more) {
+      out->Reset(input_.column_count());
+      return false;
+    }
+    BORNSQL_ASSIGN_OR_RETURN(const std::vector<Value>* pred_vals,
+                             EvalChunkRef(*predicate_, input_, &pred_vals_));
+    sel_.clear();
+    for (size_t i = 0; i < input_.size(); ++i) {
+      const Value& v = (*pred_vals)[i];
+      if (!v.is_null() && v.Truthy()) sel_.push_back(static_cast<uint32_t>(i));
+    }
+    if (sel_.empty()) continue;  // whole chunk filtered out; pull the next
+    if (sel_.size() == input_.size()) {
+      *out = std::move(input_);  // all-pass: no compaction copy
+      return true;
+    }
+    out->Reset(input_.column_count());
+    out->AppendSelectedMoved(input_, sel_);
+    return true;
   }
 }
 
-Result<bool> ProjectOp::NextImpl(Row* out) {
-  Row in;
-  BORNSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+Result<bool> ProjectOp::NextImpl(DataChunk* out) {
+  BORNSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&input_));
+  out->Reset(exprs_.size());
   if (!more) return false;
-  out->clear();
-  out->reserve(exprs_.size());
-  for (const auto& e : exprs_) {
-    BORNSQL_ASSIGN_OR_RETURN(Value v, Eval(*e, in));
-    out->push_back(std::move(v));
+  // Computed expressions evaluate first (they may read any input column);
+  // bare column references then pass through without going through the
+  // evaluator, and the last reference to an input column steals it.
+  for (size_t j = 0; j < exprs_.size(); ++j) {
+    if (bare_cols_[j] != kNotBare) continue;
+    BORNSQL_RETURN_IF_ERROR(
+        EvalChunkChecked(*exprs_[j], input_, &out->column(j)));
   }
+  for (size_t j = 0; j < exprs_.size(); ++j) {
+    const size_t c = bare_cols_[j];
+    if (c == kNotBare) continue;
+    if (last_col_ref_[j]) {
+      out->column(j) = std::move(input_.column(c));
+    } else {
+      out->column(j) = input_.column(c);
+    }
+  }
+  out->SetCardinality(input_.size());
+  input_.Clear();  // moved-from columns must not leak into the next pull
   return true;
 }
 
@@ -148,57 +319,131 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
 }
 
 Status HashJoinOp::OpenImpl() {
-  build_rows_.clear();
+  build_data_.Reset(right_->schema().size());
   build_index_.clear();
   ReleaseMemory();
-  have_left_ = false;
+  probe_chunk_.Clear();
+  probe_row_ = 0;
   matches_ = nullptr;
   match_pos_ = 0;
+  left_emitted_ = false;
+  left_done_ = false;
   BORNSQL_RETURN_IF_ERROR(left_->Open());
   BORNSQL_RETURN_IF_ERROR(right_->Open());
-  Row row;
+  DataChunk chunk;
+  std::vector<std::vector<Value>> key_scratch;
+  KeyColumnRefs key_cols;
+  SelectionVector keep;
   while (true) {
-    auto more = right_->Next(&row);
+    auto more = right_->Next(&chunk);
     if (!more.ok()) return more.status();
     if (!*more) break;
-    auto key = EvalKey(right_keys_, row);
-    if (!key.ok()) return key.status();
-    if (KeyHasNull(*key)) continue;  // NULL keys never join
-    BORNSQL_RETURN_IF_ERROR(ChargeMemory(
-        obs::ApproxRowBytes(row) + obs::ApproxRowBytes(*key) +
-        kHashEntryOverhead));
-    build_index_[*key].push_back(build_rows_.size());
-    build_rows_.push_back(std::move(row));
+    // Bare column keys alias `chunk`; every read below happens before the
+    // append at the bottom moves the chunk's values out.
+    BORNSQL_RETURN_IF_ERROR(
+        EvalKeyColumns(right_keys_, chunk, &key_scratch, &key_cols));
+    keep.clear();
+    size_t pos = build_data_.size();
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      if (KeyColsHaveNull(key_cols, i)) continue;  // NULL keys never join
+      uint64_t row_bytes = sizeof(Row) + sizeof(Row);
+      for (size_t c = 0; c < chunk.column_count(); ++c) {
+        row_bytes += obs::ApproxValueBytes(chunk.column(c)[i]);
+      }
+      for (const auto* kc : key_cols) {
+        row_bytes += obs::ApproxValueBytes((*kc)[i]);
+      }
+      BORNSQL_RETURN_IF_ERROR(ChargeMemory(row_bytes + kHashEntryOverhead));
+      // Transparent find against the key columns; the key row is
+      // materialized only the first time it is seen.
+      auto it = build_index_.find(ColsKeyView{&key_cols, i});
+      if (it == build_index_.end()) {
+        it = build_index_.emplace(KeyAt(key_cols, i), std::vector<size_t>())
+                 .first;
+      }
+      it->second.push_back(pos++);
+      keep.push_back(static_cast<uint32_t>(i));
+    }
+    if (keep.size() == chunk.size()) {
+      build_data_.AppendRangeMoved(chunk, 0, chunk.size());
+    } else {
+      build_data_.AppendSelectedMoved(chunk, keep);
+    }
   }
-  RecordPeakEntries(build_rows_.size());
+  RecordPeakEntries(build_data_.size());
   return FlushMemory();
 }
 
-Result<bool> HashJoinOp::NextImpl(Row* out) {
+void HashJoinOp::BeginProbeRow() {
+  left_emitted_ = false;
+  match_pos_ = 0;
+  matches_ = nullptr;
+  if (KeyColsHaveNull(probe_keys_, probe_row_)) return;
+  auto it = build_index_.find(ColsKeyView{&probe_keys_, probe_row_});
+  if (it != build_index_.end()) matches_ = &it->second;
+}
+
+void HashJoinOp::FlushPairs(DataChunk* out) {
+  if (pairs_.empty()) return;
+  const size_t probe_width = left_->schema().size();
+  for (size_t c = 0; c < probe_width; ++c) {
+    auto& dst = out->column(c);
+    const auto& src = probe_chunk_.column(c);
+    dst.reserve(dst.size() + pairs_.size());
+    for (const auto& p : pairs_) dst.push_back(src[p.first]);
+  }
+  for (size_t c = 0; c < build_data_.column_count(); ++c) {
+    auto& dst = out->column(probe_width + c);
+    const auto& src = build_data_.column(c);
+    dst.reserve(dst.size() + pairs_.size());
+    for (const auto& p : pairs_) {
+      dst.push_back(p.second == kNoMatch ? Value::Null() : src[p.second]);
+    }
+  }
+  out->SetCardinality(out->size() + pairs_.size());
+  pairs_.clear();
+}
+
+Result<bool> HashJoinOp::NextImpl(DataChunk* out) {
+  out->Reset(schema_.size());
+  pairs_.clear();
   while (true) {
-    if (have_left_ && matches_ != nullptr && match_pos_ < matches_->size()) {
-      const Row& right_row = build_rows_[(*matches_)[match_pos_++]];
-      left_emitted_ = true;
-      *out = ConcatRows(current_left_, right_row);
-      return true;
+    if (probe_row_ >= probe_chunk_.size()) {
+      FlushPairs(out);  // indices dangle once probe_chunk_ is replaced
+      if (left_done_) return !out->empty();
+      BORNSQL_ASSIGN_OR_RETURN(bool more, left_->Next(&probe_chunk_));
+      if (!more) {
+        left_done_ = true;
+        probe_chunk_.Clear();
+        return !out->empty();
+      }
+      BORNSQL_RETURN_IF_ERROR(EvalKeyColumns(left_keys_, probe_chunk_,
+                                             &probe_key_scratch_,
+                                             &probe_keys_));
+      probe_row_ = 0;
+      BeginProbeRow();
     }
-    if (have_left_ && type_ == JoinType::kLeft && !left_emitted_) {
-      left_emitted_ = true;
-      matches_ = nullptr;
-      *out = ConcatRows(current_left_, NullRow(right_->schema().size()));
-      return true;
+    const size_t budget = vector_size() - out->size();
+    if (matches_ != nullptr) {
+      while (match_pos_ < matches_->size() && pairs_.size() < budget) {
+        pairs_.emplace_back(static_cast<uint32_t>(probe_row_),
+                            static_cast<uint32_t>((*matches_)[match_pos_++]));
+        left_emitted_ = true;
+      }
+      if (match_pos_ < matches_->size()) {  // output chunk full
+        FlushPairs(out);
+        return true;
+      }
     }
-    // Fetch next probe row.
-    BORNSQL_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
-    if (!more) return false;
-    have_left_ = true;
-    left_emitted_ = false;
-    match_pos_ = 0;
-    matches_ = nullptr;
-    BORNSQL_ASSIGN_OR_RETURN(Row key, EvalKey(left_keys_, current_left_));
-    if (!KeyHasNull(key)) {
-      auto it = build_index_.find(key);
-      if (it != build_index_.end()) matches_ = &it->second;
+    if (type_ == JoinType::kLeft && !left_emitted_) {
+      pairs_.emplace_back(static_cast<uint32_t>(probe_row_), kNoMatch);
+      left_emitted_ = true;
+    }
+    ++probe_row_;
+    if (probe_row_ < probe_chunk_.size()) BeginProbeRow();
+    if (out->size() + pairs_.size() >= vector_size()) {
+      FlushPairs(out);
+      return true;
     }
   }
 }
@@ -227,16 +472,20 @@ Status SortMergeJoinOp::OpenImpl() {
   auto load = [this](Operator& op, const std::vector<BoundExprPtr>& keys,
                      std::vector<std::pair<Row, Row>>* dst) -> Status {
     BORNSQL_RETURN_IF_ERROR(op.Open());
-    Row row;
+    DataChunk chunk;
+    std::vector<std::vector<Value>> key_cols;
     while (true) {
-      auto more = op.Next(&row);
+      auto more = op.Next(&chunk);
       if (!more.ok()) return more.status();
       if (!*more) break;
-      auto key = EvalKey(keys, row);
-      if (!key.ok()) return key.status();
-      BORNSQL_RETURN_IF_ERROR(ChargeMemory(obs::ApproxRowBytes(row) +
-                                           obs::ApproxRowBytes(*key)));
-      dst->emplace_back(std::move(*key), std::move(row));
+      BORNSQL_RETURN_IF_ERROR(EvalKeyColumns(keys, chunk, &key_cols));
+      for (size_t i = 0; i < chunk.size(); ++i) {
+        Row key = KeyAt(key_cols, i);
+        Row row = chunk.MaterializeRow(i);
+        BORNSQL_RETURN_IF_ERROR(ChargeMemory(obs::ApproxRowBytes(row) +
+                                             obs::ApproxRowBytes(key)));
+        dst->emplace_back(std::move(key), std::move(row));
+      }
     }
     std::stable_sort(dst->begin(), dst->end(),
                      [](const auto& a, const auto& b) {
@@ -250,7 +499,7 @@ Status SortMergeJoinOp::OpenImpl() {
   return FlushMemory();
 }
 
-Result<bool> SortMergeJoinOp::NextImpl(Row* out) {
+Result<bool> SortMergeJoinOp::NextRow(Row* out) {
   while (li_ < lrows_.size()) {
     const Row& lkey = lrows_[li_].first;
     if (!in_group_) {
@@ -305,6 +554,17 @@ Result<bool> SortMergeJoinOp::NextImpl(Row* out) {
   return false;
 }
 
+Result<bool> SortMergeJoinOp::NextImpl(DataChunk* out) {
+  out->Reset(schema_.size());
+  Row row;
+  while (out->size() < vector_size()) {
+    BORNSQL_ASSIGN_OR_RETURN(bool more, NextRow(&row));
+    if (!more) break;
+    out->AppendRow(std::move(row));
+  }
+  return !out->empty();
+}
+
 // ---- NestedLoopJoinOp -----------------------------------------------------
 
 NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
@@ -319,47 +579,75 @@ Status NestedLoopJoinOp::OpenImpl() {
   right_rows_.clear();
   ReleaseMemory();
   have_left_ = false;
+  left_done_ = false;
+  left_chunk_.Clear();
+  left_row_ = 0;
   right_pos_ = 0;
   BORNSQL_RETURN_IF_ERROR(left_->Open());
   BORNSQL_RETURN_IF_ERROR(right_->Open());
-  Row row;
+  DataChunk chunk;
   while (true) {
-    auto more = right_->Next(&row);
+    auto more = right_->Next(&chunk);
     if (!more.ok()) return more.status();
     if (!*more) break;
-    BORNSQL_RETURN_IF_ERROR(ChargeMemory(obs::ApproxRowBytes(row)));
-    right_rows_.push_back(std::move(row));
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      Row row = chunk.MaterializeRow(i);
+      BORNSQL_RETURN_IF_ERROR(ChargeMemory(obs::ApproxRowBytes(row)));
+      right_rows_.push_back(std::move(row));
+    }
   }
   RecordPeakEntries(right_rows_.size());
   return FlushMemory();
 }
 
-Result<bool> NestedLoopJoinOp::NextImpl(Row* out) {
+Result<bool> NestedLoopJoinOp::NextImpl(DataChunk* out) {
+  out->Reset(schema_.size());
+  const size_t right_width = right_->schema().size();
   while (true) {
     if (!have_left_) {
-      BORNSQL_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
-      if (!more) return false;
+      if (left_row_ + 1 < left_chunk_.size()) {
+        ++left_row_;
+      } else {
+        if (left_done_) return !out->empty();
+        BORNSQL_ASSIGN_OR_RETURN(bool more, left_->Next(&left_chunk_));
+        if (!more) {
+          left_done_ = true;
+          left_chunk_.Clear();
+          return !out->empty();
+        }
+        left_row_ = 0;
+      }
+      // The row scratch is only needed to evaluate the predicate; the pure
+      // cross product emits straight from the chunk below.
+      if (predicate_ != nullptr) {
+        current_left_ = left_chunk_.MaterializeRow(left_row_);
+      }
       have_left_ = true;
       left_matched_ = false;
       right_pos_ = 0;
     }
     while (right_pos_ < right_rows_.size()) {
+      if (predicate_ == nullptr) {
+        left_matched_ = true;
+        out->AppendConcat(left_chunk_, left_row_, &right_rows_[right_pos_],
+                          right_width);
+        ++right_pos_;
+        if (out->size() >= vector_size()) return true;
+        continue;
+      }
       Row combined = ConcatRows(current_left_, right_rows_[right_pos_]);
       ++right_pos_;
-      if (predicate_ != nullptr) {
-        BORNSQL_ASSIGN_OR_RETURN(Value v, Eval(*predicate_, combined));
-        if (v.is_null() || !v.Truthy()) continue;
-      }
+      BORNSQL_ASSIGN_OR_RETURN(Value v, Eval(*predicate_, combined));
+      if (v.is_null() || !v.Truthy()) continue;
       left_matched_ = true;
-      *out = std::move(combined);
-      return true;
+      out->AppendRow(std::move(combined));
+      if (out->size() >= vector_size()) return true;
     }
     if (type_ == JoinType::kLeft && !left_matched_) {
-      have_left_ = false;
-      *out = ConcatRows(current_left_, NullRow(right_->schema().size()));
-      return true;
+      out->AppendConcat(left_chunk_, left_row_, nullptr, right_width);
     }
     have_left_ = false;
+    if (out->size() >= vector_size()) return true;
   }
 }
 
@@ -380,27 +668,50 @@ IndexJoinOp::IndexJoinOp(OperatorPtr outer, const storage::Table* inner_table,
                                               inner_schema_)) {}
 
 Status IndexJoinOp::OpenImpl() {
-  have_outer_ = false;
+  outer_chunk_.Clear();
+  outer_row_ = 0;
   matches_.clear();
   match_pos_ = 0;
+  outer_done_ = false;
   return outer_->Open();
 }
 
-Result<bool> IndexJoinOp::NextImpl(Row* out) {
+void IndexJoinOp::BeginOuterRow() {
+  matches_.clear();
+  match_pos_ = 0;
+  Row key = KeyAt(outer_key_cols_, outer_row_);
+  inner_table_->LookupIndex(index_id_, key, &matches_);
+}
+
+Result<bool> IndexJoinOp::NextImpl(DataChunk* out) {
+  out->Reset(schema_.size());
   while (true) {
-    if (have_outer_ && match_pos_ < matches_.size()) {
-      const Row& inner_row = inner_table_->rows()[matches_[match_pos_++]];
-      *out = inner_on_left_ ? ConcatRows(inner_row, current_outer_)
-                            : ConcatRows(current_outer_, inner_row);
-      return true;
+    if (outer_row_ >= outer_chunk_.size()) {
+      if (outer_done_) return !out->empty();
+      BORNSQL_ASSIGN_OR_RETURN(bool more, outer_->Next(&outer_chunk_));
+      if (!more) {
+        outer_done_ = true;
+        outer_chunk_.Clear();
+        return !out->empty();
+      }
+      BORNSQL_RETURN_IF_ERROR(
+          EvalKeyColumns(outer_keys_, outer_chunk_, &outer_key_cols_));
+      outer_row_ = 0;
+      BeginOuterRow();
     }
-    BORNSQL_ASSIGN_OR_RETURN(bool more, outer_->Next(&current_outer_));
-    if (!more) return false;
-    have_outer_ = true;
-    matches_.clear();
-    match_pos_ = 0;
-    BORNSQL_ASSIGN_OR_RETURN(Row key, EvalKey(outer_keys_, current_outer_));
-    inner_table_->LookupIndex(index_id_, key, &matches_);
+    while (match_pos_ < matches_.size() && out->size() < vector_size()) {
+      const Row& inner_row = inner_table_->rows()[matches_[match_pos_++]];
+      if (inner_on_left_) {
+        out->AppendConcat(inner_row, outer_chunk_, outer_row_);
+      } else {
+        out->AppendConcat(outer_chunk_, outer_row_, &inner_row,
+                          inner_schema_.size());
+      }
+    }
+    if (match_pos_ < matches_.size()) return true;  // output chunk full
+    ++outer_row_;
+    if (outer_row_ < outer_chunk_.size()) BeginOuterRow();
+    if (out->size() >= vector_size()) return true;
   }
 }
 
@@ -414,20 +725,12 @@ HashAggOp::HashAggOp(OperatorPtr child, std::vector<BoundExprPtr> group_exprs,
       schema_(std::move(schema)) {}
 
 Status HashAggOp::OpenImpl() {
-  results_.clear();
+  results_.Reset(schema_.size());
   ReleaseMemory();
   pos_ = 0;
 
-  struct KeyHash {
-    size_t operator()(const Row& key) const { return HashRow(key); }
-  };
-  struct KeyEq {
-    bool operator()(const Row& a, const Row& b) const {
-      return CompareKeys(a, b) == 0;
-    }
-  };
   // Group order follows first appearance, which keeps results deterministic.
-  std::unordered_map<Row, size_t, KeyHash, KeyEq> group_index;
+  std::unordered_map<Row, size_t, RowKeyHash, RowKeyEq> group_index;
   std::vector<Row> group_keys;
   std::vector<std::vector<AggState>> states;
 
@@ -444,34 +747,53 @@ Status HashAggOp::OpenImpl() {
   };
 
   BORNSQL_RETURN_IF_ERROR(child_->Open());
-  Row row;
+  DataChunk chunk;
+  std::vector<std::vector<Value>> group_scratch;
+  KeyColumnRefs group_cols;
+  std::vector<std::vector<Value>> arg_scratch(aggs_.size());
+  std::vector<const std::vector<Value>*> arg_cols(aggs_.size());
   while (true) {
-    auto more = child_->Next(&row);
+    auto more = child_->Next(&chunk);
     if (!more.ok()) return more.status();
     if (!*more) break;
-    size_t g;
-    if (group_exprs_.empty()) {
-      if (states.empty()) {
-        BORNSQL_RETURN_IF_ERROR(new_group(Row{}).status());
-      }
-      g = 0;
-    } else {
-      auto key = EvalKey(group_exprs_, row);
-      if (!key.ok()) return key.status();
-      auto [it, inserted] = group_index.emplace(*key, states.size());
-      if (inserted) {
-        BORNSQL_ASSIGN_OR_RETURN(g, new_group(*key));
-      } else {
-        g = it->second;
+    if (!group_exprs_.empty()) {
+      BORNSQL_RETURN_IF_ERROR(
+          EvalKeyColumns(group_exprs_, chunk, &group_scratch, &group_cols));
+    }
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      if (aggs_[a].arg != nullptr) {
+        BORNSQL_ASSIGN_OR_RETURN(
+            arg_cols[a],
+            EvalChunkRef(*aggs_[a].arg, chunk, &arg_scratch[a]));
       }
     }
-    for (size_t i = 0; i < aggs_.size(); ++i) {
-      if (aggs_[i].arg == nullptr) {
-        BORNSQL_RETURN_IF_ERROR(states[g][i].Accumulate(Value::Null()));
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      size_t g;
+      if (group_exprs_.empty()) {
+        if (states.empty()) {
+          BORNSQL_RETURN_IF_ERROR(new_group(Row{}).status());
+        }
+        g = 0;
       } else {
-        auto v = Eval(*aggs_[i].arg, row);
-        if (!v.ok()) return v.status();
-        BORNSQL_RETURN_IF_ERROR(states[g][i].Accumulate(*v));
+        // Transparent lookup against the group-key columns: the key row is
+        // materialized only for a group's first row, so the steady state
+        // copies no Values and allocates nothing.
+        auto it = group_index.find(ColsKeyView{&group_cols, i});
+        if (it == group_index.end()) {
+          Row key = KeyAt(group_cols, i);
+          BORNSQL_ASSIGN_OR_RETURN(g, new_group(key));
+          group_index.emplace(std::move(key), g);
+        } else {
+          g = it->second;
+        }
+      }
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        if (aggs_[a].arg == nullptr) {
+          BORNSQL_RETURN_IF_ERROR(states[g][a].Accumulate(Value::Null()));
+        } else {
+          BORNSQL_RETURN_IF_ERROR(
+              states[g][a].Accumulate((*arg_cols[a])[i]));
+        }
       }
     }
   }
@@ -481,18 +803,33 @@ Status HashAggOp::OpenImpl() {
   }
   RecordPeakEntries(states.size());
 
-  results_.reserve(states.size());
-  for (size_t g = 0; g < states.size(); ++g) {
-    Row out = group_keys[g];
-    for (const AggState& st : states[g]) out.push_back(st.Finalize());
-    results_.push_back(std::move(out));
+  // Finalize straight into columns, stealing the key values (the map's own
+  // key copies keep group_index consistent until it goes out of scope).
+  const size_t num_keys = group_exprs_.size();
+  for (size_t k = 0; k < num_keys; ++k) {
+    auto& col = results_.column(k);
+    col.reserve(states.size());
+    for (size_t g = 0; g < states.size(); ++g) {
+      col.push_back(std::move(group_keys[g][k]));
+    }
   }
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    auto& col = results_.column(num_keys + a);
+    col.reserve(states.size());
+    for (size_t g = 0; g < states.size(); ++g) {
+      col.push_back(states[g][a].Finalize());
+    }
+  }
+  results_.SetCardinality(states.size());
   return FlushMemory();
 }
 
-Result<bool> HashAggOp::NextImpl(Row* out) {
+Result<bool> HashAggOp::NextImpl(DataChunk* out) {
+  out->Reset(schema_.size());
   if (pos_ >= results_.size()) return false;
-  *out = results_[pos_++];
+  const size_t n = std::min(vector_size(), results_.size() - pos_);
+  out->AppendRangeMoved(results_, pos_, n);
+  pos_ += n;
   return true;
 }
 
@@ -503,23 +840,26 @@ Status SortOp::OpenImpl() {
   ReleaseMemory();
   pos_ = 0;
   BORNSQL_RETURN_IF_ERROR(child_->Open());
-  // Precompute key rows alongside data rows for a cheap comparator.
+  // Precompute key rows alongside data rows for a cheap comparator; the
+  // keys themselves are evaluated columnar, a chunk at a time.
   std::vector<std::pair<Row, Row>> keyed;
-  Row row;
+  DataChunk chunk;
+  std::vector<std::vector<Value>> key_cols(keys_.size());
   while (true) {
-    auto more = child_->Next(&row);
+    auto more = child_->Next(&chunk);
     if (!more.ok()) return more.status();
     if (!*more) break;
-    Row key;
-    key.reserve(keys_.size());
-    for (const SortKey& k : keys_) {
-      auto v = Eval(*k.expr, row);
-      if (!v.ok()) return v.status();
-      key.push_back(std::move(*v));
+    for (size_t k = 0; k < keys_.size(); ++k) {
+      BORNSQL_RETURN_IF_ERROR(
+          EvalChunkChecked(*keys_[k].expr, chunk, &key_cols[k]));
     }
-    BORNSQL_RETURN_IF_ERROR(ChargeMemory(obs::ApproxRowBytes(row) +
-                                         obs::ApproxRowBytes(key)));
-    keyed.emplace_back(std::move(key), std::move(row));
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      Row key = KeyAt(key_cols, i);
+      Row row = chunk.MaterializeRow(i);
+      BORNSQL_RETURN_IF_ERROR(ChargeMemory(obs::ApproxRowBytes(row) +
+                                           obs::ApproxRowBytes(key)));
+      keyed.emplace_back(std::move(key), std::move(row));
+    }
   }
   std::stable_sort(keyed.begin(), keyed.end(),
                    [this](const auto& a, const auto& b) {
@@ -535,32 +875,40 @@ Status SortOp::OpenImpl() {
   return FlushMemory();
 }
 
-Result<bool> SortOp::NextImpl(Row* out) {
-  if (pos_ >= rows_.size()) return false;
-  *out = rows_[pos_++];
-  return true;
+Result<bool> SortOp::NextImpl(DataChunk* out) {
+  return EmitRowRange(rows_, &pos_, schema().size(), vector_size(), out);
 }
 
 // ---- LimitOp ---------------------------------------------------------------
 
 Status LimitOp::OpenImpl() {
   produced_ = 0;
-  BORNSQL_RETURN_IF_ERROR(child_->Open());
-  Row scratch;
-  for (int64_t skipped = 0; skipped < offset_; ++skipped) {
-    auto more = child_->Next(&scratch);
-    if (!more.ok()) return more.status();
-    if (!*more) break;
-  }
-  return Status::OK();
+  to_skip_ = offset_;
+  return child_->Open();
 }
 
-Result<bool> LimitOp::NextImpl(Row* out) {
+Result<bool> LimitOp::NextImpl(DataChunk* out) {
+  out->Reset(schema().size());
   if (limit_ >= 0 && produced_ >= limit_) return false;
-  BORNSQL_ASSIGN_OR_RETURN(bool more, child_->Next(out));
-  if (!more) return false;
-  ++produced_;
-  return true;
+  while (true) {
+    BORNSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&input_));
+    if (!more) return false;
+    size_t begin = 0;
+    if (to_skip_ > 0) {
+      const size_t skip =
+          std::min(static_cast<size_t>(to_skip_), input_.size());
+      begin = skip;
+      to_skip_ -= static_cast<int64_t>(skip);
+    }
+    size_t avail = input_.size() - begin;
+    if (avail == 0) continue;  // the offset swallowed the whole chunk
+    if (limit_ >= 0) {
+      avail = std::min(avail, static_cast<size_t>(limit_ - produced_));
+    }
+    out->AppendRangeMoved(input_, begin, avail);
+    produced_ += static_cast<int64_t>(avail);
+    return true;
+  }
 }
 
 // ---- UnionAllOp -------------------------------------------------------------
@@ -583,12 +931,13 @@ Status UnionAllOp::OpenImpl() {
   return Status::OK();
 }
 
-Result<bool> UnionAllOp::NextImpl(Row* out) {
+Result<bool> UnionAllOp::NextImpl(DataChunk* out) {
   while (current_ < children_.size()) {
     BORNSQL_ASSIGN_OR_RETURN(bool more, children_[current_]->Next(out));
     if (more) return true;
     ++current_;
   }
+  out->Reset(schema_.size());
   return false;
 }
 
@@ -600,22 +949,35 @@ Status DistinctOp::OpenImpl() {
   return child_->Open();
 }
 
-Result<bool> DistinctOp::NextImpl(Row* out) {
+Result<bool> DistinctOp::NextImpl(DataChunk* out) {
   while (true) {
-    BORNSQL_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    BORNSQL_ASSIGN_OR_RETURN(bool more, child_->Next(&input_));
     if (!more) {
+      out->Reset(input_.column_count());
       // Streaming operator: flush the sub-chunk remainder at exhaustion so
       // the distinct set is visible to the tracker (and its limit).
       BORNSQL_RETURN_IF_ERROR(FlushMemory());
       return false;
     }
-    auto [it, inserted] = seen_.emplace(*out, true);
-    if (inserted) {
-      BORNSQL_RETURN_IF_ERROR(ChargeMemory(obs::ApproxRowBytes(*out) +
+    sel_.clear();
+    for (size_t i = 0; i < input_.size(); ++i) {
+      // Transparent duplicate check against the chunk columns; only
+      // genuinely new rows are materialized into the set.
+      if (seen_.find(ChunkKeyView{&input_, i}) != seen_.end()) continue;
+      auto [it, inserted] = seen_.emplace(input_.MaterializeRow(i), true);
+      BORNSQL_RETURN_IF_ERROR(ChargeMemory(obs::ApproxRowBytes(it->first) +
                                            kHashEntryOverhead));
-      RecordPeakEntries(seen_.size());
+      sel_.push_back(static_cast<uint32_t>(i));
+    }
+    if (sel_.empty()) continue;  // all duplicates; pull the next chunk
+    RecordPeakEntries(seen_.size());
+    if (sel_.size() == input_.size()) {
+      *out = std::move(input_);
       return true;
     }
+    out->Reset(input_.column_count());
+    out->AppendSelectedMoved(input_, sel_);
+    return true;
   }
 }
 
@@ -635,14 +997,17 @@ Status WindowOp::OpenImpl() {
   pos_ = 0;
   BORNSQL_RETURN_IF_ERROR(child_->Open());
   std::vector<Row> input;
-  Row row;
+  DataChunk chunk;
   while (true) {
-    auto more = child_->Next(&row);
+    auto more = child_->Next(&chunk);
     if (!more.ok()) return more.status();
     if (!*more) break;
-    BORNSQL_RETURN_IF_ERROR(ChargeMemory(
-        obs::ApproxRowBytes(row) + specs_.size() * sizeof(Value)));
-    input.push_back(std::move(row));
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      Row row = chunk.MaterializeRow(i);
+      BORNSQL_RETURN_IF_ERROR(ChargeMemory(
+          obs::ApproxRowBytes(row) + specs_.size() * sizeof(Value)));
+      input.push_back(std::move(row));
+    }
   }
 
   const size_t n = input.size();
@@ -718,10 +1083,8 @@ Status WindowOp::OpenImpl() {
   return FlushMemory();
 }
 
-Result<bool> WindowOp::NextImpl(Row* out) {
-  if (pos_ >= rows_.size()) return false;
-  *out = rows_[pos_++];
-  return true;
+Result<bool> WindowOp::NextImpl(DataChunk* out) {
+  return EmitRowRange(rows_, &pos_, schema_.size(), vector_size(), out);
 }
 
 }  // namespace bornsql::exec

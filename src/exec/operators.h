@@ -1,11 +1,15 @@
-// Volcano-style (iterator) physical operators.
+// Vectorized (chunk-at-a-time) physical operators.
 //
-// Every operator exposes Open() / Next(&row). Next returns Result<bool>:
-// OK+true = produced a row, OK+false = exhausted, error = abort. Pipelining
-// operators (scan, filter, project, hash-join probe side, union-all, limit)
-// stream; blocking operators (sort, hash aggregate, window, join build
-// sides) materialize exactly the state the textbook algorithm requires —
-// this is what makes the Fig. 3/4 linearity claims hold in our reproduction.
+// Every operator exposes Open() / Next(&chunk). Next returns Result<bool>:
+// OK+true = produced a non-empty DataChunk (up to vector_size rows),
+// OK+false = exhausted, error = abort. Operators never emit empty chunks:
+// they loop internally until they have at least one row or the input is
+// exhausted. Pipelining operators (scan, filter, project, hash-join probe
+// side, union-all, limit) stream chunk by chunk; blocking operators (sort,
+// hash aggregate, window, join build sides) materialize exactly the state
+// the textbook algorithm requires — this is what makes the Fig. 3/4
+// linearity claims hold in our reproduction. DESIGN.md §14 has the operator
+// adaptation table.
 #ifndef BORNSQL_EXEC_OPERATORS_H_
 #define BORNSQL_EXEC_OPERATORS_H_
 
@@ -17,6 +21,7 @@
 #include "common/status.h"
 #include "common/strings.h"
 #include "exec/aggregates.h"
+#include "exec/chunk.h"
 #include "exec/evaluator.h"
 #include "obs/memory.h"
 #include "obs/stats.h"
@@ -31,6 +36,40 @@ namespace bornsql::exec {
 struct MaterializedResult {
   Schema schema;
   std::vector<Row> rows;
+};
+
+// Heterogeneous hash-key views (C++20 transparent lookup). Probe-side hash
+// lookups in joins, grouping, and DISTINCT hash and compare directly
+// against columnar key vectors (or a whole chunk row), so the steady-state
+// inner loop copies no Values and allocates nothing; a key is materialized
+// as a Row only the first time it is inserted. View hashing must stay
+// bit-identical to HashRow() over the materialized key.
+// Columnar key vectors by reference: entry k points either at the input
+// chunk's own column (bare column key — no copy at all) or at a scratch
+// vector holding a computed key expression's values.
+using KeyColumnRefs = std::vector<const std::vector<Value>*>;
+
+struct ColsKeyView {
+  const KeyColumnRefs* cols;  // (*cols)[k]->at(row) = key part k
+  size_t row;
+};
+struct ChunkKeyView {
+  const DataChunk* chunk;  // the whole chunk row is the key (DISTINCT)
+  size_t row;
+};
+struct RowKeyHash {
+  using is_transparent = void;
+  size_t operator()(const Row& key) const { return HashRow(key); }
+  size_t operator()(const ColsKeyView& v) const;
+  size_t operator()(const ChunkKeyView& v) const;
+};
+struct RowKeyEq {
+  using is_transparent = void;
+  bool operator()(const Row& a, const Row& b) const;
+  bool operator()(const Row& a, const ColsKeyView& b) const;
+  bool operator()(const ColsKeyView& a, const Row& b) const;
+  bool operator()(const Row& a, const ChunkKeyView& b) const;
+  bool operator()(const ChunkKeyView& a, const Row& b) const;
 };
 
 // Read-only view of one bound expression an operator evaluates at runtime,
@@ -54,6 +93,12 @@ struct ExprBinding {
 // execution) each call is counted and timed into an obs::OperatorStats.
 class Operator {
  public:
+  // Default and maximum chunk cardinality (EngineConfig::vector_size;
+  // SET born.vector_size). 1 is the scalar-compatibility escape hatch:
+  // chunk-of-one execution, observationally the old tuple-at-a-time engine.
+  static constexpr size_t kDefaultVectorSize = 2048;
+  static constexpr size_t kMaxVectorSize = 65536;
+
   virtual ~Operator() { ReleaseMemory(); }
   virtual const Schema& schema() const = 0;
 
@@ -76,12 +121,21 @@ class Operator {
     return OpenImpl();
   }
 
-  Result<bool> Next(Row* out) {
+  // Stats are tuple-granular, not chunk-granular: a successful pull counts
+  // the chunk's cardinality into next_calls and rows_emitted, and the final
+  // empty pull counts one call. A full drain of n rows therefore reports
+  // rows=n next=n+1 at every vector size — byte-identical to the
+  // tuple-at-a-time engine's EXPLAIN ANALYZE / born_stat_operators output.
+  Result<bool> Next(DataChunk* out) {
     if (!stats_enabled_) return NextImpl(out);
-    ++stats_.next_calls;
     obs::StatsTimer timer(&stats_);
     Result<bool> more = NextImpl(out);
-    if (more.ok() && *more) ++stats_.rows_emitted;
+    if (more.ok() && *more) {
+      stats_.next_calls += out->size();
+      stats_.rows_emitted += out->size();
+    } else {
+      ++stats_.next_calls;
+    }
     return more;
   }
 
@@ -94,12 +148,19 @@ class Operator {
   // against it. nullptr detaches (releasing any live charge first).
   void SetMemoryTracker(obs::MemoryTracker* tracker);
 
+  // Sets the target chunk cardinality for this operator and its whole
+  // subtree, clamped to [1, kMaxVectorSize]. Takes effect from the next
+  // Open().
+  void SetVectorSize(size_t n);
+
   bool stats_enabled() const { return stats_enabled_; }
   const obs::OperatorStats& stats() const { return stats_; }
 
  protected:
   virtual Status OpenImpl() = 0;
-  virtual Result<bool> NextImpl(Row* out) = 0;
+  virtual Result<bool> NextImpl(DataChunk* out) = 0;
+
+  size_t vector_size() const { return vector_size_; }
 
   // Blocking operators report the size of their materialized state (hash
   // entries, buffered rows). No-op while stats are disabled.
@@ -136,12 +197,32 @@ class Operator {
   obs::MemoryTracker* mem_ = nullptr;
   uint64_t mem_reserved_ = 0;  // flushed to mem_
   uint64_t mem_pending_ = 0;   // accumulated locally, not yet flushed
+  size_t vector_size_ = kDefaultVectorSize;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
 // Drains `op` into a MaterializedResult (calls Open first).
 Result<MaterializedResult> Drain(Operator& op);
+
+// A query result kept in its chunked columnar form: the operator's output
+// chunks verbatim, no per-row materialization. Consumers that need Rows
+// (the statement result buffer, INSERT ... SELECT) build each row once by
+// moving values out of the buffered columns.
+struct MaterializedChunks {
+  Schema schema;
+  std::vector<DataChunk> chunks;
+  size_t row_count = 0;
+};
+
+// Chunked variant of Drain (calls Open first).
+Result<MaterializedChunks> DrainChunks(Operator& op);
+
+// Shared emission helper for operators that serve from a materialized
+// std::vector<Row>: emits up to `vector_size` rows starting at *pos into
+// `out` (Reset to `width` columns). Returns false when *pos is at the end.
+bool EmitRowRange(const std::vector<Row>& rows, size_t* pos, size_t width,
+                  size_t vector_size, DataChunk* out);
 
 // Emits a single empty row; used for FROM-less SELECTs.
 class SingleRowOp : public Operator {
@@ -155,10 +236,11 @@ class SingleRowOp : public Operator {
     done_ = false;
     return Status::OK();
   }
-  Result<bool> NextImpl(Row* out) override {
+  Result<bool> NextImpl(DataChunk* out) override {
+    out->Reset(0);
     if (done_) return false;
     done_ = true;
-    out->clear();
+    out->SetCardinality(1);
     return true;
   }
 
@@ -168,6 +250,8 @@ class SingleRowOp : public Operator {
 };
 
 // Scans a base table. `schema` carries the exposed qualifier (alias).
+// Emits column slices of up to vector_size rows straight out of the
+// row store (storage::Table::ScanColumns does the transpose).
 class SeqScanOp : public Operator {
  public:
   SeqScanOp(const storage::Table* table, Schema schema)
@@ -181,7 +265,7 @@ class SeqScanOp : public Operator {
     table_->RecordScan();
     return Status::OK();
   }
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextImpl(DataChunk* out) override;
 
  private:
   const storage::Table* table_;
@@ -210,7 +294,10 @@ class MaterializedScanOp : public Operator {
     RecordPeakEntries(data_->rows.size());
     return FlushMemory();
   }
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextImpl(DataChunk* out) override {
+    return EmitRowRange(data_->rows, &pos_, schema_.size(), vector_size(),
+                        out);
+  }
 
  private:
   std::shared_ptr<const MaterializedResult> data_;
@@ -246,10 +333,9 @@ class SystemViewScanOp : public Operator {
     RecordPeakEntries(data_.rows.size());
     return FlushMemory();
   }
-  Result<bool> NextImpl(Row* out) override {
-    if (pos_ >= data_.rows.size()) return false;
-    *out = data_.rows[pos_++];
-    return true;
+  Result<bool> NextImpl(DataChunk* out) override {
+    return EmitRowRange(data_.rows, &pos_, schema_.size(), vector_size(),
+                        out);
   }
 
  private:
@@ -260,6 +346,9 @@ class SystemViewScanOp : public Operator {
   size_t pos_ = 0;
 };
 
+// Evaluates the predicate over each input chunk as a whole, collects the
+// surviving row indexes in a SelectionVector, and emits the compacted
+// chunk. An all-pass chunk is moved through without copying.
 class FilterOp : public Operator {
  public:
   FilterOp(OperatorPtr child, BoundExprPtr predicate)
@@ -273,19 +362,42 @@ class FilterOp : public Operator {
 
  protected:
   Status OpenImpl() override { return child_->Open(); }
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextImpl(DataChunk* out) override;
 
  private:
   OperatorPtr child_;
   BoundExprPtr predicate_;
+  DataChunk input_;
+  std::vector<Value> pred_vals_;
+  SelectionVector sel_;
 };
 
+// Columnar projection: each output column is one EvalChunk over the input
+// chunk, written directly into the output chunk's column vector.
 class ProjectOp : public Operator {
  public:
   ProjectOp(OperatorPtr child, std::vector<BoundExprPtr> exprs, Schema schema)
       : child_(std::move(child)),
         exprs_(std::move(exprs)),
-        schema_(std::move(schema)) {}
+        schema_(std::move(schema)) {
+    // Precompute which output expressions are bare input columns: those
+    // bypass the evaluator at Next time, and the last reference to each
+    // input column moves the column vector instead of copying it.
+    const size_t in_width = child_->schema().size();
+    bare_cols_.resize(exprs_.size(), kNotBare);
+    last_col_ref_.resize(exprs_.size(), false);
+    std::vector<size_t> last_ref(in_width, kNotBare);
+    for (size_t j = 0; j < exprs_.size(); ++j) {
+      const BoundExpr& e = *exprs_[j];
+      if (e.kind == BoundKind::kColumn && e.column_index < in_width) {
+        bare_cols_[j] = e.column_index;
+        last_ref[e.column_index] = j;
+      }
+    }
+    for (size_t c = 0; c < in_width; ++c) {
+      if (last_ref[c] != kNotBare) last_col_ref_[last_ref[c]] = true;
+    }
+  }
   const Schema& schema() const override { return schema_; }
   std::string DebugString() const override { return StrFormat("Project(%zu columns)", exprs_.size()); }
   std::vector<Operator*> children() const override { return {child_.get()}; }
@@ -297,18 +409,26 @@ class ProjectOp : public Operator {
 
  protected:
   Status OpenImpl() override { return child_->Open(); }
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextImpl(DataChunk* out) override;
 
  private:
+  static constexpr size_t kNotBare = static_cast<size_t>(-1);
+
   OperatorPtr child_;
   std::vector<BoundExprPtr> exprs_;
   Schema schema_;
+  DataChunk input_;
+  std::vector<size_t> bare_cols_;   // input column index, or kNotBare
+  std::vector<bool> last_col_ref_;  // expr j is the last ref to its column
 };
 
 enum class JoinType { kInner, kLeft, kCross };
 
 // Equi hash join: builds on the right input, probes with the left.
 // Output row = left columns ++ right columns. NULL keys never match.
+// The build side is consumed chunk-at-a-time with columnar key evaluation;
+// the probe side evaluates a whole chunk of keys at once, then emits
+// concatenated match rows until the output chunk fills.
 class HashJoinOp : public Operator {
  public:
   HashJoinOp(OperatorPtr left, OperatorPtr right,
@@ -330,21 +450,18 @@ class HashJoinOp : public Operator {
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextImpl(DataChunk* out) override;
 
  private:
-  struct KeyHash {
-    size_t operator()(const Row& key) const { return HashRow(key); }
-  };
-  struct KeyEq {
-    bool operator()(const Row& a, const Row& b) const {
-      if (a.size() != b.size()) return false;
-      for (size_t i = 0; i < a.size(); ++i) {
-        if (Value::Compare(a[i], b[i]) != 0) return false;
-      }
-      return true;
-    }
-  };
+  // An unmatched probe row in a LEFT join: NULL-pad the build columns.
+  static constexpr uint32_t kNoMatch = static_cast<uint32_t>(-1);
+
+  // Computes the match list for probe_chunk_ row probe_row_.
+  void BeginProbeRow();
+  // Gathers the buffered (probe row, build row) pairs into `out`,
+  // column-wise, and clears the buffer. Must run before probe_chunk_ is
+  // replaced (the pair indices point into it).
+  void FlushPairs(DataChunk* out);
 
   OperatorPtr left_;
   OperatorPtr right_;
@@ -353,17 +470,34 @@ class HashJoinOp : public Operator {
   JoinType type_;
   Schema schema_;
 
-  std::vector<Row> build_rows_;
-  std::unordered_map<Row, std::vector<size_t>, KeyHash, KeyEq> build_index_;
-  Row current_left_;
+  // Pending output rows as (probe row, build row) index pairs. Emission is
+  // deferred so the copies run column-at-a-time over the whole batch.
+  std::vector<std::pair<uint32_t, uint32_t>> pairs_;
+
+  // Build side stored columnar: one chunk holding every (non-NULL-key)
+  // build row, indexed by position. Avoids a heap-allocated Row per build
+  // tuple, which dominates the build cost on wide inputs.
+  DataChunk build_data_;
+  std::unordered_map<Row, std::vector<size_t>, RowKeyHash, RowKeyEq>
+      build_index_;
+
+  DataChunk probe_chunk_;
+  // (*probe_keys_[k])[i] = key expr k over probe row i. Bare column keys
+  // alias probe_chunk_'s columns; computed keys live in the scratch
+  // vectors. Rebuilt whenever probe_chunk_ is refilled.
+  KeyColumnRefs probe_keys_;
+  std::vector<std::vector<Value>> probe_key_scratch_;
+  size_t probe_row_ = 0;
   const std::vector<size_t>* matches_ = nullptr;
   size_t match_pos_ = 0;
-  bool left_emitted_ = false;  // for LEFT joins: did current_left_ match?
-  bool have_left_ = false;
+  bool left_emitted_ = false;  // for LEFT joins: did the probe row match?
+  bool left_done_ = false;     // probe input exhausted; never re-pull it
 };
 
 // Sort-merge equi join (inner / left). Used as an alternative strategy in
-// the "different DBMS" ablation.
+// the "different DBMS" ablation. Both inputs are materialized with
+// columnar key evaluation; the merge itself steps row by row (NextRow) and
+// the chunked NextImpl buffers its output.
 class SortMergeJoinOp : public Operator {
  public:
   SortMergeJoinOp(OperatorPtr left, OperatorPtr right,
@@ -385,9 +519,12 @@ class SortMergeJoinOp : public Operator {
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextImpl(DataChunk* out) override;
 
  private:
+  // One merge step of the textbook row-at-a-time algorithm.
+  Result<bool> NextRow(Row* out);
+
   OperatorPtr left_;
   OperatorPtr right_;
   std::vector<BoundExprPtr> left_keys_;
@@ -403,7 +540,10 @@ class SortMergeJoinOp : public Operator {
 };
 
 // Nested-loop join with an optional residual predicate evaluated over the
-// concatenated row. Handles cross joins and non-equi conditions.
+// concatenated row. Handles cross joins and non-equi conditions. The left
+// side streams in chunks; the residual predicate stays row-wise (it sees
+// one concatenated left++right row at a time, preserving short-circuit
+// semantics over the cross product).
 class NestedLoopJoinOp : public Operator {
  public:
   NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, BoundExprPtr predicate,
@@ -420,7 +560,7 @@ class NestedLoopJoinOp : public Operator {
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextImpl(DataChunk* out) override;
 
  private:
   OperatorPtr left_;
@@ -430,14 +570,18 @@ class NestedLoopJoinOp : public Operator {
   Schema schema_;
 
   std::vector<Row> right_rows_;
+  DataChunk left_chunk_;
+  size_t left_row_ = 0;  // current row within left_chunk_
   Row current_left_;
   size_t right_pos_ = 0;
   bool have_left_ = false;
   bool left_matched_ = false;
+  bool left_done_ = false;  // left input exhausted; never re-pull it
 };
 
-// Index nested-loop join (inner): streams `outer`, probing a secondary hash
-// index on `inner_table`. With `inner_on_left` the output row is
+// Index nested-loop join (inner): streams `outer` in chunks, probing a
+// secondary hash index on `inner_table` per outer row (keys evaluated
+// columnar per chunk). With `inner_on_left` the output row is
 // inner ++ outer (so the op can replace a join whose build side was the
 // indexed table without disturbing downstream column indexes); otherwise
 // outer ++ inner.
@@ -457,9 +601,12 @@ class IndexJoinOp : public Operator {
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextImpl(DataChunk* out) override;
 
  private:
+  // Probes the index for outer_chunk_ row outer_row_.
+  void BeginOuterRow();
+
   OperatorPtr outer_;
   const storage::Table* inner_table_;
   Schema inner_schema_;
@@ -468,10 +615,12 @@ class IndexJoinOp : public Operator {
   bool inner_on_left_;
   Schema schema_;
 
-  Row current_outer_;
+  DataChunk outer_chunk_;
+  std::vector<std::vector<Value>> outer_key_cols_;
+  size_t outer_row_ = 0;
   std::vector<size_t> matches_;
   size_t match_pos_ = 0;
-  bool have_outer_ = false;
+  bool outer_done_ = false;  // outer input exhausted; never re-pull it
 };
 
 struct AggSpec {
@@ -480,7 +629,9 @@ struct AggSpec {
 };
 
 // Hash aggregation. Output schema: group columns then aggregate columns.
-// With no group keys, emits exactly one row even for empty input.
+// With no group keys, emits exactly one row even for empty input. Input is
+// consumed chunk-at-a-time with columnar evaluation of the group keys and
+// aggregate arguments; the hash insert/accumulate step is per row.
 class HashAggOp : public Operator {
  public:
   HashAggOp(OperatorPtr child, std::vector<BoundExprPtr> group_exprs,
@@ -504,7 +655,7 @@ class HashAggOp : public Operator {
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextImpl(DataChunk* out) override;
 
  private:
   OperatorPtr child_;
@@ -512,7 +663,9 @@ class HashAggOp : public Operator {
   std::vector<AggSpec> aggs_;
   Schema schema_;
 
-  std::vector<Row> results_;
+  // Finalized groups, columnar (key parts then aggregate values); NextImpl
+  // serves contiguous slices of it.
+  DataChunk results_;
   size_t pos_ = 0;
 };
 
@@ -536,7 +689,7 @@ class SortOp : public Operator {
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextImpl(DataChunk* out) override;
 
  private:
   OperatorPtr child_;
@@ -545,6 +698,9 @@ class SortOp : public Operator {
   size_t pos_ = 0;
 };
 
+// LIMIT/OFFSET over chunks: the offset is skipped lazily by slicing into
+// the child's chunks (a cut can land mid-chunk), and the limit truncates
+// the final chunk to exactly the remaining row budget.
 class LimitOp : public Operator {
  public:
   LimitOp(OperatorPtr child, int64_t limit, int64_t offset)
@@ -555,17 +711,19 @@ class LimitOp : public Operator {
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextImpl(DataChunk* out) override;
 
  private:
   OperatorPtr child_;
   int64_t limit_;
   int64_t offset_;
   int64_t produced_ = 0;
+  int64_t to_skip_ = 0;
+  DataChunk input_;
 };
 
 // Concatenates children by position; schema comes from the first child with
-// qualifiers cleared.
+// qualifiers cleared. Chunks flow through unchanged.
 class UnionAllOp : public Operator {
  public:
   explicit UnionAllOp(std::vector<OperatorPtr> children);
@@ -581,7 +739,7 @@ class UnionAllOp : public Operator {
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextImpl(DataChunk* out) override;
 
  private:
   std::vector<OperatorPtr> children_;
@@ -589,6 +747,8 @@ class UnionAllOp : public Operator {
   size_t current_ = 0;
 };
 
+// Streaming DISTINCT: per input chunk, rows are probed against the seen-set
+// and the first occurrences are compacted out via a selection vector.
 class DistinctOp : public Operator {
  public:
   explicit DistinctOp(OperatorPtr child) : child_(std::move(child)) {}
@@ -598,23 +758,13 @@ class DistinctOp : public Operator {
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextImpl(DataChunk* out) override;
 
  private:
-  struct KeyHash {
-    size_t operator()(const Row& key) const { return HashRow(key); }
-  };
-  struct KeyEq {
-    bool operator()(const Row& a, const Row& b) const {
-      if (a.size() != b.size()) return false;
-      for (size_t i = 0; i < a.size(); ++i) {
-        if (Value::Compare(a[i], b[i]) != 0) return false;
-      }
-      return true;
-    }
-  };
   OperatorPtr child_;
-  std::unordered_map<Row, bool, KeyHash, KeyEq> seen_;
+  std::unordered_map<Row, bool, RowKeyHash, RowKeyEq> seen_;
+  DataChunk input_;
+  SelectionVector sel_;
 };
 
 // Window computation: ROW_NUMBER / RANK / DENSE_RANK
@@ -652,7 +802,7 @@ class WindowOp : public Operator {
 
  protected:
   Status OpenImpl() override;
-  Result<bool> NextImpl(Row* out) override;
+  Result<bool> NextImpl(DataChunk* out) override;
 
  private:
   OperatorPtr child_;

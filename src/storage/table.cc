@@ -95,6 +95,14 @@ void Table::LookupIndex(size_t index_id, const Row& key,
   for (auto it = begin; it != end; ++it) out->push_back(it->second);
 }
 
+void Table::CopyColumnSlice(size_t col, size_t start, size_t count,
+                            std::vector<Value>* out) const {
+  assert(col < schema_.size());
+  assert(start + count <= rows_.size());
+  out->reserve(out->size() + count);
+  for (size_t i = 0; i < count; ++i) out->push_back(rows_[start + i][col]);
+}
+
 size_t Table::FindConflict(const Row& row) const {
   assert(has_unique_key());
   auto it = index_.find(ExtractKey(row));

@@ -61,6 +61,12 @@ class Table {
   const Schema& schema() const { return schema_; }
   const std::vector<Row>& rows() const { return rows_; }
   size_t row_count() const { return rows_.size(); }
+
+  // Appends the values of column `col` for rows [start, start+count) to
+  // *out — the row-store-to-column-vector transpose behind the vectorized
+  // SeqScan's chunk emission. `start + count` must be <= row_count().
+  void CopyColumnSlice(size_t col, size_t start, size_t count,
+                       std::vector<Value>* out) const;
   bool has_unique_key() const { return !key_columns_.empty(); }
   const std::vector<size_t>& key_columns() const { return key_columns_; }
 

@@ -36,7 +36,7 @@ double Value::AsDouble() const {
 
 const std::string& Value::AsText() const {
   assert(type_ == ValueType::kText);
-  return text_;
+  return text_->str;
 }
 
 bool Value::Truthy() const {
@@ -48,7 +48,7 @@ bool Value::Truthy() const {
     case ValueType::kDouble:
       return double_ != 0.0;
     case ValueType::kText:
-      return !text_.empty();
+      return !text_->str.empty();
   }
   return false;
 }
@@ -60,11 +60,11 @@ Result<Value> Value::CoerceTo(ValueType target) const {
       if (is_double()) return Int(static_cast<int64_t>(double_));
       // text -> int: parse, allowing a plain integer only.
       int64_t out = 0;
-      const char* begin = text_.data();
-      const char* end = begin + text_.size();
+      const char* begin = text_->str.data();
+      const char* end = begin + text_->str.size();
       auto [ptr, ec] = std::from_chars(begin, end, out);
       if (ec != std::errc() || ptr != end) {
-        return Status::InvalidArgument("cannot coerce '" + text_ +
+        return Status::InvalidArgument("cannot coerce '" + text_->str +
                                        "' to INTEGER");
       }
       return Int(out);
@@ -72,9 +72,9 @@ Result<Value> Value::CoerceTo(ValueType target) const {
     case ValueType::kDouble: {
       if (is_int()) return Double(static_cast<double>(int_));
       char* endp = nullptr;
-      double out = std::strtod(text_.c_str(), &endp);
-      if (endp != text_.c_str() + text_.size() || text_.empty()) {
-        return Status::InvalidArgument("cannot coerce '" + text_ +
+      double out = std::strtod(text_->str.c_str(), &endp);
+      if (endp != text_->str.c_str() + text_->str.size() || text_->str.empty()) {
+        return Status::InvalidArgument("cannot coerce '" + text_->str +
                                        "' to REAL");
       }
       return Double(out);
@@ -120,7 +120,8 @@ int Value::Compare(const Value& a, const Value& b) {
       return 0;
     }
     default: {
-      const int c = a.text_.compare(b.text_);
+      if (a.text_ == b.text_) return 0;  // shared payload
+      const int c = a.text_->str.compare(b.text_->str);
       return c < 0 ? -1 : (c > 0 ? 1 : 0);
     }
   }
@@ -145,7 +146,7 @@ std::string Value::ToString() const {
       return StrFormat("%.12g", double_);
     }
     case ValueType::kText:
-      return text_;
+      return text_->str;
   }
   return "?";
 }
@@ -161,7 +162,7 @@ size_t Value::Hash() const {
       return std::hash<double>()(double_);
     }
     case ValueType::kText:
-      return std::hash<std::string>()(text_);
+      return text_->hash;
   }
   return 0;
 }

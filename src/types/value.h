@@ -9,6 +9,7 @@
 #define BORNSQL_TYPES_VALUE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,6 +26,16 @@ enum class ValueType {
 };
 
 const char* ValueTypeName(ValueType t);
+
+// Shared TEXT payload: the bytes plus their hash, computed once at
+// construction. Probe-side hash lookups (joins, GROUP BY, DISTINCT) hash
+// the same strings over and over; caching turns each into a load.
+struct TextPayload {
+  std::string str;
+  size_t hash;
+  explicit TextPayload(std::string s)
+      : str(std::move(s)), hash(std::hash<std::string>()(str)) {}
+};
 
 class Value {
  public:
@@ -46,7 +57,7 @@ class Value {
   static Value Text(std::string v) {
     Value out;
     out.type_ = ValueType::kText;
-    out.text_ = std::move(v);
+    out.text_ = std::make_shared<const TextPayload>(std::move(v));
     return out;
   }
   static Value Bool(bool v) { return Int(v ? 1 : 0); }
@@ -92,7 +103,11 @@ class Value {
   ValueType type_;
   int64_t int_;
   double double_;
-  std::string text_;
+  // Shared text payload: copying a TEXT value bumps a refcount instead of
+  // duplicating the bytes. Feature keys ("abstract:word123") routinely
+  // exceed the small-string optimization, so value copies along the
+  // executor's hot paths would otherwise allocate per copy.
+  std::shared_ptr<const TextPayload> text_;
 };
 
 using Row = std::vector<Value>;

@@ -1,0 +1,371 @@
+// Chunk-boundary edge cases for the vectorized executor: every operator is
+// driven at deliberately awkward vector sizes (1, 2, 3, a prime, the
+// default) so partial last chunks, filter-to-zero chunks, and mid-chunk
+// LIMIT/OFFSET cuts all occur. The invariant under test everywhere: the
+// drained row set is identical at every chunk size, because vector_size
+// changes execution granularity, never results (DESIGN.md section 14).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "exec/chunk.h"
+#include "exec/evaluator.h"
+#include "exec/operators.h"
+#include "tests/test_util.h"
+
+namespace bornsql::exec {
+namespace {
+
+Schema OneCol(const char* qualifier, const char* name) {
+  Schema s;
+  s.Add(Column{qualifier, name, ValueType::kNull});
+  return s;
+}
+
+Schema TwoCols(const char* qualifier, const char* a, const char* b) {
+  Schema s;
+  s.Add(Column{qualifier, a, ValueType::kNull});
+  s.Add(Column{qualifier, b, ValueType::kNull});
+  return s;
+}
+
+OperatorPtr Rows(Schema schema, std::vector<Row> rows) {
+  auto data = std::make_shared<MaterializedResult>();
+  data->schema = schema;
+  data->rows = std::move(rows);
+  return std::make_unique<MaterializedScanOp>(std::move(data),
+                                              std::move(schema));
+}
+
+std::vector<Row> MustDrain(Operator& op) {
+  auto result = Drain(op);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result->rows) : std::vector<Row>{};
+}
+
+// Drains `op` at the given vector size and returns the rows.
+std::vector<Row> DrainAt(Operator& op, size_t vector_size) {
+  op.SetVectorSize(vector_size);
+  return MustDrain(op);
+}
+
+// Ints [0, n) as single-column rows.
+std::vector<Row> IntRows(int n) {
+  std::vector<Row> rows;
+  for (int i = 0; i < n; ++i) rows.push_back({Value::Int(i)});
+  return rows;
+}
+
+void ExpectSameRows(const std::vector<Row>& got, const std::vector<Row>& want,
+                    size_t vector_size) {
+  ASSERT_EQ(got.size(), want.size()) << "at vector_size=" << vector_size;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].size(), want[i].size()) << "row " << i;
+    for (size_t c = 0; c < got[i].size(); ++c) {
+      EXPECT_EQ(got[i][c].ToString(), want[i][c].ToString())
+          << "row " << i << " col " << c << " at vector_size=" << vector_size;
+    }
+  }
+}
+
+// The awkward sizes: scalar, tiny, prime vs the 7/10/12-row inputs below
+// (forcing partial last chunks), and the production default.
+const size_t kSizes[] = {1, 2, 3, 5, Operator::kDefaultVectorSize};
+
+std::vector<BoundExprPtr> Keys(size_t idx) {
+  std::vector<BoundExprPtr> keys;
+  keys.push_back(BoundColumn(idx));
+  return keys;
+}
+
+// x % 2 as a bound expression (used as a filter: keeps odd values).
+BoundExprPtr OddPredicate(size_t col) {
+  auto mod = std::make_unique<BoundExpr>();
+  mod->kind = BoundKind::kBinary;
+  mod->binary_op = BoundBinaryOp::kMod;
+  mod->children.push_back(BoundColumn(col));
+  mod->children.push_back(BoundLiteral(Value::Int(2)));
+  return mod;
+}
+
+TEST(ExecChunkTest, FilterResultsIdenticalAtEveryVectorSize) {
+  std::vector<Row> want;
+  for (int i = 0; i < 12; ++i) {
+    if (i % 2 == 1) want.push_back({Value::Int(i)});
+  }
+  for (size_t vs : kSizes) {
+    FilterOp filter(Rows(OneCol("t", "a"), IntRows(12)), OddPredicate(0));
+    ExpectSameRows(DrainAt(filter, vs), want, vs);
+  }
+}
+
+TEST(ExecChunkTest, FilterToZeroSelectionYieldsNoRows) {
+  // Every chunk filters to an empty selection; the operator must keep
+  // pulling (Drain asserts chunks are non-empty) and report exhaustion.
+  for (size_t vs : kSizes) {
+    FilterOp filter(Rows(OneCol("t", "a"), IntRows(10)),
+                    BoundLiteral(Value::Int(0)));
+    EXPECT_TRUE(DrainAt(filter, vs).empty()) << "vector_size=" << vs;
+  }
+}
+
+TEST(ExecChunkTest, FilterSkipsAllRejectedMiddleChunks) {
+  // 0..9 with only the first and last rows truthy: at vector_size=2 the
+  // middle chunks select zero rows and must be skipped, not emitted empty.
+  std::vector<Row> rows;
+  for (int i = 0; i < 10; ++i) {
+    rows.push_back({Value::Int(i == 0 || i == 9 ? 1 : 0), Value::Int(i)});
+  }
+  std::vector<Row> want = {{Value::Int(1), Value::Int(0)},
+                           {Value::Int(1), Value::Int(9)}};
+  for (size_t vs : kSizes) {
+    FilterOp filter(Rows(TwoCols("t", "keep", "i"), rows), BoundColumn(0));
+    ExpectSameRows(DrainAt(filter, vs), want, vs);
+  }
+}
+
+TEST(ExecChunkTest, EmptyInputThroughPipelines) {
+  for (size_t vs : kSizes) {
+    FilterOp filter(Rows(OneCol("t", "a"), {}), BoundColumn(0));
+    EXPECT_TRUE(DrainAt(filter, vs).empty());
+
+    std::vector<BoundExprPtr> exprs;
+    exprs.push_back(BoundColumn(0));
+    ProjectOp project(Rows(OneCol("t", "a"), {}), std::move(exprs),
+                      OneCol("", "p"));
+    EXPECT_TRUE(DrainAt(project, vs).empty());
+
+    DistinctOp distinct(Rows(OneCol("t", "a"), {}));
+    EXPECT_TRUE(DrainAt(distinct, vs).empty());
+  }
+}
+
+TEST(ExecChunkTest, LimitOffsetCutsMidChunk) {
+  // All 49 (limit, offset) cuts over 10 rows, each at every chunk size:
+  // covers offset consuming whole chunks, offset ending mid-chunk, limit
+  // truncating mid-chunk, and limit+offset spanning a chunk boundary.
+  for (int64_t offset = 0; offset <= 6; ++offset) {
+    for (int64_t limit = 0; limit <= 6; ++limit) {
+      std::vector<Row> want;
+      for (int i = 0; i < 10; ++i) {
+        if (i >= offset && static_cast<int64_t>(want.size()) < limit) {
+          want.push_back({Value::Int(i)});
+        }
+      }
+      for (size_t vs : kSizes) {
+        LimitOp op(Rows(OneCol("t", "a"), IntRows(10)), limit, offset);
+        ExpectSameRows(DrainAt(op, vs), want, vs);
+      }
+    }
+  }
+}
+
+TEST(ExecChunkTest, LimitStopsPullingOnceSatisfied) {
+  // LIMIT 1 over a scan at vector_size=1 must not drain the whole input:
+  // the scan's stats show how many chunks were actually pulled.
+  auto scan = Rows(OneCol("t", "a"), IntRows(10));
+  Operator* scan_ptr = scan.get();
+  LimitOp op(std::move(scan), /*limit=*/1, /*offset=*/0);
+  op.EnableStats(true);
+  op.SetVectorSize(1);
+  auto rows = MustDrain(op);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_LE(scan_ptr->stats().rows_emitted, 2u);
+}
+
+TEST(ExecChunkTest, HashJoinLastPartialChunk) {
+  // 7 probe rows x 1-2 matches each at chunk sizes that never divide the
+  // match count evenly: emission crosses probe-chunk and output-chunk
+  // boundaries, and the last chunk is partial.
+  std::vector<Row> left;
+  for (int i = 0; i < 7; ++i) {
+    left.push_back({Value::Int(i % 3), Value::Int(i)});
+  }
+  std::vector<Row> right = {{Value::Int(0), Value::Int(100)},
+                            {Value::Int(1), Value::Int(101)},
+                            {Value::Int(1), Value::Int(111)},
+                            {Value::Int(9), Value::Int(109)}};
+  std::vector<Row> want;
+  for (const Row& l : left) {
+    for (const Row& r : right) {
+      if (l[0].AsInt() == r[0].AsInt()) {
+        want.push_back({l[0], l[1], r[0], r[1]});
+      }
+    }
+  }
+  for (size_t vs : kSizes) {
+    HashJoinOp join(Rows(TwoCols("l", "k", "v"), left),
+                    Rows(TwoCols("r", "k", "v"), right), Keys(0), Keys(0),
+                    JoinType::kInner);
+    ExpectSameRows(DrainAt(join, vs), want, vs);
+  }
+}
+
+TEST(ExecChunkTest, LeftJoinNullPadsAcrossChunkBoundaries) {
+  std::vector<Row> left;
+  for (int i = 0; i < 7; ++i) left.push_back({Value::Int(i)});
+  std::vector<Row> right = {{Value::Int(2)}, {Value::Int(5)}};
+  for (size_t vs : kSizes) {
+    HashJoinOp join(Rows(OneCol("l", "k"), left), Rows(OneCol("r", "k"), right),
+                    Keys(0), Keys(0), JoinType::kLeft);
+    auto rows = DrainAt(join, vs);
+    ASSERT_EQ(rows.size(), 7u) << "vector_size=" << vs;
+    for (const Row& row : rows) {
+      const bool matched = row[0].AsInt() == 2 || row[0].AsInt() == 5;
+      EXPECT_EQ(row[1].is_null(), !matched) << row[0].ToString();
+    }
+  }
+}
+
+TEST(ExecChunkTest, NestedLoopCrossProductPartialChunks) {
+  // 5 x 3 cross product: neither side nor the 15-row output divides evenly
+  // by chunk sizes 2 and 3.
+  std::vector<Row> want;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      want.push_back({Value::Int(i), Value::Int(10 + j)});
+    }
+  }
+  std::vector<Row> right;
+  for (int j = 0; j < 3; ++j) right.push_back({Value::Int(10 + j)});
+  for (size_t vs : kSizes) {
+    NestedLoopJoinOp join(Rows(OneCol("l", "a"), IntRows(5)),
+                          Rows(OneCol("r", "b"), right), nullptr,
+                          JoinType::kCross);
+    ExpectSameRows(DrainAt(join, vs), want, vs);
+  }
+}
+
+TEST(ExecChunkTest, HashAggLastPartialChunk) {
+  // 10 rows, 3 groups, consumed in partial chunks; with no group keys the
+  // empty input still emits exactly one row at every chunk size.
+  for (size_t vs : kSizes) {
+    std::vector<BoundExprPtr> groups;
+    groups.push_back(OddPredicate(0));  // group by a % 2
+    std::vector<AggSpec> aggs;
+    aggs.push_back({AggFunc::kCountStar, nullptr});
+    HashAggOp agg(Rows(OneCol("t", "a"), IntRows(10)), std::move(groups),
+                  std::move(aggs), TwoCols("", "g", "n"));
+    auto rows = DrainAt(agg, vs);
+    ASSERT_EQ(rows.size(), 2u) << "vector_size=" << vs;
+    int64_t total = 0;
+    for (const Row& row : rows) total += row[1].AsInt();
+    EXPECT_EQ(total, 10);
+
+    std::vector<AggSpec> count_all;
+    count_all.push_back({AggFunc::kCountStar, nullptr});
+    HashAggOp global(Rows(OneCol("t", "a"), {}), {}, std::move(count_all),
+                     OneCol("", "n"));
+    auto grows = DrainAt(global, vs);
+    ASSERT_EQ(grows.size(), 1u) << "vector_size=" << vs;
+    EXPECT_EQ(grows[0][0].AsInt(), 0);
+  }
+}
+
+TEST(ExecChunkTest, DistinctAcrossChunkBoundaries) {
+  // Duplicates that straddle chunk boundaries at size 2/3; also a chunk
+  // whose rows are all duplicates (selects zero) mid-stream.
+  std::vector<Row> rows;
+  for (int v : {1, 1, 2, 2, 2, 3, 1, 2, 3, 4}) rows.push_back({Value::Int(v)});
+  std::vector<Row> want = {
+      {Value::Int(1)}, {Value::Int(2)}, {Value::Int(3)}, {Value::Int(4)}};
+  for (size_t vs : kSizes) {
+    DistinctOp distinct(Rows(OneCol("t", "a"), rows));
+    ExpectSameRows(DrainAt(distinct, vs), want, vs);
+  }
+}
+
+TEST(ExecChunkTest, SortAndUnionEmitPartialLastChunks) {
+  std::vector<Row> want_union;
+  for (int i = 0; i < 7; ++i) want_union.push_back({Value::Int(i)});
+  for (int i = 0; i < 4; ++i) want_union.push_back({Value::Int(100 + i)});
+  for (size_t vs : kSizes) {
+    std::vector<OperatorPtr> children;
+    children.push_back(Rows(OneCol("t", "a"), IntRows(7)));
+    std::vector<Row> second;
+    for (int i = 0; i < 4; ++i) second.push_back({Value::Int(100 + i)});
+    children.push_back(Rows(OneCol("t", "a"), second));
+    UnionAllOp u(std::move(children));
+    ExpectSameRows(DrainAt(u, vs), want_union, vs);
+
+    std::vector<Row> reversed;
+    for (int i = 6; i >= 0; --i) reversed.push_back({Value::Int(i)});
+    std::vector<SortKey> keys;
+    keys.push_back({BoundColumn(0), /*desc=*/false});
+    SortOp sort(Rows(OneCol("t", "a"), reversed), std::move(keys));
+    ExpectSameRows(DrainAt(sort, vs), IntRows(7), vs);
+  }
+}
+
+TEST(ExecChunkTest, SetVectorSizeClampsDegenerateValues) {
+  // 0 clamps to 1 (a zero chunk budget would emit empty chunks and spin);
+  // a huge request clamps to kMaxVectorSize instead of allocating for it.
+  for (size_t requested : {size_t{0}, size_t{1}, Operator::kMaxVectorSize * 16}) {
+    FilterOp filter(Rows(OneCol("t", "a"), IntRows(12)), OddPredicate(0));
+    EXPECT_EQ(DrainAt(filter, requested).size(), 6u)
+        << "requested=" << requested;
+  }
+}
+
+TEST(ExecChunkTest, StatsAreTupleGranularAtEveryVectorSize) {
+  // The EXPLAIN ANALYZE contract: a full drain of n rows reports
+  // rows_emitted=n and next_calls=n+1 regardless of chunk size, so the
+  // seed's tuple-at-a-time goldens stay byte-identical under batching.
+  for (size_t vs : kSizes) {
+    auto scan = Rows(OneCol("t", "a"), IntRows(12));
+    Operator* scan_ptr = scan.get();
+    FilterOp filter(std::move(scan), OddPredicate(0));
+    filter.EnableStats(true);
+    filter.SetVectorSize(vs);
+    auto rows = MustDrain(filter);
+    ASSERT_EQ(rows.size(), 6u);
+    EXPECT_EQ(scan_ptr->stats().rows_emitted, 12u) << "vector_size=" << vs;
+    EXPECT_EQ(scan_ptr->stats().next_calls, 13u) << "vector_size=" << vs;
+    EXPECT_EQ(filter.stats().rows_emitted, 6u) << "vector_size=" << vs;
+    EXPECT_EQ(filter.stats().next_calls, 7u) << "vector_size=" << vs;
+  }
+}
+
+TEST(ExecChunkTest, DataChunkAppendHelpers) {
+  DataChunk chunk;
+  chunk.Reset(2);
+  chunk.AppendRow({Value::Int(1), Value::Text("a")});
+  chunk.AppendRow({Value::Int(2), Value::Text("b")});
+  chunk.AppendRow({Value::Int(3), Value::Text("c")});
+  ASSERT_EQ(chunk.size(), 3u);
+
+  SelectionVector sel = {0, 2};
+  DataChunk picked;
+  picked.Reset(2);
+  picked.AppendSelected(chunk, sel);
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked.column(0)[1].AsInt(), 3);
+
+  DataChunk sliced;
+  sliced.Reset(2);
+  sliced.AppendRange(chunk, 1, 2);
+  ASSERT_EQ(sliced.size(), 2u);
+  EXPECT_EQ(sliced.column(0)[0].AsInt(), 2);
+
+  // Concat with a null right side pads with NULLs (LEFT join emission).
+  DataChunk padded;
+  padded.Reset(3);
+  padded.AppendConcat(chunk, 0, nullptr, 1);
+  ASSERT_EQ(padded.size(), 1u);
+  EXPECT_TRUE(padded.column(2)[0].is_null());
+
+  Row row = chunk.MaterializeRow(1);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[1].AsText(), "b");
+
+  std::vector<Row> all;
+  chunk.AppendRowsTo(&all);
+  chunk.AppendRowsTo(&all);  // appends, never overwrites
+  EXPECT_EQ(all.size(), 6u);
+}
+
+}  // namespace
+}  // namespace bornsql::exec

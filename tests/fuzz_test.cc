@@ -2,7 +2,7 @@
 // produces parseable SQL, the shrinker converges to a minimal failing
 // spec against a fake oracle, and -- the regression bar -- a fixed-seed
 // batch of generated queries replays through the full differential runner
-// (27 configurations, verifiers armed) with zero divergences.
+// (30 configurations, verifiers armed) with zero divergences.
 #include "tools/fuzz/fuzzer.h"
 
 #include <gtest/gtest.h>
@@ -52,7 +52,7 @@ TEST(FuzzGeneratorTest, GeneratedQueriesParseAndRunOnOneDatabase) {
 
 TEST(FuzzConfigTest, MatrixCoversStrategiesAndRules) {
   const std::vector<FuzzConfig> configs = AllConfigs();
-  EXPECT_EQ(configs.size(), 27u);
+  EXPECT_EQ(configs.size(), 30u);
   EXPECT_EQ(configs[0].name, "hash/all_on");  // the baseline
   std::set<std::string> names;
   for (const FuzzConfig& c : configs) names.insert(c.name);
@@ -60,6 +60,15 @@ TEST(FuzzConfigTest, MatrixCoversStrategiesAndRules) {
   EXPECT_EQ(names.count("nestedloop/off_filter_reorder"), 1u);
   EXPECT_EQ(names.count("sortmerge/inline_ctes"), 1u);
   EXPECT_EQ(names.count("hash/all_off"), 1u);
+  EXPECT_EQ(names.count("hash/vector1"), 1u);
+  // The vector1 scalar-compat lanes survive a chunk-size override; every
+  // other lane takes the overridden size.
+  const std::vector<FuzzConfig> swept = AllConfigs(3);
+  EXPECT_EQ(swept.size(), 30u);
+  for (const FuzzConfig& c : swept) {
+    const bool is_vec1 = c.name.find("/vector1") != std::string::npos;
+    EXPECT_EQ(c.config.vector_size, is_vec1 ? 1u : 3u) << c.name;
+  }
 }
 
 TEST(FuzzShrinkTest, ShrinksToAMinimalFailingSpec) {

@@ -240,6 +240,29 @@ TEST(SetStatementTest, UnknownSettingIsRejected) {
             std::string::npos);
 }
 
+TEST(SetStatementTest, VectorSizeKnob) {
+  Database db;
+  LoadFixture(&db);
+  auto rendered = [&db]() {
+    std::string out;
+    for (const Row& row : MustQuery(db, "SELECT a FROM t1 ORDER BY a").rows) {
+      out += row[0].ToString() + "\n";
+    }
+    return out;
+  };
+  const std::string baseline = rendered();
+  // 1 is the scalar escape hatch; huge values clamp to kMaxVectorSize
+  // rather than failing. Results never change with the chunk size.
+  for (const char* size : {"1", "3", "1000000000"}) {
+    MustQuery(db, std::string("SET born.vector_size = ") + size);
+    EXPECT_EQ(rendered(), baseline) << "born.vector_size=" << size;
+  }
+  auto result = db.Execute("SET born.vector_size = 0");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("born.vector_size"),
+            std::string::npos);
+}
+
 TEST(SetStatementTest, TogglesCollectExecStats) {
   obs::MetricsRegistry metrics;
   Database db;

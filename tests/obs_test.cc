@@ -85,6 +85,30 @@ TEST(ExplainGoldenTest, AnalyzeSelectWithHashJoin) {
             expected);
 }
 
+TEST(ExplainGoldenTest, AnalyzeCountsInvariantUnderVectorSize) {
+  // Per-operator stats count TUPLES, not chunks: a full drain of n rows
+  // reports rows=n next=n+1 at any born.vector_size, so the ANALYZE output
+  // at chunk size 1 and 3 is byte-identical to the default-size golden
+  // above (AnalyzeSelectWithHashJoin).
+  for (int vector_size : {1, 3}) {
+    Database db;
+    LoadJoinFixture(&db);
+    BORNSQL_ASSERT_OK(db.Execute("SET born.vector_size = " +
+                                 std::to_string(vector_size))
+                          .status());
+    std::vector<std::string> expected = {
+        "Project(2 columns)  (actual rows=2 next=3 time=Xms)",
+        "  HashJoin(inner, 1 keys)  "
+        "(actual rows=2 next=3 time=Xms peak=3 mem=X)",
+        "    SeqScan(t1, 4 rows)  (actual rows=4 next=5 time=Xms)",
+        "    SeqScan(t2, 3 rows)  (actual rows=3 next=4 time=Xms)",
+    };
+    EXPECT_EQ(MaskedPlanLines(db, std::string("EXPLAIN ANALYZE ") + kJoinSql),
+              expected)
+        << "born.vector_size=" << vector_size;
+  }
+}
+
 TEST(ExplainGoldenTest, AnalyzeSelectWithSortMergeJoin) {
   EngineConfig config;
   config.join_strategy = JoinStrategy::kSortMerge;

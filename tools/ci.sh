@@ -5,10 +5,12 @@
 #   1c  plan snapshots: golden logical+physical plans for every driver
 #       statement across the 3 join strategies x 2 CTE modes
 #   1d  Debug build (plan + logical verifiers on) + full test suite
-#   1e  differential fuzz smoke: 1,000 seeded queries across all 27
-#       configurations (3 join strategies x 9 optimizer settings) plus a
-#       cached-vs-uncached serving lane, plan and translation verifiers
-#       armed
+#   1e  differential fuzz smoke: 1,000 seeded queries across all 30
+#       configurations (3 join strategies x 9 optimizer settings plus a
+#       per-strategy vector1 scalar-compat lane) and a cached-vs-uncached
+#       serving lane, plan and translation verifiers armed; then a
+#       vector-size sweep (1/3/2048) re-runs a smaller batch so chunked
+#       execution is diffed against tuple-at-a-time at awkward chunk sizes
 #   1f  serving bench smoke: concurrent sessions through the keyed plan
 #       cache, hit rate > 0 and cached results equal to uncached; the same
 #       run exports Prometheus text which a format checker validates
@@ -84,6 +86,15 @@ if [[ "${1:-}" != "--fast" ]]; then
   # replays twice through a serving session, so the second run is served
   # from the plan cache and compared against the uncached baseline.
   build/tools/fuzz/bornsql_fuzzer --seed=20260806 --queries=1000
+  # Vector-size sweep: the same differential matrix with every non-vector1
+  # lane forced to an explicit chunk size. Size 1 makes every lane scalar
+  # (pure row-wise cross-check), 3 exercises chunk-boundary edges (partial
+  # chunks, mid-chunk LIMIT cuts) on nearly every query, 2048 is the
+  # default production size.
+  for vs in 1 3 2048; do
+    build/tools/fuzz/bornsql_fuzzer --seed=20260806 --queries=200 \
+      --vector-size="$vs"
+  done
 
   echo "=== leg 1f: serving bench smoke ==="
   # Concurrent sessions replaying the prepared predict query. After the

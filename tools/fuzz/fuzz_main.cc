@@ -1,7 +1,11 @@
 // Differential fuzzer CLI.
 //
-//   bornsql_fuzzer [--seed=N] [--queries=N] [--verbose]
+//   bornsql_fuzzer [--seed=N] [--queries=N] [--vector-size=N] [--verbose]
 //   bornsql_fuzzer --seed=N --repro=I     # re-run one query by index
+//
+// --vector-size overrides the chunk size of every non-vector1 lane
+// (0 or absent = engine default); the vector1 scalar-compat lanes always
+// run at chunk size 1, so any setting still diffs chunked vs row-wise.
 //
 // Exit status: 0 when every query agrees across all configurations,
 // 1 on divergence (the shrunk query and both result previews are printed,
@@ -41,12 +45,14 @@ int main(int argc, char** argv) {
     } else if (ParseUint64(argv[i], "--repro=", &v)) {
       repro_index = v;
       repro = true;
+    } else if (ParseUint64(argv[i], "--vector-size=", &v)) {
+      opts.vector_size = static_cast<size_t>(v);
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       opts.verbose = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--seed=N] [--queries=N] [--verbose] "
-                   "[--repro=I]\n",
+                   "usage: %s [--seed=N] [--queries=N] [--vector-size=N] "
+                   "[--verbose] [--repro=I]\n",
                    argv[0]);
       return 2;
     }
@@ -59,7 +65,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(opts.seed),
                 static_cast<unsigned long long>(repro_index),
                 bornsql::fuzz::RenderQuery(spec).c_str());
-    DifferentialRunner runner;
+    DifferentialRunner runner(opts.vector_size);
     std::string detail;
     if (runner.Check(spec, &detail)) {
       std::printf("ok: all %zu configurations agree\n", runner.config_count());

@@ -517,7 +517,7 @@ Status LoadFixture(engine::Database* db) {
 // Configuration matrix and differential runner.
 // ---------------------------------------------------------------------------
 
-std::vector<FuzzConfig> AllConfigs() {
+std::vector<FuzzConfig> AllConfigs(size_t vector_size) {
   using engine::EngineConfig;
   using engine::JoinStrategy;
   struct StrategyName {
@@ -540,6 +540,7 @@ std::vector<FuzzConfig> AllConfigs() {
     // validator test even in optimized builds.
     base.verify_plans = true;
     base.verify_rewrites = true;
+    if (vector_size != 0) base.vector_size = vector_size;
 
     FuzzConfig all_on{std::string(s.name) + "/all_on", base};
     out.push_back(all_on);
@@ -578,6 +579,13 @@ std::vector<FuzzConfig> AllConfigs() {
     FuzzConfig inlined{std::string(s.name) + "/inline_ctes", base};
     inlined.config.materialize_ctes = false;
     out.push_back(inlined);
+
+    // Scalar-compatibility lane: chunk-of-one execution must be
+    // observationally identical to the chunked engine (same results, same
+    // error surface) under every join strategy.
+    FuzzConfig vec1{std::string(s.name) + "/vector1", base};
+    vec1.config.vector_size = 1;
+    out.push_back(vec1);
   }
   return out;
 }
@@ -612,7 +620,8 @@ std::string Preview(const std::string& canonical) {
 
 }  // namespace
 
-DifferentialRunner::DifferentialRunner() : configs_(AllConfigs()) {
+DifferentialRunner::DifferentialRunner(size_t vector_size)
+    : configs_(AllConfigs(vector_size)) {
   dbs_.reserve(configs_.size());
   for (const FuzzConfig& c : configs_) {
     auto db = std::make_unique<engine::Database>(c.config);
@@ -815,7 +824,7 @@ QuerySpec Shrink(const QuerySpec& spec,
 // ---------------------------------------------------------------------------
 
 RunReport RunDifferential(const RunOptions& opts) {
-  DifferentialRunner runner;
+  DifferentialRunner runner(opts.vector_size);
   RunReport report;
   for (uint64_t i = 0; i < opts.queries; ++i) {
     Rng rng(DeriveSeed(opts.seed, i));

@@ -91,16 +91,22 @@ struct FuzzConfig {
   engine::EngineConfig config;
 };
 
-// The full correctness matrix (27 configurations). The first entry
-// (hash/all_on) is the comparison baseline.
-std::vector<FuzzConfig> AllConfigs();
+// The full correctness matrix (30 configurations): per join strategy, the
+// optimizer-rule lanes plus a vector1 scalar-compatibility lane that runs
+// the same engine with chunk-of-one execution. The first entry
+// (hash/all_on) is the comparison baseline. A non-zero `vector_size`
+// overrides the chunk size of every lane except the vector1 lanes (which
+// stay at 1), so a sweep can diff chunked execution at any size against
+// the tuple-at-a-time equivalent.
+std::vector<FuzzConfig> AllConfigs(size_t vector_size = 0);
 
 // Executes queries across every configuration and compares result
 // multisets. Databases are created and the fixture loaded once, at
 // construction; generated queries are read-only.
 class DifferentialRunner {
  public:
-  DifferentialRunner();
+  // `vector_size` as in AllConfigs: 0 = engine default chunk size.
+  explicit DifferentialRunner(size_t vector_size = 0);
 
   // Runs `spec` under every configuration. Returns true when all agree
   // (same sorted result multiset, or an error under every configuration).
@@ -129,6 +135,9 @@ struct RunOptions {
   uint64_t seed = 20260806;
   size_t queries = 1000;
   bool verbose = false;
+  // Chunk size override for every non-vector1 lane (0 = engine default);
+  // the CI sweep runs the smoke batch at several sizes (see tools/ci.sh).
+  size_t vector_size = 0;
 };
 
 struct RunReport {
